@@ -1,0 +1,339 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per figure
+// and table — see DESIGN.md §5) plus the performance claims: the closed
+// forms cost microseconds where the transistor-level validation costs
+// milliseconds per point.
+//
+// Run with: go test -bench=. -benchmem
+package ssnkit_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ssnkit"
+	"ssnkit/internal/experiments"
+	"ssnkit/internal/linalg"
+)
+
+func benchCtx() experiments.Context { return experiments.Context{Fast: true} }
+
+// benchResult prevents dead-code elimination of experiment outputs.
+var benchResult interface{}
+
+// BenchmarkFig1IVFit regenerates Fig. 1: golden-device I-V sweep plus the
+// ASDM least-squares extraction.
+func BenchmarkFig1IVFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkFig2Waveforms regenerates Fig. 2: the transient simulation of
+// the canonical driver array plus the Eq. (6)/(8) waveforms.
+func BenchmarkFig2Waveforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkFig3DriverSweep regenerates Fig. 3: the driver-count sweep with
+// simulation and all three analytic models.
+func BenchmarkFig3DriverSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkFig4CapacitanceSweep regenerates Fig. 4: the two capacitance
+// sweeps with simulated and closed-form maxima.
+func BenchmarkFig4CapacitanceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkTable1Cases regenerates Table 1: the four steered scenarios with
+// classifier, formula, dense-sampled and simulated maxima.
+func BenchmarkTable1Cases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkAblationDeviceModel regenerates ablation-a: the same ODE with
+// three device linearizations against simulation.
+func BenchmarkAblationDeviceModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDeviceModel(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkAblationResistance regenerates ablation-r: the series-resistance
+// sensitivity sweep.
+func BenchmarkAblationResistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationResistance(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+func benchParams(b *testing.B) ssnkit.Params {
+	b.Helper()
+	asdm, err := ssnkit.C018.ExtractASDM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gnd := ssnkit.PGA.Ground(2)
+	return ssnkit.Params{
+		N: 16, Dev: asdm, Vdd: ssnkit.C018.Vdd,
+		Slope: ssnkit.C018.Vdd / 1e-9, L: gnd.L, C: gnd.C,
+	}
+}
+
+// BenchmarkClosedFormVsSim/closed-form vs /transient-sim quantifies the
+// paper's "simple formula" pitch: both answer the same question (max SSN of
+// one scenario); the closed form is several orders of magnitude faster.
+func BenchmarkClosedFormVsSim(b *testing.B) {
+	p := benchParams(b)
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v, _, err := ssnkit.MaxSSN(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchResult = v
+		}
+	})
+	b.Run("transient-sim", func(b *testing.B) {
+		cfg := ssnkit.ArrayConfig{
+			Process: ssnkit.C018, N: 16, Load: 20e-12,
+			Ground: ssnkit.PGA.Ground(2), Rise: 1e-9, Merged: true,
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{}, 1e-9/200, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchResult = res.MaxSSN
+		}
+	})
+}
+
+// BenchmarkMaxSSN measures one closed-form evaluation (Params -> Table 1
+// case + maximum), the unit of work inside every sweep.
+func BenchmarkMaxSSN(b *testing.B) {
+	p := benchParams(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, _, err := ssnkit.MaxSSN(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = v
+	}
+}
+
+// BenchmarkASDMExtraction measures the device-model fit alone.
+func BenchmarkASDMExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := ssnkit.C018.ExtractASDM()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = m
+	}
+}
+
+// BenchmarkTransientRLC measures the raw simulator on a linear RLC step
+// (no Newton iterations beyond the linear solve).
+func BenchmarkTransientRLC(b *testing.B) {
+	deckText := `rlc step
+v1 in 0 pulse(0 1 0 1p 1p 10n 0)
+r1 in n1 5
+l1 n1 n2 5n
+c1 n2 0 1p
+.tran 1p 2n
+.end
+`
+	for i := 0; i < b.N; i++ {
+		deck, err := ssnkit.ParseNetlist(strings.NewReader(deckText))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tran, _, err := ssnkit.RunDeck(deck, ssnkit.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = tran
+	}
+}
+
+// BenchmarkLUSolve measures the dense LU factor+solve at MNA-typical sizes.
+func BenchmarkLUSolve(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := linalg.NewMatrix(n, n)
+			rhs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				for j := 0; j < n; j++ {
+					v := rng.NormFloat64()
+					a.Set(i, j, v)
+					if v < 0 {
+						sum -= v
+					} else {
+						sum += v
+					}
+				}
+				a.Set(i, i, sum+1)
+				rhs[i] = rng.NormFloat64()
+			}
+			lu := linalg.NewLU(n)
+			x := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lu.Factor(a); err != nil {
+					b.Fatal(err)
+				}
+				if err := lu.Solve(rhs, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 8:
+		return "n=8"
+	case 32:
+		return "n=32"
+	default:
+		return "n=128"
+	}
+}
+
+// BenchmarkResonanceSweep regenerates the ext-resonance artifact (repeated
+// switching on an under-damped ground net).
+func BenchmarkResonanceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Resonance(benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkTransientTLine measures a transmission-line transient with
+// multiple reflections.
+func BenchmarkTransientTLine(b *testing.B) {
+	deckText := `bounce ladder
+v1 src 0 pulse(0 1 0.1n 1p 1p 100n 0)
+rs src near 25
+t1 near 0 far 0 z0=50 td=1n
+rl far 0 100
+.tran 20p 8n uic
+.end
+`
+	for i := 0; i < b.N; i++ {
+		deck, err := ssnkit.ParseNetlist(strings.NewReader(deckText))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tran, _, err := ssnkit.RunDeck(deck, ssnkit.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = tran
+	}
+}
+
+// BenchmarkAdaptiveVsFixed compares adaptive LTE stepping against the fixed
+// grid on the canonical SSN transient.
+func BenchmarkAdaptiveVsFixed(b *testing.B) {
+	cfg := ssnkit.ArrayConfig{
+		Process: ssnkit.C018, N: 16, Load: 20e-12,
+		Ground: ssnkit.PGA.Ground(1), Rise: 1e-9, Merged: true,
+	}
+	b.Run("fixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{}, 2.5e-12, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchResult = res
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{Adaptive: true, LTETol: 1e-4}, 2e-11, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchResult = res
+		}
+	})
+}
+
+// BenchmarkMonteCarlo measures the statistical sign-off loop (1000 corners
+// through the four-case closed form).
+func BenchmarkMonteCarlo(b *testing.B) {
+	p := benchParams(b)
+	v := ssnkit.Variation{K: 0.05, L: 0.1, C: 0.08, Slope: 0.07}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := ssnkit.MonteCarlo(p, v, 1000, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkStaggered measures the non-simultaneous-switching integrator.
+func BenchmarkStaggered(b *testing.B) {
+	p := benchParams(b)
+	offs := ssnkit.UniformStagger(p.N, 0.2e-9)
+	for i := 0; i < b.N; i++ {
+		s, err := ssnkit.NewStaggered(p, offs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, v, err := s.VMax()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = v
+	}
+}

@@ -1,0 +1,203 @@
+// Command asdmfit fits the paper's application-specific device model to
+// measured (or exported) I-V data: a CSV with columns vg, vs, id sampled in
+// the SSN operating region (drain held at the supply). It prints the fitted
+// K, V0 and a with goodness-of-fit statistics, optionally comparing an
+// alpha-power fit on the vs = 0 slice.
+//
+// Usage:
+//
+//	asdmfit iv.csv
+//	asdmfit -minfrac 0.1 -vdd 1.8 -alpha iv.csv
+//
+// Generate a demo CSV from a built-in process kit with -demo:
+//
+//	asdmfit -demo c018 > iv.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/fit"
+	"ssnkit/internal/ssn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asdmfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asdmfit", flag.ContinueOnError)
+	var (
+		minFrac = fs.Float64("minfrac", 0.05, "discard samples below this fraction of the max current")
+		vdd     = fs.Float64("vdd", 0, "supply voltage; enables the alpha-power comparison fit")
+		doAlpha = fs.Bool("alpha", false, "also fit an alpha-power law to the vs=0 slice (needs -vdd)")
+		demo    = fs.String("demo", "", "emit a demo I-V CSV for the named process kit and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *demo != "" {
+		return writeDemo(out, *demo)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: asdmfit [flags] iv.csv (or -demo <kit>)")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := readSamples(f)
+	if err != nil {
+		return err
+	}
+
+	m, stats, err := device.FitASDMSamples(samples, *minFrac)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "samples        %d (of which %d in the fitted region)\n", len(samples), stats.N)
+	fmt.Fprintf(out, "fitted model   %v\n", m)
+	fmt.Fprintf(out, "fit quality    R2 %.5f, RMSE %.4g A, worst rel %.2f%%\n",
+		stats.R2, stats.RMSE, stats.MaxRel*100)
+	if m.A <= 1 {
+		fmt.Fprintf(out, "note: a <= 1 — check that vs spans the bounce range and the drain was held high\n")
+	}
+
+	if *doAlpha {
+		if *vdd <= 0 {
+			return fmt.Errorf("-alpha needs -vdd")
+		}
+		ap, apStats, err := fitAlphaSlice(samples, *vdd)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "alpha-power    B=%.4g Vt=%.4g alpha=%.4g  (vs=0 slice, R2 %.5f)\n",
+			ap.B, ap.Vt, ap.Alpha, apStats.R2)
+	}
+	return nil
+}
+
+func readSamples(r io.Reader) ([]device.IVSample, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("empty CSV")
+	}
+	start := 0
+	// Optional header row.
+	if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
+		start = 1
+	}
+	var out []device.IVSample
+	for i, rec := range recs[start:] {
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("row %d: need vg,vs,id columns", i+start+1)
+		}
+		var s device.IVSample
+		var errs [3]error
+		s.Vg, errs[0] = strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		s.Vs, errs[1] = strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		s.Id, errs[2] = strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("row %d: %v", i+start+1, e)
+			}
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	return out, nil
+}
+
+func fitAlphaSlice(samples []device.IVSample, vdd float64) (ssn.AlphaParams, fit.Stats, error) {
+	// Reconstruct an Ids(vgs) table from the vs = 0 slice and reuse the
+	// library's alpha-power extraction via a table-backed model.
+	var vg, id []float64
+	for _, s := range samples {
+		if s.Vs == 0 {
+			vg = append(vg, s.Vg)
+			id = append(id, s.Id)
+		}
+	}
+	if len(vg) < 4 {
+		return ssn.AlphaParams{}, fit.Stats{}, fmt.Errorf("alpha fit needs at least 4 vs=0 samples")
+	}
+	tbl := &tableModel{vg: vg, id: id}
+	b, vt, alpha, stats, err := device.ExtractAlphaPowerSat(tbl, vdd)
+	if err != nil {
+		return ssn.AlphaParams{}, fit.Stats{}, err
+	}
+	return ssn.AlphaParams{B: b, Vt: vt, Alpha: alpha}, stats, nil
+}
+
+// tableModel adapts a sampled Id(Vg) table to the device.Model interface
+// (linear interpolation; only the saturation sweep is queried).
+type tableModel struct {
+	vg, id []float64
+}
+
+func (t *tableModel) Name() string { return "table" }
+
+func (t *tableModel) Ids(vgs, vds, vbs float64) (float64, float64, float64, float64) {
+	n := len(t.vg)
+	if vgs <= t.vg[0] {
+		return t.id[0], 0, 0, 0
+	}
+	if vgs >= t.vg[n-1] {
+		return t.id[n-1], 0, 0, 0
+	}
+	for i := 1; i < n; i++ {
+		if vgs <= t.vg[i] {
+			f := (vgs - t.vg[i-1]) / (t.vg[i] - t.vg[i-1])
+			return t.id[i-1] + f*(t.id[i]-t.id[i-1]), 0, 0, 0
+		}
+	}
+	return t.id[n-1], 0, 0, 0
+}
+
+func writeDemo(out io.Writer, kit string) error {
+	proc, err := device.ProcessByName(kit)
+	if err != nil {
+		return err
+	}
+	golden := proc.Driver(1)
+	cw := csv.NewWriter(out)
+	if err := cw.Write([]string{"vg", "vs", "id"}); err != nil {
+		return err
+	}
+	for i := 0; i <= 30; i++ {
+		vg := proc.Vdd * float64(i) / 30
+		for j := 0; j <= 8; j++ {
+			vs := 0.45 * proc.Vdd * float64(j) / 8
+			id, _, _, _ := golden.Ids(vg-vs, proc.Vdd-vs, 0)
+			err := cw.Write([]string{
+				strconv.FormatFloat(vg, 'g', 6, 64),
+				strconv.FormatFloat(vs, 'g', 6, 64),
+				strconv.FormatFloat(id, 'g', 8, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

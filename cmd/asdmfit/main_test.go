@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDemoAndFitRoundTrip(t *testing.T) {
+	var demo bytes.Buffer
+	if err := run([]string{"-demo", "c018"}, &demo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(demo.String(), "vg,vs,id") {
+		t.Fatalf("demo header: %.30q", demo.String())
+	}
+	path := filepath.Join(t.TempDir(), "iv.csv")
+	if err := os.WriteFile(path, demo.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fitted model", "ASDM{", "R2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// The demo comes from the reference device; a must exceed 1.
+	if strings.Contains(s, "a <= 1") {
+		t.Error("unexpected a<=1 warning on reference data")
+	}
+}
+
+func TestFitWithAlphaComparison(t *testing.T) {
+	var demo bytes.Buffer
+	if err := run([]string{"-demo", "c018"}, &demo); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "iv.csv")
+	if err := os.WriteFile(path, demo.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-alpha", "-vdd", "1.8", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alpha-power") {
+		t.Errorf("missing alpha-power fit:\n%s", out.String())
+	}
+}
+
+func TestHeaderlessCSV(t *testing.T) {
+	// Raw numbers without a header row must parse too.
+	var demo bytes.Buffer
+	if err := run([]string{"-demo", "c018"}, &demo); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(demo.String(), "\n", 2)
+	path := filepath.Join(t.TempDir(), "iv.csv")
+	if err := os.WriteFile(path, []byte(lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := run([]string{"/nonexistent.csv"}, &buf); err == nil {
+		t.Error("unreadable file must error")
+	}
+	if err := run([]string{"-demo", "c0xx"}, &buf); err == nil {
+		t.Error("unknown demo kit must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(bad, []byte("vg,vs\n1,2\n"), 0o644)
+	if err := run([]string{bad}, &buf); err == nil {
+		t.Error("short rows must error")
+	}
+	bad2 := filepath.Join(t.TempDir(), "bad2.csv")
+	os.WriteFile(bad2, []byte("vg,vs,id\nx,y,z\n"), 0o644)
+	if err := run([]string{bad2}, &buf); err == nil {
+		t.Error("non-numeric rows must error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	os.WriteFile(empty, []byte("vg,vs,id\n"), 0o644)
+	if err := run([]string{empty}, &buf); err == nil {
+		t.Error("no data rows must error")
+	}
+	// -alpha without -vdd
+	var demo bytes.Buffer
+	if err := run([]string{"-demo", "c018"}, &demo); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "iv.csv")
+	os.WriteFile(p, demo.Bytes(), 0o644)
+	if err := run([]string{"-alpha", p}, &buf); err == nil {
+		t.Error("-alpha without -vdd must error")
+	}
+}

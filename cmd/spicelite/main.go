@@ -1,0 +1,224 @@
+// Command spicelite runs SPICE-like netlist decks on ssnkit's circuit
+// simulator: DC operating point, DC sweeps and transient analysis.
+//
+// Usage:
+//
+//	spicelite deck.sp                 # run analyses, print results
+//	spicelite -o out.csv deck.sp      # write transient waveforms to CSV
+//	spicelite -probe 'v(out)' deck.sp # restrict printed columns
+//
+// See internal/circuit.Parse for the supported cards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/waveform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spicelite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spicelite", flag.ContinueOnError)
+	var (
+		outPath = fs.String("o", "", "write transient/DC results to this CSV file")
+		probes  = fs.String("probe", "", "comma-separated outputs to print (default: all)")
+		maxRows = fs.Int("rows", 20, "max table rows to print per analysis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: spicelite [flags] deck.sp")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "deck: %s (%d elements, %d nodes)\n",
+		orUntitled(deck.Circuit.Title), len(deck.Circuit.Elements), deck.Circuit.NumNodes())
+
+	var wanted []string
+	if *probes != "" {
+		for _, p := range strings.Split(*probes, ",") {
+			wanted = append(wanted, strings.ToLower(strings.TrimSpace(p)))
+		}
+	}
+	keep := func(name string) bool {
+		if len(wanted) == 0 {
+			return true
+		}
+		for _, w := range wanted {
+			if w == strings.ToLower(name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if deck.OP || (deck.Tran == nil && deck.DC == nil) {
+		eng, err := spice.New(deck.Circuit, spice.Options{})
+		if err != nil {
+			return err
+		}
+		if err := eng.OperatingPoint(0); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\noperating point:")
+		for _, name := range deck.Circuit.NodeNames()[1:] {
+			if !keep("v(" + name + ")") {
+				continue
+			}
+			v, _ := eng.NodeVoltage(name)
+			fmt.Fprintf(out, "  v(%s) = %.6g\n", name, v)
+		}
+		if ops := eng.DeviceReport(); len(ops) > 0 {
+			fmt.Fprintln(out, "\ndevice operating points:")
+			fmt.Fprint(out, spice.FormatDeviceReport(ops))
+		}
+	}
+
+	tran, dc, err := spice.Run(deck, spice.Options{})
+	if err != nil {
+		return err
+	}
+	if dc != nil {
+		fmt.Fprintf(out, "\nDC sweep of %s (%d points):\n", deck.DC.Source, len(dc.SweptValues))
+		printDC(out, deck.DC.Source, dc, keep, *maxRows)
+	}
+	if tran != nil {
+		fmt.Fprintf(out, "\ntransient (%d timepoints):\n", tran.Waves[0].Len())
+		printTran(out, tran, keep, *maxRows)
+	}
+
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		switch {
+		case tran != nil:
+			filtered := &waveform.Set{}
+			for _, w := range tran.Waves {
+				if keep(w.Name) {
+					filtered.Add(w)
+				}
+			}
+			if len(filtered.Waves) == 0 {
+				filtered = tran
+			}
+			if err := filtered.WriteCSV(of); err != nil {
+				return err
+			}
+		case dc != nil:
+			if err := writeDCCSV(of, deck.DC.Source, dc); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("no analysis produced tabular output for -o")
+		}
+		fmt.Fprintf(out, "\nresults written to %s\n", *outPath)
+	}
+	return nil
+}
+
+func orUntitled(t string) string {
+	if t == "" {
+		return "(untitled)"
+	}
+	return t
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printDC(out io.Writer, src string, dc *spice.DCSweepResult, keep func(string) bool, maxRows int) {
+	cols := []string{}
+	for _, k := range sortedKeys(dc.Outputs) {
+		if keep(k) {
+			cols = append(cols, k)
+		}
+	}
+	fmt.Fprintf(out, "  %-12s %s\n", src, strings.Join(cols, "  "))
+	stride := 1
+	if len(dc.SweptValues) > maxRows {
+		stride = (len(dc.SweptValues) + maxRows - 1) / maxRows
+	}
+	for i := 0; i < len(dc.SweptValues); i += stride {
+		row := fmt.Sprintf("  %-12.6g", dc.SweptValues[i])
+		for _, c := range cols {
+			row += fmt.Sprintf(" %12.6g", dc.Outputs[c][i])
+		}
+		fmt.Fprintln(out, row)
+	}
+}
+
+func printTran(out io.Writer, set *waveform.Set, keep func(string) bool, maxRows int) {
+	var cols []*waveform.Waveform
+	for _, w := range set.Waves {
+		if keep(w.Name) {
+			cols = append(cols, w)
+		}
+	}
+	if len(cols) == 0 {
+		cols = set.Waves
+	}
+	header := "  time        "
+	for _, w := range cols {
+		header += fmt.Sprintf(" %12s", w.Name)
+	}
+	fmt.Fprintln(out, header)
+	grid := cols[0].Times
+	stride := 1
+	if len(grid) > maxRows {
+		stride = (len(grid) + maxRows - 1) / maxRows
+	}
+	for i := 0; i < len(grid); i += stride {
+		row := fmt.Sprintf("  %-12.6g", grid[i])
+		for _, w := range cols {
+			row += fmt.Sprintf(" %12.6g", w.At(grid[i]))
+		}
+		fmt.Fprintln(out, row)
+	}
+}
+
+func writeDCCSV(w io.Writer, src string, dc *spice.DCSweepResult) error {
+	cols := sortedKeys(dc.Outputs)
+	if _, err := fmt.Fprintf(w, "%s,%s\n", src, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, v := range dc.SweptValues {
+		row := fmt.Sprintf("%g", v)
+		for _, c := range cols {
+			row += fmt.Sprintf(",%g", dc.Outputs[c][i])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

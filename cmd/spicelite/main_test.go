@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDeck(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deck.sp")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tranDeck = `rc lowpass
+v1 in 0 pulse(0 1 0 1p 1p 10n 0)
+r1 in out 1k
+c1 out 0 1p
+.tran 10p 5n
+.end
+`
+
+const opDeck = `divider
+v1 in 0 dc 10
+r1 in mid 1k
+r2 mid 0 3k
+.op
+.end
+`
+
+const dcDeck = `sweep
+vin in 0 dc 0
+r1 in out 1k
+r2 out 0 1k
+.dc vin 0 2 0.5
+.end
+`
+
+func TestRunTransient(t *testing.T) {
+	path := writeDeck(t, tranDeck)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "transient") || !strings.Contains(out, "v(out)") {
+		t.Errorf("missing transient table:\n%s", out)
+	}
+}
+
+func TestRunOperatingPoint(t *testing.T) {
+	path := writeDeck(t, opDeck)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "v(mid) = 7.5") {
+		t.Errorf("missing OP result:\n%s", buf.String())
+	}
+}
+
+func TestRunDCSweep(t *testing.T) {
+	path := writeDeck(t, dcDeck)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DC sweep of vin (5 points)") {
+		t.Errorf("missing DC sweep:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	path := writeDeck(t, tranDeck)
+	csvPath := filepath.Join(t.TempDir(), "out.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-o", csvPath, path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,") {
+		t.Errorf("csv header: %.40q", string(data))
+	}
+}
+
+func TestRunDCCSVOutput(t *testing.T) {
+	path := writeDeck(t, dcDeck)
+	csvPath := filepath.Join(t.TempDir(), "dc.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-o", csvPath, path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "vin,") {
+		t.Errorf("dc csv header: %.40q", string(data))
+	}
+}
+
+func TestRunProbeFilter(t *testing.T) {
+	path := writeDeck(t, tranDeck)
+	var buf bytes.Buffer
+	if err := run([]string{"-probe", "v(out)", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "i(v1)") {
+		t.Errorf("probe filter leaked other columns:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing deck argument must error")
+	}
+	if err := run([]string{"/nonexistent/deck.sp"}, &buf); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := writeDeck(t, "t\nq1 a b c d\n.end\n")
+	if err := run([]string{bad}, &buf); err == nil {
+		t.Error("bad deck must error")
+	}
+}

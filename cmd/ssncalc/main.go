@@ -1,0 +1,202 @@
+// Command ssncalc estimates the maximum simultaneous switching noise of an
+// output-driver bus from closed-form models, without running a transient
+// simulation. It is the paper's Table 1 as a tool.
+//
+// Usage:
+//
+//	ssncalc -process c018 -n 16 -package pga -pads 2 -tr 1n
+//	ssncalc -n 16 -l 2.5n -c 2p -tr 1n            # explicit ground net
+//	ssncalc -n 16 -tr 1n -budget 0.4              # design guidance
+//	ssncalc -n 16 -tr 1n -csv wave.csv            # dump the model waveform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/units"
+	"ssnkit/internal/waveform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssncalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssncalc", flag.ContinueOnError)
+	var (
+		procName = fs.String("process", "c018", "process kit: c018, c025 or c035")
+		n        = fs.Int("n", 8, "number of simultaneously switching drivers")
+		size     = fs.Float64("size", 1, "driver width multiple")
+		pkgName  = fs.String("package", "pga", "package class: pga, qfp, bga, cob")
+		pads     = fs.Int("pads", 1, "paralleled ground pads")
+		lStr     = fs.String("l", "", "override ground inductance (e.g. 2.5n)")
+		cStr     = fs.String("c", "", "override ground capacitance (e.g. 2p)")
+		trStr    = fs.String("tr", "1n", "input rise time (e.g. 1n)")
+		budget   = fs.Float64("budget", 0, "optional noise budget in volts: print design guidance")
+		csvPath  = fs.String("csv", "", "write the model SSN waveform to this CSV file")
+		mc       = fs.Int("mc", 0, "Monte Carlo samples over typical process spreads (0 = off)")
+		vil      = fs.Float64("vil", 0, "receiver VIL in volts: check the quiet-output glitch margin")
+		rail     = fs.Bool("rail", false, "analyze power-rail droop (pull-up drivers) instead of ground bounce")
+		corner   = fs.String("corner", "tt", "process corner: tt, ss or ff")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	proc, err := device.ProcessByName(*procName)
+	if err != nil {
+		return err
+	}
+	crn, err := device.CornerByName(*corner)
+	if err != nil {
+		return err
+	}
+	proc = proc.At(crn)
+	pack, err := pkgmodel.ByName(*pkgName)
+	if err != nil {
+		return err
+	}
+	gnd := pack.Ground(*pads)
+	if *lStr != "" {
+		if gnd.L, err = units.Parse(*lStr); err != nil {
+			return fmt.Errorf("-l: %w", err)
+		}
+	}
+	if *cStr != "" {
+		if gnd.C, err = units.Parse(*cStr); err != nil {
+			return fmt.Errorf("-c: %w", err)
+		}
+	}
+	tr, err := units.Parse(*trStr)
+	if err != nil {
+		return fmt.Errorf("-tr: %w", err)
+	}
+	if tr <= 0 {
+		return fmt.Errorf("rise time must be positive")
+	}
+
+	golden := proc.Driver(*size)
+	if *rail {
+		golden = proc.PullUpDriver(*size)
+	}
+	asdm, stats, err := device.ExtractASDM(golden, device.ExtractRegion{Vdd: proc.Vdd})
+	if err != nil {
+		return err
+	}
+	p := ssn.Params{
+		N: *n, Dev: asdm, Vdd: proc.Vdd,
+		Slope: proc.Vdd / tr, L: gnd.L, C: gnd.C,
+	}
+	m, err := ssn.NewLCModel(p)
+	if err != nil {
+		return err
+	}
+	lm, err := ssn.NewLModel(p)
+	if err != nil {
+		return err
+	}
+
+	kind := "ground bounce (pull-down drivers)"
+	if *rail {
+		kind = "power-rail droop (pull-up drivers)"
+	}
+	fmt.Fprintf(out, "analysis       %s\n", kind)
+	fmt.Fprintf(out, "process        %s (Vdd = %s)\n", proc.Name, units.Format(proc.Vdd, "V"))
+	fmt.Fprintf(out, "device model   %v  (fit R2 %.4f)\n", asdm, stats.R2)
+	fmt.Fprintf(out, "ground net     %s\n", gnd)
+	fmt.Fprintf(out, "input edge     %s rise (slope %s)\n", units.Format(tr, "s"), units.Format(p.Slope, "V/s"))
+	fmt.Fprintf(out, "beta (N*L*K*s) %s\n", units.Format(p.Beta(), "V"))
+	fmt.Fprintf(out, "critical cap   %s (ground net has %s)\n",
+		units.Format(p.CriticalCapacitance(), "F"), units.Format(gnd.C, "F"))
+	fmt.Fprintf(out, "damping        zeta = %.3f -> %s\n", p.DampingRatio(), m.Case())
+	fmt.Fprintf(out, "max SSN        %s at tau = %s after device turn-on\n",
+		units.Format(m.VMax(), "V"), units.Format(m.VMaxTime(), "s"))
+	fmt.Fprintf(out, "L-only formula %s (error vs L+C: %+.1f%%)\n",
+		units.Format(lm.VMax(), "V"), (lm.VMax()/m.VMax()-1)*100)
+
+	if *budget > 0 {
+		fmt.Fprintf(out, "\ndesign guidance for a %s budget:\n", units.Format(*budget, "V"))
+		if nmax, err := ssn.MaxDriversForBudget(p, *budget, 4096); err == nil {
+			fmt.Fprintf(out, "  max simultaneous drivers at this edge rate: %d\n", nmax)
+		}
+		if trMin, err := ssn.MinRiseTimeForBudget(p, *budget, tr/100, tr*100); err == nil {
+			fmt.Fprintf(out, "  fastest edge at N=%d: %s\n", *n, units.Format(trMin, "s"))
+		} else {
+			fmt.Fprintf(out, "  fastest edge at N=%d: %v\n", *n, err)
+		}
+		if lmax, err := ssn.InductanceBudget(p, *budget, gnd.L/100, gnd.L*100); err == nil {
+			needPads := int(pack.Pin.L/lmax + 0.999999)
+			if needPads < 1 {
+				needPads = 1
+			}
+			fmt.Fprintf(out, "  max ground inductance at N=%d: %s (~%d %s pads)\n",
+				*n, units.Format(lmax, "H"), needPads, pack.Name)
+		} else {
+			fmt.Fprintf(out, "  max ground inductance at N=%d: %v\n", *n, err)
+		}
+	}
+
+	if *mc > 0 {
+		r, err := ssn.MonteCarlo(p, ssn.Variation{
+			K: 0.05, V0: 0.03, A: 0.02, L: 0.10, C: 0.08, Slope: 0.07,
+		}, *mc, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmonte carlo (typical spreads): %v\n", r)
+	}
+
+	if *vil > 0 {
+		if *rail {
+			return fmt.Errorf("-vil applies to ground-bounce analysis only")
+		}
+		ron := device.TriodeResistance(golden, proc.Vdd, 0)
+		v, err := ssn.NewVictim(p, ron, 20e-12)
+		if err != nil {
+			return err
+		}
+		glitch, atten, err := v.PeakGlitch()
+		if err != nil {
+			return err
+		}
+		ok, headroom, err := v.NoiseMarginOK(*vil, 0.1)
+		if err != nil {
+			return err
+		}
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(out, "\nquiet-output glitch: %s (%.0f%% of the bounce); VIL %s with 10%% margin: %s (headroom %s)\n",
+			units.Format(glitch, "V"), atten*100, units.Format(*vil, "V"), verdict, units.Format(headroom, "V"))
+	}
+
+	if *csvPath != "" {
+		v, i, err := m.Waveforms(0, 512)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		set := waveform.Set{}
+		set.Add(v)
+		set.Add(i)
+		if err := set.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmodel waveform written to %s\n", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"process", "max SSN", "damping", "critical cap", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExplicitGroundNet(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "16", "-l", "2.5n", "-c", "4p", "-tr", "1n"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "under-damped") {
+		t.Errorf("expected under-damped classification:\n%s", buf.String())
+	}
+}
+
+func TestRunBudgetGuidance(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "16", "-pads", "2", "-budget", "0.3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"design guidance", "max simultaneous drivers", "fastest edge", "max ground inductance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("guidance missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wave.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,") {
+		t.Errorf("csv header: %q", string(data[:40]))
+	}
+	if lines := strings.Count(string(data), "\n"); lines < 100 {
+		t.Errorf("csv too short: %d lines", lines)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-process", "c090"},
+		{"-package", "dip"},
+		{"-l", "abc"},
+		{"-c", "xyz"},
+		{"-tr", "bogus"},
+		{"-tr", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunOtherProcesses(t *testing.T) {
+	for _, proc := range []string{"c025", "c035"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-process", proc, "-n", "8"}, &buf); err != nil {
+			t.Errorf("%s: %v", proc, err)
+		}
+		if !strings.Contains(buf.String(), proc) {
+			t.Errorf("%s not mentioned in output", proc)
+		}
+	}
+}
+
+func TestRunMonteCarloFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "16", "-pads", "2", "-mc", "200"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "monte carlo") || !strings.Contains(buf.String(), "p95") {
+		t.Errorf("missing MC summary:\n%s", buf.String())
+	}
+}
+
+func TestRunVictimFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "16", "-vil", "0.63"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "quiet-output glitch") {
+		t.Errorf("missing victim check:\n%s", buf.String())
+	}
+}
+
+func TestRunRailFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "16", "-rail"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "power-rail droop") {
+		t.Errorf("missing rail mode:\n%s", buf.String())
+	}
+	// -vil is incompatible with -rail.
+	if err := run([]string{"-rail", "-vil", "0.6"}, &buf); err == nil {
+		t.Error("-rail with -vil must error")
+	}
+}
+
+func TestRunCornerFlag(t *testing.T) {
+	// The corners must run and report distinct device fits.
+	outputs := map[string]string{}
+	for _, corner := range []string{"ss", "tt", "ff"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-n", "16", "-corner", corner}, &buf); err != nil {
+			t.Fatalf("%s: %v", corner, err)
+		}
+		outputs[corner] = buf.String()
+	}
+	if outputs["ss"] == outputs["ff"] {
+		t.Error("ss and ff corners produced identical reports")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-corner", "zz"}, &buf); err == nil {
+		t.Error("unknown corner must error")
+	}
+}

@@ -1,0 +1,166 @@
+// Command ssnrepro regenerates every evaluation artifact of the paper
+// (Figs. 1-4, Table 1) plus the ablations, prints terminal renditions,
+// writes CSV data files, and emits the paper-vs-measured record table that
+// EXPERIMENTS.md archives.
+//
+// Usage:
+//
+//	ssnrepro                 # run everything at full resolution
+//	ssnrepro -fast           # CI resolution
+//	ssnrepro -only fig3      # one experiment
+//	ssnrepro -out out/       # CSV + records destination (default out/)
+//	ssnrepro -process c025   # a different process kit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/experiments"
+)
+
+type runner struct {
+	name string
+	run  func(experiments.Context) (experiments.Result, error)
+}
+
+func allRunners() []runner {
+	return []runner{
+		{"fig1", func(c experiments.Context) (experiments.Result, error) { return experiments.Fig1(c) }},
+		{"fig2", func(c experiments.Context) (experiments.Result, error) { return experiments.Fig2(c) }},
+		{"fig3", func(c experiments.Context) (experiments.Result, error) { return experiments.Fig3(c) }},
+		{"fig4", func(c experiments.Context) (experiments.Result, error) { return experiments.Fig4(c) }},
+		{"table1", func(c experiments.Context) (experiments.Result, error) { return experiments.Table1(c) }},
+		{"ablation-a", func(c experiments.Context) (experiments.Result, error) {
+			return experiments.AblationDeviceModel(c)
+		}},
+		{"ablation-r", func(c experiments.Context) (experiments.Result, error) {
+			return experiments.AblationResistance(c)
+		}},
+		{"ext-process", func(c experiments.Context) (experiments.Result, error) {
+			return experiments.CrossProcess(c)
+		}},
+		{"ext-rail", func(c experiments.Context) (experiments.Result, error) {
+			return experiments.Rail(c)
+		}},
+		{"ext-delay", func(c experiments.Context) (experiments.Result, error) {
+			return experiments.Delay(c)
+		}},
+		{"ext-resonance", func(c experiments.Context) (experiments.Result, error) {
+			return experiments.Resonance(c)
+		}},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssnrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssnrepro", flag.ContinueOnError)
+	var (
+		fast     = fs.Bool("fast", false, "reduced-resolution run for CI")
+		only     = fs.String("only", "", "run a single experiment (fig1..fig4, table1, ablation-a, ablation-r, ext-process, ext-rail, ext-delay, ext-resonance)")
+		outDir   = fs.String("out", "out", "directory for CSV exports and records.md")
+		procName = fs.String("process", "c018", "process kit")
+		quiet    = fs.Bool("quiet", false, "suppress figure renditions; print records only")
+		htmlOut  = fs.Bool("html", false, "also write an HTML report with SVG figures to <out>/report.html")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proc, err := device.ProcessByName(*procName)
+	if err != nil {
+		return err
+	}
+	ctx := experiments.Context{Process: proc, Fast: *fast}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	var records []experiments.Record
+	var sections []experiments.ReportSection
+	ran := 0
+	for _, r := range allRunners() {
+		if *only != "" && r.name != *only {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := r.run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		elapsed := time.Since(start)
+		if !*quiet {
+			fmt.Fprintf(out, "==== %s (%s) ====\n%s\n", r.name, elapsed.Round(time.Millisecond), res.Render())
+		} else {
+			fmt.Fprintf(out, "%s: done in %s\n", r.name, elapsed.Round(time.Millisecond))
+		}
+		csvPath := filepath.Join(*outDir, r.name+".csv")
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		records = append(records, res.Records()...)
+		sec := experiments.ReportSection{
+			Name: r.name, Text: res.Render(), Took: elapsed, Record: res.Records(),
+		}
+		if p, ok := res.(experiments.Plotter); ok {
+			sec.SVG = p.SVG()
+		}
+		sections = append(sections, sec)
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+
+	if *htmlOut {
+		hf, err := os.Create(filepath.Join(*outDir, "report.html"))
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("ssnkit reproduction report — %s", proc.Name)
+		if err := experiments.WriteHTMLReport(hf, title, sections); err != nil {
+			hf.Close()
+			return err
+		}
+		if err := hf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "HTML report written to %s\n", filepath.Join(*outDir, "report.html"))
+	}
+
+	table := experiments.FormatRecords(records)
+	fmt.Fprintf(out, "\n==== paper-vs-measured ====\n%s", table)
+	recPath := filepath.Join(*outDir, "records.md")
+	if err := os.WriteFile(recPath, []byte(table), 0o644); err != nil {
+		return err
+	}
+	fail := 0
+	for _, r := range records {
+		if !r.Pass {
+			fail++
+		}
+	}
+	fmt.Fprintf(out, "\n%d/%d claims hold; data in %s\n", len(records)-fail, len(records), *outDir)
+	if fail > 0 {
+		return fmt.Errorf("%d claims do not hold — see %s", fail, recPath)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fast", "-only", "fig1", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "==== fig1") {
+		t.Errorf("missing fig1 section:\n%s", out)
+	}
+	if !strings.Contains(out, "claims hold") {
+		t.Error("missing claims summary")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1.csv")); err != nil {
+		t.Errorf("fig1.csv not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "records.md")); err != nil {
+		t.Errorf("records.md not written: %v", err)
+	}
+}
+
+func TestRunQuietMode(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fast", "-only", "table1", "-quiet", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "====  table1 (") {
+		t.Error("quiet mode should not render figures")
+	}
+	if !strings.Contains(buf.String(), "table1: done") {
+		t.Errorf("quiet mode missing progress line:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fast", "-only", "fig9"}, &buf); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunUnknownProcess(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-process", "c007"}, &buf); err == nil {
+		t.Error("unknown process must error")
+	}
+}
+
+func TestRunAllFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fast run in -short mode")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fast", "-quiet", "-out", dir}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	// All experiments produced CSVs.
+	for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "table1", "ablation-a", "ablation-r", "ext-process", "ext-rail", "ext-delay", "ext-resonance"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".csv")); err != nil {
+			t.Errorf("%s.csv missing: %v", name, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "/") || !strings.Contains(buf.String(), "claims hold") {
+		t.Error("missing summary")
+	}
+}
+
+func TestRunHTMLReport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fast", "-only", "fig3", "-quiet", "-html", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "report.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "Paper vs. measured", "fig3"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Command ssnsweep explores the SSN design space with the closed-form
+// models: sweep one variable (drivers, inductance, capacitance, rise time
+// or driver size) over a range and print/export the maximum noise, the
+// operating case and optional transistor-level verification per point.
+//
+// Usage:
+//
+//	ssnsweep -var n -from 4 -to 32 -step 4
+//	ssnsweep -var c -from 0.5p -to 20p -points 9 -log
+//	ssnsweep -var tr -from 0.2n -to 4n -points 8 -verify -o sweep.csv
+//
+// Fixed parameters mirror ssncalc (-process, -pads, -package, -n, -tr...).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/driver"
+	"ssnkit/internal/numeric"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/textplot"
+	"ssnkit/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssnsweep:", err)
+		os.Exit(1)
+	}
+}
+
+type point struct {
+	x      float64
+	vmax   float64
+	cse    ssn.Case
+	simMax float64 // NaN unless -verify
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssnsweep", flag.ContinueOnError)
+	var (
+		varName  = fs.String("var", "n", "swept variable: n, l, c, tr, size")
+		fromStr  = fs.String("from", "", "sweep start (engineering notation)")
+		toStr    = fs.String("to", "", "sweep end")
+		stepStr  = fs.String("step", "", "linear step (alternative to -points)")
+		points   = fs.Int("points", 0, "number of points (with -log: logarithmic spacing)")
+		logScale = fs.Bool("log", false, "logarithmic spacing (needs -points)")
+		verify   = fs.Bool("verify", false, "run a transistor-level simulation at every point")
+		outPath  = fs.String("o", "", "write the sweep to this CSV file")
+
+		procName = fs.String("process", "c018", "process kit")
+		pkgName  = fs.String("package", "pga", "package class")
+		pads     = fs.Int("pads", 1, "ground pads")
+		n        = fs.Int("n", 16, "drivers (fixed value when not swept)")
+		size     = fs.Float64("size", 1, "driver width multiple")
+		trStr    = fs.String("tr", "1n", "rise time")
+		loadStr  = fs.String("load", "20p", "per-driver load (verification only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fromStr == "" || *toStr == "" {
+		return fmt.Errorf("need -from and -to")
+	}
+	from, err := units.Parse(*fromStr)
+	if err != nil {
+		return fmt.Errorf("-from: %w", err)
+	}
+	to, err := units.Parse(*toStr)
+	if err != nil {
+		return fmt.Errorf("-to: %w", err)
+	}
+	if to <= from {
+		return fmt.Errorf("-to must exceed -from")
+	}
+
+	proc, err := device.ProcessByName(*procName)
+	if err != nil {
+		return err
+	}
+	pack, err := pkgmodel.ByName(*pkgName)
+	if err != nil {
+		return err
+	}
+	tr, err := units.Parse(*trStr)
+	if err != nil {
+		return fmt.Errorf("-tr: %w", err)
+	}
+	load, err := units.Parse(*loadStr)
+	if err != nil {
+		return fmt.Errorf("-load: %w", err)
+	}
+	gnd := pack.Ground(*pads)
+	baseSize := *size
+	asdmCache := map[float64]device.ASDM{}
+	asdmFor := func(sz float64) (device.ASDM, error) {
+		if m, ok := asdmCache[sz]; ok {
+			return m, nil
+		}
+		m, _, err := device.ExtractASDM(proc.Driver(sz), device.ExtractRegion{Vdd: proc.Vdd})
+		if err != nil {
+			return device.ASDM{}, err
+		}
+		asdmCache[sz] = m
+		return m, nil
+	}
+
+	// Build the grid.
+	var xs []float64
+	switch {
+	case *points > 1 && *logScale:
+		if from <= 0 {
+			return fmt.Errorf("-log needs a positive -from")
+		}
+		xs = numeric.Logspace(from, to, *points)
+	case *points > 1:
+		xs = numeric.Linspace(from, to, *points)
+	case *stepStr != "":
+		step, err := units.Parse(*stepStr)
+		if err != nil || step <= 0 {
+			return fmt.Errorf("-step: bad value %q", *stepStr)
+		}
+		for x := from; x <= to*(1+1e-12); x += step {
+			xs = append(xs, x)
+		}
+	default:
+		return fmt.Errorf("need -points or -step")
+	}
+
+	// Evaluate.
+	var pts []point
+	for _, x := range xs {
+		cfgN, cfgTr, cfgSize := *n, tr, baseSize
+		l, c := gnd.L, gnd.C
+		switch *varName {
+		case "n":
+			cfgN = int(math.Round(x))
+			if cfgN < 1 {
+				cfgN = 1
+			}
+		case "l":
+			l = x
+		case "c":
+			c = x
+		case "tr":
+			cfgTr = x
+		case "size":
+			cfgSize = x
+		default:
+			return fmt.Errorf("unknown -var %q (n, l, c, tr, size)", *varName)
+		}
+		asdm, err := asdmFor(cfgSize)
+		if err != nil {
+			return err
+		}
+		p := ssn.Params{
+			N: cfgN, Dev: asdm, Vdd: proc.Vdd,
+			Slope: proc.Vdd / cfgTr, L: l, C: c,
+		}
+		vmax, cse, err := ssn.MaxSSN(p)
+		if err != nil {
+			return fmt.Errorf("%s = %g: %w", *varName, x, err)
+		}
+		pt := point{x: x, vmax: vmax, cse: cse, simMax: math.NaN()}
+		if *verify {
+			cfg := driver.ArrayConfig{
+				Process: proc, DriverSize: cfgSize, N: cfgN, Load: load,
+				Ground: pkgmodel.GroundNet{Pads: *pads, L: l, C: c},
+				Rise:   cfgTr, Merged: true,
+			}
+			res, err := driver.Simulate(cfg, spice.Options{}, 0, 0)
+			if err != nil {
+				return fmt.Errorf("verify %s = %g: %w", *varName, x, err)
+			}
+			pt.simMax = res.MaxSSNWithinRamp()
+		}
+		pts = append(pts, pt)
+	}
+
+	// Render.
+	rows := [][]string{{*varName, "vmax (V)", "case", "sim (V)"}}
+	var px, py, sy []float64
+	for _, pt := range pts {
+		sim := "-"
+		if !math.IsNaN(pt.simMax) {
+			sim = fmt.Sprintf("%.4f", pt.simMax)
+			sy = append(sy, pt.simMax)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.4g", pt.x),
+			fmt.Sprintf("%.4f", pt.vmax),
+			pt.cse.String(),
+			sim,
+		})
+		px = append(px, pt.x)
+		py = append(py, pt.vmax)
+	}
+	fmt.Fprintf(out, "sweep of %s over [%g, %g] (%d points), %s/%s, N=%d, tr=%s\n\n",
+		*varName, from, to, len(pts), proc.Name, pack.Name, *n, units.Format(tr, "s"))
+	series := []textplot.Series{{Name: "model", X: px, Y: py, Marker: '*'}}
+	if len(sy) == len(px) {
+		series = append(series, textplot.Series{Name: "sim", X: px, Y: sy, Marker: '.'})
+	}
+	fmt.Fprint(out, textplot.Plot("", series, 72, 16))
+	fmt.Fprint(out, textplot.Table(rows))
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cw := csv.NewWriter(f)
+		if err := cw.Write([]string{*varName, "vmax", "case", "sim"}); err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			sim := ""
+			if !math.IsNaN(pt.simMax) {
+				sim = strconv.FormatFloat(pt.simMax, 'g', 8, 64)
+			}
+			err := cw.Write([]string{
+				strconv.FormatFloat(pt.x, 'g', 8, 64),
+				strconv.FormatFloat(pt.vmax, 'g', 8, 64),
+				pt.cse.String(),
+				sim,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nsweep written to %s\n", *outPath)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSweepDrivers(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-var", "n", "-from", "4", "-to", "16", "-step", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep of n") || !strings.Contains(out, "vmax") {
+		t.Errorf("missing sweep output:\n%s", out)
+	}
+	// 4 points: 4, 8, 12, 16.
+	if got := strings.Count(out, "over-damped") + strings.Count(out, "under-damped") + strings.Count(out, "critically"); got < 4 {
+		t.Errorf("expected a case per point, saw %d", got)
+	}
+}
+
+func TestSweepLogCapacitance(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-var", "c", "-from", "0.5p", "-to", "40p", "-points", "7", "-log"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The sweep must cross from over-damped into under-damped.
+	if !strings.Contains(out, "over-damped") || !strings.Contains(out, "under-damped") {
+		t.Errorf("capacitance sweep should cross regimes:\n%s", out)
+	}
+}
+
+func TestSweepWithVerificationAndCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-var", "n", "-from", "4", "-to", "12", "-step", "8",
+		"-verify", "-o", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "n,vmax,case,sim") {
+		t.Errorf("csv header: %.40q", s)
+	}
+	if strings.Count(s, "\n") != 3 { // header + 2 points
+		t.Errorf("csv rows:\n%s", s)
+	}
+	// Verified column populated.
+	if strings.Contains(s, ",\n") {
+		t.Errorf("sim column empty despite -verify:\n%s", s)
+	}
+}
+
+func TestSweepRiseTime(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-var", "tr", "-from", "0.5n", "-to", "4n", "-points", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sweep of tr") {
+		t.Error("missing tr sweep")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                        // missing from/to
+		{"-from", "1", "-to", "2"}, // no step/points
+		{"-var", "zz", "-from", "1", "-to", "2", "-points", "3"}, // bad var
+		{"-from", "5", "-to", "2", "-points", "3"},               // reversed
+		{"-from", "x", "-to", "2", "-points", "3"},               // bad value
+		{"-from", "-1", "-to", "2", "-points", "3", "-log"},      // log with <=0
+		{"-from", "1", "-to", "2", "-step", "bogus"},             // bad step
+		{"-process", "c0xx", "-from", "1", "-to", "2", "-step", "1"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

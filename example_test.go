@@ -1,0 +1,104 @@
+package ssnkit_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ssnkit"
+)
+
+// The examples below are deterministic and double as documentation on
+// pkg.go.dev-style doc pages.
+
+// ExampleMaxSSN estimates the ground bounce of a 16-bit bus with a fixed
+// (hand-specified) device model, showing the closed-form API without the
+// extraction step.
+func ExampleMaxSSN() {
+	p := ssnkit.Params{
+		N:     16,
+		Dev:   ssnkit.ASDM{K: 4e-3, V0: 0.6, A: 1.2},
+		Vdd:   1.8,
+		Slope: 1.8e9, // 1 ns edge
+		L:     2.5e-9,
+		C:     2e-12,
+	}
+	vmax, cse, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("case: %v\n", cse)
+	fmt.Printf("max bounce: %.3f V\n", vmax)
+	// Output:
+	// case: over-damped
+	// max bounce: 0.282 V
+}
+
+// ExampleParams_CriticalCapacitance shows the Eq. (27) regime boundary.
+func ExampleParams_CriticalCapacitance() {
+	p := ssnkit.Params{
+		N: 16, Dev: ssnkit.ASDM{K: 4e-3, V0: 0.6, A: 1.2},
+		Vdd: 1.8, Slope: 1.8e9, L: 2.5e-9,
+	}
+	fmt.Printf("Cm = %.3g F\n", p.CriticalCapacitance())
+	// Output:
+	// Cm = 3.69e-12 F
+}
+
+// ExampleVemuruMax evaluates a prior-art baseline with explicit alpha-power
+// parameters.
+func ExampleVemuruMax() {
+	in := ssnkit.BaselineInput{N: 8, L: 5e-9, Vdd: 1.8, Slope: 1.8e9}
+	ap := ssnkit.AlphaParams{B: 3.4e-3, Vt: 0.45, Alpha: 1.24}
+	v, err := ssnkit.VemuruMax(in, ap)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.3f V\n", v)
+	// Output:
+	// 0.321 V
+}
+
+// ExampleParseNetlist runs a netlist deck end to end.
+func ExampleParseNetlist() {
+	deck, err := ssnkit.ParseNetlist(strings.NewReader(`rc lowpass
+v1 in 0 dc 1
+r1 in out 1k
+c1 out 0 1p
+.tran 10p 5n
+.end
+`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tran, _, err := ssnkit.RunDeck(deck, ssnkit.SimOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	w := tran.Get("v(out)")
+	fmt.Printf("settled: %.2f V\n", w.At(5e-9))
+	// Output:
+	// settled: 1.00 V
+}
+
+// ExampleUniformStagger shows the staggered-switching analysis: spreading
+// the same 16 drivers over time cuts the peak.
+func ExampleUniformStagger() {
+	p := ssnkit.Params{
+		N: 16, Dev: ssnkit.ASDM{K: 4e-3, V0: 0.6, A: 1.2},
+		Vdd: 1.8, Slope: 1.8e9, L: 2.5e-9, C: 2e-12,
+	}
+	together, _, _ := ssnkit.MaxSSN(p)
+	st, err := ssnkit.NewStaggered(p, ssnkit.UniformStagger(p.N, 0.5e-9))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, spread, _ := st.VMax()
+	fmt.Printf("simultaneous: %.2f V, staggered: %.2f V\n", together, spread)
+	// Output:
+	// simultaneous: 0.28 V, staggered: 0.05 V
+}

@@ -1,0 +1,100 @@
+// Driver design: size a wide memory-style output bus against a ground
+// bounce budget, exercising the paper's Sec. 3 design implications — given
+// a process, the only SSN lever is beta = N*L*K*s, so the budget converts
+// interchangeably into a limit on simultaneously switching drivers, on the
+// edge rate, or on the ground inductance (pad count).
+//
+// The example cross-checks the closed-form answer against the
+// transistor-level simulator for the chosen design point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssnkit"
+)
+
+func main() {
+	const (
+		busWidth = 32     // data bits that can switch together
+		budget   = 0.30   // ground-bounce budget, V
+		rise     = 0.8e-9 // I/O edge rate we'd like to run at
+	)
+	proc := ssnkit.C018
+	asdm, err := proc.ExtractASDM()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bus: %d bits, budget %.2f V, desired edge %.2g s, %s process\n\n",
+		busWidth, budget, rise, proc.Name)
+
+	// Sweep the ground pad count and ask, at each point, how many drivers
+	// may switch simultaneously within budget.
+	fmt.Println("pads  L(nH)   C(pF)  case                         maxN@budget  Vmax@32")
+	chosenPads := 0
+	for pads := 1; pads <= 8; pads++ {
+		gnd := ssnkit.PGA.Ground(pads)
+		p := ssnkit.Params{
+			N: busWidth, Dev: asdm, Vdd: proc.Vdd,
+			Slope: proc.Vdd / rise, L: gnd.L, C: gnd.C,
+		}
+		vmax, cse, err := ssnkit.MaxSSN(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxN, err := ssnkit.MaxDriversForBudget(p, budget, 4*busWidth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %5.2f  %5.2f  %-27s  %11d  %.3f V\n",
+			pads, gnd.L*1e9, gnd.C*1e12, cse.String(), maxN, vmax)
+		if chosenPads == 0 && maxN >= busWidth {
+			chosenPads = pads
+		}
+	}
+	if chosenPads == 0 {
+		fmt.Println("\nno pad count meets the budget with the full bus switching;")
+		fmt.Println("fall back to slowing the edge:")
+		gnd := ssnkit.PGA.Ground(8)
+		p := ssnkit.Params{
+			N: busWidth, Dev: asdm, Vdd: proc.Vdd,
+			Slope: proc.Vdd / rise, L: gnd.L, C: gnd.C,
+		}
+		tr, err := ssnkit.MinRiseTimeForBudget(p, budget, rise, 100*rise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  8 pads + %.3g s edge meets the %.2f V budget\n", tr, budget)
+		chosenPads = 8
+		return
+	}
+	fmt.Printf("\nchosen design: %d ground pads\n", chosenPads)
+
+	// Verify the chosen point with the transistor-level simulator.
+	cfg := ssnkit.ArrayConfig{
+		Process: proc,
+		N:       busWidth,
+		Load:    20e-12,
+		Ground:  ssnkit.PGA.Ground(chosenPads),
+		Rise:    rise,
+		Merged:  true,
+	}
+	res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{}, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := ssnkit.Params{
+		N: busWidth, Dev: asdm, Vdd: proc.Vdd,
+		Slope: proc.Vdd / rise, L: cfg.Ground.L, C: cfg.Ground.C,
+	}
+	vmax, _, _ := ssnkit.MaxSSN(p)
+	fmt.Printf("closed form: %.3f V   transistor-level sim: %.3f V   budget: %.2f V\n",
+		vmax, res.MaxSSN, budget)
+	if res.MaxSSN <= budget*1.05 {
+		fmt.Println("simulation confirms the design point.")
+	} else {
+		fmt.Println("simulation exceeds the budget — revisit the margin.")
+	}
+}

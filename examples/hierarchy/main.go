@@ -1,0 +1,74 @@
+// Hierarchy: drive the whole analysis from a SPICE-style deck with
+// subcircuits — an I/O cell defined once (.SUBCKT) and instantiated per
+// bit, all sharing a bouncing ground rail, with .IC setting the precharged
+// outputs. Shows that the netlist path and the programmatic API reach the
+// same physics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ssnkit"
+)
+
+const deckText = `four-bit bank from subcircuits
+* one I/O cell: NMOS pull-down, its load, a shared gate and ground rail
+.subckt iocell out gate vss
+mpd out gate vss vss nch
+cl out 0 20p ic=1.8
+.ends
+
+* shared input edge and ground parasitics (PGA pin: 5 nH, 1 pF)
+vin g 0 ramp(0 1.8 0.1n 1n)
+x1 o1 g vssi iocell
+x2 o2 g vssi iocell
+x3 o3 g vssi iocell
+x4 o4 g vssi iocell
+lgnd vssi 0 5n
+cgnd vssi 0 1p
+
+.model nch nmos (level=3 b=3.4m vt0=0.45 alpha=1.24 kv=0.55 gamma=0.4 phi=0.8 lambda=0.06)
+.tran 2p 3n uic
+.end
+`
+
+func main() {
+	deck, err := ssnkit.ParseNetlist(strings.NewReader(deckText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deck flattened to %d elements, %d nodes\n",
+		len(deck.Circuit.Elements), deck.Circuit.NumNodes())
+
+	tran, _, err := ssnkit.RunDeck(deck, ssnkit.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounce := tran.Get("v(vssi)")
+	_, vmax := bounce.Max()
+	fmt.Printf("simulated ground bounce (4 cells): %.3f V\n", vmax)
+
+	// Same scenario through the programmatic API + closed form.
+	asdm, err := ssnkit.C018.ExtractASDM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := ssnkit.Params{
+		N: 4, Dev: asdm, Vdd: 1.8, Slope: 1.8e9,
+		L: 5e-9, C: 1e-12,
+	}
+	model, cse, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closed form (Table 1, %v): %.3f V\n", cse, model)
+
+	// The flattened instance outputs are individually observable.
+	for _, node := range []string{"o1", "o4"} {
+		w := tran.Get("v(" + node + ")")
+		fmt.Printf("v(%s) at ramp end: %.3f V (started precharged at 1.8)\n",
+			node, w.At(1.1e-9))
+	}
+}

@@ -1,0 +1,67 @@
+// Package selection: compare package classes and ground pad counts for a
+// fixed bus, exercising the paper's Sec. 4 insight — paralleling ground
+// pads trades inductance (L/n) for capacitance (C*n), so beyond the
+// critical capacitance the net starts ringing and the L-only estimate
+// stops being conservative. The example also shows the mutual-inductance
+// derating that limits how much paralleling can buy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssnkit"
+)
+
+func main() {
+	const (
+		nDrivers = 24
+		rise     = 1e-9
+	)
+	proc := ssnkit.C018
+	asdm, err := proc.ExtractASDM()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d drivers, %.2g s edge, %s process\n\n", nDrivers, rise, proc.Name)
+	fmt.Println("package  pads  L(nH)   C(pF)  zeta   case                         Vmax (V)  L-only err")
+	for _, pack := range ssnkit.PackageCatalog() {
+		for _, pads := range []int{1, 2, 4, 8} {
+			gnd := pack.Ground(pads)
+			p := ssnkit.Params{
+				N: nDrivers, Dev: asdm, Vdd: proc.Vdd,
+				Slope: proc.Vdd / rise, L: gnd.L, C: gnd.C,
+			}
+			m, err := ssnkit.NewLCModel(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lm, err := ssnkit.NewLModel(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-7s  %4d  %5.2f  %5.2f  %5.2f  %-27s  %7.3f  %+6.1f%%\n",
+				pack.Name, pads, gnd.L*1e9, gnd.C*1e12, p.DampingRatio(),
+				m.Case().String(), m.VMax(), (lm.VMax()/m.VMax()-1)*100)
+		}
+		fmt.Println()
+	}
+
+	// Mutual inductance between bond wires erodes the paralleling benefit:
+	// with coupling k, n pads give L*(1+(n-1)k)/n instead of L/n.
+	fmt.Println("mutual-inductance derating (PGA, 8 pads):")
+	fmt.Println("    k   L_eff(nH)  Vmax (V)")
+	for _, k := range []float64{0, 0.2, 0.4, 0.6} {
+		gnd := ssnkit.PGA.Ground(8).WithMutual(k)
+		p := ssnkit.Params{
+			N: nDrivers, Dev: asdm, Vdd: proc.Vdd,
+			Slope: proc.Vdd / rise, L: gnd.L, C: gnd.C,
+		}
+		vmax, _, err := ssnkit.MaxSSN(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.1f   %8.3f  %7.3f\n", k, gnd.L*1e9, vmax)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: estimate the ground bounce of a 16-bit output bus in three
+// steps — pick a process, fit the application-specific device model, and
+// evaluate the closed-form maximum. No circuit simulation involved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssnkit"
+)
+
+func main() {
+	// 1. A 0.18 µm-class process kit: 1.8 V supply and a golden output
+	//    driver the device model is fitted against.
+	proc := ssnkit.C018
+	asdm, err := proc.ExtractASDM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted device model: %v\n", asdm)
+
+	// 2. The scenario: 16 drivers switching together through 2 ground pads
+	//    of a PGA package, driven by a 1 ns edge.
+	gnd := ssnkit.PGA.Ground(2)
+	p := ssnkit.Params{
+		N:     16,
+		Dev:   asdm,
+		Vdd:   proc.Vdd,
+		Slope: proc.Vdd / 1e-9,
+		L:     gnd.L,
+		C:     gnd.C,
+	}
+
+	// 3. The answer: operating case and worst-case bounce.
+	vmax, cse, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground net: %v\n", gnd)
+	fmt.Printf("operating case: %v\n", cse)
+	fmt.Printf("maximum ground bounce: %.3f V (%.1f%% of Vdd)\n", vmax, vmax/proc.Vdd*100)
+	fmt.Printf("critical capacitance: %.3g F (net has %.3g F)\n", p.CriticalCapacitance(), p.C)
+}

@@ -1,0 +1,3 @@
+module ssnkit
+
+go 1.22

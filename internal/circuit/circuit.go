@@ -1,0 +1,331 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"ssnkit/internal/device"
+)
+
+// GroundName is the canonical name of the reference node. "gnd" is accepted
+// as an alias at the API and parser boundary.
+const GroundName = "0"
+
+// Polarity distinguishes N- and P-channel MOSFET elements.
+type Polarity int
+
+// MOSFET polarities.
+const (
+	NChannel Polarity = iota
+	PChannel
+)
+
+// Element is any circuit component. Concrete types are Resistor, Capacitor,
+// Inductor, VSource, ISource and MOSFET.
+type Element interface {
+	ElemName() string
+}
+
+// Resistor is a linear resistance between two nodes.
+type Resistor struct {
+	Name   string
+	N1, N2 int
+	Ohms   float64
+}
+
+// ElemName implements Element.
+func (r *Resistor) ElemName() string { return r.Name }
+
+// Capacitor is a linear capacitance between two nodes with an optional
+// initial voltage used when the transient starts from given initial
+// conditions rather than a DC operating point.
+type Capacitor struct {
+	Name   string
+	N1, N2 int
+	Farads float64
+	IC     float64 // initial voltage V(N1)-V(N2), used with UseIC
+}
+
+// ElemName implements Element.
+func (c *Capacitor) ElemName() string { return c.Name }
+
+// Inductor is a linear inductance; its branch current is an MNA unknown.
+type Inductor struct {
+	Name   string
+	N1, N2 int
+	Henrys float64
+	IC     float64 // initial current from N1 to N2, used with UseIC
+}
+
+// ElemName implements Element.
+func (l *Inductor) ElemName() string { return l.Name }
+
+// VSource is an independent voltage source; its branch current is an MNA
+// unknown (positive current flows from Np through the source to Nn).
+type VSource struct {
+	Name   string
+	Np, Nn int
+	Wave   Source
+}
+
+// ElemName implements Element.
+func (v *VSource) ElemName() string { return v.Name }
+
+// ISource is an independent current source pushing current from Np to Nn
+// through the external circuit (SPICE convention: current flows from Np to
+// Nn inside the source).
+type ISource struct {
+	Name   string
+	Np, Nn int
+	Wave   Source
+}
+
+// ElemName implements Element.
+func (i *ISource) ElemName() string { return i.Name }
+
+// Mutual couples two inductors with coefficient K (|K| < 1), modeling the
+// magnetic coupling between adjacent bond wires or package pins. The dot
+// convention places the dotted terminals at each inductor's N1; a positive
+// K means currents entering both N1 terminals aid each other's flux.
+type Mutual struct {
+	Name   string
+	L1, L2 string // names of the coupled Inductor elements
+	K      float64
+}
+
+// ElemName implements Element.
+func (m *Mutual) ElemName() string { return m.Name }
+
+// TLine is an ideal lossless transmission line (characteristic impedance
+// Z0, one-way delay Td) between port 1 (N1p/N1n) and port 2 (N2p/N2n),
+// simulated with Branin's method of characteristics. It models package
+// traces and board interconnect once they are long enough that the lumped
+// L/C view breaks down.
+type TLine struct {
+	Name               string
+	N1p, N1n, N2p, N2n int
+	Z0                 float64 // Ohm
+	Td                 float64 // s
+}
+
+// ElemName implements Element.
+func (t *TLine) ElemName() string { return t.Name }
+
+// MOSFET is a four-terminal transistor element evaluated through a
+// device.Model. For PChannel devices the model is evaluated with reflected
+// terminal voltages, so the same N-type model parameters describe the
+// complementary device.
+type MOSFET struct {
+	Name       string
+	D, G, S, B int
+	Model      device.Model
+	Pol        Polarity
+}
+
+// ElemName implements Element.
+func (m *MOSFET) ElemName() string { return m.Name }
+
+// Circuit is a flat netlist: a node name table plus an element list.
+// The zero value is unusable; use New.
+type Circuit struct {
+	Title     string
+	nodeIndex map[string]int
+	nodeNames []string
+	Elements  []Element
+}
+
+// New creates an empty circuit containing only the ground node.
+func New(title string) *Circuit {
+	c := &Circuit{
+		Title:     title,
+		nodeIndex: map[string]int{GroundName: 0},
+		nodeNames: []string{GroundName},
+	}
+	return c
+}
+
+// Node interns a node name and returns its index. Ground is index 0 and may
+// be written "0" or "gnd" (case-insensitive). Names are case-insensitive.
+func (c *Circuit) Node(name string) int {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "gnd" || key == "" {
+		key = GroundName
+	}
+	if idx, ok := c.nodeIndex[key]; ok {
+		return idx
+	}
+	idx := len(c.nodeNames)
+	c.nodeIndex[key] = idx
+	c.nodeNames = append(c.nodeNames, key)
+	return idx
+}
+
+// NodeName returns the name of a node index.
+func (c *Circuit) NodeName(idx int) string {
+	if idx < 0 || idx >= len(c.nodeNames) {
+		return fmt.Sprintf("node#%d", idx)
+	}
+	return c.nodeNames[idx]
+}
+
+// LookupNode returns the index of an existing node, or -1.
+func (c *Circuit) LookupNode(name string) int {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "gnd" {
+		key = GroundName
+	}
+	if idx, ok := c.nodeIndex[key]; ok {
+		return idx
+	}
+	return -1
+}
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// NodeNames returns the node names indexed by node number.
+func (c *Circuit) NodeNames() []string {
+	out := make([]string, len(c.nodeNames))
+	copy(out, c.nodeNames)
+	return out
+}
+
+func (c *Circuit) add(e Element) {
+	c.Elements = append(c.Elements, e)
+}
+
+// AddR adds a resistor between the named nodes.
+func (c *Circuit) AddR(name, n1, n2 string, ohms float64) *Resistor {
+	r := &Resistor{Name: name, N1: c.Node(n1), N2: c.Node(n2), Ohms: ohms}
+	c.add(r)
+	return r
+}
+
+// AddC adds a capacitor between the named nodes.
+func (c *Circuit) AddC(name, n1, n2 string, farads float64) *Capacitor {
+	e := &Capacitor{Name: name, N1: c.Node(n1), N2: c.Node(n2), Farads: farads}
+	c.add(e)
+	return e
+}
+
+// AddL adds an inductor between the named nodes.
+func (c *Circuit) AddL(name, n1, n2 string, henrys float64) *Inductor {
+	e := &Inductor{Name: name, N1: c.Node(n1), N2: c.Node(n2), Henrys: henrys}
+	c.add(e)
+	return e
+}
+
+// AddV adds an independent voltage source from np (+) to nn (-).
+func (c *Circuit) AddV(name, np, nn string, wave Source) *VSource {
+	e := &VSource{Name: name, Np: c.Node(np), Nn: c.Node(nn), Wave: wave}
+	c.add(e)
+	return e
+}
+
+// AddI adds an independent current source from np to nn.
+func (c *Circuit) AddI(name, np, nn string, wave Source) *ISource {
+	e := &ISource{Name: name, Np: c.Node(np), Nn: c.Node(nn), Wave: wave}
+	c.add(e)
+	return e
+}
+
+// AddM adds a MOSFET with drain, gate, source, bulk nodes.
+func (c *Circuit) AddM(name, d, g, s, b string, model device.Model, pol Polarity) *MOSFET {
+	e := &MOSFET{Name: name, D: c.Node(d), G: c.Node(g), S: c.Node(s), B: c.Node(b), Model: model, Pol: pol}
+	c.add(e)
+	return e
+}
+
+// AddT adds an ideal transmission line between two ports.
+func (c *Circuit) AddT(name, n1p, n1n, n2p, n2n string, z0, td float64) *TLine {
+	e := &TLine{Name: name,
+		N1p: c.Node(n1p), N1n: c.Node(n1n),
+		N2p: c.Node(n2p), N2n: c.Node(n2n),
+		Z0: z0, Td: td}
+	c.add(e)
+	return e
+}
+
+// AddMutual couples two previously added inductors (referenced by element
+// name) with coefficient k.
+func (c *Circuit) AddMutual(name, l1, l2 string, k float64) *Mutual {
+	e := &Mutual{Name: name, L1: l1, L2: l2, K: k}
+	c.add(e)
+	return e
+}
+
+// Validate performs structural checks: positive element values, at least one
+// element, every element name unique.
+func (c *Circuit) Validate() error {
+	if len(c.Elements) == 0 {
+		return fmt.Errorf("circuit %q: no elements", c.Title)
+	}
+	seen := make(map[string]bool, len(c.Elements))
+	for _, e := range c.Elements {
+		name := strings.ToLower(e.ElemName())
+		if name == "" {
+			return fmt.Errorf("circuit %q: element with empty name", c.Title)
+		}
+		if seen[name] {
+			return fmt.Errorf("circuit %q: duplicate element name %q", c.Title, e.ElemName())
+		}
+		seen[name] = true
+		switch el := e.(type) {
+		case *Resistor:
+			if el.Ohms <= 0 {
+				return fmt.Errorf("resistor %s: non-positive resistance %g", el.Name, el.Ohms)
+			}
+		case *Capacitor:
+			if el.Farads <= 0 {
+				return fmt.Errorf("capacitor %s: non-positive capacitance %g", el.Name, el.Farads)
+			}
+		case *Inductor:
+			if el.Henrys <= 0 {
+				return fmt.Errorf("inductor %s: non-positive inductance %g", el.Name, el.Henrys)
+			}
+		case *VSource:
+			if el.Wave == nil {
+				return fmt.Errorf("vsource %s: nil waveform", el.Name)
+			}
+		case *ISource:
+			if el.Wave == nil {
+				return fmt.Errorf("isource %s: nil waveform", el.Name)
+			}
+		case *MOSFET:
+			if el.Model == nil {
+				return fmt.Errorf("mosfet %s: nil device model", el.Name)
+			}
+		case *TLine:
+			if el.Z0 <= 0 {
+				return fmt.Errorf("tline %s: non-positive impedance %g", el.Name, el.Z0)
+			}
+			if el.Td <= 0 {
+				return fmt.Errorf("tline %s: non-positive delay %g", el.Name, el.Td)
+			}
+		case *Mutual:
+			if el.K <= -1 || el.K >= 1 {
+				return fmt.Errorf("mutual %s: |K| = %g must be below 1", el.Name, el.K)
+			}
+			for _, ref := range []string{el.L1, el.L2} {
+				if _, ok := c.FindElement(ref).(*Inductor); !ok {
+					return fmt.Errorf("mutual %s: %q is not an inductor", el.Name, ref)
+				}
+			}
+			if strings.EqualFold(el.L1, el.L2) {
+				return fmt.Errorf("mutual %s: cannot couple %q to itself", el.Name, el.L1)
+			}
+		}
+	}
+	return nil
+}
+
+// FindElement returns the element with the given (case-insensitive) name,
+// or nil.
+func (c *Circuit) FindElement(name string) Element {
+	for _, e := range c.Elements {
+		if strings.EqualFold(e.ElemName(), name) {
+			return e
+		}
+	}
+	return nil
+}

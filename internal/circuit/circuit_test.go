@@ -1,0 +1,339 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/device"
+)
+
+func TestNodeInterning(t *testing.T) {
+	c := New("t")
+	if c.Node("0") != 0 || c.Node("gnd") != 0 || c.Node("GND") != 0 {
+		t.Error("ground aliases must map to node 0")
+	}
+	a := c.Node("a")
+	if c.Node("A") != a {
+		t.Error("node names must be case-insensitive")
+	}
+	if c.Node("b") == a {
+		t.Error("distinct names must get distinct indices")
+	}
+	if c.NodeName(a) != "a" {
+		t.Errorf("NodeName = %q", c.NodeName(a))
+	}
+	if c.LookupNode("a") != a || c.LookupNode("zz") != -1 {
+		t.Error("LookupNode misbehaves")
+	}
+	if c.NodeName(99) == "" {
+		t.Error("out-of-range NodeName should describe the index")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New("t")
+	if c.Validate() == nil {
+		t.Error("empty circuit must fail validation")
+	}
+	c.AddR("r1", "a", "0", 100)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	c.AddR("R1", "b", "0", 100) // duplicate (case-insensitive)
+	if c.Validate() == nil {
+		t.Error("duplicate element names must fail")
+	}
+
+	c2 := New("t2")
+	c2.AddC("c1", "a", "0", -1)
+	if c2.Validate() == nil {
+		t.Error("negative capacitance must fail")
+	}
+	c3 := New("t3")
+	c3.AddV("v1", "a", "0", nil)
+	if c3.Validate() == nil {
+		t.Error("nil source waveform must fail")
+	}
+	c4 := New("t4")
+	c4.AddM("m1", "d", "g", "s", "b", nil, NChannel)
+	if c4.Validate() == nil {
+		t.Error("nil device model must fail")
+	}
+}
+
+func TestFindElement(t *testing.T) {
+	c := New("t")
+	r := c.AddR("r1", "a", "0", 100)
+	if c.FindElement("R1") != Element(r) {
+		t.Error("FindElement must be case-insensitive")
+	}
+	if c.FindElement("zz") != nil {
+		t.Error("missing element must return nil")
+	}
+}
+
+func TestSources(t *testing.T) {
+	if DC(5).At(100) != 5 {
+		t.Error("DC source")
+	}
+	if DC(5).Breakpoints() != nil {
+		t.Error("DC has no breakpoints")
+	}
+
+	r := Ramp{V0: 0, V1: 1.8, Delay: 1e-9, Rise: 2e-9}
+	if r.At(0) != 0 || r.At(1e-9) != 0 {
+		t.Error("ramp before delay")
+	}
+	if got := r.At(2e-9); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("ramp midpoint = %g", got)
+	}
+	if r.At(5e-9) != 1.8 {
+		t.Error("ramp after rise")
+	}
+	if got := r.Slope(); math.Abs(got-0.9e9) > 1 {
+		t.Errorf("ramp slope = %g", got)
+	}
+	if (Ramp{Rise: 0}).Slope() != 0 {
+		t.Error("zero-rise slope must be 0")
+	}
+	bps := r.Breakpoints()
+	if len(bps) != 2 || bps[0] != 1e-9 || math.Abs(bps[1]-3e-9) > 1e-18 {
+		t.Errorf("ramp breakpoints = %v", bps)
+	}
+
+	p := Pulse{V1: 0, V2: 1, Delay: 1, Rise: 1, Fall: 1, Width: 2, Period: 10}
+	cases := []struct{ tt, want float64 }{
+		{0.5, 0}, {1.5, 0.5}, {2.5, 1}, {3.5, 1}, {4.5, 0.5}, {6, 0},
+		{11.5, 0.5}, // second period
+	}
+	for _, c := range cases {
+		if got := p.At(c.tt); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("pulse At(%g) = %g, want %g", c.tt, got, c.want)
+		}
+	}
+	if len(p.Breakpoints()) == 0 {
+		t.Error("pulse must report breakpoints")
+	}
+
+	pw, err := NewPWL([]float64{0, 1, 2}, []float64{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.At(0.5) != 2.5 || pw.At(3) != 0 {
+		t.Error("pwl interpolation")
+	}
+	if _, err := NewPWL([]float64{1, 0}, []float64{0, 0}); err == nil {
+		t.Error("non-increasing PWL must error")
+	}
+}
+
+func TestZeroRisePulse(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Delay: 0, Rise: 0, Fall: 0, Width: 5, Period: 0}
+	if p.At(0.0) != 1 || p.At(4) != 1 || p.At(6) != 0 {
+		t.Error("zero-edge pulse values")
+	}
+}
+
+const sampleDeck = `ssn driver array
+* comment line
+vdd vdd 0 dc 1.8
+vin g 0 ramp(0 1.8 0.1n 1n)
+rl vdd out 1k
+cl out 0 2p ic=1.8
+lg vssp 0 5n
+m1 out g vssp 0 nch
+.model nch nmos (level=3 b=3.4m vt0=0.45 alpha=1.24 kv=0.55
++ gamma=0.4 phi=0.8 lambda=0.06)
+.tran 1p 3n uic
+.end
+`
+
+func TestParseFullDeck(t *testing.T) {
+	deck, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	if c.Title != "ssn driver array" {
+		t.Errorf("title = %q", c.Title)
+	}
+	if len(c.Elements) != 6 {
+		t.Fatalf("element count = %d, want 6", len(c.Elements))
+	}
+	if deck.Tran == nil || !deck.Tran.UseIC {
+		t.Fatal("missing .tran uic")
+	}
+	if deck.Tran.Step != 1e-12 || math.Abs(deck.Tran.Stop-3e-9) > 1e-18 {
+		t.Errorf("tran spec %+v", deck.Tran)
+	}
+	cl, ok := c.FindElement("cl").(*Capacitor)
+	if !ok || cl.IC != 1.8 || cl.Farads != 2e-12 {
+		t.Errorf("cl parse: %+v", cl)
+	}
+	m, ok := c.FindElement("m1").(*MOSFET)
+	if !ok {
+		t.Fatal("missing mosfet")
+	}
+	ref, ok := m.Model.(*device.Reference)
+	if !ok {
+		t.Fatalf("model type %T", m.Model)
+	}
+	if ref.B != 3.4e-3 || ref.Alpha != 1.24 {
+		t.Errorf("model params: %+v", ref)
+	}
+	v, ok := c.FindElement("vin").(*VSource)
+	if !ok {
+		t.Fatal("missing vin")
+	}
+	rmp, ok := v.Wave.(Ramp)
+	if !ok || rmp.Rise != 1e-9 {
+		t.Errorf("vin wave: %v", v.Wave)
+	}
+}
+
+func TestParseModelLevels(t *testing.T) {
+	deck, err := Parse(strings.NewReader(`levels
+v1 d 0 dc 1
+m1 d g 0 0 sq
+m2 d g 0 0 ap
+m3 d g 0 0 rf
+.model sq nmos (level=1 kp=2m vt0=0.5)
+.model ap nmos (level=2 b=3m alpha=1.3)
+.model rf pmos (level=3 b=3m)
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	if _, ok := c.FindElement("m1").(*MOSFET).Model.(*device.SquareLaw); !ok {
+		t.Error("level=1 should be square-law")
+	}
+	if _, ok := c.FindElement("m2").(*MOSFET).Model.(*device.AlphaPower); !ok {
+		t.Error("level=2 should be alpha-power")
+	}
+	m3 := c.FindElement("m3").(*MOSFET)
+	if _, ok := m3.Model.(*device.Reference); !ok {
+		t.Error("level=3 should be reference")
+	}
+	if m3.Pol != PChannel {
+		t.Error("pmos model must set PChannel polarity")
+	}
+}
+
+func TestParseSourceForms(t *testing.T) {
+	deck, err := Parse(strings.NewReader(`sources
+v1 a 0 5
+v2 b 0 dc 3
+v3 c 0 pwl(0 0 1n 1 2n 0)
+v4 d 0 pulse(0 1 0 1p 1p 1n 2n)
+i1 e 0 dc 1m
+r1 a 0 1k
+r2 b 0 1k
+r3 c 0 1k
+r4 d 0 1k
+r5 e 0 1k
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	if w := c.FindElement("v1").(*VSource).Wave; w.At(0) != 5 {
+		t.Error("bare value source")
+	}
+	if w := c.FindElement("v2").(*VSource).Wave; w.At(0) != 3 {
+		t.Error("dc source")
+	}
+	if w := c.FindElement("v3").(*VSource).Wave; math.Abs(w.At(0.5e-9)-0.5) > 1e-12 {
+		t.Error("pwl source")
+	}
+	if w := c.FindElement("v4").(*VSource).Wave; w.At(0.5e-9) != 1 {
+		t.Error("pulse source")
+	}
+	if w := c.FindElement("i1").(*ISource).Wave; w.At(0) != 1e-3 {
+		t.Error("current source")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, deck string
+	}{
+		{"empty", ""},
+		{"bad card", "t\nq1 a b c\n.end\n"},
+		{"bad control", "t\n.foo\n.end\n"},
+		{"short r", "t\nr1 a 0\n.end\n"},
+		{"bad value", "t\nr1 a 0 xyz\n.end\n"},
+		{"undefined model", "t\nv1 d 0 1\nm1 d g 0 0 nomodel\n.end\n"},
+		{"odd pwl", "t\nv1 a 0 pwl(0 1 2)\nr1 a 0 1\n.end\n"},
+		{"short pulse", "t\nv1 a 0 pulse(0 1)\nr1 a 0 1\n.end\n"},
+		{"bad tran", "t\nr1 a 0 1\nv1 a 0 1\n.tran 1p\n.end\n"},
+		{"tran order", "t\nr1 a 0 1\nv1 a 0 1\n.tran 1p 0\n.end\n"},
+		{"bad dc", "t\nv1 a 0 1\nr1 a 0 1\n.dc v1 0 1\n.end\n"},
+		{"dc order", "t\nv1 a 0 1\nr1 a 0 1\n.dc v1 1 0 0.1\n.end\n"},
+		{"bad model param", "t\nv1 d 0 1\nm1 d g 0 0 x\n.model x nmos (vt0)\n.end\n"},
+		{"bad model type", "t\nv1 d 0 1\nm1 d g 0 0 x\n.model x njf (vt0=1)\n.end\n"},
+		{"bad level", "t\nv1 d 0 1\nm1 d g 0 0 x\n.model x nmos (level=9)\n.end\n"},
+		{"short mosfet", "t\nv1 d 0 1\nm1 d g 0\n.end\n"},
+		{"dangling continuation", "+ r1 a 0 1\n"},
+		{"mosfet model missing", "t\nm1 d g 0 0 zz\nv1 d 0 1\n.end\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.deck)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse(strings.NewReader("title\nr1 a 0 bad\n.end\n"))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("error text %q", pe.Error())
+	}
+}
+
+func TestParseHeadlessDeck(t *testing.T) {
+	// A deck whose first line is already a card gets an empty title.
+	deck, err := Parse(strings.NewReader("r1 a 0 1k extra\nv1 a 0 dc 1\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Circuit.Title != "" {
+		t.Errorf("title = %q, want empty", deck.Circuit.Title)
+	}
+	if len(deck.Circuit.Elements) != 2 {
+		t.Errorf("elements = %d", len(deck.Circuit.Elements))
+	}
+}
+
+func TestParseTrailingComments(t *testing.T) {
+	deck, err := Parse(strings.NewReader("t\nr1 a 0 1k $ load\nv1 a 0 1 ; source\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck.Circuit.Elements) != 2 {
+		t.Errorf("elements = %d, want 2", len(deck.Circuit.Elements))
+	}
+}
+
+func TestParseDCCard(t *testing.T) {
+	deck, err := Parse(strings.NewReader("t\nv1 a 0 dc 0\nr1 a 0 1k\n.dc v1 0 1.8 0.1\n.op\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.DC == nil || deck.DC.Source != "v1" || deck.DC.To != 1.8 {
+		t.Errorf("dc spec %+v", deck.DC)
+	}
+	if !deck.OP {
+		t.Error(".op not recorded")
+	}
+}

@@ -1,0 +1,180 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ssnkit/internal/device"
+)
+
+// Format writes the deck back out as netlist text that Parse accepts — the
+// inverse of Parse up to formatting. Device models referenced by MOSFETs
+// are emitted as .MODEL cards; two MOSFETs sharing a model share the card.
+// Sources of types Parse cannot express (arbitrary Source implementations)
+// are rejected.
+func Format(w io.Writer, deck *Deck) error {
+	c := deck.Circuit
+	title := c.Title
+	if title == "" {
+		title = "untitled"
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+
+	models := map[device.Model]string{}
+	var modelCards []string
+	modelName := func(m device.Model, pol Polarity) (string, error) {
+		if name, ok := models[m]; ok {
+			return name, nil
+		}
+		name := fmt.Sprintf("mod%d", len(models)+1)
+		card, err := modelCard(name, m, pol)
+		if err != nil {
+			return "", err
+		}
+		models[m] = name
+		modelCards = append(modelCards, card)
+		return name, nil
+	}
+
+	for _, el := range c.Elements {
+		var line string
+		switch e := el.(type) {
+		case *Resistor:
+			line = fmt.Sprintf("%s %s %s %.9g", e.Name, c.NodeName(e.N1), c.NodeName(e.N2), e.Ohms)
+		case *Capacitor:
+			line = fmt.Sprintf("%s %s %s %.9g", e.Name, c.NodeName(e.N1), c.NodeName(e.N2), e.Farads)
+			if e.IC != 0 {
+				line += fmt.Sprintf(" ic=%.9g", e.IC)
+			}
+		case *Inductor:
+			line = fmt.Sprintf("%s %s %s %.9g", e.Name, c.NodeName(e.N1), c.NodeName(e.N2), e.Henrys)
+			if e.IC != 0 {
+				line += fmt.Sprintf(" ic=%.9g", e.IC)
+			}
+		case *VSource:
+			src, err := sourceText(e.Wave)
+			if err != nil {
+				return fmt.Errorf("circuit: format %s: %w", e.Name, err)
+			}
+			line = fmt.Sprintf("%s %s %s %s", e.Name, c.NodeName(e.Np), c.NodeName(e.Nn), src)
+		case *ISource:
+			src, err := sourceText(e.Wave)
+			if err != nil {
+				return fmt.Errorf("circuit: format %s: %w", e.Name, err)
+			}
+			line = fmt.Sprintf("%s %s %s %s", e.Name, c.NodeName(e.Np), c.NodeName(e.Nn), src)
+		case *Mutual:
+			line = fmt.Sprintf("%s %s %s %.9g", e.Name, e.L1, e.L2, e.K)
+		case *TLine:
+			line = fmt.Sprintf("%s %s %s %s %s z0=%.9g td=%.9g", e.Name,
+				c.NodeName(e.N1p), c.NodeName(e.N1n), c.NodeName(e.N2p), c.NodeName(e.N2n),
+				e.Z0, e.Td)
+		case *MOSFET:
+			name, err := modelName(e.Model, e.Pol)
+			if err != nil {
+				return fmt.Errorf("circuit: format %s: %w", e.Name, err)
+			}
+			line = fmt.Sprintf("%s %s %s %s %s %s", e.Name,
+				c.NodeName(e.D), c.NodeName(e.G), c.NodeName(e.S), c.NodeName(e.B), name)
+		default:
+			return fmt.Errorf("circuit: format: unsupported element %T", el)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	for _, card := range modelCards {
+		if _, err := fmt.Fprintln(w, card); err != nil {
+			return err
+		}
+	}
+	if deck.Tran != nil {
+		line := fmt.Sprintf(".tran %.9g %.9g", deck.Tran.Step, deck.Tran.Stop)
+		if deck.Tran.Start != 0 {
+			line += fmt.Sprintf(" %.9g", deck.Tran.Start)
+		}
+		if deck.Tran.UseIC {
+			line += " uic"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if deck.DC != nil {
+		if _, err := fmt.Fprintf(w, ".dc %s %.9g %.9g %.9g\n",
+			deck.DC.Source, deck.DC.From, deck.DC.To, deck.DC.Step); err != nil {
+			return err
+		}
+	}
+	if len(deck.NodeICs) > 0 {
+		keys := make([]string, 0, len(deck.NodeICs))
+		for k := range deck.NodeICs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		line := ".ic"
+		for _, k := range keys {
+			line += fmt.Sprintf(" v(%s)=%.9g", k, deck.NodeICs[k])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if deck.OP {
+		if _, err := fmt.Fprintln(w, ".op"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ".end")
+	return err
+}
+
+func sourceText(s Source) (string, error) {
+	switch src := s.(type) {
+	case DC:
+		return fmt.Sprintf("dc %.9g", float64(src)), nil
+	case Ramp:
+		return fmt.Sprintf("ramp(%.9g %.9g %.9g %.9g)", src.V0, src.V1, src.Delay, src.Rise), nil
+	case Pulse:
+		return fmt.Sprintf("pulse(%.9g %.9g %.9g %.9g %.9g %.9g %.9g)",
+			src.V1, src.V2, src.Delay, src.Rise, src.Fall, src.Width, src.Period), nil
+	case *PWL:
+		var b strings.Builder
+		b.WriteString("pwl(")
+		bps := src.Breakpoints()
+		for i, t := range bps {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.9g %.9g", t, src.At(t))
+		}
+		b.WriteByte(')')
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("source type %T has no netlist form", s)
+	}
+}
+
+func modelCard(name string, m device.Model, pol Polarity) (string, error) {
+	kind := "nmos"
+	if pol == PChannel {
+		kind = "pmos"
+	}
+	switch d := m.(type) {
+	case *device.SquareLaw:
+		return fmt.Sprintf(".model %s %s (level=1 kp=%.9g vt0=%.9g gamma=%.9g phi=%.9g lambda=%.9g)",
+			name, kind, d.Kp, d.Vt0, d.Gamma, d.Phi, d.Lambda), nil
+	case *device.AlphaPower:
+		return fmt.Sprintf(".model %s %s (level=2 b=%.9g vt0=%.9g alpha=%.9g kv=%.9g gamma=%.9g phi=%.9g lambda=%.9g)",
+			name, kind, d.B, d.Vt0, d.Alpha, d.Kv, d.Gamma, d.Phi, d.Lambda), nil
+	case *device.Reference:
+		return fmt.Sprintf(".model %s %s (level=3 b=%.9g vt0=%.9g alpha=%.9g kv=%.9g gamma=%.9g phi=%.9g lambda=%.9g subslope=%.9g)",
+			name, kind, d.B, d.Vt0, d.Alpha, d.Kv, d.Gamma, d.Phi, d.Lambda, d.SubSlope), nil
+	default:
+		return "", fmt.Errorf("device model type %T has no .MODEL form", m)
+	}
+}

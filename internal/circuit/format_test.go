@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssnkit/internal/device"
+)
+
+// reparse formats a deck and parses the result back.
+func reparse(t *testing.T, deck *Deck) *Deck {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Format(&buf, deck); err != nil {
+		t.Fatalf("format: %v\n%s", err, buf.String())
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	return back
+}
+
+func TestFormatRoundTripSampleDeck(t *testing.T) {
+	deck, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := reparse(t, deck)
+	if len(back.Circuit.Elements) != len(deck.Circuit.Elements) {
+		t.Fatalf("element count %d vs %d", len(back.Circuit.Elements), len(deck.Circuit.Elements))
+	}
+	if back.Tran == nil || back.Tran.Step != deck.Tran.Step || back.Tran.UseIC != deck.Tran.UseIC {
+		t.Errorf("tran spec lost: %+v", back.Tran)
+	}
+	// Spot-check a few elements survive with values intact.
+	cl := back.Circuit.FindElement("cl").(*Capacitor)
+	if cl.Farads != 2e-12 || cl.IC != 1.8 {
+		t.Errorf("cl after round trip: %+v", cl)
+	}
+	m := back.Circuit.FindElement("m1").(*MOSFET)
+	ref, ok := m.Model.(*device.Reference)
+	if !ok || ref.B != 3.4e-3 {
+		t.Errorf("model after round trip: %+v", m.Model)
+	}
+}
+
+func TestFormatSourceForms(t *testing.T) {
+	ckt := New("sources")
+	ckt.AddV("v1", "a", "0", DC(5))
+	ckt.AddV("v2", "b", "0", Ramp{V0: 0, V1: 1.8, Delay: 1e-10, Rise: 1e-9})
+	ckt.AddV("v3", "c", "0", Pulse{V1: 0, V2: 1, Delay: 0, Rise: 1e-12, Fall: 1e-12, Width: 1e-9, Period: 0})
+	pwl, _ := NewPWL([]float64{0, 1e-9, 2e-9}, []float64{0, 1, 0.5})
+	ckt.AddV("v4", "d", "0", pwl)
+	ckt.AddI("i1", "e", "0", DC(1e-3))
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		ckt.AddR("r"+n, n, "0", 1e3)
+	}
+	back := reparse(t, &Deck{Circuit: ckt})
+	// Ramp corners survive.
+	v2 := back.Circuit.FindElement("v2").(*VSource)
+	if got := v2.Wave.At(0.6e-9); got <= 0.8 || got >= 1.0 {
+		t.Errorf("ramp midpoint after round trip = %g", got)
+	}
+	// PWL values survive at the breakpoints.
+	v4 := back.Circuit.FindElement("v4").(*VSource)
+	if v4.Wave.At(1e-9) != 1 || v4.Wave.At(2e-9) != 0.5 {
+		t.Error("pwl values lost")
+	}
+}
+
+func TestFormatSharedModelCard(t *testing.T) {
+	mdl := device.C018.Driver(1)
+	ckt := New("shared")
+	ckt.AddV("v1", "d", "0", DC(1.8))
+	ckt.AddM("m1", "d", "g", "0", "0", mdl, NChannel)
+	ckt.AddM("m2", "d", "g", "0", "0", mdl, NChannel)
+	var buf bytes.Buffer
+	if err := Format(&buf, &Deck{Circuit: ckt}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), ".model"); got != 1 {
+		t.Errorf("shared model emitted %d cards, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestFormatUnsupportedSource(t *testing.T) {
+	ckt := New("bad")
+	ckt.AddV("v1", "a", "0", customSource{})
+	ckt.AddR("r1", "a", "0", 1)
+	var buf bytes.Buffer
+	if err := Format(&buf, &Deck{Circuit: ckt}); err == nil {
+		t.Error("custom source must be rejected")
+	}
+}
+
+type customSource struct{}
+
+func (customSource) At(float64) float64     { return 0 }
+func (customSource) Breakpoints() []float64 { return nil }
+func (customSource) String() string         { return "custom" }
+
+func TestFormatRoundTripRandomRLC(t *testing.T) {
+	// Property: random RLC ladders survive format -> parse with element
+	// values preserved.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ckt := New("ladder")
+		n := 2 + r.Intn(6)
+		prev := "0"
+		ckt.AddV("vs", "n0", "0", DC(r.Float64()*5))
+		prev = "n0"
+		type expect struct {
+			name string
+			val  float64
+		}
+		var expects []expect
+		for i := 1; i <= n; i++ {
+			node := nodeName(i)
+			val := (r.Float64() + 0.1) * 1e3
+			name := "r" + nodeName(i)
+			ckt.AddR(name, prev, node, val)
+			expects = append(expects, expect{name, val})
+			cval := (r.Float64() + 0.1) * 1e-12
+			cname := "c" + nodeName(i)
+			ckt.AddC(cname, node, "0", cval)
+			expects = append(expects, expect{cname, cval})
+			prev = node
+		}
+		var buf bytes.Buffer
+		if err := Format(&buf, &Deck{Circuit: ckt}); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		for _, e := range expects {
+			switch el := back.Circuit.FindElement(e.name).(type) {
+			case *Resistor:
+				if relDiff(el.Ohms, e.val) > 1e-8 {
+					return false
+				}
+			case *Capacitor:
+				if relDiff(el.Farads, e.val) > 1e-8 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeName(i int) string {
+	const digits = "abcdefghij"
+	s := ""
+	for i > 0 {
+		s = string(digits[i%10]) + s
+		i /= 10
+	}
+	if s == "" {
+		s = "a"
+	}
+	return s
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b < 0 {
+		b = -b
+	}
+	if b == 0 {
+		return d
+	}
+	return d / b
+}

@@ -1,0 +1,53 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the netlist parser never panics and that every deck it
+// accepts survives a Format -> Parse round trip with the same element
+// count, node count and analyses.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleDeck,
+		"t\nr1 a 0 1k\nv1 a 0 1\n.end\n",
+		"t\nv1 a 0 pwl(0 0 1n 1)\nr1 a 0 1\n.tran 1p 2n\n.end\n",
+		"t\nv1 a 0 pulse(0 1 0 1p 1p 1n 2n)\nr1 a 0 1\n.dc v1 0 1 0.1\n.op\n.end\n",
+		"t\nla a 0 1n\nlb a 0 1n\nk1 la lb 0.5\nv1 a 0 1\n.end\n",
+		"* only a comment\n",
+		".end\n",
+		"t\n+ dangling\n",
+		"t\nm1 d g s b mod\nv1 d 0 1\n.model mod nmos (level=2 b=1m)\n.end\n",
+		"t\nr1 a 0 1k $ trailing\nv1 a 0 1 ; comment\n.end\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deckText string) {
+		deck, err := Parse(strings.NewReader(deckText))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Format(&buf, deck); err != nil {
+			// Only custom sources are unformattable, and Parse cannot
+			// produce those.
+			t.Fatalf("accepted deck does not format: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("formatted deck does not re-parse: %v\n%s", err, buf.String())
+		}
+		if len(back.Circuit.Elements) != len(deck.Circuit.Elements) {
+			t.Fatalf("element count changed: %d -> %d", len(deck.Circuit.Elements), len(back.Circuit.Elements))
+		}
+		if back.Circuit.NumNodes() != deck.Circuit.NumNodes() {
+			t.Fatalf("node count changed: %d -> %d", deck.Circuit.NumNodes(), back.Circuit.NumNodes())
+		}
+		if (back.Tran == nil) != (deck.Tran == nil) || (back.DC == nil) != (deck.DC == nil) || back.OP != deck.OP {
+			t.Fatal("analyses changed across round trip")
+		}
+	})
+}

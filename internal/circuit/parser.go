@@ -1,0 +1,576 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/units"
+)
+
+// TranSpec requests a transient analysis (.TRAN step stop [start]).
+type TranSpec struct {
+	Step, Stop, Start float64
+	UseIC             bool // .TRAN ... UIC: start from element ICs, skip DC OP
+}
+
+// DCSpec requests a DC sweep of a source (.DC src from to step).
+type DCSpec struct {
+	Source         string
+	From, To, Step float64
+}
+
+// Deck is a parsed netlist: the circuit plus requested analyses.
+type Deck struct {
+	Circuit *Circuit
+	Tran    *TranSpec
+	DC      *DCSpec
+	OP      bool
+	// NodeICs holds .IC cards: node voltages enforced at the start of a
+	// UIC transient (keys are lower-case node names).
+	NodeICs map[string]float64
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("netlist line %d: %s", e.Line, e.Msg) }
+
+func errAt(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a SPICE-like deck. Supported cards:
+//
+//	R/C/L name n1 n2 value [IC=v]
+//	Vname n+ n- DC v | value | PWL(t v ...) | PULSE(v1 v2 td tr tf pw per) | RAMP(v0 v1 td tr)
+//	Iname n+ n- (same source forms)
+//	Mname d g s b modelname
+//	.MODEL name NMOS|PMOS (param=value ...)   params: LEVEL B KP VT0 ALPHA KV GAMMA PHI LAMBDA SUBSLOPE
+//	Tname p1+ p1- p2+ p2- z0=<ohm> td=<s>     (ideal transmission line)
+//	Kname l1 l2 coefficient                   (coupled inductors)
+//	Xname node... subcktname                  (subcircuit instance)
+//	.SUBCKT name port... / .ENDS              (flattened at parse time)
+//	.IC v(node)=value ...                     (UIC initial node voltages)
+//	.TRAN step stop [start] [UIC]
+//	.DC srcname from to step
+//	.OP
+//	.END
+//
+// The first line is the title. "*" lines are comments; "$" and ";" start
+// trailing comments; "+" continues the previous card. Names and keywords are
+// case-insensitive; values use SPICE engineering suffixes.
+func Parse(r io.Reader) (*Deck, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var lines []rawLine
+	num := 0
+	for sc.Scan() {
+		num++
+		text := sc.Text()
+		if i := strings.IndexAny(text, "$;"); i >= 0 {
+			text = text[:i]
+		}
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "*") && num > 1 {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "+") {
+			if len(lines) == 0 {
+				return nil, errAt(num, "continuation with no preceding card")
+			}
+			lines[len(lines)-1].text += " " + strings.TrimPrefix(trimmed, "+")
+			continue
+		}
+		lines = append(lines, rawLine{trimmed, num})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("netlist: empty deck")
+	}
+
+	title := lines[0].text
+	body := lines[1:]
+	// A deck whose first line is itself a card (common for embedded decks)
+	// keeps that line in the body and gets an empty title.
+	if isCard(title) {
+		body = lines
+		title = ""
+	}
+
+	// Flatten subcircuits before per-card processing.
+	main, subckts, err := extractSubckts(body)
+	if err != nil {
+		return nil, err
+	}
+	body, err = expandSubckts(main, subckts)
+	if err != nil {
+		return nil, err
+	}
+
+	deck := &Deck{Circuit: New(strings.TrimPrefix(title, "*"))}
+	type modelEntry struct {
+		mdl device.Model
+		pol Polarity
+	}
+	models := map[string]modelEntry{}
+	type pendingFET struct {
+		card rawLine
+		toks []string
+	}
+	var fets []pendingFET
+
+	for _, ln := range body {
+		toks := tokenize(ln.text)
+		if len(toks) == 0 {
+			continue
+		}
+		head := strings.ToLower(toks[0])
+		switch {
+		case head == ".end":
+			goto done
+		case head == ".op":
+			deck.OP = true
+		case head == ".tran":
+			spec, err := parseTran(toks, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.Tran = spec
+		case head == ".dc":
+			spec, err := parseDC(toks, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			deck.DC = spec
+		case head == ".ic":
+			// .IC v(node)=value ... — parsed from the raw text because the
+			// generic tokenizer strips the parentheses.
+			for _, tok := range strings.Fields(ln.text)[1:] {
+				lt := strings.ToLower(tok)
+				if !strings.HasPrefix(lt, "v") {
+					return nil, errAt(ln.num, ".IC entries look like v(node)=value, got %q", tok)
+				}
+				eq := strings.IndexByte(lt, '=')
+				if eq < 0 {
+					return nil, errAt(ln.num, ".IC entry %q missing '='", tok)
+				}
+				node := strings.Trim(lt[1:eq], "() \t")
+				if node == "" {
+					return nil, errAt(ln.num, ".IC entry %q has no node", tok)
+				}
+				val, err := parseVal(lt[eq+1:], ln.num, ".IC value")
+				if err != nil {
+					return nil, err
+				}
+				if deck.NodeICs == nil {
+					deck.NodeICs = map[string]float64{}
+				}
+				deck.NodeICs[node] = val
+			}
+		case head == ".model":
+			name, mdl, pol, err := parseModel(toks, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			models[name] = modelEntry{mdl, pol}
+		case strings.HasPrefix(head, "."):
+			return nil, errAt(ln.num, "unsupported control card %q", toks[0])
+		case head[0] == 'r':
+			if err := parseRCL(deck.Circuit, toks, ln.num, 'r'); err != nil {
+				return nil, err
+			}
+		case head[0] == 'c':
+			if err := parseRCL(deck.Circuit, toks, ln.num, 'c'); err != nil {
+				return nil, err
+			}
+		case head[0] == 'l':
+			if err := parseRCL(deck.Circuit, toks, ln.num, 'l'); err != nil {
+				return nil, err
+			}
+		case head[0] == 't':
+			// Tname p1+ p1- p2+ p2- z0=<ohm> td=<s>
+			if len(toks) < 7 {
+				return nil, errAt(ln.num, "t-card needs: name p1+ p1- p2+ p2- z0=... td=...")
+			}
+			var z0, td float64
+			var gotZ, gotT bool
+			for _, tok := range toks[5:] {
+				lt := strings.ToLower(tok)
+				switch {
+				case strings.HasPrefix(lt, "z0="):
+					v, err := parseVal(lt[3:], ln.num, "z0")
+					if err != nil {
+						return nil, err
+					}
+					z0, gotZ = v, true
+				case strings.HasPrefix(lt, "td="):
+					v, err := parseVal(lt[3:], ln.num, "td")
+					if err != nil {
+						return nil, err
+					}
+					td, gotT = v, true
+				default:
+					return nil, errAt(ln.num, "unknown t-line parameter %q", tok)
+				}
+			}
+			if !gotZ || !gotT {
+				return nil, errAt(ln.num, "t-line needs both z0= and td=")
+			}
+			deck.Circuit.AddT(toks[0], toks[1], toks[2], toks[3], toks[4], z0, td)
+		case head[0] == 'k':
+			if len(toks) < 4 {
+				return nil, errAt(ln.num, "k-card needs: name l1 l2 coefficient")
+			}
+			k, err := parseVal(toks[3], ln.num, "coupling coefficient")
+			if err != nil {
+				return nil, err
+			}
+			deck.Circuit.AddMutual(toks[0], toks[1], toks[2], k)
+		case head[0] == 'v':
+			if err := parseSourceCard(deck.Circuit, toks, ln.num, true); err != nil {
+				return nil, err
+			}
+		case head[0] == 'i':
+			if err := parseSourceCard(deck.Circuit, toks, ln.num, false); err != nil {
+				return nil, err
+			}
+		case head[0] == 'm':
+			// MOSFETs may reference models defined later; defer binding.
+			fets = append(fets, pendingFET{ln, toks})
+		default:
+			return nil, errAt(ln.num, "unrecognized card %q", toks[0])
+		}
+	}
+done:
+	for _, f := range fets {
+		if len(f.toks) < 6 {
+			return nil, errAt(f.card.num, "mosfet needs: Mname d g s b model")
+		}
+		modelName := strings.ToLower(f.toks[5])
+		entry, ok := models[modelName]
+		if !ok {
+			return nil, errAt(f.card.num, "undefined model %q", f.toks[5])
+		}
+		deck.Circuit.AddM(f.toks[0], f.toks[1], f.toks[2], f.toks[3], f.toks[4], entry.mdl, entry.pol)
+	}
+	if err := deck.Circuit.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	return deck, nil
+}
+
+// isCard decides whether a deck's first line is already a card (headless
+// deck) rather than the traditional title line. The heuristic demands the
+// field in the value position actually parses, so prose titles that happen
+// to start with an element letter stay titles.
+func isCard(line string) bool {
+	l := strings.ToLower(strings.TrimSpace(line))
+	if l == "" {
+		return false
+	}
+	if strings.HasPrefix(l, ".") {
+		return true
+	}
+	toks := tokenize(l)
+	if len(toks) < 4 {
+		return false
+	}
+	parses := func(tok string) bool {
+		_, err := units.Parse(tok)
+		return err == nil
+	}
+	switch l[0] {
+	case 'r', 'c', 'l', 'k':
+		return parses(toks[3])
+	case 'v', 'i':
+		switch toks[3] {
+		case "dc", "pwl", "pulse", "ramp":
+			return true
+		}
+		return parses(toks[3])
+	case 'm':
+		return len(toks) >= 6
+	case 't':
+		for _, tok := range toks {
+			if strings.HasPrefix(tok, "z0=") {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func tokenize(line string) []string {
+	var b strings.Builder
+	for _, c := range line {
+		switch c {
+		case '(', ')', ',':
+			b.WriteByte(' ')
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return strings.Fields(b.String())
+}
+
+func parseVal(tok string, line int, what string) (float64, error) {
+	v, err := units.Parse(tok)
+	if err != nil {
+		return 0, errAt(line, "bad %s %q: %v", what, tok, err)
+	}
+	return v, nil
+}
+
+func parseRCL(c *Circuit, toks []string, line int, kind byte) error {
+	if len(toks) < 4 {
+		return errAt(line, "%c-card needs: name n1 n2 value", kind)
+	}
+	val, err := parseVal(toks[3], line, "value")
+	if err != nil {
+		return err
+	}
+	ic := 0.0
+	hasIC := false
+	for _, t := range toks[4:] {
+		lt := strings.ToLower(t)
+		if strings.HasPrefix(lt, "ic=") {
+			ic, err = parseVal(lt[3:], line, "initial condition")
+			if err != nil {
+				return err
+			}
+			hasIC = true
+		}
+	}
+	switch kind {
+	case 'r':
+		c.AddR(toks[0], toks[1], toks[2], val)
+	case 'c':
+		e := c.AddC(toks[0], toks[1], toks[2], val)
+		if hasIC {
+			e.IC = ic
+		}
+	case 'l':
+		e := c.AddL(toks[0], toks[1], toks[2], val)
+		if hasIC {
+			e.IC = ic
+		}
+	}
+	return nil
+}
+
+func parseSourceWave(toks []string, line int) (Source, error) {
+	if len(toks) == 0 {
+		return nil, errAt(line, "source needs a value or waveform")
+	}
+	kw := strings.ToLower(toks[0])
+	rest := toks[1:]
+	vals := func(n int, what string) ([]float64, error) {
+		if len(rest) < n {
+			return nil, errAt(line, "%s needs %d values, got %d", what, n, len(rest))
+		}
+		out := make([]float64, len(rest))
+		for i, t := range rest {
+			v, err := parseVal(t, line, what+" value")
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch kw {
+	case "dc":
+		vs, err := vals(1, "DC")
+		if err != nil {
+			return nil, err
+		}
+		return DC(vs[0]), nil
+	case "pwl":
+		vs, err := vals(2, "PWL")
+		if err != nil {
+			return nil, err
+		}
+		if len(vs)%2 != 0 {
+			return nil, errAt(line, "PWL needs an even number of values")
+		}
+		ts := make([]float64, len(vs)/2)
+		ys := make([]float64, len(vs)/2)
+		for i := range ts {
+			ts[i], ys[i] = vs[2*i], vs[2*i+1]
+		}
+		p, err := NewPWL(ts, ys)
+		if err != nil {
+			return nil, errAt(line, "%v", err)
+		}
+		return p, nil
+	case "pulse":
+		vs, err := vals(7, "PULSE")
+		if err != nil {
+			return nil, err
+		}
+		return Pulse{V1: vs[0], V2: vs[1], Delay: vs[2], Rise: vs[3], Fall: vs[4], Width: vs[5], Period: vs[6]}, nil
+	case "ramp":
+		vs, err := vals(4, "RAMP")
+		if err != nil {
+			return nil, err
+		}
+		return Ramp{V0: vs[0], V1: vs[1], Delay: vs[2], Rise: vs[3]}, nil
+	default:
+		v, err := parseVal(toks[0], line, "source value")
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	}
+}
+
+func parseSourceCard(c *Circuit, toks []string, line int, voltage bool) error {
+	if len(toks) < 4 {
+		return errAt(line, "source needs: name n+ n- value/waveform")
+	}
+	wave, err := parseSourceWave(toks[3:], line)
+	if err != nil {
+		return err
+	}
+	if voltage {
+		c.AddV(toks[0], toks[1], toks[2], wave)
+	} else {
+		c.AddI(toks[0], toks[1], toks[2], wave)
+	}
+	return nil
+}
+
+func parseTran(toks []string, line int) (*TranSpec, error) {
+	if len(toks) < 3 {
+		return nil, errAt(line, ".TRAN needs: step stop [start] [UIC]")
+	}
+	spec := &TranSpec{}
+	var err error
+	if spec.Step, err = parseVal(toks[1], line, "tran step"); err != nil {
+		return nil, err
+	}
+	if spec.Stop, err = parseVal(toks[2], line, "tran stop"); err != nil {
+		return nil, err
+	}
+	for _, t := range toks[3:] {
+		if strings.EqualFold(t, "uic") {
+			spec.UseIC = true
+			continue
+		}
+		if spec.Start == 0 {
+			if spec.Start, err = parseVal(t, line, "tran start"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if spec.Step <= 0 || spec.Stop <= spec.Start {
+		return nil, errAt(line, ".TRAN times out of order (step %g, stop %g, start %g)", spec.Step, spec.Stop, spec.Start)
+	}
+	return spec, nil
+}
+
+func parseDC(toks []string, line int) (*DCSpec, error) {
+	if len(toks) != 5 {
+		return nil, errAt(line, ".DC needs: source from to step")
+	}
+	spec := &DCSpec{Source: toks[1]}
+	var err error
+	if spec.From, err = parseVal(toks[2], line, "dc from"); err != nil {
+		return nil, err
+	}
+	if spec.To, err = parseVal(toks[3], line, "dc to"); err != nil {
+		return nil, err
+	}
+	if spec.Step, err = parseVal(toks[4], line, "dc step"); err != nil {
+		return nil, err
+	}
+	if spec.Step <= 0 || spec.To < spec.From {
+		return nil, errAt(line, ".DC range out of order")
+	}
+	return spec, nil
+}
+
+func parseModel(toks []string, line int) (string, device.Model, Polarity, error) {
+	if len(toks) < 3 {
+		return "", nil, NChannel, errAt(line, ".MODEL needs: name NMOS|PMOS (params)")
+	}
+	name := strings.ToLower(toks[1])
+	kind := strings.ToLower(toks[2])
+	if kind != "nmos" && kind != "pmos" {
+		return "", nil, NChannel, errAt(line, "model type %q not supported (NMOS/PMOS)", toks[2])
+	}
+	params := map[string]float64{}
+	for _, t := range toks[3:] {
+		eq := strings.IndexByte(t, '=')
+		if eq <= 0 {
+			return "", nil, NChannel, errAt(line, "model parameter %q must be key=value", t)
+		}
+		v, err := parseVal(t[eq+1:], line, "model parameter "+t[:eq])
+		if err != nil {
+			return "", nil, NChannel, err
+		}
+		params[strings.ToLower(t[:eq])] = v
+	}
+	get := func(key string, def float64) float64 {
+		if v, ok := params[key]; ok {
+			return v
+		}
+		return def
+	}
+	level := int(get("level", 3))
+	var mdl device.Model
+	switch level {
+	case 1:
+		mdl = &device.SquareLaw{
+			ModelName: name,
+			Kp:        get("kp", 1e-3),
+			Vt0:       get("vt0", 0.5),
+			Gamma:     get("gamma", 0),
+			Phi:       get("phi", 0.8),
+			Lambda:    get("lambda", 0),
+		}
+	case 2:
+		mdl = &device.AlphaPower{
+			ModelName: name,
+			B:         get("b", 1e-3),
+			Vt0:       get("vt0", 0.5),
+			Alpha:     get("alpha", 1.3),
+			Kv:        get("kv", 0.6),
+			Gamma:     get("gamma", 0),
+			Phi:       get("phi", 0.8),
+			Lambda:    get("lambda", 0),
+		}
+	case 3:
+		mdl = &device.Reference{
+			ModelName: name,
+			B:         get("b", 1e-3),
+			Vt0:       get("vt0", 0.5),
+			Alpha:     get("alpha", 1.3),
+			Kv:        get("kv", 0.6),
+			Gamma:     get("gamma", 0.4),
+			Phi:       get("phi", 0.8),
+			Lambda:    get("lambda", 0.05),
+			SubSlope:  get("subslope", 0.045),
+		}
+	default:
+		return "", nil, NChannel, errAt(line, "unsupported model LEVEL=%d (1=square-law, 2=alpha-power, 3=reference)", level)
+	}
+	pol := NChannel
+	if kind == "pmos" {
+		pol = PChannel
+	}
+	return name, mdl, pol, nil
+}

@@ -1,0 +1,149 @@
+// Package circuit defines ssnkit's netlist data model: nodes, passive and
+// active elements, independent sources with time-dependent waveforms, a
+// programmatic builder API, and a SPICE-like deck parser. The companion
+// package internal/spice simulates these circuits.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"ssnkit/internal/numeric"
+)
+
+// Source is a time-dependent scalar driving function for independent
+// voltage/current sources. Breakpoints lists times where the derivative is
+// discontinuous; the transient engine forces steps onto them.
+type Source interface {
+	At(t float64) float64
+	Breakpoints() []float64
+	String() string
+}
+
+// DC is a constant source.
+type DC float64
+
+// At implements Source.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Breakpoints implements Source.
+func (d DC) Breakpoints() []float64 { return nil }
+
+func (d DC) String() string { return fmt.Sprintf("DC %g", float64(d)) }
+
+// PWL is a piecewise-linear source defined by (time, value) pairs; values
+// hold flat outside the defined span.
+type PWL struct {
+	interp *numeric.Interp1
+	desc   string
+}
+
+// NewPWL builds a piecewise-linear source. Times must be strictly
+// increasing.
+func NewPWL(times, values []float64) (*PWL, error) {
+	ip, err := numeric.NewInterp1(times, values)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: pwl: %w", err)
+	}
+	return &PWL{interp: ip, desc: fmt.Sprintf("PWL(%d pts)", len(times))}, nil
+}
+
+// At implements Source.
+func (p *PWL) At(t float64) float64 { return p.interp.At(t) }
+
+// Breakpoints implements Source.
+func (p *PWL) Breakpoints() []float64 { return p.interp.Breakpoints() }
+
+func (p *PWL) String() string { return p.desc }
+
+// Ramp is the input stimulus of the SSN analysis: holds V0 until Delay,
+// rises linearly to V1 over Rise, then holds V1.
+type Ramp struct {
+	V0, V1      float64
+	Delay, Rise float64
+}
+
+// At implements Source.
+func (r Ramp) At(t float64) float64 {
+	switch {
+	case t <= r.Delay:
+		return r.V0
+	case t >= r.Delay+r.Rise:
+		return r.V1
+	default:
+		return r.V0 + (r.V1-r.V0)*(t-r.Delay)/r.Rise
+	}
+}
+
+// Breakpoints implements Source.
+func (r Ramp) Breakpoints() []float64 { return []float64{r.Delay, r.Delay + r.Rise} }
+
+// Slope returns the rising slope in V/s.
+func (r Ramp) Slope() float64 {
+	if r.Rise == 0 {
+		return 0
+	}
+	return (r.V1 - r.V0) / r.Rise
+}
+
+func (r Ramp) String() string {
+	return fmt.Sprintf("RAMP(%g->%g delay %g rise %g)", r.V0, r.V1, r.Delay, r.Rise)
+}
+
+// Pulse is the SPICE PULSE source: initial value, pulsed value, delay, rise,
+// fall, width, period. Period 0 means a single pulse.
+type Pulse struct {
+	V1, V2                           float64
+	Delay, Rise, Fall, Width, Period float64
+}
+
+// At implements Source.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.V1
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		n := float64(int(tt / p.Period))
+		tt -= n * p.Period
+	}
+	switch {
+	case tt < p.Rise:
+		if p.Rise == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*tt/p.Rise
+	case tt < p.Rise+p.Width:
+		return p.V2
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tt-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// Breakpoints implements Source. For periodic pulses it reports the corners
+// of the first 64 periods, which covers any transient this repo runs.
+func (p Pulse) Breakpoints() []float64 {
+	corners := []float64{0, p.Rise, p.Rise + p.Width, p.Rise + p.Width + p.Fall}
+	var out []float64
+	reps := 1
+	if p.Period > 0 {
+		reps = 64
+	}
+	for k := 0; k < reps; k++ {
+		base := p.Delay + float64(k)*p.Period
+		for _, c := range corners {
+			out = append(out, base+c)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func (p Pulse) String() string {
+	return fmt.Sprintf("PULSE(%g %g %g %g %g %g %g)", p.V1, p.V2, p.Delay, p.Rise, p.Fall, p.Width, p.Period)
+}

@@ -1,0 +1,189 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Subcircuit support: the parser collects .SUBCKT/.ENDS blocks and flattens
+// every X-instantiation into renamed element cards before the regular
+// per-card processing. Instance element and internal node names get the
+// ".<xname>" suffix (keeping the SPICE type letter first); the declared
+// ports bind positionally to the instantiation's nodes; ground ("0"/"gnd")
+// stays global; .MODEL cards stay global (declare them outside the
+// subcircuit).
+
+type subcktDef struct {
+	name  string
+	ports []string
+	body  []rawLine
+	line  int
+}
+
+// rawLine mirrors the parser's internal line representation.
+type rawLine struct {
+	text string
+	num  int
+}
+
+const maxSubcktDepth = 10
+
+// extractSubckts splits subcircuit definitions from the main card list.
+func extractSubckts(lines []rawLine) (main []rawLine, defs map[string]*subcktDef, err error) {
+	defs = map[string]*subcktDef{}
+	var cur *subcktDef
+	for _, ln := range lines {
+		head := strings.ToLower(strings.Fields(ln.text)[0])
+		switch head {
+		case ".subckt":
+			if cur != nil {
+				return nil, nil, errAt(ln.num, "nested .SUBCKT definitions are not supported")
+			}
+			toks := strings.Fields(strings.ToLower(ln.text))
+			if len(toks) < 3 {
+				return nil, nil, errAt(ln.num, ".SUBCKT needs: name port1 [port2 ...]")
+			}
+			name := toks[1]
+			if _, dup := defs[name]; dup {
+				return nil, nil, errAt(ln.num, "duplicate subcircuit %q", name)
+			}
+			cur = &subcktDef{name: name, ports: toks[2:], line: ln.num}
+		case ".ends":
+			if cur == nil {
+				return nil, nil, errAt(ln.num, ".ENDS without .SUBCKT")
+			}
+			defs[cur.name] = cur
+			cur = nil
+		default:
+			if cur != nil {
+				if strings.HasPrefix(head, ".") && head != ".model" {
+					return nil, nil, errAt(ln.num, "control card %q not allowed inside .SUBCKT", head)
+				}
+				if head == ".model" {
+					return nil, nil, errAt(ln.num, "declare .MODEL cards outside the .SUBCKT (models are global)")
+				}
+				cur.body = append(cur.body, ln)
+			} else {
+				main = append(main, ln)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, nil, errAt(cur.line, ".SUBCKT %q missing .ENDS", cur.name)
+	}
+	return main, defs, nil
+}
+
+// expandSubckts flattens every X card (recursively) using the definitions.
+func expandSubckts(lines []rawLine, defs map[string]*subcktDef) ([]rawLine, error) {
+	return expand(lines, defs, 0)
+}
+
+func expand(lines []rawLine, defs map[string]*subcktDef, depth int) ([]rawLine, error) {
+	if depth > maxSubcktDepth {
+		return nil, fmt.Errorf("netlist: subcircuit nesting deeper than %d (cycle?)", maxSubcktDepth)
+	}
+	var out []rawLine
+	for _, ln := range lines {
+		toks := tokenize(strings.ToLower(ln.text))
+		if len(toks) == 0 || toks[0][0] != 'x' {
+			out = append(out, ln)
+			continue
+		}
+		if len(toks) < 3 {
+			return nil, errAt(ln.num, "x-card needs: name node... subcktname")
+		}
+		inst := toks[0]
+		subName := toks[len(toks)-1]
+		nodes := toks[1 : len(toks)-1]
+		def, ok := defs[subName]
+		if !ok {
+			return nil, errAt(ln.num, "undefined subcircuit %q", subName)
+		}
+		if len(nodes) != len(def.ports) {
+			return nil, errAt(ln.num, "subcircuit %q wants %d ports, got %d", subName, len(def.ports), len(nodes))
+		}
+		binding := map[string]string{}
+		for i, p := range def.ports {
+			binding[p] = nodes[i]
+		}
+		flat, err := instantiate(def, inst, binding, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		// The body may itself contain X cards.
+		flat, err = expand(flat, defs, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, flat...)
+	}
+	return out, nil
+}
+
+// instantiate rewrites one definition body for an instance.
+func instantiate(def *subcktDef, inst string, binding map[string]string, atLine int) ([]rawLine, error) {
+	mapNode := func(n string) string {
+		if b, ok := binding[n]; ok {
+			return b
+		}
+		if n == "0" || n == "gnd" {
+			return n
+		}
+		return n + "." + inst
+	}
+	var out []rawLine
+	for _, ln := range def.body {
+		toks := tokenize(strings.ToLower(ln.text))
+		if len(toks) == 0 {
+			continue
+		}
+		kind := toks[0][0]
+		renamed := make([]string, len(toks))
+		copy(renamed, toks)
+		renamed[0] = toks[0] + "." + inst
+		switch kind {
+		case 'r', 'c', 'l', 'v', 'i':
+			if len(toks) < 4 {
+				return nil, errAt(ln.num, "short card inside subcircuit %q", def.name)
+			}
+			renamed[1] = mapNode(toks[1])
+			renamed[2] = mapNode(toks[2])
+		case 'm':
+			if len(toks) < 6 {
+				return nil, errAt(ln.num, "short mosfet inside subcircuit %q", def.name)
+			}
+			for i := 1; i <= 4; i++ {
+				renamed[i] = mapNode(toks[i])
+			}
+		case 't':
+			if len(toks) < 7 {
+				return nil, errAt(ln.num, "short t-line inside subcircuit %q", def.name)
+			}
+			for i := 1; i <= 4; i++ {
+				renamed[i] = mapNode(toks[i])
+			}
+		case 'k':
+			if len(toks) < 4 {
+				return nil, errAt(ln.num, "short k-card inside subcircuit %q", def.name)
+			}
+			// Coupled inductors must both live in this subcircuit.
+			renamed[1] = toks[1] + "." + inst
+			renamed[2] = toks[2] + "." + inst
+		case 'x':
+			if len(toks) < 3 {
+				return nil, errAt(ln.num, "short x-card inside subcircuit %q", def.name)
+			}
+			for i := 1; i < len(toks)-1; i++ {
+				renamed[i] = mapNode(toks[i])
+			}
+		default:
+			return nil, errAt(ln.num, "unsupported card %q inside subcircuit %q", toks[0], def.name)
+		}
+		// Reconstruct source-card parentheses lost to tokenize: the source
+		// keywords re-parse identically from space-separated values, so a
+		// plain join suffices.
+		out = append(out, rawLine{text: strings.Join(renamed, " "), num: ln.num})
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+const subcktDeck = `hierarchy demo
+.subckt rcstage in out
+r1 in out 1k
+c1 out 0 1p
+.ends
+v1 a 0 dc 1
+x1 a b rcstage
+x2 b c rcstage
+.tran 10p 5n
+.end
+`
+
+func TestSubcktFlattening(t *testing.T) {
+	deck, err := Parse(strings.NewReader(subcktDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	// v1 + 2x (r + c) = 5 elements.
+	if len(c.Elements) != 5 {
+		t.Fatalf("element count %d, want 5", len(c.Elements))
+	}
+	for _, name := range []string{"r1.x1", "c1.x1", "r1.x2", "c1.x2"} {
+		if c.FindElement(name) == nil {
+			t.Errorf("missing flattened element %q", name)
+		}
+	}
+	// Port binding: x1's "out" is the shared node b; x2's internal cap
+	// sits on node c.
+	r1 := c.FindElement("r1.x1").(*Resistor)
+	if c.NodeName(r1.N1) != "a" || c.NodeName(r1.N2) != "b" {
+		t.Errorf("r1.x1 nodes: %s %s", c.NodeName(r1.N1), c.NodeName(r1.N2))
+	}
+	c2 := c.FindElement("c1.x2").(*Capacitor)
+	if c.NodeName(c2.N1) != "c" || c.NodeName(c2.N2) != "0" {
+		t.Errorf("c1.x2 nodes: %s %s", c.NodeName(c2.N1), c.NodeName(c2.N2))
+	}
+}
+
+func TestSubcktNested(t *testing.T) {
+	deck, err := Parse(strings.NewReader(`nested
+.subckt leaf a b
+r1 a b 100
+.ends
+.subckt pair p q
+x1 p mid leaf
+x2 mid q leaf
+.ends
+v1 in 0 dc 1
+xp in 0 pair
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	// v1 + 2 leaf resistors.
+	if len(c.Elements) != 3 {
+		t.Fatalf("element count %d, want 3", len(c.Elements))
+	}
+	if c.FindElement("r1.x1.xp") == nil || c.FindElement("r1.x2.xp") == nil {
+		t.Errorf("missing nested elements; have %v", names(c))
+	}
+	// The pair's internal node is instance-scoped.
+	if c.LookupNode("mid.xp") < 0 {
+		t.Error("missing scoped internal node mid.xp")
+	}
+}
+
+func names(c *Circuit) []string {
+	var out []string
+	for _, e := range c.Elements {
+		out = append(out, e.ElemName())
+	}
+	return out
+}
+
+func TestSubcktWithDevicesAndGlobalModel(t *testing.T) {
+	deck, err := Parse(strings.NewReader(`inverter pair
+.model nch nmos (level=2 b=3m)
+.subckt pull d g
+m1 d g 0 0 nch
+.ends
+v1 vdd 0 dc 1.8
+vin g 0 dc 1.8
+r1 vdd out 1k
+xa out g pull
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := deck.Circuit.FindElement("m1.xa").(*MOSFET)
+	if !ok {
+		t.Fatalf("missing instance mosfet; have %v", names(deck.Circuit))
+	}
+	if deck.Circuit.NodeName(m.D) != "out" {
+		t.Errorf("drain bound to %s", deck.Circuit.NodeName(m.D))
+	}
+}
+
+func TestSubcktInstanceIsolation(t *testing.T) {
+	// Two instances must not share internal nodes: drive one and check the
+	// other stays quiet structurally (distinct node indices).
+	deck, err := Parse(strings.NewReader(`iso
+.subckt cell p
+r1 p inner 1k
+c1 inner 0 1p
+.ends
+v1 a 0 dc 1
+x1 a cell
+x2 b cell
+r2 b 0 1k
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := deck.Circuit
+	n1 := c.LookupNode("inner.x1")
+	n2 := c.LookupNode("inner.x2")
+	if n1 < 0 || n2 < 0 || n1 == n2 {
+		t.Errorf("instance internals not isolated: %d vs %d", n1, n2)
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined":    "t\nv1 a 0 dc 1\nx1 a foo\n.end\n",
+		"port count":   "t\n.subckt s a b\nr1 a b 1\n.ends\nv1 in 0 dc 1\nx1 in s\n.end\n",
+		"no ends":      "t\n.subckt s a\nr1 a 0 1\nv1 q 0 dc 1\n.end\n",
+		"stray ends":   "t\n.ends\nv1 a 0 dc 1\nr1 a 0 1\n.end\n",
+		"nested def":   "t\n.subckt s a\n.subckt t2 b\n.ends\n.ends\nv1 q 0 dc 1\n.end\n",
+		"model inside": "t\n.subckt s a\n.model x nmos (b=1m)\n.ends\nv1 q 0 dc 1\n.end\n",
+		"ctl inside":   "t\n.subckt s a\n.tran 1p 1n\n.ends\nv1 q 0 dc 1\n.end\n",
+		"dup def":      "t\n.subckt s a\nr1 a 0 1\n.ends\n.subckt s a\nr1 a 0 1\n.ends\nv1 q 0 dc 1\n.end\n",
+		"short def":    "t\n.subckt s\n.ends\nv1 q 0 dc 1\n.end\n",
+		"short x":      "t\n.subckt s a\nr1 a 0 1\n.ends\nx1 s\nv1 q 0 dc 1\n.end\n",
+	}
+	for name, deck := range cases {
+		if _, err := Parse(strings.NewReader(deck)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSubcktRecursionGuard(t *testing.T) {
+	_, err := Parse(strings.NewReader(`cycle
+.subckt a p
+x1 p a
+.ends
+v1 q 0 dc 1
+x0 q a
+.end
+`))
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("expected recursion guard, got %v", err)
+	}
+}
+
+func TestSubcktSimulates(t *testing.T) {
+	// The flattened two-stage RC actually runs; DC settles to the source.
+	deck, err := Parse(strings.NewReader(subcktDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Tran == nil {
+		t.Fatal("missing tran spec")
+	}
+}
+
+func TestNodeICCard(t *testing.T) {
+	deck, err := Parse(strings.NewReader(`ic demo
+v1 a 0 dc 0
+r1 a b 1k
+c1 b 0 1p
+.ic v(b)=1.5
+.tran 10p 5n uic
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.NodeICs["b"] != 1.5 {
+		t.Errorf("NodeICs = %v", deck.NodeICs)
+	}
+}
+
+func TestNodeICErrors(t *testing.T) {
+	for name, deck := range map[string]string{
+		"no equals": "t\nr1 a 0 1\nv1 a 0 dc 1\n.ic v(a)1\n.end\n",
+		"no node":   "t\nr1 a 0 1\nv1 a 0 dc 1\n.ic v()=1\n.end\n",
+		"not v":     "t\nr1 a 0 1\nv1 a 0 dc 1\n.ic i(a)=1\n.end\n",
+		"bad value": "t\nr1 a 0 1\nv1 a 0 dc 1\n.ic v(a)=zz\n.end\n",
+	} {
+		if _, err := Parse(strings.NewReader(deck)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package device
+
+import "math"
+
+// AlphaPower is the Sakurai-Newton alpha-power-law MOSFET model
+// (JSSC vol. 25 no. 2, 1990), the short-channel model used by the prior SSN
+// work the paper compares against:
+//
+//	saturation (vds >= Vdsat):  Id = B * vov^Alpha * (1 + Lambda*vds)
+//	linear     (vds <  Vdsat):  Id = Idsat * (2 - vds/Vdsat) * (vds/Vdsat)
+//	Vdsat = Kv * vov^(Alpha/2)
+//
+// with vov = vgs - Vt(vbs). Alpha is ~2 for long-channel and approaches 1
+// with full velocity saturation. The (1 + Lambda*vds) factor multiplies
+// both regions so value and first derivative stay continuous at Vdsat.
+type AlphaPower struct {
+	ModelName string
+	B         float64 // drive strength, A / V^Alpha (includes W/L)
+	Vt0       float64 // zero-bias threshold voltage, V
+	Alpha     float64 // velocity-saturation index, 1..2
+	Kv        float64 // Vdsat coefficient, V^(1-Alpha/2)
+	Gamma     float64 // body-effect coefficient, sqrt(V)
+	Phi       float64 // surface potential, V
+	Lambda    float64 // channel-length modulation, 1/V
+}
+
+// Name implements Model.
+func (m *AlphaPower) Name() string {
+	if m.ModelName != "" {
+		return m.ModelName
+	}
+	return "alpha-power"
+}
+
+// Ids implements Model.
+func (m *AlphaPower) Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64) {
+	if id, gm, gds, gmbs, ok := reverseIfNeeded(m, vgs, vds, vbs); ok {
+		return id, gm, gds, gmbs
+	}
+	vt, dvt := bodyVt(m.Vt0, m.Gamma, m.Phi, vbs)
+	vov := vgs - vt
+	if vov <= 0 {
+		return 0, 0, 0, 0
+	}
+	isat := m.B * math.Pow(vov, m.Alpha)              // saturation current sans CLM
+	disat := m.B * m.Alpha * math.Pow(vov, m.Alpha-1) // d isat / d vov
+	vdsat := m.Kv * math.Pow(vov, m.Alpha/2)
+	dvdsat := m.Kv * (m.Alpha / 2) * math.Pow(vov, m.Alpha/2-1)
+	clm := 1 + m.Lambda*vds
+
+	if vds >= vdsat {
+		id = isat * clm
+		gm = disat * clm
+		gds = isat * m.Lambda
+		gmbs = -dvt * gm
+		return id, gm, gds, gmbs
+	}
+	// Linear region: Id = isat * f(u) * clm with u = vds/vdsat, f = u(2-u).
+	u := vds / vdsat
+	f := u * (2 - u)
+	df := 2 - 2*u // df/du
+	id = isat * f * clm
+	// dId/dvds at fixed vov: isat * df * (1/vdsat) * clm + isat * f * Lambda
+	gds = isat*df/vdsat*clm + isat*f*m.Lambda
+	// dId/dvov: disat * f * clm + isat * df * (-vds/vdsat^2) * dvdsat * clm
+	didvov := disat*f*clm - isat*df*(vds/(vdsat*vdsat))*dvdsat*clm
+	gm = didvov
+	gmbs = -dvt * didvov
+	return id, gm, gds, gmbs
+}
+
+// Vdsat returns the saturation drain voltage at the given gate overdrive
+// conditions (vbs adjusts the threshold).
+func (m *AlphaPower) Vdsat(vgs, vbs float64) float64 {
+	vt, _ := bodyVt(m.Vt0, m.Gamma, m.Phi, vbs)
+	vov := vgs - vt
+	if vov <= 0 {
+		return 0
+	}
+	return m.Kv * math.Pow(vov, m.Alpha/2)
+}

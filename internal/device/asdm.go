@@ -1,0 +1,234 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ssnkit/internal/fit"
+)
+
+// ASDM is the paper's application-specific device model (Sec. 2): in the SSN
+// operating region — drain held high, gate ramping from 0 to Vdd, source at
+// the bounce voltage, bulk grounded — the drain current is linear in both
+// the gate and source voltages:
+//
+//	Id(Vg, Vs) = K * (Vg - V0 - A*Vs),  clamped at 0 below cutoff.
+//
+// K is the transconductance (A/V), V0 the displacement voltage (close to,
+// but deliberately not equal to, the threshold voltage), and A > 1 the
+// source-sensitivity factor absorbing body effect and drain-voltage
+// coupling. ASDM trades the generality of the alpha-power law for exactness
+// in the one region SSN analysis needs, which is what makes the closed-form
+// ODE solutions of Secs. 3-4 possible without further approximation.
+type ASDM struct {
+	K  float64 // transconductance, A/V
+	V0 float64 // displacement voltage, V
+	A  float64 // source sensitivity, dimensionless, > 1 in real processes
+}
+
+// Id returns the modeled drain current at gate voltage vg and source
+// voltage vs (both referenced to the true ground).
+func (m ASDM) Id(vg, vs float64) float64 {
+	d := vg - m.V0 - m.A*vs
+	if d <= 0 {
+		return 0
+	}
+	return m.K * d
+}
+
+// CutoffVg returns the gate voltage at which the device turns on for a given
+// source voltage.
+func (m ASDM) CutoffVg(vs float64) float64 { return m.V0 + m.A*vs }
+
+// Validate reports whether the parameters are physical.
+func (m ASDM) Validate() error {
+	switch {
+	case m.K <= 0:
+		return fmt.Errorf("asdm: K = %g must be positive", m.K)
+	case m.A <= 0:
+		return fmt.Errorf("asdm: A = %g must be positive", m.A)
+	case m.V0 < 0:
+		return fmt.Errorf("asdm: V0 = %g must be non-negative", m.V0)
+	}
+	return nil
+}
+
+func (m ASDM) String() string {
+	return fmt.Sprintf("ASDM{K=%.4g S, V0=%.4g V, a=%.4g}", m.K, m.V0, m.A)
+}
+
+// ExtractRegion describes the SSN operating region an ASDM is fitted over.
+type ExtractRegion struct {
+	Vdd     float64 // supply: gate sweeps up to Vdd, drain held at Vdd
+	VsMax   float64 // largest source (bounce) voltage of interest
+	NVg     int     // gate grid points (default 25)
+	NVs     int     // source grid points (default 9)
+	MinFrac float64 // exclude samples with Id below MinFrac * max Id (default 0.05)
+	// BulkGrounded ties the bulk to the true ground (vbs = -Vs), adding
+	// body effect to the source sensitivity. The default false matches the
+	// paper's Fig. 1 setup (VB = VS): output-driver bulks ride on the
+	// bouncing on-chip ground rail, and a > 1 then comes from the
+	// drain-voltage coupling alone.
+	BulkGrounded bool
+}
+
+func (r ExtractRegion) withDefaults() ExtractRegion {
+	if r.NVg <= 1 {
+		r.NVg = 25
+	}
+	if r.NVs <= 0 {
+		r.NVs = 9
+	}
+	if r.MinFrac <= 0 {
+		r.MinFrac = 0.05
+	}
+	if r.VsMax <= 0 {
+		r.VsMax = 0.45 * r.Vdd
+	}
+	return r
+}
+
+// ErrExtract reports a failed ASDM extraction.
+var ErrExtract = errors.New("device: ASDM extraction failed")
+
+// IVSample is one measured operating point in the SSN region: gate and
+// source voltages (referenced to true ground, drain held at the supply)
+// and the drain current.
+type IVSample struct {
+	Vg, Vs, Id float64
+}
+
+// FitASDMSamples fits an ASDM to raw I-V samples — measured on a bench or
+// exported from any simulator — using the paper's recipe: discard points
+// below minFrac of the maximum current (the near-threshold region), then
+// linear least squares. minFrac <= 0 defaults to 0.05.
+func FitASDMSamples(samples []IVSample, minFrac float64) (ASDM, fit.Stats, error) {
+	if minFrac <= 0 {
+		minFrac = 0.05
+	}
+	maxID := 0.0
+	for _, s := range samples {
+		if s.Id > maxID {
+			maxID = s.Id
+		}
+	}
+	if maxID <= 0 {
+		return ASDM{}, fit.Stats{}, fmt.Errorf("%w: no conducting samples", ErrExtract)
+	}
+	var rows [][]float64
+	var ys []float64
+	for _, s := range samples {
+		if s.Id < minFrac*maxID {
+			continue
+		}
+		rows = append(rows, []float64{s.Vg, 1, s.Vs})
+		ys = append(ys, s.Id)
+	}
+	if len(rows) < 3 {
+		return ASDM{}, fit.Stats{}, fmt.Errorf("%w: only %d usable samples", ErrExtract, len(rows))
+	}
+	c, err := fit.Linear(rows, ys)
+	if err != nil {
+		return ASDM{}, fit.Stats{}, fmt.Errorf("%w: %v", ErrExtract, err)
+	}
+	if c[0] <= 0 {
+		return ASDM{}, fit.Stats{}, fmt.Errorf("%w: non-positive K = %g", ErrExtract, c[0])
+	}
+	m := ASDM{K: c[0], V0: -c[1] / c[0], A: -c[2] / c[0]}
+	if err := m.Validate(); err != nil {
+		return ASDM{}, fit.Stats{}, fmt.Errorf("%w: %v", ErrExtract, err)
+	}
+	pred := make([]float64, len(ys))
+	for i, row := range rows {
+		pred[i] = m.Id(row[0], row[2])
+	}
+	stats, err := fit.Evaluate(pred, ys, 0.05*maxID)
+	if err != nil {
+		return ASDM{}, fit.Stats{}, err
+	}
+	return m, stats, nil
+}
+
+// ExtractASDM fits an ASDM to a golden device model over the SSN operating
+// region, replicating the paper's methodology: sample Id on a (Vg, Vs) grid
+// with the drain at Vdd and the bulk grounded (so vbs = -Vs), discard the
+// near-threshold samples where even the alpha-power law is inaccurate, and
+// solve the linear least-squares problem
+//
+//	Id ≈ c1*Vg + c0 + c2*Vs  =>  K = c1, V0 = -c0/K, A = -c2/K.
+//
+// It returns the fitted model and goodness-of-fit statistics against the
+// retained samples.
+func ExtractASDM(golden Model, region ExtractRegion) (ASDM, fit.Stats, error) {
+	r := region.withDefaults()
+	if r.Vdd <= 0 {
+		return ASDM{}, fit.Stats{}, fmt.Errorf("%w: Vdd must be positive", ErrExtract)
+	}
+
+	var samples []IVSample
+	for i := 0; i < r.NVg; i++ {
+		vg := r.Vdd * float64(i) / float64(r.NVg-1)
+		for j := 0; j < r.NVs; j++ {
+			var vs float64
+			if r.NVs > 1 {
+				vs = r.VsMax * float64(j) / float64(r.NVs-1)
+			}
+			// SSN region bias: drain at Vdd, source bounced to vs, bulk
+			// riding with the source (paper default) or held at ground.
+			vbs := 0.0
+			if r.BulkGrounded {
+				vbs = -vs
+			}
+			id, _, _, _ := golden.Ids(vg-vs, r.Vdd-vs, vbs)
+			samples = append(samples, IVSample{Vg: vg, Vs: vs, Id: id})
+		}
+	}
+	return FitASDMSamples(samples, r.MinFrac)
+}
+
+// ExtractAlphaPowerSat fits a saturation-region alpha-power law
+// Id = B*(Vgs - Vt)^Alpha to a golden device at vs = 0, vds = Vdd — the
+// general-purpose fit the paper contrasts ASDM with. It returns the fitted
+// B, Vt, Alpha.
+func ExtractAlphaPowerSat(golden Model, vdd float64) (b, vt, alpha float64, stats fit.Stats, err error) {
+	model := func(x, p []float64) float64 {
+		d := x[0] - p[1]
+		if d <= 0 {
+			return 0
+		}
+		return p[0] * math.Pow(d, p[2])
+	}
+	var xs [][]float64
+	var ys []float64
+	maxID := 0.0
+	const n = 40
+	for i := 0; i <= n; i++ {
+		vg := vdd * float64(i) / n
+		id, _, _, _ := golden.Ids(vg, vdd, 0)
+		if id <= 0 {
+			continue
+		}
+		xs = append(xs, []float64{vg})
+		ys = append(ys, id)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if len(xs) < 4 {
+		return 0, 0, 0, fit.Stats{}, fmt.Errorf("%w: device never turns on", ErrExtract)
+	}
+	res, err := fit.LevenbergMarquardt(model, xs, ys, []float64{maxID / vdd, 0.3 * vdd, 1.2}, fit.LMOptions{MaxIter: 400})
+	if err != nil {
+		return 0, 0, 0, fit.Stats{}, err
+	}
+	pred := make([]float64, len(ys))
+	for i := range xs {
+		pred[i] = model(xs[i], res.Params)
+	}
+	stats, err = fit.Evaluate(pred, ys, 0.05*maxID)
+	if err != nil {
+		return 0, 0, 0, fit.Stats{}, err
+	}
+	return res.Params[0], res.Params[1], res.Params[2], stats, nil
+}

@@ -1,0 +1,81 @@
+package device
+
+import "fmt"
+
+// Corner names a process corner: the correlated parameter shift foundries
+// guarantee devices stay within. SSN analysis cares because the fast
+// corner has both more drive (higher B) and a lower threshold — the
+// worst case for ground bounce — while the slow corner bounds the timing.
+type Corner int
+
+// The standard digital corners.
+const (
+	TT Corner = iota // typical
+	SS               // slow: weak drive, high threshold
+	FF               // fast: strong drive, low threshold
+)
+
+func (c Corner) String() string {
+	switch c {
+	case TT:
+		return "tt"
+	case SS:
+		return "ss"
+	case FF:
+		return "ff"
+	default:
+		return fmt.Sprintf("corner(%d)", int(c))
+	}
+}
+
+// CornerByName parses "tt", "ss" or "ff".
+func CornerByName(name string) (Corner, error) {
+	switch name {
+	case "tt", "":
+		return TT, nil
+	case "ss":
+		return SS, nil
+	case "ff":
+		return FF, nil
+	}
+	return TT, fmt.Errorf("device: unknown corner %q (tt/ss/ff)", name)
+}
+
+// cornerShift holds the correlated multipliers of one corner.
+type cornerShift struct {
+	b   float64 // drive strength multiplier
+	vt  float64 // threshold multiplier
+	lam float64 // channel-length-modulation multiplier
+}
+
+var cornerShifts = map[Corner]cornerShift{
+	TT: {1, 1, 1},
+	SS: {0.85, 1.08, 0.9},
+	FF: {1.18, 0.92, 1.1},
+}
+
+// apply returns a copy of the device at the corner.
+func (s cornerShift) apply(d Reference, tag string) Reference {
+	d.ModelName = d.ModelName + "-" + tag
+	d.B *= s.b
+	d.Vt0 *= s.vt
+	d.Lambda *= s.lam
+	return d
+}
+
+// At returns a copy of the process kit with both golden devices shifted to
+// the corner. The supply voltage is untouched; combine with an explicit
+// Vdd adjustment for full PVT exploration.
+func (p Process) At(c Corner) Process {
+	s, ok := cornerShifts[c]
+	if !ok {
+		s = cornerShifts[TT]
+	}
+	out := p
+	if c != TT {
+		out.Name = p.Name + "-" + c.String()
+		out.ref = s.apply(p.ref, c.String())
+		out.pullUp = s.apply(p.pullUp, c.String())
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package device
+
+import (
+	"testing"
+)
+
+func TestCornerNames(t *testing.T) {
+	for name, want := range map[string]Corner{"tt": TT, "ss": SS, "ff": FF, "": TT} {
+		got, err := CornerByName(name)
+		if err != nil || got != want {
+			t.Errorf("CornerByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := CornerByName("fs"); err == nil {
+		t.Error("unknown corner must error")
+	}
+	for _, c := range []Corner{TT, SS, FF, Corner(9)} {
+		if c.String() == "" {
+			t.Error("empty corner name")
+		}
+	}
+}
+
+func TestCornerDriveOrdering(t *testing.T) {
+	// FF > TT > SS in drive current at identical bias, for both devices.
+	bias := func(m Model) float64 {
+		id, _, _, _ := m.Ids(1.8, 1.8, 0)
+		return id
+	}
+	ss := C018.At(SS)
+	tt := C018.At(TT)
+	ff := C018.At(FF)
+	if !(bias(ff.Driver(1)) > bias(tt.Driver(1)) && bias(tt.Driver(1)) > bias(ss.Driver(1))) {
+		t.Error("pull-down corner ordering broken")
+	}
+	if !(bias(ff.PullUpDriver(1)) > bias(tt.PullUpDriver(1)) && bias(tt.PullUpDriver(1)) > bias(ss.PullUpDriver(1))) {
+		t.Error("pull-up corner ordering broken")
+	}
+}
+
+func TestCornerTTIsIdentity(t *testing.T) {
+	tt := C018.At(TT)
+	if tt.Name != C018.Name {
+		t.Errorf("TT renamed the kit: %q", tt.Name)
+	}
+	if tt.Driver(1).B != C018.Driver(1).B {
+		t.Error("TT changed parameters")
+	}
+}
+
+func TestCornerASDMExtractionOrdering(t *testing.T) {
+	// The fast corner turns on earlier (lower V0) and drives harder
+	// (higher K) — the SSN worst case.
+	ssA, err := C018.At(SS).ExtractASDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffA, err := C018.At(FF).ExtractASDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffA.K <= ssA.K {
+		t.Errorf("FF K %g not above SS K %g", ffA.K, ssA.K)
+	}
+	if ffA.V0 >= ssA.V0 {
+		t.Errorf("FF V0 %g not below SS V0 %g", ffA.V0, ssA.V0)
+	}
+}
+
+func TestCornerUnknownFallsBackToTT(t *testing.T) {
+	weird := C018.At(Corner(42))
+	if weird.Driver(1).B != C018.Driver(1).B {
+		t.Error("unknown corner should behave as TT")
+	}
+}

@@ -1,0 +1,107 @@
+// Package device implements the MOSFET models ssnkit uses:
+//
+//   - SquareLaw: the classic long-channel model (the oldest SSN baseline).
+//   - AlphaPower: the Sakurai-Newton short-channel model the paper's prior
+//     art builds on.
+//   - Reference: a semi-empirical short-channel model standing in for the
+//     BSIM3 devices the paper simulates with HSPICE; it adds body effect,
+//     channel-length modulation and smooth subthreshold cutoff on top of the
+//     alpha-power core, so it is *not* analytically tractable — exactly the
+//     role the golden device plays in the paper.
+//   - ASDM: the paper's application-specific device model, a linear
+//     Id(Vg, Vs) fit over the SSN operating region, with its extraction.
+//
+// All models are N-channel; P-channel devices are handled by polarity
+// reflection in the circuit element.
+package device
+
+import "math"
+
+// Model is a three-terminal-voltage MOSFET large-signal model. Voltages are
+// source-referenced: vgs gate-source, vds drain-source, vbs bulk-source.
+// Ids returns the drain current and its partial derivatives (the
+// small-signal conductances the Newton-Raphson solver stamps):
+//
+//	gm   = dId/dVgs
+//	gds  = dId/dVds
+//	gmbs = dId/dVbs
+//
+// Implementations must be continuous in value and reasonably continuous in
+// the derivatives for the solver to converge.
+type Model interface {
+	Name() string
+	Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64)
+}
+
+// reverseIfNeeded evaluates a model with vds < 0 by swapping source and
+// drain (MOSFETs are symmetric devices): Id(vgs, vds<0, vbs) =
+// -Id(vgd, -vds, vbd). The chain rule maps the derivatives back to the
+// original source-referenced variables.
+func reverseIfNeeded(m Model, vgs, vds, vbs float64) (id, gm, gds, gmbs float64, handled bool) {
+	if vds >= 0 {
+		return 0, 0, 0, 0, false
+	}
+	vgd := vgs - vds
+	vbd := vbs - vds
+	idr, gmr, gdsr, gmbr := m.Ids(vgd, -vds, vbd)
+	// id = -idr(vgs-vds, -vds, vbs-vds)
+	id = -idr
+	gm = -gmr
+	gmbs = -gmbr
+	// d/dvds: inner derivatives are (dvgd/dvds, d(-vds)/dvds, dvbd/dvds)
+	// = (-1, -1, -1)
+	gds = gmr + gdsr + gmbr
+	return id, gm, gds, gmbs, true
+}
+
+// bodyVt returns the body-effect-adjusted threshold voltage and its
+// derivative with respect to vbs:
+//
+//	Vt(vbs) = Vt0 + gamma*(sqrt(phi - vbs) - sqrt(phi))
+//
+// For vbs > phi (forward-biased junction, outside normal operation) the
+// square root is clamped to keep the solver numerically alive.
+func bodyVt(vt0, gamma, phi, vbs float64) (vt, dvtdvbs float64) {
+	if gamma == 0 {
+		return vt0, 0
+	}
+	arg := phi - vbs
+	const minArg = 1e-3
+	if arg < minArg {
+		arg = minArg
+		vt = vt0 + gamma*(math.Sqrt(arg)-math.Sqrt(phi))
+		return vt, 0
+	}
+	root := math.Sqrt(arg)
+	vt = vt0 + gamma*(root-math.Sqrt(phi))
+	dvtdvbs = -gamma / (2 * root)
+	return vt, dvtdvbs
+}
+
+// TriodeResistance returns the small-signal channel resistance of a model
+// at the given gate drive with the drain near the source (vds -> 0), the
+// operating point of a quiet driver holding its output low while the
+// ground rail bounces. It returns +Inf for a device that is off.
+func TriodeResistance(m Model, vgs, vbs float64) float64 {
+	const vds = 1e-4
+	id, _, _, _ := m.Ids(vgs, vds, vbs)
+	if id <= 0 {
+		return math.Inf(1)
+	}
+	return vds / id
+}
+
+// softplus returns st*ln(1+exp(x/st)) and its derivative, a smooth max(x,0)
+// used to round the subthreshold corner so Newton iterations see a
+// continuous gm. st is the smoothing scale in volts.
+func softplus(x, st float64) (y, dy float64) {
+	z := x / st
+	switch {
+	case z > 30:
+		return x, 1
+	case z < -30:
+		return 0, 0
+	}
+	e := math.Exp(z)
+	return st * math.Log1p(e), e / (1 + e)
+}

@@ -1,0 +1,126 @@
+package device
+
+import "fmt"
+
+// Process bundles the technology-level quantities the experiments need: the
+// supply voltage and a golden output-driver pull-down device of nominal
+// width, plus scaling to other widths. The three kits below are
+// 0.18/0.25/0.35 µm-class devices with public-domain-typical nominal values
+// standing in for the TSMC processes the paper uses (see DESIGN.md §4).
+type Process struct {
+	Name string
+	Vdd  float64 // nominal supply, V
+	// Golden pull-down device template for a 1x output driver.
+	ref Reference
+	// Golden pull-up (PMOS) template, expressed in mirrored N-type
+	// coordinates: the simulator and the ASDM extraction evaluate it with
+	// reflected terminal voltages, so the same Reference struct serves.
+	// Pull-ups are drawn ~2x wide to offset hole mobility; the net drive
+	// is still ~20% below the pull-down.
+	pullUp Reference
+}
+
+// C018, C025 and C035 are the three process kits, ordered newest first.
+// Drive strengths are set so a 1x output driver sinks roughly 5-7 mA at
+// full gate drive, the scale of the strong I/O drivers the paper studies.
+var (
+	C018 = Process{
+		Name: "c018",
+		Vdd:  1.8,
+		ref: Reference{
+			ModelName: "nch-c018-1x",
+			B:         3.4e-3, Vt0: 0.45, Alpha: 1.24, Kv: 0.55,
+			Gamma: 0.40, Phi: 0.80, Lambda: 0.06, SubSlope: 0.045,
+		},
+		pullUp: Reference{
+			ModelName: "pch-c018-1x",
+			B:         2.7e-3, Vt0: 0.48, Alpha: 1.35, Kv: 0.60,
+			Gamma: 0.42, Phi: 0.80, Lambda: 0.08, SubSlope: 0.05,
+		},
+	}
+	C025 = Process{
+		Name: "c025",
+		Vdd:  2.5,
+		ref: Reference{
+			ModelName: "nch-c025-1x",
+			B:         2.6e-3, Vt0: 0.55, Alpha: 1.35, Kv: 0.62,
+			Gamma: 0.45, Phi: 0.85, Lambda: 0.05, SubSlope: 0.05,
+		},
+		pullUp: Reference{
+			ModelName: "pch-c025-1x",
+			B:         2.1e-3, Vt0: 0.58, Alpha: 1.45, Kv: 0.68,
+			Gamma: 0.47, Phi: 0.85, Lambda: 0.07, SubSlope: 0.055,
+		},
+	}
+	C035 = Process{
+		Name: "c035",
+		Vdd:  3.3,
+		ref: Reference{
+			ModelName: "nch-c035-1x",
+			B:         1.9e-3, Vt0: 0.62, Alpha: 1.50, Kv: 0.70,
+			Gamma: 0.50, Phi: 0.90, Lambda: 0.04, SubSlope: 0.055,
+		},
+		pullUp: Reference{
+			ModelName: "pch-c035-1x",
+			B:         1.5e-3, Vt0: 0.66, Alpha: 1.60, Kv: 0.76,
+			Gamma: 0.52, Phi: 0.90, Lambda: 0.06, SubSlope: 0.06,
+		},
+	}
+)
+
+// Processes lists the available kits.
+func Processes() []Process { return []Process{C018, C025, C035} }
+
+// ProcessByName looks a kit up by name ("c018", "c025", "c035").
+func ProcessByName(name string) (Process, error) {
+	for _, p := range Processes() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Process{}, fmt.Errorf("device: unknown process %q", name)
+}
+
+// Driver returns the golden pull-down device scaled to `size` times the
+// nominal driver width. Drive strength scales linearly with width; the
+// voltage-shaped parameters are width-independent.
+func (p Process) Driver(size float64) *Reference {
+	if size <= 0 {
+		size = 1
+	}
+	d := p.ref
+	d.ModelName = fmt.Sprintf("%s-%gx", p.ref.ModelName, size)
+	d.B *= size
+	return &d
+}
+
+// PullUpDriver returns the golden pull-up (PMOS) device scaled to `size`
+// times the nominal driver width, in mirrored N-type coordinates (the
+// circuit element and the extraction reflect the terminal voltages).
+func (p Process) PullUpDriver(size float64) *Reference {
+	if size <= 0 {
+		size = 1
+	}
+	d := p.pullUp
+	d.ModelName = fmt.Sprintf("%s-%gx", p.pullUp.ModelName, size)
+	d.B *= size
+	return &d
+}
+
+// ExtractASDM fits the paper's device model to this process's 1x driver
+// over the standard SSN region (Vs up to 45% of Vdd).
+func (p Process) ExtractASDM() (ASDM, error) {
+	m, _, err := ExtractASDM(p.Driver(1), ExtractRegion{Vdd: p.Vdd})
+	return m, err
+}
+
+// ExtractASDMPullUp fits the device model to the pull-up driver for
+// power-rail droop analysis. In the mirrored coordinates (gate drive
+// measured downward from Vdd, source voltage = rail droop) the fitted
+// parameters plug into the same closed forms as the ground-bounce case —
+// the paper's "the SSN at the power-supply node can be analyzed
+// similarly".
+func (p Process) ExtractASDMPullUp() (ASDM, error) {
+	m, _, err := ExtractASDM(p.PullUpDriver(1), ExtractRegion{Vdd: p.Vdd})
+	return m, err
+}

@@ -1,0 +1,55 @@
+package device
+
+// SquareLaw is the classic long-channel MOSFET model:
+//
+//	triode (vds < vov):    Id = Kp*(vov*vds - vds^2/2)*(1 + Lambda*vds)
+//	saturation:            Id = Kp/2 * vov^2 * (1 + Lambda*vds)
+//
+// with vov = vgs - Vt(vbs). It is the device model behind the earliest SSN
+// estimates (Senthinathan-Prince style) and serves as the long-channel
+// baseline in the experiments.
+type SquareLaw struct {
+	ModelName string
+	Kp        float64 // transconductance factor, A/V^2 (already includes W/L)
+	Vt0       float64 // zero-bias threshold voltage, V
+	Gamma     float64 // body-effect coefficient, sqrt(V)
+	Phi       float64 // surface potential 2*phiF, V
+	Lambda    float64 // channel-length modulation, 1/V
+}
+
+// Name implements Model.
+func (m *SquareLaw) Name() string {
+	if m.ModelName != "" {
+		return m.ModelName
+	}
+	return "square-law"
+}
+
+// Ids implements Model.
+func (m *SquareLaw) Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64) {
+	if id, gm, gds, gmbs, ok := reverseIfNeeded(m, vgs, vds, vbs); ok {
+		return id, gm, gds, gmbs
+	}
+	vt, dvt := bodyVt(m.Vt0, m.Gamma, m.Phi, vbs)
+	vov := vgs - vt
+	if vov <= 0 {
+		return 0, 0, 0, 0
+	}
+	clm := 1 + m.Lambda*vds
+	if vds < vov {
+		// Triode region.
+		core := vov*vds - vds*vds/2
+		id = m.Kp * core * clm
+		gm = m.Kp * vds * clm
+		gds = m.Kp * ((vov-vds)*clm + core*m.Lambda)
+		gmbs = -dvt * gm // dId/dvbs = dId/dvov * dvov/dvbs = gm * (-dvt)
+		return id, gm, gds, gmbs
+	}
+	// Saturation.
+	core := 0.5 * vov * vov
+	id = m.Kp * core * clm
+	gm = m.Kp * vov * clm
+	gds = m.Kp * core * m.Lambda
+	gmbs = -dvt * gm
+	return id, gm, gds, gmbs
+}

@@ -1,0 +1,415 @@
+// Package driver generates the output-driver-array circuits the paper
+// simulates: N identical pull-down drivers discharging their loads through a
+// shared ground net (the package parasitics), with the on-chip ground rail
+// as the bounce node. It also runs the transient simulation and extracts the
+// SSN observables the experiments compare against the closed forms.
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/waveform"
+)
+
+// BounceNode is the name of the on-chip ground rail node in generated
+// pull-down circuits; "v(vssi)" is the SSN waveform.
+const BounceNode = "vssi"
+
+// GroundInductor is the name of the ground-net inductor; "i(lgnd)" is the
+// total return current the paper's Fig. 2(c) plots.
+const GroundInductor = "lgnd"
+
+// RailNode is the on-chip power rail node in pull-up circuits; the droop
+// waveform is Vdd - v(vddi).
+const RailNode = "vddi"
+
+// RailInductor is the power-net inductor in pull-up circuits.
+const RailInductor = "lpwr"
+
+// Pull selects which half of the output stage switches simultaneously.
+type Pull int
+
+const (
+	// PullDown: NMOS drivers discharging high outputs through the ground
+	// net — the paper's primary scenario (ground bounce).
+	PullDown Pull = iota
+	// PullUp: PMOS drivers charging low outputs through the power net —
+	// the symmetric power-rail droop the paper notes "can be analyzed
+	// similarly".
+	PullUp
+)
+
+// ArrayConfig describes one driver-array scenario.
+type ArrayConfig struct {
+	Process    device.Process
+	DriverSize float64 // driver width multiple (default 1)
+	N          int     // number of simultaneously switching drivers
+	Load       float64 // per-driver load capacitance to board ground, F
+	Ground     pkgmodel.GroundNet
+	Rise       float64   // input ramp rise time, s
+	Delay      float64   // input ramp delay, s (default Rise/10)
+	VinHigh    float64   // input swing top (default process Vdd)
+	Skew       []float64 // optional extra per-driver input delay, len N
+	// Merged collapses the N identical drivers into a single N-times-wider
+	// device with an N-times load. For zero skew this is exact by symmetry
+	// and makes large sweeps much faster.
+	Merged bool
+	// Pull selects ground bounce (PullDown, default) or power-rail droop
+	// (PullUp) analysis.
+	Pull Pull
+	// Victims adds quiet drivers holding their outputs low (gate at Vdd)
+	// whose outputs glitch as the rail bounces — the noise-margin failure
+	// the paper's introduction describes. Pull-down scenarios only.
+	Victims int
+	// ExplicitPads > 0 replaces the lumped Ground net with that many
+	// individual pin inductors/capacitors (PadPin values), all pairwise
+	// coupled with PadCoupling — the physical structure the lumped
+	// GroundNet.WithMutual derating approximates. Pull-down only.
+	ExplicitPads int
+	PadPin       pkgmodel.Pin
+	PadCoupling  float64
+	// Period > 0 makes the inputs toggle repeatedly (50% duty) instead of
+	// switching once, so ground-bounce residues from successive edges can
+	// interact — the resonance mechanism the ext-resonance experiment
+	// sweeps. Requires Complementary so the loads recharge between
+	// discharges. Pull-down only.
+	Period float64
+	// Complementary adds a PMOS pull-up (fed from an ideal supply, so the
+	// power net stays clean) to every driver, making it a full CMOS output
+	// stage.
+	Complementary bool
+}
+
+func (c ArrayConfig) withDefaults() ArrayConfig {
+	if c.DriverSize <= 0 {
+		c.DriverSize = 1
+	}
+	if c.N < 1 {
+		c.N = 1
+	}
+	if c.VinHigh <= 0 {
+		c.VinHigh = c.Process.Vdd
+	}
+	if c.Delay <= 0 {
+		c.Delay = c.Rise / 10
+	}
+	return c
+}
+
+func (c ArrayConfig) validate() error {
+	if c.Rise <= 0 {
+		return fmt.Errorf("driver: rise time must be positive, got %g", c.Rise)
+	}
+	if c.Load <= 0 {
+		return fmt.Errorf("driver: load capacitance must be positive, got %g", c.Load)
+	}
+	if c.Ground.L <= 0 && c.ExplicitPads == 0 {
+		return fmt.Errorf("driver: ground inductance must be positive, got %g", c.Ground.L)
+	}
+	if len(c.Skew) > 0 && len(c.Skew) != c.N {
+		return fmt.Errorf("driver: skew list has %d entries for %d drivers", len(c.Skew), c.N)
+	}
+	if len(c.Skew) > 0 && c.Merged {
+		return fmt.Errorf("driver: merged mode cannot represent per-driver skew")
+	}
+	if c.Victims < 0 {
+		return fmt.Errorf("driver: negative victim count %d", c.Victims)
+	}
+	if c.Victims > 0 && c.Pull == PullUp {
+		return fmt.Errorf("driver: victim outputs are only modeled for pull-down arrays")
+	}
+	if c.ExplicitPads > 0 {
+		if c.Pull == PullUp {
+			return fmt.Errorf("driver: explicit pads are only modeled for pull-down arrays")
+		}
+		if c.PadPin.L <= 0 {
+			return fmt.Errorf("driver: explicit pads need a positive pin inductance")
+		}
+		if c.PadCoupling < 0 || c.PadCoupling >= 1 {
+			return fmt.Errorf("driver: pad coupling %g outside [0, 1)", c.PadCoupling)
+		}
+	}
+	if c.Period > 0 {
+		if c.Pull == PullUp {
+			return fmt.Errorf("driver: repeated switching is only modeled for pull-down arrays")
+		}
+		if !c.Complementary {
+			return fmt.Errorf("driver: repeated switching needs Complementary drivers to recharge the loads")
+		}
+		if c.Period < 4*c.Rise {
+			return fmt.Errorf("driver: period %g too short for rise time %g", c.Period, c.Rise)
+		}
+	}
+	return nil
+}
+
+// Slope returns the input ramp slope in V/s.
+func (c ArrayConfig) Slope() float64 {
+	cfg := c.withDefaults()
+	return cfg.VinHigh / cfg.Rise
+}
+
+// Build generates the netlist for this scenario.
+//
+// Pull-down topology per driver i (ground bounce, the paper's scenario):
+//
+//	vin_i --(rising ramp)--> gate g_i
+//	M_i (NMOS): drain out_i, gate g_i, source vssi, bulk vssi
+//	CL_i: out_i -> 0, IC = Vdd (charged high before the drivers fire)
+//	ground net: vssi --L--> (mid --R-->) 0, C: vssi -> 0
+//
+// Pull-up topology (power-rail droop): PMOS drivers charge low outputs
+// from the on-chip rail vddi, which hangs off the ideal board supply
+// through the same L/(R)/C parasitic network; the gates ramp *down* from
+// Vdd. The bulk (n-well) rides on the rail, mirroring VB = VS.
+func (c ArrayConfig) Build() (*circuit.Circuit, error) {
+	cfg := c.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	kind := "ssn"
+	if cfg.Pull == PullUp {
+		kind = "rail"
+	}
+	ckt := circuit.New(fmt.Sprintf("%s array N=%d %s", kind, cfg.N, cfg.Process.Name))
+
+	rail := BounceNode
+	if cfg.Pull == PullUp {
+		rail = RailNode
+		// Ideal board supply feeding the parasitic network.
+		ckt.AddV("vddsrc", "vddb", "0", circuit.DC(cfg.Process.Vdd))
+	}
+
+	newDevice := func(size float64) *device.Reference {
+		if cfg.Pull == PullUp {
+			return cfg.Process.PullUpDriver(size)
+		}
+		return cfg.Process.Driver(size)
+	}
+	addDriver := func(idx int, size float64, delay float64) {
+		suffix := fmt.Sprintf("%d", idx)
+		gate := "g" + suffix
+		out := "out" + suffix
+		dev := newDevice(size)
+		load := cfg.Load * size / cfg.DriverSize
+		if cfg.Pull == PullUp {
+			// Falling input turns the PMOS on; the load starts discharged.
+			ckt.AddV("vin"+suffix, gate, "0", circuit.Ramp{
+				V0: cfg.VinHigh, V1: 0, Delay: delay, Rise: cfg.Rise,
+			})
+			ckt.AddM("m"+suffix, out, gate, rail, rail, dev, circuit.PChannel)
+			ckt.AddC("cl"+suffix, out, "0", load) // IC = 0
+			return
+		}
+		if cfg.Period > 0 {
+			// 50% duty toggling: high phase discharges through the NMOS,
+			// low phase lets the complementary PMOS recharge the load.
+			ckt.AddV("vin"+suffix, gate, "0", circuit.Pulse{
+				V1: 0, V2: cfg.VinHigh, Delay: delay,
+				Rise: cfg.Rise, Fall: cfg.Rise,
+				Width: cfg.Period/2 - cfg.Rise, Period: cfg.Period,
+			})
+		} else {
+			ckt.AddV("vin"+suffix, gate, "0", circuit.Ramp{
+				V0: 0, V1: cfg.VinHigh, Delay: delay, Rise: cfg.Rise,
+			})
+		}
+		ckt.AddM("m"+suffix, out, gate, rail, rail, dev, circuit.NChannel)
+		if cfg.Complementary {
+			ckt.AddM("mp"+suffix, out, gate, "vddio", "vddio",
+				cfg.Process.PullUpDriver(size), circuit.PChannel)
+		}
+		lc := ckt.AddC("cl"+suffix, out, "0", load)
+		lc.IC = cfg.Process.Vdd
+	}
+	if cfg.Pull == PullDown && cfg.Complementary {
+		// Ideal I/O supply for the pull-ups: the experiment isolates the
+		// ground net, as the paper does.
+		ckt.AddV("vddio", "vddio", "0", circuit.DC(cfg.Process.Vdd))
+	}
+
+	if cfg.Merged {
+		addDriver(1, cfg.DriverSize*float64(cfg.N), cfg.Delay)
+	} else {
+		for i := 1; i <= cfg.N; i++ {
+			delay := cfg.Delay
+			if len(cfg.Skew) > 0 {
+				delay += cfg.Skew[i-1]
+			}
+			addDriver(i, cfg.DriverSize, delay)
+		}
+	}
+
+	// Quiet victim drivers: NMOS fully on (gate hard at Vdd), output held
+	// low, load discharged. As the rail bounces the victim output follows
+	// through the channel resistance.
+	if cfg.Victims > 0 {
+		ckt.AddV("vgq", "gq", "0", circuit.DC(cfg.Process.Vdd))
+		for i := 1; i <= cfg.Victims; i++ {
+			suffix := fmt.Sprintf("%d", i)
+			out := "qout" + suffix
+			ckt.AddM("mq"+suffix, out, "gq", rail, rail, newDevice(cfg.DriverSize), circuit.NChannel)
+			ckt.AddC("clq"+suffix, out, "0", cfg.Load) // IC = 0
+		}
+	}
+
+	// Explicit pad structure: per-pin inductors (and pad capacitors), all
+	// pairwise coupled. This is what the lumped L*(1+(n-1)k)/n derating
+	// approximates.
+	if cfg.ExplicitPads > 0 {
+		for i := 1; i <= cfg.ExplicitPads; i++ {
+			name := fmt.Sprintf("%s%d", GroundInductor, i)
+			ckt.AddL(name, rail, "0", cfg.PadPin.L)
+			if cfg.PadPin.C > 0 {
+				ckt.AddC(fmt.Sprintf("cnet%d", i), rail, "0", cfg.PadPin.C)
+			}
+		}
+		if cfg.PadCoupling > 0 {
+			for i := 1; i <= cfg.ExplicitPads; i++ {
+				for j := i + 1; j <= cfg.ExplicitPads; j++ {
+					ckt.AddMutual(fmt.Sprintf("k%d_%d", i, j),
+						fmt.Sprintf("%s%d", GroundInductor, i),
+						fmt.Sprintf("%s%d", GroundInductor, j),
+						cfg.PadCoupling)
+				}
+			}
+		}
+		return ckt, nil
+	}
+
+	// Parasitic net: series L (and R if present) with shunt C at the rail.
+	far := "0"
+	indName := GroundInductor
+	if cfg.Pull == PullUp {
+		far = "vddb"
+		indName = RailInductor
+	}
+	if cfg.Ground.R > 0 {
+		ckt.AddL(indName, rail, "railmid", cfg.Ground.L)
+		ckt.AddR("rnet", "railmid", far, cfg.Ground.R)
+	} else {
+		ckt.AddL(indName, rail, far, cfg.Ground.L)
+	}
+	if cfg.Ground.C > 0 {
+		// Pad capacitance to the board reference plane (ground). For the
+		// power net it starts charged to the supply.
+		cn := ckt.AddC("cnet", rail, "0", cfg.Ground.C)
+		if cfg.Pull == PullUp {
+			cn.IC = cfg.Process.Vdd
+		}
+	} else if cfg.Pull == PullUp {
+		// Without a pad capacitance the rail node needs its initial level
+		// pinned for the UIC start; a negligibly small capacitor charged
+		// to Vdd provides it without affecting the dynamics.
+		cn := ckt.AddC("cnet", rail, "0", 1e-18)
+		cn.IC = cfg.Process.Vdd
+	}
+	return ckt, nil
+}
+
+// SimResult packages the observables of one transient run.
+type SimResult struct {
+	Set *waveform.Set // every node voltage and branch current
+	// SSN is the noise waveform: the ground bounce v(vssi) for pull-down
+	// arrays, or the rail droop Vdd - v(vddi) for pull-up arrays. Both are
+	// positive-going, so the closed forms compare directly.
+	SSN     *waveform.Waveform
+	Current *waveform.Waveform // total parasitic-inductor current
+	// Victim is the first quiet driver's output waveform (nil when the
+	// scenario has no victims).
+	Victim   *waveform.Waveform
+	MaxSSN   float64 // peak noise voltage over the run
+	TAtMax   float64 // time of the peak
+	RampEnd  float64 // delay + rise
+	Config   ArrayConfig
+	SimSteps int
+}
+
+// Simulate builds and runs the scenario. step/stop of zero choose defaults:
+// step = rise/400, stop = delay + 3*rise (enough to capture post-ramp
+// ringing of the first SSN peak in every regime this repo sweeps).
+func Simulate(cfg ArrayConfig, opts spice.Options, step, stop float64) (*SimResult, error) {
+	c := cfg.withDefaults()
+	ckt, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	if step <= 0 {
+		step = c.Rise / 400
+	}
+	if stop <= 0 {
+		stop = c.Delay + 3*c.Rise
+	}
+	eng, err := spice.New(ckt, opts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := eng.Transient(circuit.TranSpec{Step: step, Stop: stop, UseIC: true})
+	if err != nil {
+		return nil, err
+	}
+	var ssn, cur *waveform.Waveform
+	if c.Pull == PullUp {
+		rail := set.Get("v(" + RailNode + ")")
+		cur = set.Get("i(" + RailInductor + ")")
+		if rail != nil {
+			// Droop is the positive-going deviation below the supply.
+			ssn = rail.Scale(-1)
+			for i := range ssn.Values {
+				ssn.Values[i] += c.Process.Vdd
+			}
+			ssn.Name = "droop(" + RailNode + ")"
+		}
+	} else {
+		ssn = set.Get("v(" + BounceNode + ")")
+		if c.ExplicitPads > 0 {
+			// Total return current is the sum over the pad inductors.
+			for i := 1; i <= c.ExplicitPads; i++ {
+				w := set.Get(fmt.Sprintf("i(%s%d)", GroundInductor, i))
+				if w == nil {
+					break
+				}
+				if cur == nil {
+					cur = w.Clone()
+					cur.Name = "i(" + GroundInductor + ")"
+				} else {
+					for k := range cur.Values {
+						cur.Values[k] += w.Values[k]
+					}
+				}
+			}
+		} else {
+			cur = set.Get("i(" + GroundInductor + ")")
+		}
+	}
+	if ssn == nil || cur == nil {
+		return nil, fmt.Errorf("driver: missing SSN observables in simulation output")
+	}
+	tmax, vmax := ssn.Max()
+	res := &SimResult{
+		Set: set, SSN: ssn, Current: cur,
+		MaxSSN: vmax, TAtMax: tmax,
+		RampEnd: c.Delay + c.Rise,
+		Config:  c, SimSteps: ssn.Len(),
+	}
+	if c.Victims > 0 {
+		res.Victim = set.Get("v(qout1)")
+	}
+	return res, nil
+}
+
+// MaxSSNWithinRamp returns the peak bounce restricted to the input ramp
+// window, the quantity the paper's closed forms model.
+func (r *SimResult) MaxSSNWithinRamp() float64 {
+	w, err := r.SSN.Window(0, r.RampEnd)
+	if err != nil {
+		return math.NaN()
+	}
+	_, v := w.Max()
+	return v
+}

@@ -1,0 +1,212 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+)
+
+// refConfig is the canonical 0.18 µm-class scenario used across the
+// experiments: 8 drivers, PGA package with 1 ground pad, 20 pF loads, 1 ns
+// input edge.
+func refConfig() ArrayConfig {
+	return ArrayConfig{
+		Process: device.C018,
+		N:       8,
+		Load:    20e-12,
+		Ground:  pkgmodel.PGA.Ground(1),
+		Rise:    1e-9,
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	cfg := refConfig()
+	ckt, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 sources + 8 fets + 8 loads + lgnd + rgnd + cgnd = 27 elements.
+	if got := len(ckt.Elements); got != 27 {
+		t.Errorf("element count = %d, want 27", got)
+	}
+	if ckt.LookupNode(BounceNode) < 0 {
+		t.Error("missing bounce node")
+	}
+	m1, ok := ckt.FindElement("m1").(*circuit.MOSFET)
+	if !ok {
+		t.Fatal("missing m1")
+	}
+	if m1.S != ckt.LookupNode(BounceNode) || m1.B != m1.S {
+		t.Error("driver source/bulk must ride on the bounce rail")
+	}
+	cl, ok := ckt.FindElement("cl1").(*circuit.Capacitor)
+	if !ok || cl.IC != device.C018.Vdd {
+		t.Error("load must be precharged to Vdd")
+	}
+}
+
+func TestBuildMergedEquivalence(t *testing.T) {
+	cfg := refConfig()
+	full, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Merged = true
+	merged, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical drivers switching together are exactly symmetric, so the
+	// merged network must produce the same bounce within solver tolerance.
+	if rel := math.Abs(full.MaxSSN-merged.MaxSSN) / full.MaxSSN; rel > 0.01 {
+		t.Errorf("merged MaxSSN %g vs full %g (rel %g)", merged.MaxSSN, full.MaxSSN, rel)
+	}
+	cs, err := merged.SSN.Compare(full.SSN, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MaxRelErr > 0.02 {
+		t.Errorf("merged waveform deviates: %+v", cs)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := refConfig()
+	bad.Rise = 0
+	if _, err := bad.Build(); err == nil {
+		t.Error("zero rise must fail")
+	}
+	bad = refConfig()
+	bad.Load = 0
+	if _, err := bad.Build(); err == nil {
+		t.Error("zero load must fail")
+	}
+	bad = refConfig()
+	bad.Ground.L = 0
+	if _, err := bad.Build(); err == nil {
+		t.Error("zero inductance must fail")
+	}
+	bad = refConfig()
+	bad.Skew = []float64{1e-12} // wrong length
+	if _, err := bad.Build(); err == nil {
+		t.Error("skew length mismatch must fail")
+	}
+	bad = refConfig()
+	bad.Skew = make([]float64, bad.N)
+	bad.Merged = true
+	if _, err := bad.Build(); err == nil {
+		t.Error("merged + skew must fail")
+	}
+}
+
+func TestSimulateProducesBounce(t *testing.T) {
+	res, err := Simulate(refConfig(), spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSSN <= 0.05 || res.MaxSSN >= 1.0 {
+		t.Errorf("MaxSSN = %g V, outside the plausible ground-bounce range", res.MaxSSN)
+	}
+	// The bounce must peak during or shortly after the ramp.
+	if res.TAtMax <= 0 || res.TAtMax > res.RampEnd*1.5 {
+		t.Errorf("bounce peak at %g, ramp ends %g", res.TAtMax, res.RampEnd)
+	}
+	// The return current rises to tens of mA.
+	_, imax := res.Current.Max()
+	if imax < 5e-3 || imax > 100e-3 {
+		t.Errorf("peak return current = %g A", imax)
+	}
+	if w := res.MaxSSNWithinRamp(); w <= 0 || w > res.MaxSSN+1e-12 {
+		t.Errorf("within-ramp max %g inconsistent with global max %g", w, res.MaxSSN)
+	}
+}
+
+func TestSkewReducesBounce(t *testing.T) {
+	// The paper's design implication: not switching simultaneously reduces
+	// the effective N and therefore the noise.
+	base, err := Simulate(refConfig(), spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := refConfig()
+	cfg.Skew = make([]float64, cfg.N)
+	for i := range cfg.Skew {
+		cfg.Skew[i] = float64(i) * 0.4e-9 // 0.4 ns stagger
+	}
+	skewed, err := Simulate(cfg, spice.Options{}, 0, cfg.Rise*6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.MaxSSN >= base.MaxSSN*0.85 {
+		t.Errorf("staggered switching: %g V, simultaneous: %g V — expected a clear reduction",
+			skewed.MaxSSN, base.MaxSSN)
+	}
+}
+
+func TestBounceGrowsWithN(t *testing.T) {
+	var prev float64
+	for _, n := range []int{2, 4, 8, 16} {
+		cfg := refConfig()
+		cfg.N = n
+		cfg.Merged = true
+		res, err := Simulate(cfg, spice.Options{}, 0, 0)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if res.MaxSSN <= prev {
+			t.Errorf("N=%d: MaxSSN %g not above N/2 value %g", n, res.MaxSSN, prev)
+		}
+		prev = res.MaxSSN
+	}
+}
+
+func TestClosedFormTracksSimulation(t *testing.T) {
+	// End-to-end: extract the ASDM from the process, build the paper's
+	// Params from the same scenario, and require the Table 1 maximum to
+	// land near the transistor-level simulation in both damping regimes.
+	cfg := refConfig()
+	asdm, err := cfg.Process.ExtractASDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pads := range []int{1, 4} { // 1 pad: over-damped; 4 pads: ringing
+		c := cfg
+		c.Ground = pkgmodel.PGA.Ground(pads)
+		res, err := Simulate(c, spice.Options{}, 0, 0)
+		if err != nil {
+			t.Fatalf("pads=%d: %v", pads, err)
+		}
+		p := ssn.Params{
+			N:     c.N,
+			Dev:   asdm,
+			Vdd:   c.Process.Vdd,
+			Slope: c.Slope(),
+			L:     c.Ground.L,
+			C:     c.Ground.C,
+		}
+		vmax, cse, err := ssn.MaxSSN(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(vmax-res.MaxSSN) / res.MaxSSN
+		if rel > 0.15 {
+			t.Errorf("pads=%d (%v): model %g V vs sim %g V (rel %.1f%%)",
+				pads, cse, vmax, res.MaxSSN, rel*100)
+		}
+	}
+}
+
+func TestSlopeHelper(t *testing.T) {
+	cfg := refConfig()
+	if got, want := cfg.Slope(), device.C018.Vdd/1e-9; math.Abs(got-want) > 1 {
+		t.Errorf("Slope = %g, want %g", got, want)
+	}
+}

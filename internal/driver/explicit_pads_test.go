@@ -1,0 +1,114 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+)
+
+func TestExplicitPadsValidation(t *testing.T) {
+	cfg := refConfig()
+	cfg.ExplicitPads = 2
+	if _, err := cfg.Build(); err == nil {
+		t.Error("explicit pads without a pin inductance must fail")
+	}
+	cfg.PadPin = pkgmodel.PGA.Pin
+	cfg.PadCoupling = 1.0
+	if _, err := cfg.Build(); err == nil {
+		t.Error("coupling = 1 must fail")
+	}
+	cfg.PadCoupling = 0.4
+	cfg.Pull = PullUp
+	if _, err := cfg.Build(); err == nil {
+		t.Error("pull-up explicit pads must fail")
+	}
+}
+
+func TestExplicitPadsUncoupledMatchLumped(t *testing.T) {
+	// n uncoupled explicit pads are exactly the lumped L/n, C*n net.
+	lumped := refConfig()
+	lumped.Ground = pkgmodel.PGA.Ground(4)
+	lumped.Ground.R = 0
+	lumpRes, err := Simulate(lumped, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := refConfig()
+	explicit.Ground = pkgmodel.GroundNet{}
+	explicit.ExplicitPads = 4
+	explicit.PadPin = pkgmodel.PGA.Pin
+	expRes, err := Simulate(explicit, spice.Options{}, lumped.Rise/400, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(lumpRes.MaxSSN-expRes.MaxSSN) / lumpRes.MaxSSN; rel > 0.02 {
+		t.Errorf("uncoupled explicit pads: %g vs lumped %g (rel %.1f%%)",
+			expRes.MaxSSN, lumpRes.MaxSSN, rel*100)
+	}
+}
+
+func TestExplicitCoupledPadsMatchWithMutualDerating(t *testing.T) {
+	// The headline check: pairwise-coupled physical pads against the
+	// lumped GroundNet.WithMutual(k) derating across coupling strengths.
+	for _, k := range []float64{0.2, 0.5} {
+		lumped := refConfig()
+		lumped.Ground = pkgmodel.PGA.Ground(4).WithMutual(k)
+		lumped.Ground.R = 0
+		lumpRes, err := Simulate(lumped, spice.Options{}, 0, 0)
+		if err != nil {
+			t.Fatalf("k=%g: %v", k, err)
+		}
+		explicit := refConfig()
+		explicit.Ground = pkgmodel.GroundNet{}
+		explicit.ExplicitPads = 4
+		explicit.PadPin = pkgmodel.PGA.Pin
+		explicit.PadCoupling = k
+		expRes, err := Simulate(explicit, spice.Options{}, lumped.Rise/400, 0)
+		if err != nil {
+			t.Fatalf("k=%g: %v", k, err)
+		}
+		if rel := math.Abs(lumpRes.MaxSSN-expRes.MaxSSN) / lumpRes.MaxSSN; rel > 0.03 {
+			t.Errorf("k=%g: explicit %g vs lumped-with-mutual %g (rel %.1f%%)",
+				k, expRes.MaxSSN, lumpRes.MaxSSN, rel*100)
+		}
+	}
+}
+
+func TestExplicitPadsCouplingIncreasesBounce(t *testing.T) {
+	// Mutual coupling erodes the paralleling benefit, so the bounce grows
+	// with k.
+	prev := 0.0
+	for _, k := range []float64{0, 0.3, 0.6} {
+		cfg := refConfig()
+		cfg.Ground = pkgmodel.GroundNet{}
+		cfg.ExplicitPads = 4
+		cfg.PadPin = pkgmodel.PGA.Pin
+		cfg.PadCoupling = k
+		res, err := Simulate(cfg, spice.Options{}, 1e-9/400, 0)
+		if err != nil {
+			t.Fatalf("k=%g: %v", k, err)
+		}
+		if res.MaxSSN <= prev {
+			t.Errorf("k=%g: bounce %g not above k-smaller value %g", k, res.MaxSSN, prev)
+		}
+		prev = res.MaxSSN
+	}
+}
+
+func TestExplicitPadsTotalCurrent(t *testing.T) {
+	cfg := refConfig()
+	cfg.Ground = pkgmodel.GroundNet{}
+	cfg.ExplicitPads = 3
+	cfg.PadPin = pkgmodel.PGA.Pin
+	res, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total return current equals the aggregated discharge current scale.
+	_, imax := res.Current.Max()
+	if imax < 5e-3 || imax > 150e-3 {
+		t.Errorf("summed pad current = %g A", imax)
+	}
+}

@@ -1,0 +1,175 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+)
+
+func pullUpConfig() ArrayConfig {
+	cfg := refConfig()
+	cfg.Pull = PullUp
+	return cfg
+}
+
+func TestPullUpBuildTopology(t *testing.T) {
+	ckt, err := pullUpConfig().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ckt.LookupNode(RailNode) < 0 {
+		t.Error("missing rail node")
+	}
+	m1, ok := ckt.FindElement("m1").(*circuit.MOSFET)
+	if !ok {
+		t.Fatal("missing m1")
+	}
+	if m1.Pol != circuit.PChannel {
+		t.Error("pull-up drivers must be PMOS")
+	}
+	if m1.S != ckt.LookupNode(RailNode) || m1.B != m1.S {
+		t.Error("pull-up source/bulk must ride the power rail")
+	}
+	// Loads start discharged.
+	cl := ckt.FindElement("cl1").(*circuit.Capacitor)
+	if cl.IC != 0 {
+		t.Errorf("pull-up load IC = %g, want 0", cl.IC)
+	}
+	// Gate input falls.
+	vin := ckt.FindElement("vin1").(*circuit.VSource)
+	r, ok := vin.Wave.(circuit.Ramp)
+	if !ok || r.V0 <= r.V1 {
+		t.Errorf("pull-up input must fall: %+v", vin.Wave)
+	}
+}
+
+func TestPullUpRailStartsAtVdd(t *testing.T) {
+	res, err := Simulate(pullUpConfig(), spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rail := res.Set.Get("v(" + RailNode + ")")
+	if rail == nil {
+		t.Fatal("missing rail waveform")
+	}
+	if v0 := rail.At(0); math.Abs(v0-device.C018.Vdd) > 5e-3 {
+		t.Errorf("rail starts at %g, want %g", v0, device.C018.Vdd)
+	}
+	// Droop waveform starts near 0.
+	if d0 := res.SSN.At(0); math.Abs(d0) > 5e-3 {
+		t.Errorf("droop starts at %g, want ~0", d0)
+	}
+}
+
+func TestPullUpProducesDroop(t *testing.T) {
+	res, err := Simulate(pullUpConfig(), spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSSN <= 0.03 || res.MaxSSN >= 1.0 {
+		t.Errorf("droop = %g V, outside plausible range", res.MaxSSN)
+	}
+	// The outputs charge toward Vdd; with the large load they only move
+	// partway during the window (the paper's "output stays near its rail"
+	// assumption), but the motion must be clearly visible.
+	out := res.Set.Get("v(out1)")
+	if final := out.At(3e-9); final < 0.25 {
+		t.Errorf("output only charged to %g V", final)
+	}
+	// Pull-up drive is weaker than pull-down, so for the same scenario the
+	// droop is below the ground bounce.
+	down, err := Simulate(refConfig(), spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSSN >= down.MaxSSN {
+		t.Errorf("droop %g >= bounce %g despite weaker pull-up", res.MaxSSN, down.MaxSSN)
+	}
+}
+
+func TestPullUpClosedFormTracksSimulation(t *testing.T) {
+	// The paper's symmetry claim: the same closed forms predict the
+	// power-rail droop once the ASDM is extracted from the pull-up device.
+	asdm, err := device.C018.ExtractASDMPullUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pads := range []int{1, 4} {
+		cfg := pullUpConfig()
+		cfg.Ground = pkgmodel.PGA.Ground(pads)
+		res, err := Simulate(cfg, spice.Options{}, 0, 0)
+		if err != nil {
+			t.Fatalf("pads=%d: %v", pads, err)
+		}
+		p := ssn.Params{
+			N: cfg.N, Dev: asdm, Vdd: cfg.Process.Vdd,
+			Slope: cfg.Slope(), L: cfg.Ground.L, C: cfg.Ground.C,
+		}
+		vmax, cse, err := ssn.MaxSSN(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(vmax-res.MaxSSN) / res.MaxSSN
+		if relErr > 0.15 {
+			t.Errorf("pads=%d (%v): model %g V vs sim droop %g V (rel %.1f%%)",
+				pads, cse, vmax, res.MaxSSN, relErr*100)
+		}
+	}
+}
+
+func TestPullUpMergedEquivalence(t *testing.T) {
+	cfg := pullUpConfig()
+	full, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Merged = true
+	merged, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(full.MaxSSN-merged.MaxSSN) / full.MaxSSN; rel > 0.01 {
+		t.Errorf("merged droop %g vs full %g (rel %g)", merged.MaxSSN, full.MaxSSN, rel)
+	}
+}
+
+func TestPullUpWithoutPadCapacitance(t *testing.T) {
+	cfg := pullUpConfig()
+	cfg.Ground.C = 0
+	res, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSSN <= 0.03 {
+		t.Errorf("droop without pad cap = %g", res.MaxSSN)
+	}
+	if d0 := res.SSN.At(0); math.Abs(d0) > 5e-3 {
+		t.Errorf("droop starts at %g without pad cap", d0)
+	}
+}
+
+func TestPullUpASDMParameters(t *testing.T) {
+	asdm, err := device.C018.ExtractASDMPullUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := device.C018.ExtractASDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asdm.A <= 1 {
+		t.Errorf("pull-up a = %g, want > 1", asdm.A)
+	}
+	// Weaker pull-up drive -> smaller K.
+	if asdm.K >= down.K {
+		t.Errorf("pull-up K = %g not below pull-down K = %g", asdm.K, down.K)
+	}
+}

@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/spice"
+)
+
+func TestRepeatedSwitchingValidation(t *testing.T) {
+	cfg := refConfig()
+	cfg.Period = 5e-9
+	if _, err := cfg.Build(); err == nil {
+		t.Error("Period without Complementary must fail")
+	}
+	cfg.Complementary = true
+	cfg.Period = cfg.Rise // too short
+	if _, err := cfg.Build(); err == nil {
+		t.Error("period shorter than 4*rise must fail")
+	}
+	cfg.Period = 8e-9
+	cfg.Pull = PullUp
+	if _, err := cfg.Build(); err == nil {
+		t.Error("pull-up repeated switching must fail")
+	}
+}
+
+func TestComplementaryDriverTopology(t *testing.T) {
+	cfg := refConfig()
+	cfg.Complementary = true
+	ckt, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, ok := ckt.FindElement("mp1").(*circuit.MOSFET)
+	if !ok {
+		t.Fatal("missing complementary PMOS")
+	}
+	if mp.Pol != circuit.PChannel {
+		t.Error("complementary device must be PMOS")
+	}
+	if ckt.LookupNode("vddio") < 0 {
+		t.Error("missing ideal I/O supply")
+	}
+}
+
+func TestRepeatedSwitchingRecharges(t *testing.T) {
+	// Over several cycles the output must repeatedly discharge and
+	// recharge, and the bounce must recur every period.
+	cfg := refConfig()
+	cfg.Merged = true
+	cfg.Complementary = true
+	cfg.Rise = 0.3e-9
+	cfg.Delay = 0.15e-9
+	cfg.Period = 4e-9
+	cfg.Load = 2e-12 // light loads so the outputs swing fully each phase
+	res, err := Simulate(cfg, spice.Options{}, cfg.Rise/150, cfg.Delay+4*cfg.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Set.Get("v(out1)")
+	// Output low in the middle of a high input phase, high in the middle
+	// of a low phase (inverter).
+	lowPhase := out.At(cfg.Delay + cfg.Period/4)
+	highPhase := out.At(cfg.Delay + 3*cfg.Period/4)
+	if lowPhase > 0.4 {
+		t.Errorf("output during discharge phase = %g, want low", lowPhase)
+	}
+	if highPhase < 1.2 {
+		t.Errorf("output during recharge phase = %g, want high", highPhase)
+	}
+	// Bounce events in at least 3 distinct cycles.
+	events := 0
+	for k := 0; k < 4; k++ {
+		win, err := res.SSN.Window(cfg.Delay+float64(k)*cfg.Period, cfg.Delay+(float64(k)+0.5)*cfg.Period)
+		if err != nil {
+			continue
+		}
+		if _, v := win.Max(); v > 0.05 {
+			events++
+		}
+	}
+	if events < 3 {
+		t.Errorf("only %d bounce events detected", events)
+	}
+}
+
+func TestComplementarySingleShotStillMatchesModel(t *testing.T) {
+	// Adding the complementary PMOS must not change the discharge bounce
+	// much (the PMOS is off while the input is high).
+	plain, err := Simulate(refConfig(), spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := refConfig()
+	cfg.Complementary = true
+	comp, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(plain.MaxSSN-comp.MaxSSN) / plain.MaxSSN; rel > 0.10 {
+		t.Errorf("complementary stage changed the bounce by %.1f%%", rel*100)
+	}
+}

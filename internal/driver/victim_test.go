@@ -1,0 +1,103 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+)
+
+func TestVictimBuildValidation(t *testing.T) {
+	cfg := refConfig()
+	cfg.Victims = -1
+	if _, err := cfg.Build(); err == nil {
+		t.Error("negative victims must fail")
+	}
+	cfg = refConfig()
+	cfg.Victims = 1
+	cfg.Pull = PullUp
+	if _, err := cfg.Build(); err == nil {
+		t.Error("pull-up victims must fail")
+	}
+}
+
+func TestVictimOutputGlitches(t *testing.T) {
+	cfg := refConfig()
+	cfg.Victims = 1
+	res, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victim == nil {
+		t.Fatal("missing victim waveform")
+	}
+	// The quiet output starts low and glitches upward as the rail bounces.
+	if v0 := res.Victim.At(0); math.Abs(v0) > 5e-3 {
+		t.Errorf("victim starts at %g, want ~0", v0)
+	}
+	_, glitch := res.Victim.Max()
+	if glitch <= 0.02 {
+		t.Errorf("victim glitch %g V, expected a visible excursion", glitch)
+	}
+	// The glitch cannot exceed the rail bounce that drives it.
+	if glitch > res.MaxSSN*1.05 {
+		t.Errorf("victim glitch %g exceeds rail bounce %g", glitch, res.MaxSSN)
+	}
+}
+
+func TestVictimModelTracksSimulation(t *testing.T) {
+	// ssn.Victim (first-order tracking of the LC rail model) against the
+	// simulated quiet-driver output.
+	cfg := refConfig()
+	cfg.N = 16
+	cfg.Victims = 1
+	cfg.Ground = pkgmodel.PGA.Ground(1)
+	res, err := Simulate(cfg, spice.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asdm, err := cfg.Process.ExtractASDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet driver at full gate drive with output near ground.
+	ron := device.TriodeResistance(cfg.Process.Driver(cfg.DriverSize), cfg.Process.Vdd, 0)
+	p := ssn.Params{
+		N: cfg.N, Dev: asdm, Vdd: cfg.Process.Vdd,
+		Slope: cfg.Slope(), L: cfg.Ground.L, C: cfg.Ground.C,
+	}
+	v, err := ssn.NewVictim(p, ron, cfg.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakModel, _, err := v.PeakGlitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, peakSim := res.Victim.Max()
+	rel := math.Abs(peakModel-peakSim) / peakSim
+	if rel > 0.25 {
+		t.Errorf("victim model %g V vs sim %g V (rel %.1f%%)", peakModel, peakSim, rel*100)
+	}
+}
+
+func TestVictimGlitchGrowsWithAggressors(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{4, 16} {
+		cfg := refConfig()
+		cfg.N = n
+		cfg.Victims = 1
+		res, err := Simulate(cfg, spice.Options{}, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, glitch := res.Victim.Max()
+		if glitch <= prev {
+			t.Errorf("glitch not growing with N=%d: %g", n, glitch)
+		}
+		prev = glitch
+	}
+}

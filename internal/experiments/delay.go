@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ssnkit/internal/driver"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/textplot"
+)
+
+// DelayResult quantifies the self-loading effect the paper's introduction
+// cites — SSN "decreases the effective driving strength" — by measuring
+// the 50%-crossing pushout of a switching output with the real ground net
+// versus an essentially ideal one, across driver counts, and comparing the
+// first-order ssn.DelayPushout estimate.
+type DelayResult struct {
+	N       []int
+	T50Real []float64 // 50% falling crossing with the real ground net
+	T50Idea []float64 // with a negligible ground net
+	Pushout []float64 // difference
+	Model   []float64 // ssn.DelayPushout estimate
+}
+
+// Delay runs the pushout sweep. The loads are sized down so the outputs
+// actually cross 50% within the window.
+func Delay(ctx Context) (*DelayResult, error) {
+	c := ctx.withDefaults()
+	asdm, err := c.Process.ExtractASDM()
+	if err != nil {
+		return nil, fmt.Errorf("ext-delay: %w", err)
+	}
+	counts := []int{4, 16, 32}
+	if c.Fast {
+		counts = []int{4, 32}
+	}
+	res := &DelayResult{N: counts}
+	half := c.Process.Vdd / 2
+	for _, n := range counts {
+		cfg := c.scenario()
+		cfg.N = n
+		cfg.Load = 5e-12 // light enough to cross 50% during the window
+		cfg.Merged = true
+		step := cfg.Rise / 400
+		if c.Fast {
+			step = cfg.Rise / 200
+		}
+		stop := cfg.Delay + 4*cfg.Rise
+
+		t50 := func(gnd pkgmodel.GroundNet) (float64, error) {
+			sc := cfg
+			sc.Ground = gnd
+			sim, err := driver.Simulate(sc, c.SimOpts, step, stop)
+			if err != nil {
+				return 0, err
+			}
+			out := sim.Set.Get("v(out1)")
+			if out == nil {
+				return 0, fmt.Errorf("missing output waveform")
+			}
+			xs := out.Crossings(half)
+			if len(xs) == 0 {
+				return 0, fmt.Errorf("output never crossed 50%% (N=%d)", sc.N)
+			}
+			return xs[0], nil
+		}
+
+		real, err := t50(pkgmodel.PGA.Ground(1))
+		if err != nil {
+			return nil, fmt.Errorf("ext-delay: real net: %w", err)
+		}
+		ideal, err := t50(pkgmodel.GroundNet{Pads: 1, L: 1e-13, C: 0})
+		if err != nil {
+			return nil, fmt.Errorf("ext-delay: ideal net: %w", err)
+		}
+		p := ssnParams(cfg, asdm)
+		p.L = pkgmodel.PGA.Ground(1).L
+		p.C = pkgmodel.PGA.Ground(1).C
+		model, err := ssn.DelayPushout(p)
+		if err != nil {
+			return nil, err
+		}
+		res.T50Real = append(res.T50Real, real)
+		res.T50Idea = append(res.T50Idea, ideal)
+		res.Pushout = append(res.Pushout, real-ideal)
+		res.Model = append(res.Model, model)
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *DelayResult) Render() string {
+	rows := [][]string{{"N", "t50 real (s)", "t50 ideal (s)", "pushout (s)", "model (s)"}}
+	for i, n := range r.N {
+		rows = append(rows, []string{
+			strconv.Itoa(n),
+			fmt.Sprintf("%.4g", r.T50Real[i]),
+			fmt.Sprintf("%.4g", r.T50Idea[i]),
+			fmt.Sprintf("%.4g", r.Pushout[i]),
+			fmt.Sprintf("%.4g", r.Model[i]),
+		})
+	}
+	return "Extension — switching-delay pushout from ground bounce\n" + textplot.Table(rows)
+}
+
+// WriteCSV implements Result.
+func (r *DelayResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"n", "t50_real", "t50_ideal", "pushout", "model"}); err != nil {
+		return err
+	}
+	for i, n := range r.N {
+		err := cw.Write([]string{
+			strconv.Itoa(n),
+			strconv.FormatFloat(r.T50Real[i], 'g', 8, 64),
+			strconv.FormatFloat(r.T50Idea[i], 'g', 8, 64),
+			strconv.FormatFloat(r.Pushout[i], 'g', 8, 64),
+			strconv.FormatFloat(r.Model[i], 'g', 8, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Records implements Result.
+func (r *DelayResult) Records() []Record {
+	monotone := true
+	factor2 := true
+	for i := range r.N {
+		if i > 0 && r.Pushout[i] <= r.Pushout[i-1] {
+			monotone = false
+		}
+		if r.Pushout[i] <= 0 {
+			monotone = false
+			continue
+		}
+		ratio := r.Model[i] / r.Pushout[i]
+		if ratio < 0.5 || ratio > 2 {
+			factor2 = false
+		}
+	}
+	detail := ""
+	for i, n := range r.N {
+		detail += fmt.Sprintf("N=%d: %.3g s (model %.3g); ", n, r.Pushout[i], r.Model[i])
+	}
+	return []Record{
+		{
+			ID:       "ext-delay.monotone",
+			Claim:    "SSN slows the switching drivers themselves, increasingly so with N",
+			Measured: detail,
+			Pass:     monotone,
+		},
+		{
+			ID:       "ext-delay.model",
+			Claim:    "first-order pushout estimate lands within 2x of simulation",
+			Measured: detail,
+			Pass:     factor2,
+		},
+	}
+}

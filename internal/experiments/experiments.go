@@ -1,0 +1,95 @@
+// Package experiments contains one reproduction harness per evaluation
+// artifact of the paper (Figs. 1-4 and Table 1) plus the ablations listed
+// in DESIGN.md. Each harness returns a structured result that can render an
+// ASCII figure (textplot), export CSV, and report paper-claim-vs-measured
+// records for EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/driver"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+)
+
+// Context carries the shared configuration of a reproduction run.
+type Context struct {
+	Process device.Process // defaults to C018
+	SimOpts spice.Options
+	// Fast shrinks grids and simulation resolution for CI; headline
+	// comparisons still hold, error bands are evaluated more coarsely.
+	Fast bool
+}
+
+func (c Context) withDefaults() Context {
+	if c.Process.Name == "" {
+		c.Process = device.C018
+	}
+	return c
+}
+
+// Record is one paper-vs-measured line for EXPERIMENTS.md.
+type Record struct {
+	ID       string // experiment id, e.g. "fig3"
+	Claim    string // what the paper reports
+	Measured string // what this reproduction measures
+	Pass     bool   // does the shape/band hold
+}
+
+// FormatRecords renders records as a markdown table.
+func FormatRecords(records []Record) string {
+	var b strings.Builder
+	b.WriteString("| Experiment | Paper claim | Measured | Holds |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, r := range records {
+		status := "yes"
+		if !r.Pass {
+			status = "NO"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", r.ID, r.Claim, r.Measured, status)
+	}
+	return b.String()
+}
+
+// Result is the interface every experiment harness satisfies.
+type Result interface {
+	// Render returns a human-readable terminal rendition of the artifact.
+	Render() string
+	// WriteCSV exports the underlying data series.
+	WriteCSV(w io.Writer) error
+	// Records reports paper-vs-measured outcomes.
+	Records() []Record
+}
+
+// scenario is the canonical driver-array setup shared by Figs. 2-4: a
+// 0.18 µm-class process in a PGA package, 16 simultaneously switching
+// drivers with 20 pF loads and a 1 ns input edge.
+func (c Context) scenario() driver.ArrayConfig {
+	return driver.ArrayConfig{
+		Process: c.Process,
+		N:       16,
+		Load:    20e-12,
+		Ground:  pkgmodel.PGA.Ground(1),
+		Rise:    1e-9,
+		Merged:  true,
+	}
+}
+
+// ssnParams assembles the closed-form parameters matching an array config.
+func ssnParams(cfg driver.ArrayConfig, asdm device.ASDM) ssn.Params {
+	return ssn.Params{
+		N:     cfg.N,
+		Dev:   asdm,
+		Vdd:   cfg.Process.Vdd,
+		Slope: cfg.Slope(),
+		L:     cfg.Ground.L,
+		C:     cfg.Ground.C,
+	}
+}
+
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fastCtx() Context { return Context{Fast: true} }
+
+func checkResult(t *testing.T, name string, r Result) {
+	t.Helper()
+	rendered := r.Render()
+	if len(rendered) < 50 {
+		t.Errorf("%s: rendition suspiciously short: %q", name, rendered)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("%s: csv: %v", name, err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 2 {
+		t.Errorf("%s: csv has only %d lines", name, lines)
+	}
+	recs := r.Records()
+	if len(recs) == 0 {
+		t.Fatalf("%s: no records", name)
+	}
+	for _, rec := range recs {
+		if rec.ID == "" || rec.Claim == "" || rec.Measured == "" {
+			t.Errorf("%s: incomplete record %+v", name, rec)
+		}
+		if !rec.Pass {
+			t.Errorf("%s: record %s does not hold: claim %q, measured %q",
+				name, rec.ID, rec.Claim, rec.Measured)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	r, err := Fig1(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig1", r)
+	if len(r.VS) != 5 {
+		t.Errorf("Fig1 curves = %d, want 5", len(r.VS))
+	}
+	// Golden currents must be monotone in Vg for each Vs.
+	for i := range r.VS {
+		for j := 1; j < len(r.VG); j++ {
+			if r.Golden[i][j] < r.Golden[i][j-1]-1e-12 {
+				t.Fatalf("golden IV not monotone at vs=%g", r.VS[i])
+			}
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	r, err := Fig2(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig2", r)
+	if r.SimMax <= 0 || r.ModelMax <= 0 {
+		t.Error("missing peak values")
+	}
+	if r.Vin == nil || r.Vout == nil {
+		t.Error("missing stimulus/output waveforms")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	r, err := Fig3(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig3", r)
+	// Simulated SSN grows with N.
+	for i := 1; i < len(r.Sim); i++ {
+		if r.Sim[i] <= r.Sim[i-1] {
+			t.Errorf("sim SSN not increasing at N=%d", r.N[i])
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	r, err := Fig4(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig4", r)
+	if len(r.Cases) != 2 {
+		t.Fatalf("Fig4 cases = %d, want 2", len(r.Cases))
+	}
+	// The doubled-pads case has half the inductance.
+	if r.Cases[1].L >= r.Cases[0].L {
+		t.Error("2x pads case must have lower inductance")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "table1", r)
+	if len(r.Rows) != 4 {
+		t.Fatalf("Table1 rows = %d, want 4", len(r.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		seen[row.GotCase.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("expected all four distinct cases, got %v", seen)
+	}
+}
+
+func TestAblationDeviceModel(t *testing.T) {
+	r, err := AblationDeviceModel(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "ablation-a", r)
+}
+
+func TestCrossProcess(t *testing.T) {
+	r, err := CrossProcess(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "ext-process", r)
+	if len(r.Kits) != 3 {
+		t.Errorf("kits = %v, want all 3", r.Kits)
+	}
+}
+
+func TestRail(t *testing.T) {
+	r, err := Rail(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "ext-rail", r)
+	// Droop grows with N.
+	for i := 1; i < len(r.Sim); i++ {
+		if r.Sim[i] <= r.Sim[i-1] {
+			t.Errorf("droop not increasing at N=%d", r.N[i])
+		}
+	}
+}
+
+func TestFormatRecords(t *testing.T) {
+	out := FormatRecords([]Record{
+		{ID: "x", Claim: "c", Measured: "m", Pass: true},
+		{ID: "y", Claim: "c2", Measured: "m2", Pass: false},
+	})
+	if !strings.Contains(out, "| x |") || !strings.Contains(out, "NO") {
+		t.Errorf("records table: %s", out)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	r, err := Delay(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "ext-delay", r)
+	// The real-net crossing is always later than the ideal-net crossing.
+	for i := range r.N {
+		if r.T50Real[i] <= r.T50Idea[i] {
+			t.Errorf("N=%d: real t50 %g not after ideal %g", r.N[i], r.T50Real[i], r.T50Idea[i])
+		}
+	}
+}
+
+func TestResonance(t *testing.T) {
+	r, err := Resonance(fastCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "ext-resonance", r)
+	if r.RingPeriod <= 0 {
+		t.Error("missing ringing period")
+	}
+}
+
+func TestSVGRenditions(t *testing.T) {
+	// Every Plotter-implementing result must emit a well-formed-looking
+	// SVG with at least one curve.
+	ctx := fastCtx()
+	results := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"fig1", func() (Result, error) { return Fig1(ctx) }},
+		{"fig2", func() (Result, error) { return Fig2(ctx) }},
+		{"fig3", func() (Result, error) { return Fig3(ctx) }},
+		{"fig4", func() (Result, error) { return Fig4(ctx) }},
+		{"ablation-a", func() (Result, error) { return AblationDeviceModel(ctx) }},
+		{"ablation-r", func() (Result, error) { return AblationResistance(ctx) }},
+		{"ext-process", func() (Result, error) { return CrossProcess(ctx) }},
+		{"ext-rail", func() (Result, error) { return Rail(ctx) }},
+		{"ext-delay", func() (Result, error) { return Delay(ctx) }},
+		{"ext-resonance", func() (Result, error) { return Resonance(ctx) }},
+	}
+	for _, rc := range results {
+		res, err := rc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", rc.name, err)
+		}
+		p, ok := res.(Plotter)
+		if !ok {
+			t.Errorf("%s does not implement Plotter", rc.name)
+			continue
+		}
+		svg := p.SVG()
+		if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "polyline") {
+			t.Errorf("%s: SVG missing chart content", rc.name)
+		}
+	}
+}
+
+func TestHTMLReportAssembly(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteHTMLReport(&buf, "test <title>", []ReportSection{
+		{Name: "sec1", Text: "body & text", SVG: "<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>",
+			Record: []Record{{ID: "a", Claim: "c", Measured: "m", Pass: true},
+				{ID: "b", Claim: "c", Measured: "m", Pass: false}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"test &lt;title&gt;", "body &amp; text", "<svg", `class="pass"`, `class="fail"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

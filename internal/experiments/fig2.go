@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/driver"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/textplot"
+	"ssnkit/internal/waveform"
+)
+
+// Fig2Result reproduces the paper's Fig. 2: (a) the simulated input, output
+// and ground-bounce waveforms of the canonical driver array; (b) the SSN
+// voltage, simulation vs the L-only closed form (Eq. 6); (c) the ground
+// inductor current, simulation vs Eq. (8).
+type Fig2Result struct {
+	Config driver.ArrayConfig
+	ASDM   device.ASDM
+
+	Vin, Vout  *waveform.Waveform // simulated stimulus and a driver output
+	SimSSN     *waveform.Waveform
+	ModelSSN   *waveform.Waveform
+	SimI       *waveform.Waveform
+	ModelI     *waveform.Waveform
+	SSNStats   waveform.CompareStats // model vs sim over the ramp window
+	CurStats   waveform.CompareStats
+	SimMax     float64
+	ModelMax   float64
+	PeakRelErr float64
+}
+
+// Fig2 runs the waveform experiment. The scenario keeps the pad capacitance
+// (1 pF, over-damped) in the simulation — the paper's point is that the
+// L-only formula is adequate there.
+func Fig2(ctx Context) (*Fig2Result, error) {
+	c := ctx.withDefaults()
+	cfg := c.scenario()
+	// Keep one driver un-merged so a real output waveform exists to plot.
+	cfg.Merged = false
+	if c.Fast {
+		cfg.N = 8
+	}
+	asdm, err := cfg.Process.ExtractASDM()
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	step := 0.0
+	if c.Fast {
+		step = cfg.Rise / 150
+	}
+	res, err := driver.Simulate(cfg, c.SimOpts, step, 0)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	p := ssnParams(res.Config, asdm)
+	lm, err := ssn.NewLModel(p)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	mv, mi, err := lm.Waveforms(res.Config.Delay, 600)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+
+	out := &Fig2Result{Config: res.Config, ASDM: asdm}
+	out.Vin = res.Set.Get("v(g1)")
+	out.Vout = res.Set.Get("v(out1)")
+	out.SimSSN = res.SSN
+	out.ModelSSN = mv
+	out.SimI = res.Current
+	out.ModelI = mi
+	out.SimMax = res.MaxSSNWithinRamp()
+	out.ModelMax = lm.VMax()
+	out.PeakRelErr = rel(out.ModelMax, out.SimMax)
+
+	// Compare over the model's validity window only (turn-on to ramp end).
+	t0 := res.Config.Delay + p.TurnOnDelay()
+	t1 := res.Config.Delay + p.TurnOnDelay() + p.TauRise()
+	simWin, err := res.SSN.Window(t0, t1)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	if out.SSNStats, err = mv.Compare(simWin, 300); err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	simIWin, err := res.Current.Window(t0, t1)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	if out.CurStats, err = mi.Compare(simIWin, 300); err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	return out, nil
+}
+
+func rel(a, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	d := a - ref
+	if d < 0 {
+		d = -d
+	}
+	if ref < 0 {
+		ref = -ref
+	}
+	return d / ref
+}
+
+// Render implements Result.
+func (r *Fig2Result) Render() string {
+	head := fmt.Sprintf(
+		"Fig. 2 — waveforms, N=%d, L=%.3g H, C=%.3g F, tr=%.3g s (%s)\n"+
+			"model %s\n"+
+			"peak SSN: sim %.4f V, model %.4f V (rel err %s)\n"+
+			"SSN waveform err (vs sim, peak-normalized): max %s   current err: max %s\n",
+		r.Config.N, r.Config.Ground.L, r.Config.Ground.C, r.Config.Rise, r.Config.Process.Name,
+		r.ASDM, r.SimMax, r.ModelMax, fmtPct(r.PeakRelErr),
+		fmtPct(r.SSNStats.MaxRelErr), fmtPct(r.CurStats.MaxRelErr))
+
+	a := textplot.Plot("(a) simulated waveforms", []textplot.Series{
+		{Name: "v(in)", X: r.Vin.Times, Y: r.Vin.Values, Marker: '.'},
+		{Name: "v(out)", X: r.Vout.Times, Y: r.Vout.Values, Marker: 'o'},
+		{Name: "ssn", X: r.SimSSN.Times, Y: r.SimSSN.Values, Marker: '*'},
+	}, 72, 16)
+	b := textplot.Plot("(b) SSN voltage: sim vs Eq. (6)", []textplot.Series{
+		{Name: "sim", X: r.SimSSN.Times, Y: r.SimSSN.Values, Marker: '.'},
+		{Name: "model", X: r.ModelSSN.Times, Y: r.ModelSSN.Values, Marker: '*'},
+	}, 72, 14)
+	c := textplot.Plot("(c) inductor current: sim vs Eq. (8)", []textplot.Series{
+		{Name: "sim", X: r.SimI.Times, Y: r.SimI.Values, Marker: '.'},
+		{Name: "model", X: r.ModelI.Times, Y: r.ModelI.Values, Marker: '*'},
+	}, 72, 14)
+	return head + a + b + c
+}
+
+// WriteCSV implements Result.
+func (r *Fig2Result) WriteCSV(w io.Writer) error {
+	set := waveform.Set{}
+	set.Add(r.SimSSN)
+	set.Add(r.ModelSSN)
+	set.Add(r.SimI)
+	set.Add(r.ModelI)
+	set.Add(r.Vin)
+	set.Add(r.Vout)
+	return set.WriteCSV(w)
+}
+
+// Records implements Result.
+func (r *Fig2Result) Records() []Record {
+	return []Record{
+		{
+			ID:       "fig2.ssn",
+			Claim:    "Eq. (6) SSN waveform matches simulation closely over the ramp",
+			Measured: fmt.Sprintf("max deviation %s of the simulated peak", fmtPct(r.SSNStats.MaxRelErr)),
+			Pass:     r.SSNStats.MaxRelErr < 0.12,
+		},
+		{
+			ID:       "fig2.current",
+			Claim:    "Eq. (8) inductor current matches simulation closely over the ramp",
+			Measured: fmt.Sprintf("max deviation %s of the simulated peak", fmtPct(r.CurStats.MaxRelErr)),
+			Pass:     r.CurStats.MaxRelErr < 0.12,
+		},
+		{
+			ID:       "fig2.peak",
+			Claim:    "peak SSN predicted accurately in the over-damped typical case",
+			Measured: fmt.Sprintf("sim %.4f V vs model %.4f V (%s)", r.SimMax, r.ModelMax, fmtPct(r.PeakRelErr)),
+			Pass:     r.PeakRelErr < 0.10,
+		},
+	}
+}

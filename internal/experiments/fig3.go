@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/driver"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/textplot"
+)
+
+// Fig3Result reproduces the paper's Fig. 3: maximum SSN voltage versus the
+// number of simultaneously switching drivers, comparing transistor-level
+// simulation against this work's closed form (Eq. 7) and the prior-art
+// estimates (Vemuru'96-style and Song'99-style reconstructions). The ground
+// net is inductance-only, as in the models being compared.
+type Fig3Result struct {
+	Process device.Process
+	N       []int
+	Sim     []float64
+	ThisWrk []float64
+	Vemuru  []float64
+	Song    []float64
+
+	// mean absolute relative error of each model against simulation
+	ErrThisWork, ErrVemuru, ErrSong float64
+}
+
+// Fig3 runs the driver-count sweep.
+func Fig3(ctx Context) (*Fig3Result, error) {
+	c := ctx.withDefaults()
+	cfg := c.scenario()
+	cfg.Ground.C = 0 // L-only comparison, as in the paper's Sec. 3
+	asdm, err := cfg.Process.ExtractASDM()
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	b, vt, alpha, _, err := device.ExtractAlphaPowerSat(cfg.Process.Driver(1), cfg.Process.Vdd)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	ap := ssn.AlphaParams{B: b, Vt: vt, Alpha: alpha}
+
+	counts := []int{4, 6, 8, 10, 12, 16, 20, 24, 28, 32}
+	step := 0.0
+	if c.Fast {
+		counts = []int{4, 8, 16, 32}
+		step = cfg.Rise / 150
+	}
+	res := &Fig3Result{Process: cfg.Process, N: counts}
+	for _, n := range counts {
+		sc := cfg
+		sc.N = n
+		sim, err := driver.Simulate(sc, c.SimOpts, step, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig3: N=%d: %w", n, err)
+		}
+		simMax := sim.MaxSSNWithinRamp()
+		res.Sim = append(res.Sim, simMax)
+
+		p := ssnParams(sc, asdm)
+		lm, err := ssn.NewLModel(p)
+		if err != nil {
+			return nil, fmt.Errorf("fig3: %w", err)
+		}
+		res.ThisWrk = append(res.ThisWrk, lm.VMax())
+
+		in := ssn.BaselineInput{N: n, L: sc.Ground.L, Vdd: sc.Process.Vdd, Slope: sc.Slope()}
+		vem, err := ssn.VemuruMax(in, ap)
+		if err != nil {
+			return nil, fmt.Errorf("fig3: vemuru: %w", err)
+		}
+		res.Vemuru = append(res.Vemuru, vem)
+		song, err := ssn.SongMax(in, ap)
+		if err != nil {
+			return nil, fmt.Errorf("fig3: song: %w", err)
+		}
+		res.Song = append(res.Song, song)
+	}
+	res.ErrThisWork = meanRelErr(res.ThisWrk, res.Sim)
+	res.ErrVemuru = meanRelErr(res.Vemuru, res.Sim)
+	res.ErrSong = meanRelErr(res.Song, res.Sim)
+	return res, nil
+}
+
+func meanRelErr(pred, ref []float64) float64 {
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i]-ref[i]) / math.Abs(ref[i])
+	}
+	return sum / float64(len(pred))
+}
+
+func (r *Fig3Result) xs() []float64 {
+	out := make([]float64, len(r.N))
+	for i, n := range r.N {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+// Render implements Result.
+func (r *Fig3Result) Render() string {
+	head := fmt.Sprintf(
+		"Fig. 3 — max SSN vs number of switching drivers (%s, L-only)\n"+
+			"mean |rel err| vs simulation: this work %s, Vemuru-style %s, Song-style %s\n",
+		r.Process.Name, fmtPct(r.ErrThisWork), fmtPct(r.ErrVemuru), fmtPct(r.ErrSong))
+	plot := textplot.Plot("", []textplot.Series{
+		{Name: "sim", X: r.xs(), Y: r.Sim, Marker: '.'},
+		{Name: "this work", X: r.xs(), Y: r.ThisWrk, Marker: '*'},
+		{Name: "vemuru", X: r.xs(), Y: r.Vemuru, Marker: 'v'},
+		{Name: "song", X: r.xs(), Y: r.Song, Marker: 's'},
+	}, 72, 18)
+	rows := [][]string{{"N", "sim (V)", "this work (V)", "vemuru (V)", "song (V)"}}
+	for i, n := range r.N {
+		rows = append(rows, []string{
+			strconv.Itoa(n),
+			fmt.Sprintf("%.4f", r.Sim[i]),
+			fmt.Sprintf("%.4f", r.ThisWrk[i]),
+			fmt.Sprintf("%.4f", r.Vemuru[i]),
+			fmt.Sprintf("%.4f", r.Song[i]),
+		})
+	}
+	return head + plot + textplot.Table(rows)
+}
+
+// WriteCSV implements Result.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"n", "sim", "this_work", "vemuru", "song"}); err != nil {
+		return err
+	}
+	for i, n := range r.N {
+		err := cw.Write([]string{
+			strconv.Itoa(n),
+			strconv.FormatFloat(r.Sim[i], 'g', 8, 64),
+			strconv.FormatFloat(r.ThisWrk[i], 'g', 8, 64),
+			strconv.FormatFloat(r.Vemuru[i], 'g', 8, 64),
+			strconv.FormatFloat(r.Song[i], 'g', 8, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Records implements Result.
+func (r *Fig3Result) Records() []Record {
+	return []Record{
+		{
+			ID:    "fig3.ranking",
+			Claim: "the new model is the most accurate across driver counts",
+			Measured: fmt.Sprintf("mean |rel err|: this work %s vs vemuru %s, song %s",
+				fmtPct(r.ErrThisWork), fmtPct(r.ErrVemuru), fmtPct(r.ErrSong)),
+			Pass: r.ErrThisWork < r.ErrVemuru && r.ErrThisWork < r.ErrSong,
+		},
+		{
+			ID:       "fig3.accuracy",
+			Claim:    "this work stays close to simulation over the whole sweep",
+			Measured: fmt.Sprintf("mean |rel err| %s", fmtPct(r.ErrThisWork)),
+			Pass:     r.ErrThisWork < 0.10,
+		},
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+	"time"
+)
+
+// ReportSection is one experiment's contribution to the HTML report.
+type ReportSection struct {
+	Name   string
+	Text   string // the ASCII rendition (shown preformatted)
+	SVG    string // optional figure(s)
+	Took   time.Duration
+	Record []Record
+}
+
+// WriteHTMLReport assembles a self-contained HTML report: header, the
+// paper-vs-measured record table, then one section per experiment with its
+// SVG figure (when the result implements Plotter) and text rendition.
+func WriteHTMLReport(w io.Writer, title string, sections []ReportSection) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 980px; margin: 24px auto; color: #222; }
+pre { background: #f6f6f6; padding: 12px; overflow-x: auto; font-size: 12px; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #bbb; padding: 4px 8px; text-align: left; font-size: 13px; }
+th { background: #eee; }
+.pass { color: #0a0; font-weight: bold; }
+.fail { color: #c00; font-weight: bold; }
+h2 { border-bottom: 1px solid #ccc; padding-bottom: 4px; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	// Records table.
+	b.WriteString("<h2>Paper vs. measured</h2>\n<table><tr><th>Experiment</th><th>Paper claim</th><th>Measured</th><th>Holds</th></tr>\n")
+	for _, s := range sections {
+		for _, r := range s.Record {
+			cls, txt := "pass", "yes"
+			if !r.Pass {
+				cls, txt = "fail", "NO"
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td class=\"%s\">%s</td></tr>\n",
+				html.EscapeString(r.ID), html.EscapeString(r.Claim), html.EscapeString(r.Measured), cls, txt)
+		}
+	}
+	b.WriteString("</table>\n")
+
+	for _, s := range sections {
+		fmt.Fprintf(&b, "<h2>%s <small>(%s)</small></h2>\n", html.EscapeString(s.Name), s.Took.Round(time.Millisecond))
+		if s.SVG != "" {
+			b.WriteString(s.SVG)
+			b.WriteString("\n")
+		}
+		if s.Text != "" {
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(s.Text))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

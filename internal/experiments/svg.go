@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/svgplot"
+	"ssnkit/internal/waveform"
+)
+
+// Plotter is implemented by results that can render an SVG figure; the
+// HTML report embeds these alongside the text renditions.
+type Plotter interface {
+	SVG() string
+}
+
+func intXs(ns []int) []float64 {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+func waveSeries(name string, w *waveform.Waveform) svgplot.Series {
+	return svgplot.Series{Name: name, X: w.Times, Y: w.Values}
+}
+
+// SVG implements Plotter: the Fig. 1 I-V curves, golden vs ASDM.
+func (r *Fig1Result) SVG() string {
+	var series []svgplot.Series
+	for i, vs := range r.VS {
+		series = append(series, svgplot.Series{
+			Name: fmt.Sprintf("sim Vs=%.1f", vs), X: r.VG, Y: r.Golden[i],
+		})
+		series = append(series, svgplot.Series{
+			Name: fmt.Sprintf("asdm Vs=%.1f", vs), X: r.VG, Y: r.Model[i], Color: "#999999",
+		})
+	}
+	return svgplot.Line(svgplot.Config{
+		Title:  fmt.Sprintf("Fig. 1 — Id(Vg), %s, golden (colored) vs ASDM (grey)", r.Process.Name),
+		XLabel: "Vg (V)", YLabel: "Id (A)", Width: 760, Height: 420,
+	}, series)
+}
+
+// SVG implements Plotter: Fig. 2(b) — the SSN waveform, sim vs model.
+func (r *Fig2Result) SVG() string {
+	return svgplot.Line(svgplot.Config{
+		Title:  "Fig. 2 — SSN waveform, simulation vs Eq. (6)",
+		XLabel: "t (s)", YLabel: "V(vssi) (V)", Width: 760, Height: 400,
+	}, []svgplot.Series{
+		waveSeries("sim", r.SimSSN),
+		waveSeries("model", r.ModelSSN),
+	})
+}
+
+// SVG implements Plotter: Fig. 3 — max SSN vs N across the models.
+func (r *Fig3Result) SVG() string {
+	xs := intXs(r.N)
+	return svgplot.Line(svgplot.Config{
+		Title:  "Fig. 3 — max SSN vs switching drivers",
+		XLabel: "N", YLabel: "Vmax (V)", Width: 760, Height: 400,
+	}, []svgplot.Series{
+		{Name: "sim", X: xs, Y: r.Sim},
+		{Name: "this work", X: xs, Y: r.ThisWrk},
+		{Name: "vemuru", X: xs, Y: r.Vemuru},
+		{Name: "song", X: xs, Y: r.Song},
+	})
+}
+
+// SVG implements Plotter: Fig. 4 — the base sweep (log10 C axis).
+func (r *Fig4Result) SVG() string {
+	if len(r.Cases) == 0 {
+		return svgplot.Line(svgplot.Config{Title: "Fig. 4"}, nil)
+	}
+	out := ""
+	for _, pc := range r.Cases {
+		lx := make([]float64, len(pc.C))
+		for i, c := range pc.C {
+			lx[i] = math.Log10(c)
+		}
+		out += svgplot.Line(svgplot.Config{
+			Title:  fmt.Sprintf("Fig. 4 — %s (Cm=%.3g F)", pc.Label, pc.CritCap),
+			XLabel: "log10 C (F)", YLabel: "Vmax (V)", Width: 760, Height: 360,
+		}, []svgplot.Series{
+			{Name: "sim", X: lx, Y: pc.Sim},
+			{Name: "L-only", X: lx, Y: pc.LOnly},
+			{Name: "L+C", X: lx, Y: pc.LC},
+		})
+	}
+	return out
+}
+
+// SVG implements Plotter for the device-model ablation.
+func (r *AblationResult) SVG() string {
+	xs := intXs(r.N)
+	return svgplot.Line(svgplot.Config{
+		Title:  "Ablation A — device linearizations in the same ODE",
+		XLabel: "N", YLabel: "Vmax (V)", Width: 760, Height: 380,
+	}, []svgplot.Series{
+		{Name: "sim", X: xs, Y: r.Sim},
+		{Name: "ASDM", X: xs, Y: r.ASDM},
+		{Name: "taylor", X: xs, Y: r.Taylor},
+		{Name: "const-deriv", X: xs, Y: r.ConstDeriv},
+	})
+}
+
+// SVG implements Plotter for the resistance ablation.
+func (r *AblationResistanceResult) SVG() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, pt := range r.Points {
+		xs[i] = pt.R
+		ys[i] = pt.MaxSSN
+	}
+	return svgplot.Line(svgplot.Config{
+		Title:  "Ablation R — series resistance sensitivity",
+		XLabel: "R (Ohm)", YLabel: "Vmax (V)", Width: 760, Height: 340,
+	}, []svgplot.Series{{Name: "sim", X: xs, Y: ys}})
+}
+
+// SVG implements Plotter for the cross-process extension.
+func (r *CrossProcessResult) SVG() string {
+	xs := intXs(r.N)
+	var series []svgplot.Series
+	for _, kit := range r.Kits {
+		series = append(series,
+			svgplot.Series{Name: kit + " sim", X: xs, Y: r.Sim[kit]},
+			svgplot.Series{Name: kit + " model", X: xs, Y: r.Model[kit], Color: "#aaaaaa"},
+		)
+	}
+	return svgplot.Line(svgplot.Config{
+		Title:  "Extension — cross-process validation",
+		XLabel: "N", YLabel: "Vmax (V)", Width: 760, Height: 420,
+	}, series)
+}
+
+// SVG implements Plotter for the rail-droop extension.
+func (r *RailResult) SVG() string {
+	xs := intXs(r.N)
+	return svgplot.Line(svgplot.Config{
+		Title:  "Extension — power-rail droop",
+		XLabel: "N", YLabel: "droop (V)", Width: 760, Height: 360,
+	}, []svgplot.Series{
+		{Name: "sim", X: xs, Y: r.Sim},
+		{Name: "model", X: xs, Y: r.Model},
+	})
+}
+
+// SVG implements Plotter for the delay-pushout extension.
+func (r *DelayResult) SVG() string {
+	xs := intXs(r.N)
+	return svgplot.Line(svgplot.Config{
+		Title:  "Extension — switching-delay pushout",
+		XLabel: "N", YLabel: "pushout (s)", Width: 760, Height: 360,
+	}, []svgplot.Series{
+		{Name: "sim", X: xs, Y: r.Pushout},
+		{Name: "model", X: xs, Y: r.Model},
+	})
+}

@@ -1,0 +1,156 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/linalg"
+)
+
+// Model is a parametric scalar model y = f(x; p) with a vector input x.
+type Model func(x []float64, p []float64) float64
+
+// LMOptions tunes the Levenberg-Marquardt iteration.
+type LMOptions struct {
+	MaxIter   int     // maximum outer iterations (default 200)
+	Tol       float64 // relative improvement to declare convergence (default 1e-10)
+	Lambda0   float64 // initial damping (default 1e-3)
+	StepScale float64 // finite-difference relative step (default 1e-6)
+}
+
+func (o LMOptions) withDefaults() LMOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Lambda0 <= 0 {
+		o.Lambda0 = 1e-3
+	}
+	if o.StepScale <= 0 {
+		o.StepScale = 1e-6
+	}
+	return o
+}
+
+// LMResult reports the outcome of a Levenberg-Marquardt fit.
+type LMResult struct {
+	Params     []float64
+	Iterations int
+	SSR        float64 // final sum of squared residuals
+	Converged  bool
+}
+
+// LevenbergMarquardt fits the nonlinear model f to samples (xs[i], ys[i])
+// starting from p0. Jacobians are computed by forward finite differences.
+// It returns the best parameters found even when convergence is not
+// declared; callers should inspect Converged for strict use.
+func LevenbergMarquardt(f Model, xs [][]float64, ys []float64, p0 []float64, opts LMOptions) (LMResult, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return LMResult{}, fmt.Errorf("%w: %d inputs vs %d targets", ErrBadInput, len(xs), len(ys))
+	}
+	if len(p0) == 0 {
+		return LMResult{}, fmt.Errorf("%w: empty initial parameter vector", ErrBadInput)
+	}
+	if len(xs) < len(p0) {
+		return LMResult{}, fmt.Errorf("%w: %d samples for %d parameters", ErrBadInput, len(xs), len(p0))
+	}
+	o := opts.withDefaults()
+	m, n := len(xs), len(p0)
+	p := append([]float64(nil), p0...)
+
+	residuals := func(pp []float64) ([]float64, float64) {
+		r := make([]float64, m)
+		ssr := 0.0
+		for i := range xs {
+			r[i] = ys[i] - f(xs[i], pp)
+			ssr += r[i] * r[i]
+		}
+		return r, ssr
+	}
+
+	r, ssr := residuals(p)
+	lambda := o.Lambda0
+	jac := linalg.NewMatrix(m, n)
+	res := LMResult{Params: p, SSR: ssr}
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// Finite-difference Jacobian of the residual vector wrt parameters.
+		for j := 0; j < n; j++ {
+			h := o.StepScale * math.Max(math.Abs(p[j]), 1e-8)
+			pj := p[j]
+			p[j] = pj + h
+			for i := range xs {
+				jac.Set(i, j, (ys[i]-f(xs[i], p)-r[i])/h) // d r_i / d p_j
+			}
+			p[j] = pj
+		}
+		// Normal equations with Marquardt damping:
+		// (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀ r  — note r here is y - f, and
+		// dr/dp = -df/dp is folded into jac already, so δ solves
+		// (JᵀJ + λD) δ = -Jᵀ r with the sign convention below.
+		jtj := linalg.NewMatrix(n, n)
+		jtr := make([]float64, n)
+		for j := 0; j < n; j++ {
+			for k := j; k < n; k++ {
+				s := 0.0
+				for i := 0; i < m; i++ {
+					s += jac.At(i, j) * jac.At(i, k)
+				}
+				jtj.Set(j, k, s)
+				jtj.Set(k, j, s)
+			}
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += jac.At(i, j) * r[i]
+			}
+			jtr[j] = -s
+		}
+
+		improved := false
+		for attempt := 0; attempt < 12; attempt++ {
+			damped := jtj.Clone()
+			for j := 0; j < n; j++ {
+				d := jtj.At(j, j)
+				if d == 0 {
+					d = 1
+				}
+				damped.Add(j, j, lambda*d)
+			}
+			delta, err := linalg.SolveDense(damped, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			// jac holds dr/dp = -df/dp and jtr = -Jᵀr, so the Gauss-Newton
+			// step solving (JᵀJ + λD)δ = -Jᵀr is applied as p + δ.
+			trial := make([]float64, n)
+			for j := range trial {
+				trial[j] = p[j] + delta[j]
+			}
+			_, trialSSR := residuals(trial)
+			if trialSSR < ssr && !math.IsNaN(trialSSR) {
+				rel := (ssr - trialSSR) / math.Max(ssr, 1e-300)
+				p = trial
+				r, ssr = residuals(p)
+				lambda = math.Max(lambda*0.3, 1e-12)
+				improved = true
+				if rel < o.Tol {
+					res.Params, res.SSR, res.Converged = p, ssr, true
+					return res, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			// Damping exhausted: we are at a (possibly local) minimum.
+			res.Params, res.SSR, res.Converged = p, ssr, true
+			return res, nil
+		}
+	}
+	res.Params, res.SSR = p, ssr
+	return res, nil
+}

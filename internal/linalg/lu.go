@@ -1,0 +1,133 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorization meets a pivot that is exactly
+// zero or numerically negligible.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an in-place LU factorization with partial pivoting: PA = LU.
+// The factorization buffer is reusable across Newton iterations — the MNA
+// solver refactorizes the same-size system thousands of times per transient.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	piv  []int
+	sign int
+}
+
+// NewLU prepares a factorization workspace for n x n systems.
+func NewLU(n int) *LU {
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n)}
+}
+
+// Factor computes the LU factorization of a. a is not modified. It returns
+// ErrSingular when a pivot underflows the singularity threshold.
+func (f *LU) Factor(a *Matrix) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
+	}
+	copy(f.lu, a.Data)
+	f.sign = 1
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at/below the diagonal.
+		p := k
+		max := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk := lu[k*n : k*n+n]
+			rp := lu[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu[i*n : i*n+n]
+			rk := lu[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves A x = b using the current factorization, writing the result
+// into x (which may alias b). b must have length n.
+func (f *LU) Solve(b, x []float64) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	// Apply permutation: y = Pb.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.piv[i]]
+	}
+	lu := f.lu
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		s := y[i]
+		row := lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * y[j]
+		}
+		y[i] = s / lu[i*n+i]
+	}
+	copy(x, y)
+	return nil
+}
+
+// Det returns the determinant implied by the current factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense is a convenience one-shot solve of A x = b.
+func SolveDense(a *Matrix, b []float64) ([]float64, error) {
+	f := NewLU(a.Rows)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	if err := f.Solve(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

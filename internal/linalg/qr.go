@@ -1,0 +1,79 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves the overdetermined system A x ≈ b (m >= n) in the
+// least-squares sense using Householder QR. It is numerically safer than
+// forming the normal equations and is the backbone of the ASDM parameter
+// extraction. Returns the n-vector x minimizing ||Ax - b||₂.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: LeastSquares rhs length %d, want %d", len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: LeastSquares underdetermined %dx%d", m, n)
+	}
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+	rdiag := make([]float64, n) // R's diagonal; sub-diagonal of r stores Householder vectors
+	scale := a.MaxAbs()
+
+	for k := 0; k < n; k++ {
+		// Householder vector for column k at/below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		// A column norm at rounding level relative to the matrix scale means
+		// the column is linearly dependent on its predecessors.
+		if norm <= 1e-12*scale {
+			return nil, fmt.Errorf("%w: rank-deficient at column %d", ErrSingular, k)
+		}
+		if r.At(k, k) < 0 {
+			norm = -norm // take the sign of the diagonal to avoid cancellation
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+		rdiag[k] = -norm // R(k,k) after the reflection
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Add(i, j, s*r.At(i, k))
+			}
+		}
+		// Apply the reflector to the right-hand side.
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * y[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * r.At(i, k)
+		}
+	}
+
+	// Back substitution with R. Above-diagonal entries of r hold R; the
+	// diagonal is rdiag.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		x[i] = s / rdiag[i]
+	}
+	return x, nil
+}

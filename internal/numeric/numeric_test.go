@@ -1,0 +1,277 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	r, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect sqrt2 = %.15g, want %.15g", r, math.Sqrt2)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 1e-12); err != nil || r != 0 {
+		t.Errorf("exact endpoint root: got %g, %v", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 1e-12); err != nil || r != 0 {
+		t.Errorf("exact right endpoint root: got %g, %v", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestBrentAgainstKnownRoots(t *testing.T) {
+	cases := []struct {
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 0.7390851332151607},
+		{func(x float64) float64 { return math.Exp(x) - 3 }, 0, 2, math.Log(3)},
+	}
+	for i, c := range cases {
+		r, err := Brent(c.f, c.a, c.b, 1e-13)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(r-c.want) > 1e-9 {
+			t.Errorf("case %d: Brent = %.15g, want %.15g", i, r, c.want)
+		}
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	// Property: on any bracketed monotone cubic, Brent and Bisect agree.
+	f := func(shift float64) bool {
+		if math.IsNaN(shift) || math.Abs(shift) > 10 {
+			return true
+		}
+		g := func(x float64) float64 { return x*x*x + x - shift }
+		// g is strictly increasing; bracket generously.
+		a, b := -20.0, 20.0
+		rb, err1 := Brent(g, a, b, 1e-12)
+		ri, err2 := Bisect(g, a, b, 1e-12)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(rb-ri) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewton(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 9 }
+	df := func(x float64) float64 { return 2 * x }
+	r, err := Newton(f, df, 5, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3) > 1e-12 {
+		t.Errorf("Newton = %.15g, want 3", r)
+	}
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	df := func(x float64) float64 { return 2 * x }
+	if _, err := Newton(f, df, 0, 1e-12); err == nil {
+		t.Error("expected failure at stationary start")
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	// x = cos(x) has the Dottie number as fixed point.
+	r, err := FixedPoint(math.Cos, 1, 1e-12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.7390851332151607) > 1e-9 {
+		t.Errorf("FixedPoint = %.15g", r)
+	}
+}
+
+func TestFixedPointBadRelaxation(t *testing.T) {
+	if _, err := FixedPoint(math.Cos, 1, 1e-9, 0); err == nil {
+		t.Error("w=0 must be rejected")
+	}
+	if _, err := FixedPoint(math.Cos, 1, 1e-9, 1.5); err == nil {
+		t.Error("w>1 must be rejected")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 0, 1, 10, 0.5); got != 5 {
+		t.Errorf("Lerp midpoint = %g", got)
+	}
+	if got := Lerp(2, 7, 2, 9, 2); got != 7 {
+		t.Errorf("degenerate Lerp = %g, want 7", got)
+	}
+}
+
+func TestInterp1(t *testing.T) {
+	p, err := NewInterp1([]float64{0, 1, 3}, []float64{0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 0},  // flat left extrapolation
+		{0, 0},   // exact knot
+		{0.5, 1}, // interior
+		{1, 2},
+		{2, 2},
+		{3, 2},
+		{9, 2}, // flat right extrapolation
+	}
+	for _, c := range cases {
+		if got := p.At(c.x); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterp1Errors(t *testing.T) {
+	if _, err := NewInterp1([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := NewInterp1(nil, nil); err == nil {
+		t.Error("empty table must error")
+	}
+	if _, err := NewInterp1([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing xs must error")
+	}
+}
+
+func TestInterp1WithinHull(t *testing.T) {
+	// Property: interpolated values stay within [min(ys), max(ys)].
+	f := func(y0, y1, y2 float64, xq float64) bool {
+		for _, y := range []float64{y0, y1, y2, xq} {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return true
+			}
+		}
+		p, err := NewInterp1([]float64{0, 1, 2}, []float64{y0, y1, y2})
+		if err != nil {
+			return false
+		}
+		lo := math.Min(y0, math.Min(y1, y2))
+		hi := math.Max(y0, math.Max(y1, y2))
+		v := p.At(math.Mod(math.Abs(xq), 4) - 1)
+		return v >= lo-1e-9*math.Abs(lo) && v <= hi+1e-9*math.Abs(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyval(t *testing.T) {
+	// 1 + 2x + 3x^2 at x=2 -> 17
+	if got := Polyval([]float64{1, 2, 3}, 2); got != 17 {
+		t.Errorf("Polyval = %g, want 17", got)
+	}
+	if got := Polyval(nil, 5); got != 0 {
+		t.Errorf("empty Polyval = %g, want 0", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Errorf("Linspace[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+	if xs[len(xs)-1] != 1 {
+		t.Error("endpoint must be exact")
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	xs := Logspace(1e-12, 1e-9, 4)
+	if xs[0] != 1e-12 || xs[3] != 1e-9 {
+		t.Errorf("Logspace endpoints %g, %g", xs[0], xs[3])
+	}
+	for i := 1; i < len(xs); i++ {
+		ratio := xs[i] / xs[i-1]
+		if math.Abs(ratio-10) > 1e-6 {
+			t.Errorf("Logspace ratio %g, want 10", ratio)
+		}
+	}
+}
+
+func TestTrapzUniform(t *testing.T) {
+	// Integral of x over [0,1] = 0.5, exact for trapezoid on linear data.
+	xs := Linspace(0, 1, 101)
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	if got := TrapzUniform(ys, 0.01); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TrapzUniform = %g, want 0.5", got)
+	}
+	if TrapzUniform([]float64{1}, 1) != 0 {
+		t.Error("single sample integrates to 0")
+	}
+}
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	// y' = -y, y(0)=1 -> y(1) = 1/e
+	f := func(t float64, y, dy []float64) { dy[0] = -y[0] }
+	y := RK4(f, 0, 1, []float64{1}, 100)
+	if math.Abs(y[0]-math.Exp(-1)) > 1e-8 {
+		t.Errorf("RK4 decay = %.12g, want %.12g", y[0], math.Exp(-1))
+	}
+}
+
+func TestRK4Harmonic(t *testing.T) {
+	// y'' = -y: state (y, y'), y(0)=1, y'(0)=0 -> y(pi) = -1.
+	f := func(t float64, y, dy []float64) {
+		dy[0] = y[1]
+		dy[1] = -y[0]
+	}
+	y := RK4(f, 0, math.Pi, []float64{1, 0}, 1000)
+	if math.Abs(y[0]+1) > 1e-8 || math.Abs(y[1]) > 1e-8 {
+		t.Errorf("RK4 harmonic = %v, want [-1 0]", y)
+	}
+}
+
+func TestRK4PathShape(t *testing.T) {
+	f := func(t float64, y, dy []float64) { dy[0] = 1 }
+	ts, path := RK4Path(f, 0, 2, []float64{0}, 4)
+	if len(ts) != 5 || len(path) != 5 {
+		t.Fatalf("path length %d/%d, want 5", len(ts), len(path))
+	}
+	if ts[0] != 0 || ts[4] != 2 {
+		t.Errorf("time endpoints %g..%g", ts[0], ts[4])
+	}
+	if math.Abs(path[4][0]-2) > 1e-12 {
+		t.Errorf("y(2) = %g, want 2", path[4][0])
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	// Halving the step size should shrink the error by about 2^4 = 16.
+	f := func(t float64, y, dy []float64) { dy[0] = y[0] }
+	exact := math.E
+	err1 := math.Abs(RK4(f, 0, 1, []float64{1}, 10)[0] - exact)
+	err2 := math.Abs(RK4(f, 0, 1, []float64{1}, 20)[0] - exact)
+	ratio := err1 / err2
+	if ratio < 12 || ratio > 20 {
+		t.Errorf("RK4 convergence ratio %g, want ~16", ratio)
+	}
+}

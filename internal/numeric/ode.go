@@ -1,0 +1,68 @@
+package numeric
+
+// ODEFunc is the right-hand side of the system y' = f(t, y). It must write
+// dydt in place; dydt and y have the same length.
+type ODEFunc func(t float64, y, dydt []float64)
+
+// RK4 integrates y' = f(t, y) from t0 to t1 with n fixed steps using the
+// classic fourth-order Runge-Kutta scheme and returns the final state. It is
+// a reference integrator: ssnkit uses it to verify closed-form SSN waveforms
+// against direct integration of the governing ODE, independently of the
+// circuit simulator.
+func RK4(f ODEFunc, t0, t1 float64, y0 []float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	dim := len(y0)
+	y := make([]float64, dim)
+	copy(y, y0)
+	k1 := make([]float64, dim)
+	k2 := make([]float64, dim)
+	k3 := make([]float64, dim)
+	k4 := make([]float64, dim)
+	tmp := make([]float64, dim)
+	h := (t1 - t0) / float64(n)
+	t := t0
+	for step := 0; step < n; step++ {
+		f(t, y, k1)
+		for i := range tmp {
+			tmp[i] = y[i] + 0.5*h*k1[i]
+		}
+		f(t+0.5*h, tmp, k2)
+		for i := range tmp {
+			tmp[i] = y[i] + 0.5*h*k2[i]
+		}
+		f(t+0.5*h, tmp, k3)
+		for i := range tmp {
+			tmp[i] = y[i] + h*k3[i]
+		}
+		f(t+h, tmp, k4)
+		for i := range y {
+			y[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += h
+	}
+	return y
+}
+
+// RK4Path is RK4 but records the state after every step. The returned slices
+// are the time grid (n+1 points including t0) and the state trajectory.
+func RK4Path(f ODEFunc, t0, t1 float64, y0 []float64, n int) ([]float64, [][]float64) {
+	if n < 1 {
+		n = 1
+	}
+	dim := len(y0)
+	ts := make([]float64, n+1)
+	path := make([][]float64, n+1)
+	y := make([]float64, dim)
+	copy(y, y0)
+	ts[0] = t0
+	path[0] = append([]float64(nil), y...)
+	h := (t1 - t0) / float64(n)
+	for step := 1; step <= n; step++ {
+		y = RK4(f, t0+float64(step-1)*h, t0+float64(step)*h, y, 1)
+		ts[step] = t0 + float64(step)*h
+		path[step] = append([]float64(nil), y...)
+	}
+	return ts, path
+}

@@ -1,0 +1,101 @@
+// Package pkgmodel describes chip-package parasitics for SSN analysis: the
+// per-pin inductance, capacitance and resistance of the bonding and package
+// interconnect, and how they combine when several pins/pads are dedicated to
+// the ground net. The PGA numbers match the paper's cited values (5 nH,
+// 1 pF, 10 mOhm per pin); the other classes are typical handbook values.
+package pkgmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pin holds the parasitics of a single package pin plus its bond.
+type Pin struct {
+	L float64 // series inductance, H
+	C float64 // shunt capacitance at the pad node, F
+	R float64 // series resistance, Ohm
+}
+
+// Package is a named package class.
+type Package struct {
+	Name string
+	Pin  Pin
+}
+
+// Catalog of package classes. The paper's experiments use PGA.
+var (
+	PGA = Package{Name: "pga", Pin: Pin{L: 5e-9, C: 1e-12, R: 10e-3}}
+	QFP = Package{Name: "qfp", Pin: Pin{L: 8e-9, C: 1.5e-12, R: 80e-3}}
+	BGA = Package{Name: "bga", Pin: Pin{L: 2e-9, C: 0.8e-12, R: 20e-3}}
+	COB = Package{Name: "cob", Pin: Pin{L: 3e-9, C: 0.5e-12, R: 50e-3}}
+)
+
+// Catalog lists the built-in package classes.
+func Catalog() []Package { return []Package{PGA, QFP, BGA, COB} }
+
+// ByName looks up a package class by name.
+func ByName(name string) (Package, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Package{}, fmt.Errorf("pkgmodel: unknown package %q", name)
+}
+
+// GroundNet is the effective parasitic network seen by the on-chip ground
+// rail when NPads package pins are paralleled for the ground return. The
+// paper's key observation (Sec. 4) is that adding pads trades inductance for
+// capacitance: L scales as 1/n while C scales as n, moving the system toward
+// the under-damped regime where the L-only SSN formula breaks down.
+type GroundNet struct {
+	Pads int     // number of paralleled ground pins
+	L    float64 // effective series inductance, H
+	C    float64 // effective shunt capacitance, F
+	R    float64 // effective series resistance, Ohm
+}
+
+// Ground builds the effective ground net for n paralleled pins of this
+// package. n < 1 is treated as 1.
+func (p Package) Ground(n int) GroundNet {
+	if n < 1 {
+		n = 1
+	}
+	fn := float64(n)
+	return GroundNet{
+		Pads: n,
+		L:    p.Pin.L / fn,
+		C:    p.Pin.C * fn,
+		R:    p.Pin.R / fn,
+	}
+}
+
+// WithMutual derates the paralleling benefit for mutual inductance between
+// adjacent bond wires: with coupling coefficient k (0..1), n paralleled
+// inductors of value L yield L_eff = L*(1+(n-1)k)/n rather than L/n.
+func (g GroundNet) WithMutual(k float64) GroundNet {
+	if k < 0 {
+		k = 0
+	}
+	if k > 1 {
+		k = 1
+	}
+	n := float64(g.Pads)
+	g.L *= 1 + (n-1)*k
+	return g
+}
+
+// ResonantFreq returns the LC resonance frequency of the ground net in Hz,
+// or 0 when either element is absent.
+func (g GroundNet) ResonantFreq() float64 {
+	if g.L <= 0 || g.C <= 0 {
+		return 0
+	}
+	return 1 / (2 * math.Pi * math.Sqrt(g.L*g.C))
+}
+
+// String renders the net for logs and reports.
+func (g GroundNet) String() string {
+	return fmt.Sprintf("ground net (%d pads): L=%.3g H, C=%.3g F, R=%.3g Ohm", g.Pads, g.L, g.C, g.R)
+}

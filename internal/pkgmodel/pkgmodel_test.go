@@ -1,0 +1,94 @@
+package pkgmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogAndByName(t *testing.T) {
+	if len(Catalog()) < 4 {
+		t.Fatal("catalog too small")
+	}
+	p, err := ByName("pga")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's cited PGA values.
+	if p.Pin.L != 5e-9 || p.Pin.C != 1e-12 || p.Pin.R != 10e-3 {
+		t.Errorf("PGA pin = %+v, want 5nH/1pF/10mOhm", p.Pin)
+	}
+	if _, err := ByName("dip"); err == nil {
+		t.Error("unknown package must error")
+	}
+}
+
+func TestGroundScaling(t *testing.T) {
+	g1 := PGA.Ground(1)
+	g4 := PGA.Ground(4)
+	if math.Abs(g4.L-g1.L/4) > 1e-18 {
+		t.Errorf("L: %g, want %g", g4.L, g1.L/4)
+	}
+	if math.Abs(g4.C-4*g1.C) > 1e-18 {
+		t.Errorf("C: %g, want %g", g4.C, 4*g1.C)
+	}
+	if math.Abs(g4.R-g1.R/4) > 1e-18 {
+		t.Errorf("R: %g, want %g", g4.R, g1.R/4)
+	}
+	if g4.Pads != 4 {
+		t.Errorf("Pads = %d", g4.Pads)
+	}
+	if PGA.Ground(0).Pads != 1 {
+		t.Error("n<1 must clamp to 1")
+	}
+}
+
+func TestLCProductInvariant(t *testing.T) {
+	// Doubling pads halves L and doubles C: the LC product (and hence the
+	// resonant frequency) is invariant - the paper's Fig. 4(b) setup.
+	f := func(n8 uint8) bool {
+		n := int(n8%16) + 1
+		a := PGA.Ground(n)
+		b := PGA.Ground(2 * n)
+		return math.Abs(a.L*a.C-b.L*b.C) < 1e-30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithMutual(t *testing.T) {
+	g := PGA.Ground(4)
+	// k=0: no change.
+	if got := g.WithMutual(0).L; got != g.L {
+		t.Errorf("k=0 changed L: %g", got)
+	}
+	// k=1: paralleling gives no benefit at all (L back to single-pin value).
+	if got := g.WithMutual(1).L; math.Abs(got-PGA.Pin.L) > 1e-18 {
+		t.Errorf("k=1 L = %g, want %g", got, PGA.Pin.L)
+	}
+	// Out-of-range k clamps.
+	if got := g.WithMutual(-3).L; got != g.L {
+		t.Error("negative k must clamp to 0")
+	}
+	if got := g.WithMutual(7).L; math.Abs(got-PGA.Pin.L) > 1e-18 {
+		t.Error("k>1 must clamp to 1")
+	}
+}
+
+func TestResonantFreq(t *testing.T) {
+	g := GroundNet{Pads: 1, L: 5e-9, C: 1e-12}
+	want := 1 / (2 * math.Pi * math.Sqrt(5e-9*1e-12))
+	if got := g.ResonantFreq(); math.Abs(got-want) > 1e-3*want {
+		t.Errorf("f0 = %g, want %g", got, want)
+	}
+	if (GroundNet{L: 0, C: 1e-12}).ResonantFreq() != 0 {
+		t.Error("zero-L net must report 0")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if PGA.Ground(2).String() == "" {
+		t.Error("String should render")
+	}
+}

@@ -1,0 +1,125 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/circuit"
+)
+
+func TestAdaptiveRCMatchesAnalytic(t *testing.T) {
+	ckt := circuit.New("rc")
+	ckt.AddV("v1", "in", "0", circuit.DC(1))
+	ckt.AddR("r1", "in", "out", 1e3)
+	ckt.AddC("c1", "out", "0", 1e-9)
+	e, err := New(ckt, Options{Adaptive: true, LTETol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := e.Transient(circuit.TranSpec{Step: 50e-9, Stop: 5e-6, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Get("v(out)")
+	for _, tau := range []float64{1e-6, 2e-6, 4e-6} {
+		want := 1 - math.Exp(-tau/1e-6)
+		if got := w.At(tau); math.Abs(got-want) > 2e-3 {
+			t.Errorf("adaptive RC at %g: %g, want %g", tau, got, want)
+		}
+	}
+}
+
+func TestAdaptiveLCAmplitudeAndPeriod(t *testing.T) {
+	// The undamped LC tank is where LTE control matters: a coarse base
+	// step with adaptive control must still track phase and amplitude.
+	ckt := circuit.New("lc")
+	cp := ckt.AddC("c1", "a", "0", 1e-12)
+	cp.IC = 1
+	ckt.AddL("l1", "a", "0", 1e-9)
+	e, err := New(ckt, Options{Adaptive: true, LTETol: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := e.Transient(circuit.TranSpec{Step: 5e-12, Stop: 1e-9, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Get("v(a)")
+	_, vmax := w.Max()
+	if vmax < 0.97 || vmax > 1.03 {
+		t.Errorf("adaptive LC amplitude %g", vmax)
+	}
+	xs := w.Crossings(0)
+	if len(xs) < 2 {
+		t.Fatalf("too few crossings: %v", xs)
+	}
+	period := 2 * (xs[1] - xs[0])
+	want := 2 * math.Pi * math.Sqrt(1e-9*1e-12)
+	if math.Abs(period-want) > 0.03*want {
+		t.Errorf("adaptive LC period %g, want %g", period, want)
+	}
+}
+
+func TestAdaptiveRefinesSharpTransitions(t *testing.T) {
+	// A fast pulse into an RC with a deliberately coarse base step: the
+	// adaptive run must land substantially more accurate samples around
+	// the edge than the fixed-step run.
+	build := func() *circuit.Circuit {
+		ckt := circuit.New("pulse")
+		ckt.AddV("v1", "in", "0", circuit.Pulse{V1: 0, V2: 1, Delay: 1e-9, Rise: 0.05e-9, Fall: 0.05e-9, Width: 3e-9})
+		ckt.AddR("r1", "in", "out", 100)
+		ckt.AddC("c1", "out", "0", 2e-12)
+		return ckt
+	}
+	run := func(opts Options) int {
+		e, err := New(build(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := e.Transient(circuit.TranSpec{Step: 0.4e-9, Stop: 5e-9, UseIC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set.Waves[0].Len()
+	}
+	fixed := run(Options{})
+	adaptive := run(Options{Adaptive: true, LTETol: 1e-4})
+	if adaptive <= fixed {
+		t.Errorf("adaptive run produced %d samples vs fixed %d; expected refinement around the edge",
+			adaptive, fixed)
+	}
+}
+
+func TestAdaptiveNonlinearDriverArray(t *testing.T) {
+	// Adaptive stepping must survive the nonlinear SSN circuit and agree
+	// with the fine fixed-step reference on the peak.
+	deckText := `nmos pulldown
+vin g 0 ramp(0 1.8 0.1n 1n)
+cl out 0 20p ic=1.8
+m1 out g vssi vssi nch
+lgnd vssi 0 5n
+cgnd vssi 0 1p
+.model nch nmos (level=3 b=27.2m vt0=0.45 alpha=1.24 kv=0.55 gamma=0.4 phi=0.8 lambda=0.06)
+.tran 2.5p 3n uic
+.end
+`
+	parseRun := func(opts Options, step float64) float64 {
+		deck, err := circuit.Parse(strings.NewReader(deckText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deck.Tran.Step = step
+		tran, _, err := Run(deck, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, vmax := tran.Get("v(vssi)").Max()
+		return vmax
+	}
+	ref := parseRun(Options{}, 2.5e-12)                           // fine fixed
+	adp := parseRun(Options{Adaptive: true, LTETol: 1e-4}, 2e-11) // coarse adaptive
+	if math.Abs(adp-ref) > 0.02*ref {
+		t.Errorf("adaptive peak %g vs reference %g", adp, ref)
+	}
+}

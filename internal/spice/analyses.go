@@ -1,0 +1,524 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/waveform"
+)
+
+// OperatingPoint solves the DC operating point at time t (source waveforms
+// evaluated at t; capacitors open, inductors shorted). On plain Newton
+// failure it falls back to gmin stepping, then source stepping.
+func (e *Engine) OperatingPoint(t float64) error {
+	if err := e.solve(t, 0, modeDC); err == nil {
+		return nil
+	}
+	// Gmin stepping: start heavily shunted (easy problem), tighten toward
+	// the real Gmin, reusing each solution as the next starting point.
+	for i := range e.x {
+		e.x[i] = 0
+	}
+	ok := true
+	for g := 1e-2; g >= e.opts.Gmin; g /= 10 {
+		e.gshunt = g
+		if err := e.solve(t, 0, modeDC); err != nil {
+			ok = false
+			break
+		}
+	}
+	e.gshunt = e.opts.Gmin
+	if ok {
+		if err := e.solve(t, 0, modeDC); err == nil {
+			return nil
+		}
+	}
+	// Source stepping: ramp all sources from 0 to full value.
+	for i := range e.x {
+		e.x[i] = 0
+	}
+	for _, k := range []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
+		e.srcScale = k
+		if err := e.solve(t, 0, modeDC); err != nil {
+			e.srcScale = 1
+			return fmt.Errorf("spice: operating point: %w (source stepping at %g%%)", err, k*100)
+		}
+	}
+	e.srcScale = 1
+	return nil
+}
+
+// DCSweepResult holds one waveform per output, indexed by the swept value.
+type DCSweepResult struct {
+	SweptValues []float64
+	Outputs     map[string][]float64 // "v(node)" / "i(elem)" -> values
+}
+
+// DCSweep sweeps the DC value of the named voltage source and solves the
+// operating point at each step, with solution continuation between points.
+func (e *Engine) DCSweep(spec circuit.DCSpec) (*DCSweepResult, error) {
+	var target *vsrcStamp
+	for _, v := range e.vsrc {
+		if equalFold(v.name, spec.Source) {
+			target = v
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("spice: .DC source %q not found", spec.Source)
+	}
+	if spec.Step <= 0 || spec.To < spec.From {
+		return nil, fmt.Errorf("spice: bad .DC range [%g:%g:%g]", spec.From, spec.Step, spec.To)
+	}
+	origWave := target.wave
+	defer func() { target.wave = origWave }()
+
+	res := &DCSweepResult{Outputs: map[string][]float64{}}
+	n := int(math.Floor((spec.To-spec.From)/spec.Step+1e-9)) + 1
+	for k := 0; k < n; k++ {
+		val := spec.From + float64(k)*spec.Step
+		target.wave = circuit.DC(val)
+		if err := e.OperatingPoint(0); err != nil {
+			return nil, fmt.Errorf("spice: .DC at %s=%g: %w", spec.Source, val, err)
+		}
+		res.SweptValues = append(res.SweptValues, val)
+		e.recordInto(res.Outputs)
+	}
+	return res, nil
+}
+
+func (e *Engine) recordInto(out map[string][]float64) {
+	names := e.ckt.NodeNames()
+	for idx := 1; idx < len(names); idx++ {
+		key := "v(" + names[idx] + ")"
+		out[key] = append(out[key], e.x[idx-1])
+	}
+	for _, l := range e.inds {
+		key := "i(" + lower(l.name) + ")"
+		out[key] = append(out[key], e.x[l.br])
+	}
+	for _, v := range e.vsrc {
+		key := "i(" + lower(v.name) + ")"
+		out[key] = append(out[key], e.x[v.br])
+	}
+}
+
+// Transient runs a transient analysis and returns one waveform per node
+// voltage and per inductor/source branch current, named "v(node)" and
+// "i(elem)".
+func (e *Engine) Transient(spec circuit.TranSpec) (*waveform.Set, error) {
+	if spec.Step <= 0 || spec.Stop <= spec.Start {
+		return nil, fmt.Errorf("spice: bad .TRAN spec step=%g stop=%g start=%g", spec.Step, spec.Stop, spec.Start)
+	}
+	// Initial state.
+	if spec.UseIC {
+		for i := range e.x {
+			e.x[i] = 0
+		}
+		for _, c := range e.caps {
+			c.vOld, c.iOld = c.ic, 0
+			// Seed node voltages implied by grounded-capacitor ICs so the
+			// consistency solve below starts close to the answer.
+			if c.n2 == 0 && c.n1 != 0 {
+				e.x[c.n1-1] = c.ic
+			} else if c.n1 == 0 && c.n2 != 0 {
+				e.x[c.n2-1] = -c.ic
+			}
+		}
+		for _, l := range e.inds {
+			l.iOld, l.vOld = l.ic, 0
+			e.x[l.br] = l.ic
+		}
+		for node, v := range e.nodeICs {
+			e.x[node-1] = v
+		}
+		// Consistency solve: a backward-Euler micro-step pins capacitor
+		// voltages and inductor currents to their ICs while letting the
+		// resistive part of the circuit settle, so the first recorded
+		// sample honors both the ICs and the source values at t=start.
+		// The micro-step must stay small enough to pin the reactive state
+		// but large enough that the companion conductances (C/h, L/h) do
+		// not destroy the conditioning of the MNA matrix.
+		e.pinICs = true
+		err := e.solve(spec.Start, spec.Step*1e-3, modeBE)
+		e.pinICs = false
+		if err != nil {
+			return nil, fmt.Errorf("spice: UIC consistency solve: %w", err)
+		}
+		// Re-sync the reactive history with the consistent solution so
+		// element ICs and .IC node pins agree at the first real step.
+		for _, c := range e.caps {
+			c.vOld = e.nodeV(e.x, c.n1) - e.nodeV(e.x, c.n2)
+			c.iOld = 0
+		}
+		for _, l := range e.inds {
+			l.iOld = e.x[l.br]
+			l.vOld = e.nodeV(e.x, l.n1) - e.nodeV(e.x, l.n2)
+		}
+	} else {
+		if err := e.OperatingPoint(spec.Start); err != nil {
+			return nil, err
+		}
+		for _, c := range e.caps {
+			c.vOld = e.nodeV(e.x, c.n1) - e.nodeV(e.x, c.n2)
+			c.iOld = 0
+		}
+		for _, l := range e.inds {
+			l.iOld = e.x[l.br]
+			l.vOld = 0
+		}
+	}
+
+	// Seed transmission-line histories with the initial port state.
+	e.updateTLines(spec.Start)
+
+	// Breakpoints from all sources, restricted to the run window.
+	bps := e.breakpoints(spec.Start, spec.Stop)
+
+	times := []float64{spec.Start}
+	samples := [][]float64{e.snapshot()}
+
+	t := spec.Start
+	h := spec.Step
+	useBE := true // first step and every post-breakpoint step use BE
+	xPrev := make([]float64, e.nUnknown)
+
+	// Transmission lines bound the step to half the shortest delay so the
+	// delayed-wave interpolation stays accurate.
+	if td := e.minTLineDelay(); td > 0 {
+		h = math.Min(h, td/2)
+		spec.Step = math.Min(spec.Step, td/2)
+	}
+
+	for t < spec.Stop-1e-18*spec.Stop {
+		// Target the next time point, clipped to breakpoints and stop time.
+		hEff := math.Min(h, spec.Stop-t)
+		if bp, ok := nextBreak(bps, t); ok && t+hEff > bp {
+			hEff = bp - t
+		}
+		if hEff <= 0 {
+			// Already at a breakpoint boundary; skip past it.
+			bps = dropBreak(bps, t)
+			continue
+		}
+
+		mode := modeTR
+		if useBE {
+			mode = modeBE
+		}
+
+		var stepErr error
+		accepted := false
+		if e.opts.Adaptive && mode == modeTR {
+			hEff, accepted, stepErr = e.adaptiveStep(t, hEff)
+		}
+		if !accepted {
+			copy(xPrev, e.x)
+			stepErr = e.solve(t+hEff, hEff, mode)
+			if stepErr != nil {
+				// Retry with halved steps.
+				recovered := false
+				hTry := hEff / 2
+				for k := 0; k < e.opts.MaxHalvings; k++ {
+					copy(e.x, xPrev)
+					if err2 := e.solve(t+hTry, hTry, modeBE); err2 == nil {
+						hEff = hTry
+						recovered = true
+						break
+					}
+					hTry /= 2
+				}
+				if !recovered {
+					return nil, fmt.Errorf("spice: transient stalled at t=%g: %w", t, stepErr)
+				}
+			}
+			e.updateStates(t+hEff, hEff, useBE)
+		} else if stepErr != nil {
+			return nil, fmt.Errorf("spice: transient stalled at t=%g: %w", t, stepErr)
+		}
+		t += hEff
+		times = append(times, t)
+		samples = append(samples, e.snapshot())
+
+		// Breakpoint handling: if we landed exactly on one, consume it and
+		// restart integration with BE.
+		if bp, ok := nextBreak(bps, t-1e-18*math.Max(1, math.Abs(t))); ok && nearly(bp, t) {
+			bps = dropBreak(bps, bp)
+			useBE = true
+		} else {
+			useBE = false
+		}
+		// Step control: creep back toward the base step after halvings.
+		if hEff < h {
+			h = math.Min(spec.Step, hEff*e.opts.MaxStepGrowth)
+		} else {
+			h = spec.Step
+		}
+	}
+
+	return e.wavesFrom(times, samples)
+}
+
+// reactiveSnapshot captures everything a step mutates, so a trial step can
+// be rolled back.
+type reactiveSnapshot struct {
+	x      []float64
+	caps   [][2]float64 // vOld, iOld per capacitor
+	inds   [][2]float64 // iOld, vOld per inductor
+	tlines [][]tlineSample
+	tlSrc  [][2]float64 // e1, e2 per line
+}
+
+func (e *Engine) saveReactive() *reactiveSnapshot {
+	s := &reactiveSnapshot{x: make([]float64, len(e.x))}
+	copy(s.x, e.x)
+	s.caps = make([][2]float64, len(e.caps))
+	for i, c := range e.caps {
+		s.caps[i] = [2]float64{c.vOld, c.iOld}
+	}
+	s.inds = make([][2]float64, len(e.inds))
+	for i, l := range e.inds {
+		s.inds[i] = [2]float64{l.iOld, l.vOld}
+	}
+	s.tlines = make([][]tlineSample, len(e.tlines))
+	s.tlSrc = make([][2]float64, len(e.tlines))
+	for i, tl := range e.tlines {
+		s.tlines[i] = append([]tlineSample(nil), tl.hist...)
+		s.tlSrc[i] = [2]float64{tl.e1, tl.e2}
+	}
+	return s
+}
+
+func (e *Engine) restoreReactive(s *reactiveSnapshot) {
+	copy(e.x, s.x)
+	for i, c := range e.caps {
+		c.vOld, c.iOld = s.caps[i][0], s.caps[i][1]
+	}
+	for i, l := range e.inds {
+		l.iOld, l.vOld = s.inds[i][0], s.inds[i][1]
+	}
+	for i, tl := range e.tlines {
+		tl.hist = append(tl.hist[:0], s.tlines[i]...)
+		tl.e1, tl.e2 = s.tlSrc[i][0], s.tlSrc[i][1]
+	}
+}
+
+// adaptiveStep attempts a trapezoidal step of at most hWant from time t
+// with step-doubling error control. It returns the step size actually
+// taken and accepted=true when it advanced the engine state itself; on
+// accepted=false (after exhausting retries) the caller falls back to the
+// fixed-step path. A non-nil error is terminal.
+func (e *Engine) adaptiveStep(t, hWant float64) (h float64, accepted bool, err error) {
+	h = hWant
+	snap := e.saveReactive()
+	for attempt := 0; attempt < e.opts.MaxHalvings; attempt++ {
+		// Full step.
+		if err := e.solve(t+h, h, modeTR); err != nil {
+			e.restoreReactive(snap)
+			h /= 2
+			continue
+		}
+		xFull := make([]float64, len(e.x))
+		copy(xFull, e.x)
+		e.restoreReactive(snap)
+
+		// Two half steps (each advances the reactive state).
+		half := h / 2
+		if err := e.solve(t+half, half, modeTR); err != nil {
+			e.restoreReactive(snap)
+			h /= 2
+			continue
+		}
+		e.updateStates(t+half, half, false)
+		if err := e.solve(t+h, half, modeTR); err != nil {
+			e.restoreReactive(snap)
+			h /= 2
+			continue
+		}
+
+		// Richardson estimate for a second-order method: the half-step
+		// solution's error is (xFull - xHalf)/3.
+		est := 0.0
+		for i := range e.x {
+			scale := math.Max(math.Abs(e.x[i]), 1)
+			d := math.Abs(xFull[i]-e.x[i]) / (3 * scale)
+			if d > est {
+				est = d
+			}
+		}
+		if est > e.opts.LTETol {
+			e.restoreReactive(snap)
+			h /= 2
+			continue
+		}
+		// Accept the more accurate two-half-step solution.
+		e.updateStates(t+h, half, false)
+		return h, true, nil
+	}
+	e.restoreReactive(snap)
+	return hWant, false, nil
+}
+
+// updateStates advances the reactive element histories after an accepted
+// step of size h ending at time tNew.
+func (e *Engine) updateStates(tNew, h float64, wasBE bool) {
+	for _, c := range e.caps {
+		v := e.nodeV(e.x, c.n1) - e.nodeV(e.x, c.n2)
+		var i float64
+		if wasBE {
+			i = c.c / h * (v - c.vOld)
+		} else {
+			i = 2*c.c/h*(v-c.vOld) - c.iOld
+		}
+		c.vOld, c.iOld = v, i
+	}
+	for _, l := range e.inds {
+		l.iOld = e.x[l.br]
+		l.vOld = e.nodeV(e.x, l.n1) - e.nodeV(e.x, l.n2)
+	}
+	e.updateTLines(tNew)
+}
+
+func (e *Engine) snapshot() []float64 {
+	s := make([]float64, len(e.x))
+	copy(s, e.x)
+	return s
+}
+
+func (e *Engine) wavesFrom(times []float64, samples [][]float64) (*waveform.Set, error) {
+	set := &waveform.Set{}
+	col := func(idx int) []float64 {
+		out := make([]float64, len(samples))
+		for i, s := range samples {
+			out[i] = s[idx]
+		}
+		return out
+	}
+	names := e.ckt.NodeNames()
+	for idx := 1; idx < len(names); idx++ {
+		w, err := waveform.New("v("+names[idx]+")", times, col(idx-1))
+		if err != nil {
+			return nil, err
+		}
+		set.Add(w)
+	}
+	for _, l := range e.inds {
+		w, err := waveform.New("i("+lower(l.name)+")", times, col(l.br))
+		if err != nil {
+			return nil, err
+		}
+		set.Add(w)
+	}
+	for _, v := range e.vsrc {
+		w, err := waveform.New("i("+lower(v.name)+")", times, col(v.br))
+		if err != nil {
+			return nil, err
+		}
+		set.Add(w)
+	}
+	return set, nil
+}
+
+func (e *Engine) breakpoints(start, stop float64) []float64 {
+	var bps []float64
+	add := func(src circuit.Source) {
+		for _, b := range src.Breakpoints() {
+			if b > start && b < stop {
+				bps = append(bps, b)
+			}
+		}
+	}
+	for _, v := range e.vsrc {
+		add(v.wave)
+	}
+	for _, s := range e.isrc {
+		add(s.wave)
+	}
+	sort.Float64s(bps)
+	// Deduplicate.
+	out := bps[:0]
+	for i, b := range bps {
+		if i == 0 || !nearly(b, out[len(out)-1]) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func nextBreak(bps []float64, t float64) (float64, bool) {
+	for _, b := range bps {
+		if b > t && !nearly(b, t) {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+func dropBreak(bps []float64, upTo float64) []float64 {
+	out := bps[:0]
+	for _, b := range bps {
+		if b > upTo && !nearly(b, upTo) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func nearly(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func equalFold(a, b string) bool { return lower(a) == lower(b) }
+
+// Run executes all analyses requested by a parsed deck and returns the
+// transient waveform set (nil if no .TRAN), the DC sweep result (nil if no
+// .DC), and whether an operating point was computed.
+func Run(deck *circuit.Deck, opts Options) (*waveform.Set, *DCSweepResult, error) {
+	var tranSet *waveform.Set
+	var dcRes *DCSweepResult
+	if deck.OP || deck.Tran == nil && deck.DC == nil {
+		eng, err := New(deck.Circuit, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := eng.OperatingPoint(0); err != nil {
+			return nil, nil, err
+		}
+	}
+	if deck.DC != nil {
+		eng, err := New(deck.Circuit, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		dcRes, err = eng.DCSweep(*deck.DC)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if deck.Tran != nil {
+		eng, err := New(deck.Circuit, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := eng.SetNodeICs(deck.NodeICs); err != nil {
+			return nil, nil, err
+		}
+		tranSet, err = eng.Transient(*deck.Tran)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return tranSet, dcRes, nil
+}

@@ -1,0 +1,315 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+)
+
+func TestEngineXExposesSolution(t *testing.T) {
+	ckt := circuit.New("x")
+	ckt.AddV("v1", "a", "0", circuit.DC(2))
+	ckt.AddR("r1", "a", "0", 1e3)
+	e := mustEngine(t, ckt)
+	if err := e.OperatingPoint(0); err != nil {
+		t.Fatal(err)
+	}
+	x := e.X()
+	if len(x) != 2 { // node a + source branch
+		t.Fatalf("unknown count %d", len(x))
+	}
+	if math.Abs(x[0]-2) > 1e-9 {
+		t.Errorf("x[0] = %g, want 2", x[0])
+	}
+	// Mutating the copy must not touch the engine.
+	x[0] = 99
+	v, _ := e.NodeVoltage("a")
+	if v == 99 {
+		t.Error("X() must return a copy")
+	}
+}
+
+func TestDCSweepWithMOSFET(t *testing.T) {
+	// Sweep the gate of a resistor-loaded NMOS: classic VTC, strictly
+	// decreasing output.
+	ckt := circuit.New("vtc")
+	ckt.AddV("vdd", "vdd", "0", circuit.DC(1.8))
+	ckt.AddV("vin", "g", "0", circuit.DC(0))
+	ckt.AddR("rl", "vdd", "d", 5e3)
+	ckt.AddM("m1", "d", "g", "0", "0", device.C018.Driver(1), circuit.NChannel)
+	e := mustEngine(t, ckt)
+	res, err := e.DCSweep(circuit.DCSpec{Source: "vin", From: 0, To: 1.8, Step: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs["v(d)"]
+	if len(outs) != 19 {
+		t.Fatalf("sweep points = %d", len(outs))
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] > outs[i-1]+1e-6 {
+			t.Fatalf("VTC not monotone at point %d: %g -> %g", i, outs[i-1], outs[i])
+		}
+	}
+	if outs[0] < 1.75 || outs[len(outs)-1] > 0.2 {
+		t.Errorf("VTC endpoints: %g .. %g", outs[0], outs[len(outs)-1])
+	}
+}
+
+func TestOperatingPointFallbacks(t *testing.T) {
+	// A floating-gate MOSFET network exercises the gmin path; the solver
+	// must still find a consistent OP.
+	ckt := circuit.New("floaty")
+	ckt.AddV("vdd", "vdd", "0", circuit.DC(1.8))
+	ckt.AddR("r1", "vdd", "d", 1e5)
+	ckt.AddC("cg", "g", "0", 1e-15) // gate floats except via gmin
+	ckt.AddM("m1", "d", "g", "0", "0", device.C018.Driver(1), circuit.NChannel)
+	e := mustEngine(t, ckt)
+	if err := e.OperatingPoint(0); err != nil {
+		t.Fatal(err)
+	}
+	vg, _ := e.NodeVoltage("g")
+	if math.Abs(vg) > 1e-3 {
+		t.Errorf("floating gate pulled to %g, want ~0 via gmin", vg)
+	}
+	vd, _ := e.NodeVoltage("d")
+	if vd < 1.7 {
+		t.Errorf("off transistor drain = %g, want ~vdd", vd)
+	}
+}
+
+func TestTransientBadSpec(t *testing.T) {
+	ckt := circuit.New("bad")
+	ckt.AddV("v1", "a", "0", circuit.DC(1))
+	ckt.AddR("r1", "a", "0", 1e3)
+	e := mustEngine(t, ckt)
+	if _, err := e.Transient(circuit.TranSpec{Step: 0, Stop: 1e-9}); err == nil {
+		t.Error("zero step must error")
+	}
+	if _, err := e.Transient(circuit.TranSpec{Step: 1e-12, Stop: 0}); err == nil {
+		t.Error("zero stop must error")
+	}
+}
+
+func TestTransientFromOperatingPoint(t *testing.T) {
+	// Non-UIC start: capacitor begins at its DC value, no startup
+	// transient.
+	ckt := circuit.New("op-start")
+	ckt.AddV("v1", "in", "0", circuit.DC(1))
+	ckt.AddR("r1", "in", "out", 1e3)
+	ckt.AddC("c1", "out", "0", 1e-12)
+	e := mustEngine(t, ckt)
+	set, err := e.Transient(circuit.TranSpec{Step: 10e-12, Stop: 3e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Get("v(out)")
+	for _, tt := range []float64{0, 1e-9, 3e-9} {
+		if v := w.At(tt); math.Abs(v-1) > 1e-3 {
+			t.Errorf("settled network moved at %g: %g", tt, v)
+		}
+	}
+}
+
+func TestRunDeckWithOPOnly(t *testing.T) {
+	deck, err := circuit.Parse(strings.NewReader("op only\nv1 a 0 dc 3\nr1 a b 1k\nr2 b 0 2k\n.op\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tran, dc, err := Run(deck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tran != nil || dc != nil {
+		t.Error("OP-only deck must not produce sweep/transient output")
+	}
+}
+
+func TestRunDeckNoAnalyses(t *testing.T) {
+	// A deck with no analysis cards still runs an implicit OP.
+	deck, err := circuit.Parse(strings.NewReader("none\nv1 a 0 dc 3\nr1 a 0 1k\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(deck, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPChannelDCInverter(t *testing.T) {
+	// Full CMOS inverter at DC: in=0 -> out=vdd; in=vdd -> out=0.
+	build := func(vin float64) *Engine {
+		ckt := circuit.New("cmos")
+		ckt.AddV("vdd", "vdd", "0", circuit.DC(1.8))
+		ckt.AddV("vin", "g", "0", circuit.DC(vin))
+		ckt.AddM("mn", "out", "g", "0", "0", device.C018.Driver(1), circuit.NChannel)
+		ckt.AddM("mp", "out", "g", "vdd", "vdd", device.C018.PullUpDriver(1), circuit.PChannel)
+		return mustEngine(t, ckt)
+	}
+	e := build(0)
+	if err := e.OperatingPoint(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.NodeVoltage("out"); v < 1.7 {
+		t.Errorf("inverter(0) = %g, want ~1.8", v)
+	}
+	e = build(1.8)
+	if err := e.OperatingPoint(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e.NodeVoltage("out"); v > 0.1 {
+		t.Errorf("inverter(1.8) = %g, want ~0", v)
+	}
+}
+
+func TestCapacitorBetweenTwoNodes(t *testing.T) {
+	// Floating (node-to-node) capacitor: charge couples the step.
+	ckt := circuit.New("accouple")
+	ckt.AddV("v1", "in", "0", circuit.Pulse{V1: 0, V2: 1, Delay: 0.1e-9, Rise: 1e-12, Fall: 1e-12, Width: 100e-9})
+	ckt.AddC("cc", "in", "out", 1e-12)
+	ckt.AddR("rl", "out", "0", 1e3)
+	e := mustEngine(t, ckt)
+	set, err := e.Transient(circuit.TranSpec{Step: 5e-12, Stop: 5e-9, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := set.Get("v(out)")
+	// Immediately after the edge the full step couples through, then it
+	// decays with tau = RC = 1 ns.
+	if v := w.At(0.12e-9); v < 0.8 {
+		t.Errorf("coupled edge = %g, want ~1", v)
+	}
+	if v := w.At(3.2e-9); math.Abs(v-math.Exp(-3.1)) > 0.05 {
+		t.Errorf("decay at 3.1 tau = %g, want %g", v, math.Exp(-3.1))
+	}
+}
+
+func TestDeviceReportRegions(t *testing.T) {
+	ckt := circuit.New("regions")
+	ckt.AddV("vdd", "vdd", "0", circuit.DC(1.8))
+	ckt.AddV("von", "gon", "0", circuit.DC(1.8))
+	ckt.AddV("voff", "goff", "0", circuit.DC(0))
+	// Saturated: drain held high.
+	ckt.AddM("msat", "vdd", "gon", "0", "0", device.C018.Driver(1), circuit.NChannel)
+	// Triode: strong gate with a resistive load that drags the drain low.
+	ckt.AddR("rt", "vdd", "dlow", 5e3)
+	ckt.AddM("mtri", "dlow", "gon", "0", "0", device.C018.Driver(1), circuit.NChannel)
+	// Off.
+	ckt.AddM("moff", "vdd", "goff", "0", "0", device.C018.Driver(1), circuit.NChannel)
+	// P-channel, on.
+	ckt.AddM("mp", "0", "goff", "vdd", "vdd", device.C018.PullUpDriver(1), circuit.PChannel)
+	e := mustEngine(t, ckt)
+	if err := e.OperatingPoint(0); err != nil {
+		t.Fatal(err)
+	}
+	ops := e.DeviceReport()
+	if len(ops) != 4 {
+		t.Fatalf("device count %d", len(ops))
+	}
+	byName := map[string]DeviceOP{}
+	for _, op := range ops {
+		byName[op.Name] = op
+	}
+	if byName["msat"].Region != "saturation" {
+		t.Errorf("msat region %q", byName["msat"].Region)
+	}
+	if byName["mtri"].Region != "triode" {
+		t.Errorf("mtri region %q", byName["mtri"].Region)
+	}
+	if byName["moff"].Region != "off" {
+		t.Errorf("moff region %q", byName["moff"].Region)
+	}
+	mp := byName["mp"]
+	if !mp.PChannel || mp.Region == "off" {
+		t.Errorf("pmos op: %+v", mp)
+	}
+	if mp.Id >= 0 {
+		t.Errorf("pmos drain->source current %g, want negative (sourcing)", mp.Id)
+	}
+	rep := FormatDeviceReport(ops)
+	for _, want := range []string{"msat", "saturation", "pmos"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if FormatDeviceReport(nil) == "" {
+		t.Error("empty report must render a placeholder")
+	}
+}
+
+func TestNodeICStartsTransientAtValue(t *testing.T) {
+	deck, err := circuit.Parse(strings.NewReader(`icrun
+v1 a 0 dc 0
+r1 a b 1k
+c1 b 0 1p
+.ic v(b)=1.5
+.tran 10p 6n uic
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tran, _, err := Run(deck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tran.Get("v(b)")
+	if v0 := w.At(0); math.Abs(v0-1.5) > 0.01 {
+		t.Errorf("initial node voltage %g, want 1.5", v0)
+	}
+	// Discharges toward 0 with tau = 1 ns.
+	if v := w.At(3e-9); math.Abs(v-1.5*math.Exp(-3)) > 0.02 {
+		t.Errorf("decay at 3 tau = %g, want %g", v, 1.5*math.Exp(-3))
+	}
+}
+
+func TestNodeICUnknownNode(t *testing.T) {
+	ckt := circuit.New("x")
+	ckt.AddV("v1", "a", "0", circuit.DC(1))
+	ckt.AddR("r1", "a", "0", 1e3)
+	e := mustEngine(t, ckt)
+	if err := e.SetNodeICs(map[string]float64{"zz": 1}); err == nil {
+		t.Error("unknown node must error")
+	}
+	if err := e.SetNodeICs(map[string]float64{"0": 1}); err == nil {
+		t.Error("ground node must error")
+	}
+	if err := e.SetNodeICs(nil); err != nil {
+		t.Errorf("empty ICs: %v", err)
+	}
+}
+
+func TestSubcktLadderSimulates(t *testing.T) {
+	// Hierarchical two-stage RC from the netlist: both stages settle to
+	// the source voltage.
+	deck, err := circuit.Parse(strings.NewReader(`hier
+.subckt rcstage in out
+r1 in out 1k
+c1 out 0 1p
+.ends
+v1 a 0 dc 1
+x1 a b rcstage
+x2 b c rcstage
+.tran 10p 20n uic
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tran, _, err := Run(deck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"b", "c"} {
+		w := tran.Get("v(" + node + ")")
+		if w == nil {
+			t.Fatalf("missing v(%s)", node)
+		}
+		if v := w.At(20e-9); math.Abs(v-1) > 0.01 {
+			t.Errorf("v(%s) settled to %g, want 1", node, v)
+		}
+	}
+}

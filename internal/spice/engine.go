@@ -1,0 +1,528 @@
+// Package spice is ssnkit's circuit simulator — the stand-in for the HSPICE
+// runs the paper validates against. It solves circuit.Circuit netlists with
+// modified nodal analysis (MNA): node voltages plus branch currents for
+// voltage sources and inductors as unknowns, Newton-Raphson iteration with
+// damping for the nonlinear MOSFETs, DC operating point with gmin and
+// source stepping fallbacks, and transient analysis with trapezoidal
+// integration (backward-Euler at breakpoints) on an adaptive grid.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+	"ssnkit/internal/linalg"
+)
+
+// Options control solver tolerances and iteration limits. The zero value is
+// replaced by SPICE-conventional defaults.
+type Options struct {
+	RelTol        float64 // relative convergence tolerance (default 1e-4)
+	VNTol         float64 // absolute node-voltage tolerance, V (default 1e-6)
+	AbsTol        float64 // absolute branch-current tolerance, A (default 1e-12)
+	Gmin          float64 // minimum conductance to ground, S (default 1e-12)
+	MaxNewton     int     // Newton iterations per solve (default 120)
+	MaxHalvings   int     // transient step halvings on non-convergence (default 14)
+	MaxStepGrowth float64 // factor limiting step regrowth (default 2)
+	DampLimit     float64 // largest per-iteration voltage update, V (default 1.0)
+
+	// Adaptive enables local-truncation-error control by step doubling:
+	// each step is solved once at h and again as two h/2 sub-steps; the
+	// Richardson difference estimates the error, rejected steps shrink,
+	// smooth regions grow the step back toward TranSpec.Step. Roughly 3x
+	// the work per accepted step, in exchange for accuracy tracking on
+	// stiff or ringing circuits.
+	Adaptive bool
+	LTETol   float64 // relative LTE target per step (default 1e-3)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-4
+	}
+	if o.VNTol <= 0 {
+		o.VNTol = 1e-6
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-12
+	}
+	if o.Gmin <= 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 120
+	}
+	if o.MaxHalvings <= 0 {
+		o.MaxHalvings = 14
+	}
+	if o.MaxStepGrowth <= 1 {
+		o.MaxStepGrowth = 2
+	}
+	if o.DampLimit <= 0 {
+		o.DampLimit = 1.0
+	}
+	if o.LTETol <= 0 {
+		o.LTETol = 1e-3
+	}
+	return o
+}
+
+// ErrNoConvergence reports Newton-Raphson failure after all fallbacks.
+var ErrNoConvergence = errors.New("spice: newton iteration failed to converge")
+
+type integMode int
+
+const (
+	modeDC integMode = iota // capacitors open, inductors shorted
+	modeBE                  // backward Euler with step h
+	modeTR                  // trapezoidal with step h
+)
+
+// compiled element states ---------------------------------------------------
+
+type resStamp struct {
+	n1, n2 int
+	g      float64
+}
+
+type capStamp struct {
+	n1, n2     int
+	c          float64
+	ic         float64
+	vOld, iOld float64
+}
+
+type indStamp struct {
+	n1, n2, br int
+	l          float64
+	ic         float64
+	iOld, vOld float64
+	name       string
+}
+
+type vsrcStamp struct {
+	np, nn, br int
+	wave       circuit.Source
+	name       string
+	// scale < 1 during source stepping
+}
+
+type isrcStamp struct {
+	np, nn int
+	wave   circuit.Source
+}
+
+type fetStamp struct {
+	d, g, s, b int
+	model      device.Model
+	pch        bool
+	name       string
+}
+
+type mutualStamp struct {
+	a, b *indStamp
+	m    float64 // mutual inductance M = K*sqrt(La*Lb), H
+}
+
+// Engine simulates one circuit. It is not safe for concurrent use; create
+// one engine per goroutine.
+type Engine struct {
+	ckt  *circuit.Circuit
+	opts Options
+
+	nNodes   int // including ground
+	nUnknown int
+
+	res    []*resStamp
+	caps   []*capStamp
+	inds   []*indStamp
+	vsrc   []*vsrcStamp
+	isrc   []*isrcStamp
+	fets   []*fetStamp
+	muts   []*mutualStamp
+	tlines []*tlineStamp
+
+	g   *linalg.Matrix
+	rhs []float64
+	lu  *linalg.LU
+	x   []float64 // current solution [v1..v_{n-1}, branch currents]
+
+	srcScale float64 // 1 normally; <1 during source stepping
+	gshunt   float64 // extra conductance to ground; >Gmin during gmin stepping
+
+	nodeICs map[int]float64 // .IC node voltages (node index -> V)
+	pinICs  bool            // true only during the UIC consistency solve
+}
+
+// New compiles a circuit into an engine. The circuit must Validate.
+func New(ckt *circuit.Circuit, opts Options) (*Engine, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, fmt.Errorf("spice: %w", err)
+	}
+	e := &Engine{ckt: ckt, opts: opts.withDefaults(), nNodes: ckt.NumNodes(), srcScale: 1}
+	br := ckt.NumNodes() - 1 // next free unknown index
+	for _, el := range ckt.Elements {
+		switch c := el.(type) {
+		case *circuit.Resistor:
+			e.res = append(e.res, &resStamp{c.N1, c.N2, 1 / c.Ohms})
+		case *circuit.Capacitor:
+			e.caps = append(e.caps, &capStamp{n1: c.N1, n2: c.N2, c: c.Farads, ic: c.IC})
+		case *circuit.Inductor:
+			e.inds = append(e.inds, &indStamp{n1: c.N1, n2: c.N2, br: br, l: c.Henrys, ic: c.IC, name: c.Name})
+			br++
+		case *circuit.VSource:
+			e.vsrc = append(e.vsrc, &vsrcStamp{np: c.Np, nn: c.Nn, br: br, wave: c.Wave, name: c.Name})
+			br++
+		case *circuit.ISource:
+			e.isrc = append(e.isrc, &isrcStamp{np: c.Np, nn: c.Nn, wave: c.Wave})
+		case *circuit.MOSFET:
+			e.fets = append(e.fets, &fetStamp{d: c.D, g: c.G, s: c.S, b: c.B,
+				model: c.Model, pch: c.Pol == circuit.PChannel, name: c.Name})
+		case *circuit.Mutual:
+			// Resolved after the loop once both inductors exist.
+		case *circuit.TLine:
+			e.tlines = append(e.tlines, &tlineStamp{
+				n1p: c.N1p, n1n: c.N1n, n2p: c.N2p, n2n: c.N2n,
+				z0: c.Z0, td: c.Td,
+			})
+		default:
+			return nil, fmt.Errorf("spice: unsupported element type %T", el)
+		}
+	}
+	for _, el := range ckt.Elements {
+		mu, ok := el.(*circuit.Mutual)
+		if !ok {
+			continue
+		}
+		find := func(name string) *indStamp {
+			for _, l := range e.inds {
+				if equalFold(l.name, name) {
+					return l
+				}
+			}
+			return nil
+		}
+		a, b := find(mu.L1), find(mu.L2)
+		if a == nil || b == nil {
+			return nil, fmt.Errorf("spice: mutual %s references unknown inductor", mu.Name)
+		}
+		e.muts = append(e.muts, &mutualStamp{a: a, b: b, m: mu.K * math.Sqrt(a.l*b.l)})
+	}
+	e.nUnknown = br
+	e.g = linalg.NewMatrix(br, br)
+	e.rhs = make([]float64, br)
+	e.lu = linalg.NewLU(br)
+	e.x = make([]float64, br)
+	e.gshunt = e.opts.Gmin
+	return e, nil
+}
+
+// vIdx maps a node index to its unknown index, or -1 for ground.
+func vIdx(node int) int { return node - 1 }
+
+func (e *Engine) nodeV(x []float64, node int) float64 {
+	if node == 0 {
+		return 0
+	}
+	return x[node-1]
+}
+
+// stampG adds conductance g between nodes n1 and n2.
+func (e *Engine) stampG(n1, n2 int, g float64) {
+	if i := vIdx(n1); i >= 0 {
+		e.g.Add(i, i, g)
+		if j := vIdx(n2); j >= 0 {
+			e.g.Add(i, j, -g)
+		}
+	}
+	if j := vIdx(n2); j >= 0 {
+		e.g.Add(j, j, g)
+		if i := vIdx(n1); i >= 0 {
+			e.g.Add(j, i, -g)
+		}
+	}
+}
+
+// stampI adds a current ieq flowing from n1 to n2 *through the element* into
+// the right-hand side (i.e. it is extracted at n1 and injected at n2).
+func (e *Engine) stampI(n1, n2 int, ieq float64) {
+	if i := vIdx(n1); i >= 0 {
+		e.rhs[i] -= ieq
+	}
+	if j := vIdx(n2); j >= 0 {
+		e.rhs[j] += ieq
+	}
+}
+
+// assemble builds G and rhs for the given time, step and mode, linearized
+// around the iterate x.
+func (e *Engine) assemble(t, h float64, mode integMode, x []float64) {
+	e.g.Zero()
+	for i := range e.rhs {
+		e.rhs[i] = 0
+	}
+	// Shunt conductance to ground on every node: keeps floating nodes (gate
+	// networks, open capacitors in DC) nonsingular.
+	for n := 1; n < e.nNodes; n++ {
+		e.g.Add(n-1, n-1, e.gshunt)
+	}
+	for _, r := range e.res {
+		e.stampG(r.n1, r.n2, r.g)
+	}
+	for _, c := range e.caps {
+		switch mode {
+		case modeDC:
+			// open circuit: nothing to stamp
+		case modeBE:
+			geq := c.c / h
+			e.stampG(c.n1, c.n2, geq)
+			e.stampI(c.n1, c.n2, -geq*c.vOld)
+		case modeTR:
+			geq := 2 * c.c / h
+			e.stampG(c.n1, c.n2, geq)
+			e.stampI(c.n1, c.n2, -(geq*c.vOld + c.iOld))
+		}
+	}
+	for _, l := range e.inds {
+		// Branch current column: current leaves n1, enters n2.
+		if i := vIdx(l.n1); i >= 0 {
+			e.g.Add(i, l.br, 1)
+		}
+		if j := vIdx(l.n2); j >= 0 {
+			e.g.Add(j, l.br, -1)
+		}
+		// Branch voltage row.
+		if i := vIdx(l.n1); i >= 0 {
+			e.g.Add(l.br, i, 1)
+		}
+		if j := vIdx(l.n2); j >= 0 {
+			e.g.Add(l.br, j, -1)
+		}
+		switch mode {
+		case modeDC:
+			// Short circuit: v1 - v2 = 0; keep a tiny series resistance to
+			// avoid singular loops of shorts and sources.
+			e.g.Add(l.br, l.br, -1e-6)
+		case modeBE:
+			e.g.Add(l.br, l.br, -l.l/h)
+			e.rhs[l.br] = -l.l / h * l.iOld
+		case modeTR:
+			e.g.Add(l.br, l.br, -2*l.l/h)
+			e.rhs[l.br] = -l.vOld - 2*l.l/h*l.iOld
+		}
+	}
+	// Mutual coupling cross-terms between inductor branch rows. In DC the
+	// inductors are shorts and the coupling vanishes with di/dt.
+	for _, mu := range e.muts {
+		switch mode {
+		case modeBE:
+			mh := mu.m / h
+			e.g.Add(mu.a.br, mu.b.br, -mh)
+			e.g.Add(mu.b.br, mu.a.br, -mh)
+			e.rhs[mu.a.br] -= mh * mu.b.iOld
+			e.rhs[mu.b.br] -= mh * mu.a.iOld
+		case modeTR:
+			mh := 2 * mu.m / h
+			e.g.Add(mu.a.br, mu.b.br, -mh)
+			e.g.Add(mu.b.br, mu.a.br, -mh)
+			e.rhs[mu.a.br] -= mh * mu.b.iOld
+			e.rhs[mu.b.br] -= mh * mu.a.iOld
+		}
+	}
+	for _, v := range e.vsrc {
+		if i := vIdx(v.np); i >= 0 {
+			e.g.Add(i, v.br, 1)
+		}
+		if j := vIdx(v.nn); j >= 0 {
+			e.g.Add(j, v.br, -1)
+		}
+		if i := vIdx(v.np); i >= 0 {
+			e.g.Add(v.br, i, 1)
+		}
+		if j := vIdx(v.nn); j >= 0 {
+			e.g.Add(v.br, j, -1)
+		}
+		e.rhs[v.br] = v.wave.At(t) * e.srcScale
+	}
+	for _, s := range e.isrc {
+		e.stampI(s.np, s.nn, s.wave.At(t)*e.srcScale)
+	}
+	for _, f := range e.fets {
+		e.stampFET(f, x)
+	}
+	for _, tl := range e.tlines {
+		e.stampTLine(tl, t, mode, x)
+	}
+	if e.pinICs {
+		// .IC enforcement during the UIC consistency solve: a stiff Norton
+		// pin to the requested voltage, stronger than any companion
+		// conductance the micro-step produces.
+		const gPin = 1e8
+		for node, v := range e.nodeICs {
+			if i := vIdx(node); i >= 0 {
+				e.g.Add(i, i, gPin)
+				e.rhs[i] += gPin * v
+			}
+		}
+	}
+}
+
+// SetNodeICs registers .IC initial node voltages (applied at the start of a
+// UIC transient). Unknown node names are an error.
+func (e *Engine) SetNodeICs(ics map[string]float64) error {
+	if len(ics) == 0 {
+		return nil
+	}
+	if e.nodeICs == nil {
+		e.nodeICs = map[int]float64{}
+	}
+	for name, v := range ics {
+		idx := e.ckt.LookupNode(name)
+		if idx < 0 {
+			return fmt.Errorf("spice: .IC references unknown node %q", name)
+		}
+		if idx == 0 {
+			return fmt.Errorf("spice: .IC cannot set the ground node")
+		}
+		e.nodeICs[idx] = v
+	}
+	return nil
+}
+
+// stampFET linearizes one MOSFET around iterate x and stamps its companion
+// model. The drain-source current I and its partials with respect to the
+// four terminal voltages are computed with polarity reflection for PMOS.
+func (e *Engine) stampFET(f *fetStamp, x []float64) {
+	vd := e.nodeV(x, f.d)
+	vg := e.nodeV(x, f.g)
+	vs := e.nodeV(x, f.s)
+	vb := e.nodeV(x, f.b)
+
+	var id, jg, jd, jb float64
+	if !f.pch {
+		i, gm, gds, gmbs := f.model.Ids(vg-vs, vd-vs, vb-vs)
+		id, jg, jd, jb = i, gm, gds, gmbs
+	} else {
+		// P-channel: evaluate the mirrored N model; the drain->source
+		// current of the P device is the negative of the mirrored current,
+		// and the chain rule flips each partial twice, leaving jg, jd, jb
+		// equal to the N-model conductances.
+		i, gm, gds, gmbs := f.model.Ids(vs-vg, vs-vd, vs-vb)
+		id, jg, jd, jb = -i, gm, gds, gmbs
+	}
+	js := -(jg + jd + jb)
+
+	// Conductance stamps: row d gets +partials, row s gets -partials.
+	addRow := func(row int, sign float64) {
+		if i := vIdx(row); i >= 0 {
+			if j := vIdx(f.g); j >= 0 {
+				e.g.Add(i, j, sign*jg)
+			}
+			if j := vIdx(f.d); j >= 0 {
+				e.g.Add(i, j, sign*jd)
+			}
+			if j := vIdx(f.b); j >= 0 {
+				e.g.Add(i, j, sign*jb)
+			}
+			if j := vIdx(f.s); j >= 0 {
+				e.g.Add(i, j, sign*js)
+			}
+		}
+	}
+	addRow(f.d, 1)
+	addRow(f.s, -1)
+	ieq := id - jg*vg - jd*vd - jb*vb - js*vs
+	e.stampI(f.d, f.s, ieq)
+}
+
+// converged checks the NR update against the mixed relative/absolute
+// tolerances.
+func (e *Engine) converged(xNew, xOld []float64) bool {
+	nv := e.nNodes - 1
+	for i := range xNew {
+		diff := math.Abs(xNew[i] - xOld[i])
+		scale := math.Max(math.Abs(xNew[i]), math.Abs(xOld[i]))
+		var atol float64
+		if i < nv {
+			atol = e.opts.VNTol
+		} else {
+			atol = e.opts.AbsTol
+		}
+		if diff > e.opts.RelTol*scale+atol {
+			return false
+		}
+	}
+	return true
+}
+
+// solve runs damped Newton-Raphson at time t with the given integration
+// mode, starting from and updating e.x.
+func (e *Engine) solve(t, h float64, mode integMode) error {
+	xOld := make([]float64, e.nUnknown)
+	xNew := make([]float64, e.nUnknown)
+	copy(xOld, e.x)
+	for iter := 0; iter < e.opts.MaxNewton; iter++ {
+		e.assemble(t, h, mode, xOld)
+		if err := e.lu.Factor(e.g); err != nil {
+			return fmt.Errorf("spice: singular MNA matrix at t=%g: %w", t, err)
+		}
+		if err := e.lu.Solve(e.rhs, xNew); err != nil {
+			return err
+		}
+		// Damping: if the largest voltage update exceeds DampLimit, scale
+		// the whole update uniformly to preserve the Newton direction.
+		maxDv := 0.0
+		for i := 0; i < e.nNodes-1; i++ {
+			if d := math.Abs(xNew[i] - xOld[i]); d > maxDv {
+				maxDv = d
+			}
+		}
+		if maxDv > e.opts.DampLimit {
+			k := e.opts.DampLimit / maxDv
+			for i := range xNew {
+				xNew[i] = xOld[i] + k*(xNew[i]-xOld[i])
+			}
+		}
+		if e.converged(xNew, xOld) && (len(e.fets) == 0 || iter > 0) {
+			copy(e.x, xNew)
+			return nil
+		}
+		copy(xOld, xNew)
+	}
+	return fmt.Errorf("%w at t=%g after %d iterations", ErrNoConvergence, t, e.opts.MaxNewton)
+}
+
+// X returns a copy of the current solution vector (for tests).
+func (e *Engine) X() []float64 {
+	out := make([]float64, len(e.x))
+	copy(out, e.x)
+	return out
+}
+
+// NodeVoltage returns the solved voltage of a named node.
+func (e *Engine) NodeVoltage(name string) (float64, error) {
+	idx := e.ckt.LookupNode(name)
+	if idx < 0 {
+		return 0, fmt.Errorf("spice: unknown node %q", name)
+	}
+	return e.nodeV(e.x, idx), nil
+}
+
+// BranchCurrent returns the solved current of a named inductor or voltage
+// source.
+func (e *Engine) BranchCurrent(name string) (float64, error) {
+	for _, l := range e.inds {
+		if l.name == name {
+			return e.x[l.br], nil
+		}
+	}
+	for _, v := range e.vsrc {
+		if v.name == name {
+			return e.x[v.br], nil
+		}
+	}
+	return 0, fmt.Errorf("spice: no branch current for %q", name)
+}

@@ -1,0 +1,85 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/numeric"
+)
+
+// TestRandomRCLaddersMatchRK4 is the simulator's broadest correctness
+// property: for random RC ladder networks driven by a step, the MNA
+// transient must agree with an independent RK4 integration of the same
+// state equations.
+func TestRandomRCLaddersMatchRK4(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nStage := 2 + rng.Intn(4)
+		rs := make([]float64, nStage)
+		cs := make([]float64, nStage)
+		for i := range rs {
+			rs[i] = 100 * (0.5 + rng.Float64()) // 50..150 Ohm
+			cs[i] = 1e-12 * (0.5 + rng.Float64())
+		}
+		const vstep = 1.0
+
+		// Build the ladder: v1 -> r1 -> n1 (c1) -> r2 -> n2 (c2) -> ...
+		ckt := circuit.New("ladder")
+		ckt.AddV("vs", "in", "0", circuit.DC(vstep))
+		prev := "in"
+		for i := 0; i < nStage; i++ {
+			node := nodeLabel(i)
+			ckt.AddR(rLabel(i), prev, node, rs[i])
+			ckt.AddC(cLabel(i), node, "0", cs[i])
+			prev = node
+		}
+		eng, err := New(ckt, Options{})
+		if err != nil {
+			return false
+		}
+		stop := 2e-9
+		set, err := eng.Transient(circuit.TranSpec{Step: 1e-12, Stop: stop, UseIC: true})
+		if err != nil {
+			return false
+		}
+
+		// Independent reference: state equations of the ladder,
+		// cs[i]*dv_i/dt = (v_{i-1}-v_i)/r_i - (v_i - v_{i+1})/r_{i+1}.
+		deriv := func(tt float64, y, dy []float64) {
+			for i := 0; i < nStage; i++ {
+				left := vstep
+				if i > 0 {
+					left = y[i-1]
+				}
+				iin := (left - y[i]) / rs[i]
+				iout := 0.0
+				if i < nStage-1 {
+					iout = (y[i] - y[i+1]) / rs[i+1]
+				}
+				dy[i] = (iin - iout) / cs[i]
+			}
+		}
+		yEnd := numeric.RK4(deriv, 0, stop, make([]float64, nStage), 4000)
+
+		for i := 0; i < nStage; i++ {
+			w := set.Get("v(" + nodeLabel(i) + ")")
+			if w == nil {
+				return false
+			}
+			if math.Abs(w.At(stop)-yEnd[i]) > 2e-3*vstep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeLabel(i int) string { return "n" + string(rune('a'+i)) }
+func rLabel(i int) string    { return "r" + string(rune('a'+i)) }
+func cLabel(i int) string    { return "c" + string(rune('a'+i)) }

@@ -1,0 +1,143 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/circuit"
+)
+
+// risePoint runs a step into R + inductance-network and returns the network
+// current at time tt, from which the effective inductance is inferred via
+// the analytic RL charge curve.
+func effectiveInductance(t *testing.T, build func(ckt *circuit.Circuit), tt float64) float64 {
+	t.Helper()
+	ckt := circuit.New("leff")
+	ckt.AddV("v1", "in", "0", circuit.DC(1))
+	ckt.AddR("r1", "in", "a", 10)
+	build(ckt)
+	e := mustEngine(t, ckt)
+	set, err := e.Transient(circuit.TranSpec{Step: 0.2e-9, Stop: tt * 4, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := set.Get("i(v1)")
+	// i(v1) is the source branch current (negative of load current).
+	iLoad := -i.At(tt)
+	// iLoad = (V/R)(1 - exp(-t R / Leff)) => Leff = -tR / ln(1 - iLoad R/V)
+	x := 1 - iLoad*10/1
+	if x <= 0 || x >= 1 {
+		t.Fatalf("current %g outside the invertible range (x=%g)", iLoad, x)
+	}
+	return -tt * 10 / math.Log(x)
+}
+
+func TestMutualParallelAidingInductors(t *testing.T) {
+	// Two identical parallel inductors with coupling k have
+	// Leff = L(1+k)/2 when connected with the same orientation.
+	const L = 100e-9
+	for _, k := range []float64{0, 0.4, 0.8} {
+		leff := effectiveInductance(t, func(ckt *circuit.Circuit) {
+			ckt.AddL("la", "a", "0", L)
+			ckt.AddL("lb", "a", "0", L)
+			if k != 0 {
+				ckt.AddMutual("k1", "la", "lb", k)
+			}
+		}, 2e-9)
+		want := L * (1 + k) / 2
+		if math.Abs(leff-want) > 0.03*want {
+			t.Errorf("k=%g: Leff = %g, want %g", k, leff, want)
+		}
+	}
+}
+
+func TestMutualSeriesAidingInductors(t *testing.T) {
+	// Series aiding: Leff = L1 + L2 + 2M.
+	const L = 50e-9
+	k := 0.5
+	leff := effectiveInductance(t, func(ckt *circuit.Circuit) {
+		ckt.AddL("la", "a", "mid", L)
+		ckt.AddL("lb", "mid", "0", L)
+		ckt.AddMutual("k1", "la", "lb", k)
+	}, 2e-9)
+	want := 2*L + 2*k*L
+	if math.Abs(leff-want) > 0.03*want {
+		t.Errorf("series aiding Leff = %g, want %g", leff, want)
+	}
+}
+
+func TestMutualEnergyCoupling(t *testing.T) {
+	// Current forced through la induces voltage across open lb:
+	// v2 = M di1/dt.
+	ckt := circuit.New("xfmr")
+	// Ramped current source through la.
+	ramp, err := circuit.NewPWL([]float64{0, 10e-9}, []float64{0, 10e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt.AddI("i1", "0", "p", ramp)
+	ckt.AddL("la", "p", "0", 100e-9)
+	ckt.AddL("lb", "s", "0", 100e-9)
+	ckt.AddR("rload", "s", "0", 1e6) // near-open secondary
+	ckt.AddMutual("k1", "la", "lb", 0.6)
+	e := mustEngine(t, ckt)
+	set, err := e.Transient(circuit.TranSpec{Step: 0.05e-9, Stop: 8e-9, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// di1/dt = 1e6 A/s, M = 0.6*100n = 60n -> v2 = 60 mV. The secondary
+	// current loading shifts it slightly; allow 10%.
+	v2 := set.Get("v(s)").At(5e-9)
+	if math.Abs(math.Abs(v2)-60e-3) > 6e-3 {
+		t.Errorf("induced secondary voltage %g, want ~±60 mV", v2)
+	}
+}
+
+func TestMutualValidation(t *testing.T) {
+	ckt := circuit.New("bad")
+	ckt.AddL("la", "a", "0", 1e-9)
+	ckt.AddL("lb", "b", "0", 1e-9)
+	ckt.AddMutual("k1", "la", "lb", 1.5)
+	if ckt.Validate() == nil {
+		t.Error("|K| >= 1 must fail validation")
+	}
+	ckt2 := circuit.New("bad2")
+	ckt2.AddL("la", "a", "0", 1e-9)
+	ckt2.AddMutual("k1", "la", "nonexistent", 0.5)
+	if ckt2.Validate() == nil {
+		t.Error("unknown inductor must fail validation")
+	}
+	ckt3 := circuit.New("bad3")
+	ckt3.AddL("la", "a", "0", 1e-9)
+	ckt3.AddMutual("k1", "la", "la", 0.5)
+	if ckt3.Validate() == nil {
+		t.Error("self-coupling must fail validation")
+	}
+}
+
+func TestMutualFromNetlist(t *testing.T) {
+	deck, err := circuit.Parse(strings.NewReader(`coupled
+v1 in 0 dc 1
+r1 in a 10
+la a 0 100n
+lb a 0 100n
+k1 la lb 0.8
+.tran 0.2n 8n uic
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tran, _, err := Run(deck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same Leff check as above: Leff = 100n*0.9 = 90n; at t = 2 ns the
+	// current matches the analytic RL curve.
+	i := -tran.Get("i(v1)").At(2e-9)
+	leff := -2e-9 * 10 / math.Log(1-i*10)
+	if math.Abs(leff-90e-9) > 3e-9 {
+		t.Errorf("netlist coupled Leff = %g, want 90n", leff)
+	}
+}

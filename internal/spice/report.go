@@ -1,0 +1,74 @@
+package spice
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeviceOP describes one MOSFET's bias at the current solution — the
+// "operating point report" debugging view every SPICE provides.
+type DeviceOP struct {
+	Name          string
+	Model         string
+	PChannel      bool
+	Vgs, Vds, Vbs float64 // in the device's own (possibly mirrored) frame
+	Id            float64 // drain->source current in circuit orientation, A
+	Gm, Gds       float64 // small-signal conductances, S
+	Region        string  // "off", "triode", "saturation"
+}
+
+// DeviceReport evaluates every MOSFET at the engine's current solution
+// (run OperatingPoint or a Transient first).
+func (e *Engine) DeviceReport() []DeviceOP {
+	out := make([]DeviceOP, 0, len(e.fets))
+	for _, f := range e.fets {
+		vd := e.nodeV(e.x, f.d)
+		vg := e.nodeV(e.x, f.g)
+		vs := e.nodeV(e.x, f.s)
+		vb := e.nodeV(e.x, f.b)
+		op := DeviceOP{Name: f.name, Model: f.model.Name(), PChannel: f.pch}
+		if !f.pch {
+			op.Vgs, op.Vds, op.Vbs = vg-vs, vd-vs, vb-vs
+			op.Id, op.Gm, op.Gds, _ = f.model.Ids(op.Vgs, op.Vds, op.Vbs)
+		} else {
+			op.Vgs, op.Vds, op.Vbs = vs-vg, vs-vd, vs-vb
+			i, gm, gds, _ := f.model.Ids(op.Vgs, op.Vds, op.Vbs)
+			op.Id, op.Gm, op.Gds = -i, gm, gds
+		}
+		mag := op.Id
+		if mag < 0 {
+			mag = -mag
+		}
+		switch {
+		case mag < 1e-9:
+			op.Region = "off"
+		case op.Gds > op.Gm/2:
+			// Channel conductance dominating transconductance marks the
+			// triode region for these models.
+			op.Region = "triode"
+		default:
+			op.Region = "saturation"
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// FormatDeviceReport renders the report as an aligned table.
+func FormatDeviceReport(ops []DeviceOP) string {
+	if len(ops) == 0 {
+		return "(no devices)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-14s %-4s %10s %10s %10s %12s %10s\n",
+		"device", "model", "type", "vgs", "vds", "id", "gm", "region")
+	for _, op := range ops {
+		kind := "nmos"
+		if op.PChannel {
+			kind = "pmos"
+		}
+		fmt.Fprintf(&b, "%-8s %-14s %-4s %10.4g %10.4g %10.4g %12.4g %10s\n",
+			op.Name, op.Model, kind, op.Vgs, op.Vds, op.Id, op.Gm, op.Region)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package spice
+
+import (
+	"sort"
+)
+
+// tlineStamp implements Branin's method of characteristics for an ideal
+// lossless transmission line: each port is a Thevenin equivalent — series
+// Z0 with a source equal to the wave that left the far port one delay ago:
+//
+//	E1(t) = v2(t-Td) + Z0*i2(t-Td)
+//	E2(t) = v1(t-Td) + Z0*i1(t-Td)
+//
+// stamped in Norton form (1/Z0 across the port plus an injected current
+// E/Z0). Port currents flow into the + terminals.
+type tlineStamp struct {
+	n1p, n1n, n2p, n2n int
+	z0, td             float64
+
+	hist []tlineSample // accepted-time history for the delayed waves
+	// Thevenin sources used by the current assemble pass; updateStates
+	// needs them to recover the port currents.
+	e1, e2 float64
+}
+
+type tlineSample struct {
+	t              float64
+	v1, i1, v2, i2 float64
+}
+
+// at interpolates the history at time t; before the first sample the line
+// is quiescent (the zero value).
+func (tl *tlineStamp) at(t float64) tlineSample {
+	n := len(tl.hist)
+	if n == 0 || t <= tl.hist[0].t {
+		if n > 0 && t > tl.hist[0].t-tl.td {
+			// Between the quiescent past and the first sample: still the
+			// first sample's values scaled — flat extrapolation is the
+			// standard choice.
+			return tl.hist[0]
+		}
+		return tlineSample{t: t}
+	}
+	if t >= tl.hist[n-1].t {
+		return tl.hist[n-1]
+	}
+	i := sort.Search(n, func(k int) bool { return tl.hist[k].t >= t })
+	a, b := tl.hist[i-1], tl.hist[i]
+	f := (t - a.t) / (b.t - a.t)
+	lerp := func(x, y float64) float64 { return x + f*(y-x) }
+	return tlineSample{
+		t:  t,
+		v1: lerp(a.v1, b.v1), i1: lerp(a.i1, b.i1),
+		v2: lerp(a.v2, b.v2), i2: lerp(a.i2, b.i2),
+	}
+}
+
+// stampTLine adds the line's Norton companions for the solve at time t.
+// In DC mode the delayed waves are taken from the present iterate, which
+// relaxes toward the correct v1 = v2, i1 = -i2 steady state.
+func (e *Engine) stampTLine(tl *tlineStamp, t float64, mode integMode, x []float64) {
+	g0 := 1 / tl.z0
+	var s tlineSample
+	if mode == modeDC {
+		s = tlineSample{
+			v1: e.nodeV(x, tl.n1p) - e.nodeV(x, tl.n1n),
+			v2: e.nodeV(x, tl.n2p) - e.nodeV(x, tl.n2n),
+			// Port currents from the previous iterate's Thevenin view.
+			i1: (e.nodeV(x, tl.n1p) - e.nodeV(x, tl.n1n) - tl.e1) * g0,
+			i2: (e.nodeV(x, tl.n2p) - e.nodeV(x, tl.n2n) - tl.e2) * g0,
+		}
+	} else {
+		s = tl.at(t - tl.td)
+	}
+	tl.e1 = s.v2 + tl.z0*s.i2
+	tl.e2 = s.v1 + tl.z0*s.i1
+
+	e.stampG(tl.n1p, tl.n1n, g0)
+	e.stampI(tl.n1p, tl.n1n, -tl.e1*g0)
+	e.stampG(tl.n2p, tl.n2n, g0)
+	e.stampI(tl.n2p, tl.n2n, -tl.e2*g0)
+}
+
+// updateTLines appends the accepted solution to each line's history and
+// prunes samples older than one delay behind.
+func (e *Engine) updateTLines(t float64) {
+	for _, tl := range e.tlines {
+		v1 := e.nodeV(e.x, tl.n1p) - e.nodeV(e.x, tl.n1n)
+		v2 := e.nodeV(e.x, tl.n2p) - e.nodeV(e.x, tl.n2n)
+		g0 := 1 / tl.z0
+		s := tlineSample{
+			t:  t,
+			v1: v1, i1: (v1 - tl.e1) * g0,
+			v2: v2, i2: (v2 - tl.e2) * g0,
+		}
+		tl.hist = append(tl.hist, s)
+		// Prune: keep everything within 1.5 delays of the present.
+		cut := 0
+		for cut < len(tl.hist)-1 && tl.hist[cut].t < t-1.5*tl.td {
+			cut++
+		}
+		if cut > 0 {
+			tl.hist = append(tl.hist[:0], tl.hist[cut:]...)
+		}
+	}
+}
+
+// minTLineDelay returns the smallest line delay, or 0 when there are no
+// lines; the transient limits its step to half of it.
+func (e *Engine) minTLineDelay() float64 {
+	min := 0.0
+	for _, tl := range e.tlines {
+		if min == 0 || tl.td < min {
+			min = tl.td
+		}
+	}
+	return min
+}

@@ -1,0 +1,171 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/circuit"
+)
+
+// tlineFixture drives a step through source resistance rs into a 50-Ohm,
+// 1-ns line terminated with rl, and returns near-end and far-end waveforms.
+func tlineFixture(t *testing.T, rs, rl float64, stop float64) (*Engine, nearFar) {
+	t.Helper()
+	ckt := circuit.New("tline")
+	ckt.AddV("v1", "src", "0", circuit.Pulse{V1: 0, V2: 1, Delay: 0.1e-9, Rise: 1e-12, Fall: 1e-12, Width: 100e-9})
+	ckt.AddR("rs", "src", "near", rs)
+	ckt.AddT("t1", "near", "0", "far", "0", 50, 1e-9)
+	ckt.AddR("rl", "far", "0", rl)
+	e := mustEngine(t, ckt)
+	set, err := e.Transient(circuit.TranSpec{Step: 20e-12, Stop: stop, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, nearFar{set.Get("v(near)"), set.Get("v(far)")}
+}
+
+type nearFar struct {
+	near, far interface {
+		At(float64) float64
+	}
+}
+
+func TestTLineMatchedDelay(t *testing.T) {
+	// Rs = Z0, RL = Z0: half the step launches, arrives at the far end
+	// after Td with no reflections.
+	_, w := tlineFixture(t, 50, 50, 5e-9)
+	// Before launch + during flight, far end is quiet.
+	if v := w.far.At(1.0e-9); math.Abs(v) > 1e-3 {
+		t.Errorf("far end moved before the delay: %g", v)
+	}
+	// After arrival: V/2.
+	if v := w.far.At(1.5e-9); math.Abs(v-0.5) > 0.01 {
+		t.Errorf("far end after arrival = %g, want 0.5", v)
+	}
+	// Near end holds V/2 the whole time (matched: no reflection returns).
+	for _, tt := range []float64{0.5e-9, 2e-9, 4e-9} {
+		if v := w.near.At(tt); math.Abs(v-0.5) > 0.01 {
+			t.Errorf("matched near end at %g = %g, want 0.5", tt, v)
+		}
+	}
+}
+
+func TestTLineOpenEndDoubles(t *testing.T) {
+	// Open far end (1 GOhm): the arriving half-step reflects in phase, so
+	// the far end jumps to the full source voltage at Td.
+	_, w := tlineFixture(t, 50, 1e9, 6e-9)
+	if v := w.far.At(1.6e-9); math.Abs(v-1.0) > 0.02 {
+		t.Errorf("open far end = %g, want 1.0", v)
+	}
+	// The reflection reaches the matched source at 2*Td and settles the
+	// near end to 1.0 as well.
+	if v := w.near.At(2.7e-9); math.Abs(v-1.0) > 0.02 {
+		t.Errorf("near end after round trip = %g, want 1.0", v)
+	}
+	// Before the round trip the near end sits at 0.5.
+	if v := w.near.At(1.8e-9); math.Abs(v-0.5) > 0.02 {
+		t.Errorf("near end before round trip = %g, want 0.5", v)
+	}
+}
+
+func TestTLineShortedEndInverts(t *testing.T) {
+	// Shorted far end (1 mOhm): the reflection cancels, near end returns
+	// to ~0 after the round trip.
+	_, w := tlineFixture(t, 50, 1e-3, 6e-9)
+	if v := w.far.At(2e-9); math.Abs(v) > 5e-3 {
+		t.Errorf("shorted far end = %g, want ~0", v)
+	}
+	if v := w.near.At(2.7e-9); math.Abs(v) > 0.03 {
+		t.Errorf("near end after inverted reflection = %g, want ~0", v)
+	}
+}
+
+func TestTLineMismatchedBounceLadder(t *testing.T) {
+	// Rs = 25 (Gamma_s = -1/3), RL = 100 (Gamma_l = +1/3): the classic
+	// bounce diagram. Launch voltage = 1 * 50/(25+50) = 2/3.
+	// far(Td+) = 2/3*(1+1/3) = 8/9. near(2Td+) = 2/3 + 2/9 - 2/27 = 22/27.
+	_, w := tlineFixture(t, 25, 100, 8e-9)
+	if v := w.near.At(0.8e-9); math.Abs(v-2.0/3) > 0.01 {
+		t.Errorf("launch = %g, want %g", v, 2.0/3)
+	}
+	if v := w.far.At(1.7e-9); math.Abs(v-8.0/9) > 0.01 {
+		t.Errorf("first far bounce = %g, want %g", v, 8.0/9)
+	}
+	if v := w.near.At(2.8e-9); math.Abs(v-22.0/27) > 0.01 {
+		t.Errorf("second near level = %g, want %g", v, 22.0/27)
+	}
+	// Steady state: full divider 100/125 = 0.8.
+	if v := w.far.At(7.8e-9); math.Abs(v-0.8) > 0.02 {
+		t.Errorf("settled far end = %g, want 0.8", v)
+	}
+}
+
+func TestTLineValidation(t *testing.T) {
+	ckt := circuit.New("bad")
+	ckt.AddT("t1", "a", "0", "b", "0", 0, 1e-9)
+	if ckt.Validate() == nil {
+		t.Error("zero impedance must fail")
+	}
+	ckt2 := circuit.New("bad2")
+	ckt2.AddT("t1", "a", "0", "b", "0", 50, 0)
+	if ckt2.Validate() == nil {
+		t.Error("zero delay must fail")
+	}
+}
+
+func TestTLineFromNetlist(t *testing.T) {
+	deck, err := circuit.Parse(strings.NewReader(`line
+v1 src 0 pulse(0 1 0.1n 1p 1p 100n 0)
+rs src near 50
+t1 near 0 far 0 z0=50 td=1n
+rl far 0 50
+.tran 20p 4n uic
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tran, _, err := Run(deck, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := tran.Get("v(far)")
+	if v := far.At(1.5e-9); math.Abs(v-0.5) > 0.01 {
+		t.Errorf("netlist matched line far end = %g, want 0.5", v)
+	}
+}
+
+func TestTLineParserErrors(t *testing.T) {
+	for _, deck := range []string{
+		"l\nt1 a 0 b 0 z0=50\nr1 a 0 1\n.end\n",        // missing td
+		"l\nt1 a 0 b 0 td=1n\nr1 a 0 1\n.end\n",        // missing z0
+		"l\nt1 a 0 b 0 z0=50 foo=1\nr1 a 0 1\n.end\n",  // unknown param
+		"l\nt1 a 0 b z0=50 td=1n\nr1 a 0 1\n.end\n",    // short card
+		"l\nt1 a 0 b 0 z0=bad td=1n\nr1 a 0 1\n.end\n", // bad value
+	} {
+		if _, err := circuit.Parse(strings.NewReader(deck)); err == nil {
+			t.Errorf("deck accepted:\n%s", deck)
+		}
+	}
+}
+
+func TestTLineFormatRoundTrip(t *testing.T) {
+	ckt := circuit.New("rt")
+	ckt.AddV("v1", "a", "0", circuit.DC(1))
+	ckt.AddR("r1", "a", "0", 50)
+	ckt.AddT("t1", "a", "0", "b", "0", 75, 2e-9)
+	ckt.AddR("r2", "b", "0", 75)
+	var sb strings.Builder
+	if err := circuit.Format(&sb, &circuit.Deck{Circuit: ckt}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := circuit.Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	tl, ok := back.Circuit.FindElement("t1").(*circuit.TLine)
+	if !ok || tl.Z0 != 75 || tl.Td != 2e-9 {
+		t.Errorf("round-tripped tline: %+v", tl)
+	}
+}

@@ -1,0 +1,124 @@
+package ssn
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/numeric"
+)
+
+// AlphaParams are saturation-region alpha-power-law parameters
+// Id = B·(Vgs - Vt)^Alpha, the device description the prior-art SSN models
+// are built on (extract with device.ExtractAlphaPowerSat).
+type AlphaParams struct {
+	B     float64 // drive strength, A/V^Alpha
+	Vt    float64 // threshold voltage, V
+	Alpha float64 // velocity-saturation index
+}
+
+// Validate reports whether the parameters are physical.
+func (a AlphaParams) Validate() error {
+	switch {
+	case a.B <= 0:
+		return fmt.Errorf("ssn: alpha-power B = %g must be positive", a.B)
+	case a.Vt < 0:
+		return fmt.Errorf("ssn: alpha-power Vt = %g must be non-negative", a.Vt)
+	case a.Alpha < 1 || a.Alpha > 2:
+		return fmt.Errorf("ssn: alpha-power Alpha = %g outside [1, 2]", a.Alpha)
+	}
+	return nil
+}
+
+// BaselineInput bundles the circuit-side parameters shared by the baseline
+// estimates (they all neglect the pad capacitance, as published).
+type BaselineInput struct {
+	N     int     // simultaneously switching drivers
+	L     float64 // ground inductance, H
+	Vdd   float64 // input swing, V
+	Slope float64 // input slope, V/s
+}
+
+func (b BaselineInput) validate(vt float64) error {
+	if b.N < 1 {
+		return fmt.Errorf("ssn: baseline N = %d must be at least 1", b.N)
+	}
+	if b.L <= 0 || b.Slope <= 0 {
+		return fmt.Errorf("ssn: baseline L = %g, slope = %g must be positive", b.L, b.Slope)
+	}
+	if b.Vdd <= vt {
+		return fmt.Errorf("ssn: baseline Vdd = %g must exceed Vt = %g", b.Vdd, vt)
+	}
+	return nil
+}
+
+// SquareLawMax is the long-channel quasi-static estimate in the style of
+// Senthinathan & Prince (1991): square-law devices Id = Kp/2·(Vgs-Vt)², the
+// noise evaluated at the end of the ramp with the bounce feedback
+// linearized (V̇n neglected against the input slope):
+//
+//	Vn = N·L·Kp·s·(Vdd - Vt - Vn)  =>  Vn = g·(Vdd-Vt)/(1+g),  g = N·L·Kp·s.
+//
+// Kp is the square-law transconductance factor (A/V²).
+func SquareLawMax(in BaselineInput, kp, vt float64) (float64, error) {
+	if err := in.validate(vt); err != nil {
+		return 0, err
+	}
+	if kp <= 0 {
+		return 0, fmt.Errorf("ssn: square-law Kp = %g must be positive", kp)
+	}
+	g := float64(in.N) * in.L * kp * in.Slope
+	return g * (in.Vdd - vt) / (1 + g), nil
+}
+
+// VemuruMax reconstructs the Vemuru (1996)-style estimate: alpha-power
+// devices with the *constant current-derivative* assumption — the factor
+// B·α·(Vgs-Vt)^(α-1) in dId/dt is frozen at its full-drive value
+// geff = B·α·(Vdd-Vt)^(α-1). The bounce ODE then collapses to the same
+// first-order form as the ASDM solution with K -> geff and a -> 1:
+//
+//	Vmax = N·L·geff·s · (1 - exp(-(Vdd-Vt)/(N·L·geff·s))).
+//
+// Freezing the derivative at full drive overweights the late, steep part of
+// the I-V curve, which is the inaccuracy the paper's Fig. 3 exhibits.
+func VemuruMax(in BaselineInput, ap AlphaParams) (float64, error) {
+	if err := ap.Validate(); err != nil {
+		return 0, err
+	}
+	if err := in.validate(ap.Vt); err != nil {
+		return 0, err
+	}
+	geff := ap.B * ap.Alpha * math.Pow(in.Vdd-ap.Vt, ap.Alpha-1)
+	beta := float64(in.N) * in.L * geff * in.Slope
+	return beta * (1 - math.Exp(-(in.Vdd-ap.Vt)/beta)), nil
+}
+
+// SongMax reconstructs the Song et al. (1999)-style estimate: alpha-power
+// devices with the bounce assumed *linear in time*, Vn(τ) = Vm·τ/τr. The
+// gate overdrive then grows with the reduced slope s' = s - Vm/τr, giving
+// Id = B·(s'·τ)^α and the implicit equation at the ramp end
+//
+//	Vm = N·L·B·α·(s - Vm/τr)^α · τr^(α-1),
+//
+// solved here by damped fixed-point iteration.
+func SongMax(in BaselineInput, ap AlphaParams) (float64, error) {
+	if err := ap.Validate(); err != nil {
+		return 0, err
+	}
+	if err := in.validate(ap.Vt); err != nil {
+		return 0, err
+	}
+	taur := (in.Vdd - ap.Vt) / in.Slope
+	nlb := float64(in.N) * in.L * ap.B * ap.Alpha
+	g := func(vm float64) float64 {
+		sEff := in.Slope - vm/taur
+		if sEff < 0 {
+			sEff = 0
+		}
+		return nlb * math.Pow(sEff, ap.Alpha) * math.Pow(taur, ap.Alpha-1)
+	}
+	vm, err := numeric.FixedPoint(g, 0, 1e-12*in.Vdd+1e-15, 0.5)
+	if err != nil {
+		return 0, fmt.Errorf("ssn: song baseline: %w", err)
+	}
+	return vm, nil
+}

@@ -1,0 +1,84 @@
+package ssn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDelayPushoutBasics(t *testing.T) {
+	p := refParams()
+	dt, err := DelayPushout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Fatalf("pushout = %g, want positive", dt)
+	}
+	// Pushout is bounded by the charge argument: the lost drive is at most
+	// a * beta over (window + tail).
+	bound := p.Dev.A * p.Beta() * (p.TauRise() + p.TimeConstant()) / (p.Vdd - p.Dev.V0)
+	if dt >= bound {
+		t.Errorf("pushout %g above the crude bound %g", dt, bound)
+	}
+}
+
+func TestDelayPushoutGrowsWithN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		dt, err := DelayPushout(refParams().WithN(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dt <= prev {
+			t.Errorf("pushout not increasing at N=%d: %g", n, dt)
+		}
+		prev = dt
+	}
+}
+
+func TestDelayPushoutVanishesWithL(t *testing.T) {
+	tiny, err := DelayPushout(refParams().WithGround(1e-14, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real5n, err := DelayPushout(refParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny > real5n/100 {
+		t.Errorf("near-ideal ground pushout %g not negligible vs %g", tiny, real5n)
+	}
+}
+
+func TestDelayPushoutMatchesNumericIntegral(t *testing.T) {
+	// The closed-form ramp+tail integral against numeric integration of
+	// the LModel waveform plus the exact exponential-tail term.
+	p := refParams()
+	m, _ := NewLModel(p)
+	tauR := p.TauRise()
+	tauC := p.TimeConstant()
+	const n = 200000
+	sum := 0.0
+	h := tauR / n
+	for i := 0; i < n; i++ {
+		sum += m.V((float64(i) + 0.5) * h)
+	}
+	sum *= h
+	sum += m.V(tauR) * tauC // decay tail
+	want := p.Dev.A * sum / (p.Vdd - p.Dev.V0)
+	got, err := DelayPushout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-4*want {
+		t.Errorf("pushout %g vs numeric %g", got, want)
+	}
+}
+
+func TestDelayPushoutValidation(t *testing.T) {
+	bad := refParams()
+	bad.N = 0
+	if _, err := DelayPushout(bad); err == nil {
+		t.Error("invalid params must error")
+	}
+}

@@ -1,0 +1,241 @@
+package ssn
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/waveform"
+)
+
+// Case identifies which of the paper's Table 1 formulas applies.
+type Case int
+
+// The four operating cases of the LC model (Table 1).
+const (
+	OverDamped          Case = iota + 1 // Δ > 0: max at ramp end
+	CriticallyDamped                    // Δ = 0: max at ramp end
+	UnderDampedPeak                     // Δ < 0, first peak inside the ramp (slow input)
+	UnderDampedBoundary                 // Δ < 0, ramp ends before the first peak (fast input)
+)
+
+func (c Case) String() string {
+	switch c {
+	case OverDamped:
+		return "over-damped"
+	case CriticallyDamped:
+		return "critically damped"
+	case UnderDampedPeak:
+		return "under-damped (max at first peak)"
+	case UnderDampedBoundary:
+		return "under-damped (max at ramp end)"
+	default:
+		return fmt.Sprintf("case(%d)", int(c))
+	}
+}
+
+// LCModel is the paper's Sec. 4 model: ground inductance L plus pad
+// capacitance C. KCL at the bounce node and the inductor equation combine
+// into the second-order ODE (Eq. 13)
+//
+//	L·C·V̈ + N·L·K·a·V̇ + V = β,   V(0) = V̇(0) = 0,
+//
+// whose maximum over the ramp window is given by one of four closed forms
+// depending on the damping and the input speed (Table 1).
+type LCModel struct {
+	P Params
+
+	// derived quantities, fixed at construction
+	beta   float64
+	tauR   float64
+	sigma  float64 // decay rate N·K·a/(2C) (under/critically damped)
+	omega  float64 // ringing frequency (under-damped only)
+	l1, l2 float64 // real eigenvalues (over-damped only)
+	cse    Case
+}
+
+// critTol is the relative tolerance inside which the discriminant counts as
+// critically damped; exact equality is measure-zero in floating point.
+const critTol = 1e-9
+
+// NewLCModel validates parameters, classifies the operating case and
+// precomputes the eigenstructure. C = 0 is allowed and reduces to the
+// over-damped formulas in the L-only limit (use LModel directly when no
+// capacitance estimate exists at all).
+func NewLCModel(p Params) (*LCModel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &LCModel{P: p, beta: p.Beta(), tauR: p.TauRise()}
+	nlka := float64(p.N) * p.L * p.Dev.K * p.Dev.A
+	if p.C == 0 {
+		// Degenerate first-order system: one finite eigenvalue -1/(NLKa)
+		// and one at -infinity. Treat as over-damped with the L-only
+		// waveform; the formulas below special-case l2 = -Inf.
+		m.cse = OverDamped
+		m.l1 = -1 / nlka
+		m.l2 = math.Inf(-1)
+		return m, nil
+	}
+	disc := nlka*nlka - 4*p.L*p.C
+	scale := nlka * nlka
+	m.sigma = float64(p.N) * p.Dev.K * p.Dev.A / (2 * p.C)
+	switch {
+	case math.Abs(disc) <= critTol*scale:
+		m.cse = CriticallyDamped
+	case disc > 0:
+		m.cse = OverDamped
+		root := math.Sqrt(disc)
+		m.l1 = (-nlka + root) / (2 * p.L * p.C) // slow (less negative) root
+		m.l2 = (-nlka - root) / (2 * p.L * p.C)
+	default:
+		m.omega = math.Sqrt(1/(p.L*p.C) - m.sigma*m.sigma)
+		if m.firstPeakTime() <= m.tauR {
+			m.cse = UnderDampedPeak
+		} else {
+			m.cse = UnderDampedBoundary
+		}
+	}
+	return m, nil
+}
+
+// Case returns the operating case the model classified at construction.
+func (m *LCModel) Case() Case { return m.cse }
+
+// Sigma returns the exponential decay rate σ = N·K·a/(2C) (0 when C = 0).
+func (m *LCModel) Sigma() float64 { return m.sigma }
+
+// Omega returns the damped ringing frequency ω (0 unless under-damped).
+func (m *LCModel) Omega() float64 { return m.omega }
+
+// firstPeakTime returns τp = π/ω, the time of the first SSN peak in the
+// under-damped regime (Eq. 25).
+func (m *LCModel) firstPeakTime() float64 { return math.Pi / m.omega }
+
+// FirstPeakTime exposes τp; it returns +Inf outside the under-damped
+// regime, where the response has no interior peak.
+func (m *LCModel) FirstPeakTime() float64 {
+	if m.cse == UnderDampedPeak || m.cse == UnderDampedBoundary {
+		return m.firstPeakTime()
+	}
+	return math.Inf(1)
+}
+
+// V returns the SSN voltage at model time τ (τ = 0 at device turn-on),
+// clamped to the model window like LModel.V.
+func (m *LCModel) V(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	if tau > m.tauR {
+		tau = m.tauR
+	}
+	switch m.cse {
+	case OverDamped:
+		if math.IsInf(m.l2, -1) {
+			// L-only limit.
+			return m.beta * (1 - math.Exp(m.l1*tau))
+		}
+		num := m.l2*math.Exp(m.l1*tau) - m.l1*math.Exp(m.l2*tau)
+		return m.beta * (1 - num/(m.l2-m.l1))
+	case CriticallyDamped:
+		l := -m.sigma
+		return m.beta * (1 - (1-l*tau)*math.Exp(l*tau))
+	default: // under-damped
+		e := math.Exp(-m.sigma * tau)
+		return m.beta * (1 - e*(math.Cos(m.omega*tau)+m.sigma/m.omega*math.Sin(m.omega*tau)))
+	}
+}
+
+// VDot returns dV/dτ at model time τ within the window (0 outside).
+func (m *LCModel) VDot(tau float64) float64 {
+	if tau <= 0 || tau > m.tauR {
+		return 0
+	}
+	switch m.cse {
+	case OverDamped:
+		if math.IsInf(m.l2, -1) {
+			return -m.beta * m.l1 * math.Exp(m.l1*tau)
+		}
+		num := m.l1*m.l2*math.Exp(m.l1*tau) - m.l2*m.l1*math.Exp(m.l2*tau)
+		return -m.beta * num / (m.l2 - m.l1)
+	case CriticallyDamped:
+		l := -m.sigma
+		return m.beta * l * l * tau * math.Exp(l*tau)
+	default:
+		e := math.Exp(-m.sigma * tau)
+		w, s := m.omega, m.sigma
+		return m.beta * e * (s*s/w + w) * math.Sin(w*tau)
+	}
+}
+
+// ITotal returns the total transistor current N·Id(τ) = N·K·(s·τ - a·V(τ)).
+func (m *LCModel) ITotal(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	if tau > m.tauR {
+		tau = m.tauR
+	}
+	p := m.P
+	return float64(p.N) * p.Dev.K * (p.Slope*tau - p.Dev.A*m.V(tau))
+}
+
+// IInductor returns the inductor branch current I_L = N·Id - C·V̇.
+func (m *LCModel) IInductor(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	return m.ITotal(tau) - m.P.C*m.VDot(tau)
+}
+
+// VMax evaluates the Table 1 formula for the operating case:
+//
+//	over/critically damped, under-damped boundary: V(τr) (monotone rise,
+//	    or the ramp ends before the first peak develops);
+//	under-damped peak: β·(1 + exp(-σπ/ω)) at τp = π/ω (Eq. 24).
+func (m *LCModel) VMax() float64 {
+	if m.cse == UnderDampedPeak {
+		return m.beta * (1 + math.Exp(-m.sigma*math.Pi/m.omega))
+	}
+	return m.V(m.tauR)
+}
+
+// VMaxTime returns the model time of the maximum.
+func (m *LCModel) VMaxTime() float64 {
+	if m.cse == UnderDampedPeak {
+		return m.firstPeakTime()
+	}
+	return m.tauR
+}
+
+// Waveforms samples V and the inductor current in absolute circuit time
+// (see LModel.Waveforms).
+func (m *LCModel) Waveforms(rampStart float64, n int) (v, i *waveform.Waveform, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ssn: need at least 2 samples, got %d", n)
+	}
+	t0 := rampStart + m.P.TurnOnDelay()
+	v, err = waveform.FromFunc("model:v(vssi)", func(t float64) float64 {
+		return m.V(t - t0)
+	}, rampStart, t0+m.tauR, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	i, err = waveform.FromFunc("model:i(lgnd)", func(t float64) float64 {
+		return m.IInductor(t - t0)
+	}, rampStart, t0+m.tauR, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, i, nil
+}
+
+// MaxSSN is the one-call API most users need: classify the case and return
+// the Table 1 maximum along with the case.
+func MaxSSN(p Params) (float64, Case, error) {
+	m, err := NewLCModel(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.VMax(), m.Case(), nil
+}

@@ -1,0 +1,95 @@
+package ssn
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/waveform"
+)
+
+// LModel is the paper's Sec. 3 closed form: the ground inductance is the
+// only parasitic. Inserting the ASDM into V = L·d(N·Id)/dt gives the
+// first-order ODE
+//
+//	V + N·L·K·a·V̇ = N·L·K·s = β
+//
+// with V(0) = 0 at device turn-on, solved by Eq. (6):
+//
+//	V(τ) = β·(1 - exp(-τ/(N·L·K·a))),   0 ≤ τ ≤ τr.
+type LModel struct {
+	P Params
+}
+
+// NewLModel validates the parameters and builds the model. A non-zero C in
+// the parameters is ignored by design — that is the approximation the
+// LCModel quantifies.
+func NewLModel(p Params) (*LModel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &LModel{P: p}, nil
+}
+
+// V returns the SSN voltage at model time τ (τ = 0 at device turn-on).
+// Outside [0, τr] the model is undefined; V clamps to 0 before turn-on and
+// reports the boundary value at τr afterwards.
+func (m *LModel) V(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	tr := m.P.TauRise()
+	if tau > tr {
+		tau = tr
+	}
+	return m.P.Beta() * (1 - math.Exp(-tau/m.P.TimeConstant()))
+}
+
+// I returns the total inductor (= N-driver) current at model time τ,
+// Eq. (8): I(τ) = N·K·(s·τ - a·V(τ)).
+func (m *LModel) I(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	tr := m.P.TauRise()
+	if tau > tr {
+		tau = tr
+	}
+	p := m.P
+	return float64(p.N) * p.Dev.K * (p.Slope*tau - p.Dev.A*m.V(tau))
+}
+
+// VMax returns the maximum SSN voltage, Eq. (7)/(10):
+//
+//	Vmax = β·(1 - exp(-(Vdd-V0)/(a·β))),
+//
+// reached at the end of the input ramp (the L-only response is monotone).
+func (m *LModel) VMax() float64 {
+	p := m.P
+	beta := p.Beta()
+	return beta * (1 - math.Exp(-(p.Vdd-p.Dev.V0)/(p.Dev.A*beta)))
+}
+
+// Waveforms samples the SSN voltage and inductor current on n uniform
+// points across the model window, in absolute circuit time (rampStart is
+// the instant the input ramp leaves 0 V). Waveform names follow the
+// simulator convention with a "model:" prefix.
+func (m *LModel) Waveforms(rampStart float64, n int) (v, i *waveform.Waveform, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ssn: need at least 2 samples, got %d", n)
+	}
+	t0 := rampStart + m.P.TurnOnDelay()
+	tr := m.P.TauRise()
+	v, err = waveform.FromFunc("model:v(vssi)", func(t float64) float64 {
+		return m.V(t - t0)
+	}, rampStart, t0+tr, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	i, err = waveform.FromFunc("model:i(lgnd)", func(t float64) float64 {
+		return m.I(t - t0)
+	}, rampStart, t0+tr, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, i, nil
+}

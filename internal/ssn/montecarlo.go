@@ -1,0 +1,117 @@
+package ssn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Variation describes relative (1-sigma, Gaussian) process and environment
+// spreads applied per Monte Carlo sample. Zero fields do not vary.
+type Variation struct {
+	K     float64 // device transconductance spread (process corner)
+	V0    float64 // displacement-voltage spread
+	A     float64 // source-sensitivity spread
+	L     float64 // ground-inductance spread (bond length/loop variation)
+	C     float64 // pad-capacitance spread
+	Slope float64 // input edge-rate spread (driver PVT)
+}
+
+// MCResult summarizes a Monte Carlo run over MaxSSN.
+type MCResult struct {
+	Samples int
+	Mean    float64
+	StdDev  float64
+	Min     float64
+	Max     float64
+	P95     float64 // 95th percentile — the sign-off number
+	P99     float64
+	// CaseCounts histograms the operating case across samples; a design
+	// sitting near the critical capacitance will straddle regimes.
+	CaseCounts map[Case]int
+}
+
+// MonteCarlo draws n samples of the parameters with the given relative
+// spreads and evaluates the four-case maximum for each. The generator seed
+// makes runs reproducible. Samples whose draw is unphysical (e.g. negative
+// K) are redrawn; n must be at least 10.
+func MonteCarlo(p Params, v Variation, n int, seed int64) (*MCResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 10 {
+		return nil, fmt.Errorf("ssn: MonteCarlo needs at least 10 samples, got %d", n)
+	}
+	for _, s := range []float64{v.K, v.V0, v.A, v.L, v.C, v.Slope} {
+		if s < 0 || s > 0.5 {
+			return nil, fmt.Errorf("ssn: variation sigma %g outside [0, 0.5]", s)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, 0, n)
+	res := &MCResult{Samples: n, Min: math.Inf(1), Max: math.Inf(-1), CaseCounts: map[Case]int{}}
+
+	draw := func(nominal, sigma float64) float64 {
+		if sigma == 0 {
+			return nominal
+		}
+		return nominal * (1 + sigma*rng.NormFloat64())
+	}
+	for len(vals) < n {
+		q := p
+		q.Dev.K = draw(p.Dev.K, v.K)
+		q.Dev.V0 = draw(p.Dev.V0, v.V0)
+		q.Dev.A = draw(p.Dev.A, v.A)
+		q.L = draw(p.L, v.L)
+		q.C = draw(p.C, v.C)
+		q.Slope = draw(p.Slope, v.Slope)
+		if q.Validate() != nil {
+			continue // unphysical tail draw; retry
+		}
+		vm, cse, err := MaxSSN(q)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, vm)
+		res.CaseCounts[cse]++
+		res.Mean += vm
+		if vm < res.Min {
+			res.Min = vm
+		}
+		if vm > res.Max {
+			res.Max = vm
+		}
+	}
+	res.Mean /= float64(n)
+	ss := 0.0
+	for _, x := range vals {
+		d := x - res.Mean
+		ss += d * d
+	}
+	res.StdDev = math.Sqrt(ss / float64(n-1))
+	sort.Float64s(vals)
+	res.P95 = percentile(vals, 0.95)
+	res.P99 = percentile(vals, 0.99)
+	return res, nil
+}
+
+// percentile returns the q-quantile of sorted values by linear
+// interpolation.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func (r *MCResult) String() string {
+	return fmt.Sprintf("MC(n=%d): mean %.4g V, sd %.3g V, p95 %.4g V, p99 %.4g V, range [%.4g, %.4g] V",
+		r.Samples, r.Mean, r.StdDev, r.P95, r.P99, r.Min, r.Max)
+}

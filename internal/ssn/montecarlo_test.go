@@ -1,0 +1,148 @@
+package ssn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloZeroVariation(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	r, err := MonteCarlo(p, Variation{}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal, _, _ := MaxSSN(p)
+	eps := 1e-12 * nominal // accumulation rounding only
+	if r.StdDev > eps || math.Abs(r.Mean-nominal) > eps ||
+		r.Min != nominal || r.Max != nominal {
+		t.Errorf("zero variation must be degenerate at %g: %+v", nominal, r)
+	}
+	if r.P95 != nominal || r.P99 != nominal {
+		t.Error("percentiles must equal nominal")
+	}
+}
+
+func TestMonteCarloSpreadScalesWithSigma(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	small, err := MonteCarlo(p, Variation{L: 0.05}, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MonteCarlo(p, Variation{L: 0.15}, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.StdDev <= small.StdDev {
+		t.Errorf("3x sigma did not widen the spread: %g vs %g", large.StdDev, small.StdDev)
+	}
+	ratio := large.StdDev / small.StdDev
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("spread ratio %g, want ~3 (near-linear regime)", ratio)
+	}
+}
+
+func TestMonteCarloMeanNearNominal(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	nominal, _, _ := MaxSSN(p)
+	r, err := MonteCarlo(p, Variation{K: 0.05, L: 0.08, Slope: 0.05}, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mean-nominal) > 0.03*nominal {
+		t.Errorf("MC mean %g far from nominal %g", r.Mean, nominal)
+	}
+	if !(r.Min < r.Mean && r.Mean < r.Max) {
+		t.Errorf("ordering violated: %+v", r)
+	}
+	if !(r.P95 >= r.Mean && r.P99 >= r.P95 && r.Max >= r.P99) {
+		t.Errorf("percentile ordering violated: %+v", r)
+	}
+}
+
+func TestMonteCarloReproducible(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	a, err := MonteCarlo(p, Variation{K: 0.1}, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(p, Variation{K: 0.1}, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.P95 != b.P95 {
+		t.Error("same seed must reproduce identical statistics")
+	}
+	c, err := MonteCarlo(p, Variation{K: 0.1}, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean == c.Mean {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMonteCarloCaseStraddling(t *testing.T) {
+	// A design parked at the critical capacitance straddles regimes under
+	// C variation.
+	p := refParams()
+	p = p.WithGround(p.L, p.CriticalCapacitance())
+	r, err := MonteCarlo(p, Variation{C: 0.2}, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CaseCounts) < 2 {
+		t.Errorf("expected multiple operating cases at the boundary: %v", r.CaseCounts)
+	}
+	total := 0
+	for _, n := range r.CaseCounts {
+		total += n
+	}
+	if total != r.Samples {
+		t.Errorf("case histogram total %d != samples %d", total, r.Samples)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	p := refParams()
+	if _, err := MonteCarlo(p, Variation{}, 5, 1); err == nil {
+		t.Error("n < 10 must error")
+	}
+	if _, err := MonteCarlo(p, Variation{K: 0.9}, 100, 1); err == nil {
+		t.Error("sigma > 0.5 must error")
+	}
+	if _, err := MonteCarlo(p, Variation{K: -0.1}, 100, 1); err == nil {
+		t.Error("negative sigma must error")
+	}
+	bad := p
+	bad.N = 0
+	if _, err := MonteCarlo(bad, Variation{}, 100, 1); err == nil {
+		t.Error("bad params must error")
+	}
+}
+
+func TestMonteCarloString(t *testing.T) {
+	p := refParams()
+	r, err := MonteCarlo(p, Variation{K: 0.05}, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if got := percentile(vals, 0.5); got != 3 {
+		t.Errorf("median = %g", got)
+	}
+	if got := percentile(vals, 1.0); got != 5 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := percentile(vals, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Error("empty percentile must be NaN")
+	}
+}

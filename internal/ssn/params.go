@@ -1,0 +1,114 @@
+// Package ssn implements the paper's contribution: closed-form simultaneous
+// switching noise models built on the application-specific device model
+// (ASDM). Two model families are provided:
+//
+//   - LModel (paper Sec. 3): ground inductance is the only parasitic; the
+//     bounce obeys a first-order linear ODE with an exponential solution.
+//   - LCModel (paper Sec. 4, Table 1): inductance plus pad capacitance; a
+//     second-order ODE whose maximum falls into four cases (over-damped,
+//     critically damped, under-damped with fast input, under-damped with
+//     slow input).
+//
+// Reconstructions of the prior-art estimates the paper compares against
+// (square-law quasi-static, Vemuru-style constant-derivative, Song-style
+// linear-bounce) live in baselines.go.
+//
+// Conventions: the input is a voltage ramp of slope Slope from 0 to Vdd; the
+// model clock τ starts when the input crosses the ASDM displacement voltage
+// V0 and ends at the ramp top, τr = (Vdd-V0)/Slope. All units are SI.
+package ssn
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/device"
+)
+
+// Params collects everything the closed forms need.
+type Params struct {
+	N     int         // number of simultaneously switching drivers
+	Dev   device.ASDM // fitted device model of one driver
+	Vdd   float64     // input ramp top, V
+	Slope float64     // input ramp slope, V/s
+	L     float64     // effective ground inductance, H
+	C     float64     // effective ground capacitance, F (0 => L-only)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("ssn: N = %d must be at least 1", p.N)
+	}
+	if err := p.Dev.Validate(); err != nil {
+		return err
+	}
+	if p.Vdd <= p.Dev.V0 {
+		return fmt.Errorf("ssn: Vdd = %g must exceed the device displacement voltage V0 = %g", p.Vdd, p.Dev.V0)
+	}
+	if p.Slope <= 0 {
+		return fmt.Errorf("ssn: slope = %g must be positive", p.Slope)
+	}
+	if p.L <= 0 {
+		return fmt.Errorf("ssn: L = %g must be positive", p.L)
+	}
+	if p.C < 0 {
+		return fmt.Errorf("ssn: C = %g must be non-negative", p.C)
+	}
+	return nil
+}
+
+// Beta returns the paper's circuit-oriented figure β = N·L·K·s (Eq. 9).
+// Given a process (K, a, V0, Vdd fixed), β is the single lever circuit
+// design has over SSN: N, L and s enter only through their product.
+func (p Params) Beta() float64 {
+	return float64(p.N) * p.L * p.Dev.K * p.Slope
+}
+
+// TauRise returns the model time window τr = (Vdd - V0)/s: the time from
+// device turn-on to the end of the input ramp.
+func (p Params) TauRise() float64 {
+	return (p.Vdd - p.Dev.V0) / p.Slope
+}
+
+// TurnOnDelay returns the time from the ramp start to device turn-on,
+// V0/s. Absolute circuit time relates to model time as
+// t = rampStart + TurnOnDelay + τ.
+func (p Params) TurnOnDelay() float64 {
+	return p.Dev.V0 / p.Slope
+}
+
+// TimeConstant returns the first-order time constant N·L·K·a of the L-only
+// model.
+func (p Params) TimeConstant() float64 {
+	return float64(p.N) * p.L * p.Dev.K * p.Dev.A
+}
+
+// CriticalCapacitance returns Cm = (N·K·a)²·L/4 (Eq. 27): below Cm the
+// ground net is over-damped and the L-only formula is adequate; above it
+// the system rings and the four-case LC model is required.
+func (p Params) CriticalCapacitance() float64 {
+	nka := float64(p.N) * p.Dev.K * p.Dev.A
+	return nka * nka * p.L / 4
+}
+
+// DampingRatio returns ζ = (N·K·a/2)·sqrt(L/C); ζ > 1 is over-damped,
+// ζ < 1 under-damped. It returns +Inf when C is 0.
+func (p Params) DampingRatio() float64 {
+	if p.C <= 0 {
+		return math.Inf(1)
+	}
+	return float64(p.N) * p.Dev.K * p.Dev.A / 2 * math.Sqrt(p.L/p.C)
+}
+
+// WithN returns a copy with a different driver count.
+func (p Params) WithN(n int) Params { p.N = n; return p }
+
+// WithGround returns a copy with a different ground net.
+func (p Params) WithGround(l, c float64) Params { p.L, p.C = l, c; return p }
+
+// WithRiseTime returns a copy with the slope set from a rise time.
+func (p Params) WithRiseTime(tr float64) Params {
+	p.Slope = p.Vdd / tr
+	return p
+}

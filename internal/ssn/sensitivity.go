@@ -1,0 +1,127 @@
+package ssn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sensitivity holds the first-order sensitivities of the maximum SSN with
+// respect to the design variables, evaluated at the given operating point.
+// They quantify the paper's Sec. 3 observation that N, L and s act through
+// the single figure β = N·L·K·s: in the L-only model the three relative
+// (logarithmic) sensitivities are *identical*, so trading one lever for
+// another at constant β leaves the noise unchanged.
+type Sensitivity struct {
+	DVdN float64 // ∂Vmax/∂N (treating N as continuous), V per driver
+	DVdL float64 // ∂Vmax/∂L, V/H
+	DVdS float64 // ∂Vmax/∂s, V/(V/s)
+	RelN float64 // (N/Vmax)·∂Vmax/∂N — relative sensitivity
+	RelL float64 // (L/Vmax)·∂Vmax/∂L
+	RelS float64 // (s/Vmax)·∂Vmax/∂s
+	VMax float64 // the operating-point maximum
+	DVdC float64 // ∂Vmax/∂C, V/F (0 for the L-only model)
+	RelC float64 // (C/Vmax)·∂Vmax/∂C
+}
+
+// LSensitivity evaluates the L-only model's sensitivities analytically.
+// With β = N·L·K·s, u = (Vdd-V0)/(a·β) and Vmax = β·(1 - e^{-u}):
+//
+//	dVmax/dβ = (1 - e^{-u}) - u·e^{-u}
+//
+// and each of N, L, s scales β linearly, so the relative sensitivities of
+// the three levers are all equal to β·(dVmax/dβ)/Vmax.
+func LSensitivity(p Params) (Sensitivity, error) {
+	if err := p.Validate(); err != nil {
+		return Sensitivity{}, err
+	}
+	beta := p.Beta()
+	u := (p.Vdd - p.Dev.V0) / (p.Dev.A * beta)
+	e := math.Exp(-u)
+	vmax := beta * (1 - e)
+	dVdBeta := (1 - e) - u*e
+	s := Sensitivity{VMax: vmax}
+	s.DVdN = dVdBeta * beta / float64(p.N)
+	s.DVdL = dVdBeta * beta / p.L
+	s.DVdS = dVdBeta * beta / p.Slope
+	rel := beta * dVdBeta / vmax
+	s.RelN, s.RelL, s.RelS = rel, rel, rel
+	return s, nil
+}
+
+// LCSensitivity evaluates the four-case model's sensitivities numerically
+// by central differences on MaxSSN (the closed form is case-split, so a
+// single analytic expression does not exist across case boundaries).
+// Relative step h controls accuracy; h <= 0 uses 1e-5. Near a case
+// boundary the one-sided formulas may disagree; the result then reflects
+// the local, possibly kinked, behaviour.
+func LCSensitivity(p Params, h float64) (Sensitivity, error) {
+	if err := p.Validate(); err != nil {
+		return Sensitivity{}, err
+	}
+	if h <= 0 {
+		h = 1e-5
+	}
+	vmax, _, err := MaxSSN(p)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	out := Sensitivity{VMax: vmax}
+
+	diff := func(apply func(Params, float64) Params, x float64) (float64, error) {
+		dx := h * math.Abs(x)
+		if dx == 0 {
+			dx = h
+		}
+		hi, _, err := MaxSSN(apply(p, x+dx))
+		if err != nil {
+			return 0, err
+		}
+		lo, _, err := MaxSSN(apply(p, x-dx))
+		if err != nil {
+			return 0, err
+		}
+		return (hi - lo) / (2 * dx), nil
+	}
+
+	// N as a continuous parameter: scale beta and the damping terms via a
+	// fractional driver count folded into K (N only ever appears as N·K).
+	dvdn, err := diff(func(q Params, x float64) Params {
+		q.Dev.K = p.Dev.K * x / float64(p.N)
+		return q
+	}, float64(p.N))
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	out.DVdN = dvdn
+	out.RelN = dvdn * float64(p.N) / vmax
+
+	dvdl, err := diff(func(q Params, x float64) Params { q.L = x; return q }, p.L)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	out.DVdL = dvdl
+	out.RelL = dvdl * p.L / vmax
+
+	dvds, err := diff(func(q Params, x float64) Params { q.Slope = x; return q }, p.Slope)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	out.DVdS = dvds
+	out.RelS = dvds * p.Slope / vmax
+
+	if p.C > 0 {
+		dvdc, err := diff(func(q Params, x float64) Params { q.C = x; return q }, p.C)
+		if err != nil {
+			return Sensitivity{}, err
+		}
+		out.DVdC = dvdc
+		out.RelC = dvdc * p.C / vmax
+	}
+	return out, nil
+}
+
+// String renders the sensitivities for reports.
+func (s Sensitivity) String() string {
+	return fmt.Sprintf("Vmax=%.4g V; rel sens: N %.3f, L %.3f, s %.3f, C %.3f",
+		s.VMax, s.RelN, s.RelL, s.RelS, s.RelC)
+}

@@ -1,0 +1,129 @@
+package ssn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLSensitivityMatchesFiniteDifference(t *testing.T) {
+	p := refParams()
+	s, err := LSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := NewLModel(p)
+	if math.Abs(s.VMax-lm.VMax()) > 1e-15 {
+		t.Errorf("operating point VMax %g vs model %g", s.VMax, lm.VMax())
+	}
+	// Finite-difference checks on L and s.
+	const h = 1e-6
+	numL := func() float64 {
+		pl, _ := NewLModel(p.WithGround(p.L*(1+h), p.C))
+		ml, _ := NewLModel(p.WithGround(p.L*(1-h), p.C))
+		return (pl.VMax() - ml.VMax()) / (2 * h * p.L)
+	}()
+	if math.Abs(s.DVdL-numL) > 1e-4*math.Abs(numL) {
+		t.Errorf("dV/dL analytic %g vs numeric %g", s.DVdL, numL)
+	}
+	numS := func() float64 {
+		ps := p
+		ps.Slope = p.Slope * (1 + h)
+		ms := p
+		ms.Slope = p.Slope * (1 - h)
+		a, _ := NewLModel(ps)
+		b, _ := NewLModel(ms)
+		return (a.VMax() - b.VMax()) / (2 * h * p.Slope)
+	}()
+	if math.Abs(s.DVdS-numS) > 1e-4*math.Abs(numS) {
+		t.Errorf("dV/ds analytic %g vs numeric %g", s.DVdS, numS)
+	}
+}
+
+func TestLSensitivityEqualLevers(t *testing.T) {
+	// The paper's Sec. 3 observation: the relative sensitivities of N, L
+	// and s are identical in the L-only model.
+	s, err := LSensitivity(refParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RelN != s.RelL || s.RelL != s.RelS {
+		t.Errorf("relative sensitivities differ: N %g, L %g, s %g", s.RelN, s.RelL, s.RelS)
+	}
+	// They are positive (more drivers/inductance/slew -> more noise) and
+	// below 1 (the exponential feedback saturates the growth).
+	if s.RelN <= 0 || s.RelN >= 1 {
+		t.Errorf("relative sensitivity %g outside (0, 1)", s.RelN)
+	}
+}
+
+func TestLCSensitivityConsistentWithLModel(t *testing.T) {
+	// With tiny C the LC sensitivities must approach the analytic L-only
+	// ones.
+	p := refParams().WithGround(5e-9, 1e-16)
+	lc, err := LCSensitivity(p, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := LSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{
+		{lc.RelN, l.RelN}, {lc.RelL, l.RelL}, {lc.RelS, l.RelS},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-3 {
+			t.Errorf("LC rel sens %g vs L-only %g", pair[0], pair[1])
+		}
+	}
+}
+
+func TestLCSensitivitySigns(t *testing.T) {
+	// In the under-damped peak regime, more capacitance means less damping
+	// of the first ring: dV/dC > 0. In deep over-damped, C barely matters.
+	pUnder := refParams().WithGround(5e-9, 4e-12)
+	sUnder, err := LCSensitivity(pUnder, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := NewLCModel(pUnder); m.Case() != UnderDampedPeak {
+		t.Fatalf("setup: expected under-damped peak, got %v", m.Case())
+	}
+	if sUnder.DVdC <= 0 {
+		t.Errorf("under-damped dV/dC = %g, want > 0", sUnder.DVdC)
+	}
+	pOver := refParams().WithGround(5e-9, 0.2e-12)
+	sOver, err := LCSensitivity(pOver, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sOver.RelC) > 0.1 {
+		t.Errorf("deep over-damped |RelC| = %g, want small", math.Abs(sOver.RelC))
+	}
+	// Noise always grows with N, L, s in every regime.
+	for _, s := range []Sensitivity{sUnder, sOver} {
+		if s.DVdN <= 0 || s.DVdL <= 0 || s.DVdS <= 0 {
+			t.Errorf("non-positive primary sensitivities: %+v", s)
+		}
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	bad := refParams()
+	bad.N = 0
+	if _, err := LSensitivity(bad); err == nil {
+		t.Error("invalid params must error (L)")
+	}
+	if _, err := LCSensitivity(bad, 0); err == nil {
+		t.Error("invalid params must error (LC)")
+	}
+}
+
+func TestSensitivityString(t *testing.T) {
+	s, err := LSensitivity(refParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,639 @@
+package ssn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/numeric"
+)
+
+// refParams is a deterministic parameter set in the 0.18 µm-class regime:
+// 8 drivers, 5 nH ground inductance, 1 ns rise, K = 4 mS, V0 = 0.6 V,
+// a = 1.2. beta = 0.288 V, Cm ~ 1.84 pF.
+func refParams() Params {
+	return Params{
+		N:     8,
+		Dev:   device.ASDM{K: 4e-3, V0: 0.6, A: 1.2},
+		Vdd:   1.8,
+		Slope: 1.8e9,
+		L:     5e-9,
+		C:     0,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := refParams().Validate(); err != nil {
+		t.Fatalf("reference params invalid: %v", err)
+	}
+	bad := []Params{
+		func() Params { p := refParams(); p.N = 0; return p }(),
+		func() Params { p := refParams(); p.Slope = 0; return p }(),
+		func() Params { p := refParams(); p.L = 0; return p }(),
+		func() Params { p := refParams(); p.C = -1e-12; return p }(),
+		func() Params { p := refParams(); p.Vdd = 0.5; return p }(), // below V0
+		func() Params { p := refParams(); p.Dev.K = 0; return p }(),
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := refParams()
+	if got, want := p.Beta(), 8*5e-9*4e-3*1.8e9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Beta = %g, want %g", got, want)
+	}
+	if got, want := p.TauRise(), (1.8-0.6)/1.8e9; math.Abs(got-want) > 1e-21 {
+		t.Errorf("TauRise = %g, want %g", got, want)
+	}
+	if got, want := p.TimeConstant(), 8*5e-9*4e-3*1.2; math.Abs(got-want) > 1e-21 {
+		t.Errorf("TimeConstant = %g, want %g", got, want)
+	}
+	nka := 8 * 4e-3 * 1.2
+	if got, want := p.CriticalCapacitance(), nka*nka*5e-9/4; math.Abs(got-want) > 1e-24 {
+		t.Errorf("Cm = %g, want %g", got, want)
+	}
+	if !math.IsInf(p.DampingRatio(), 1) {
+		t.Error("C=0 damping ratio must be +Inf")
+	}
+	p.C = p.CriticalCapacitance()
+	if z := p.DampingRatio(); math.Abs(z-1) > 1e-12 {
+		t.Errorf("damping ratio at Cm = %g, want 1", z)
+	}
+}
+
+func TestLModelBasics(t *testing.T) {
+	m, err := NewLModel(refParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.V(0) != 0 || m.V(-1e-9) != 0 {
+		t.Error("V must vanish at and before turn-on")
+	}
+	// Eq. (7): closed-form max against direct evaluation at tau_r.
+	tr := m.P.TauRise()
+	if got, direct := m.VMax(), m.V(tr); math.Abs(got-direct) > 1e-15 {
+		t.Errorf("VMax %g vs V(tauR) %g", got, direct)
+	}
+	// Monotone rise.
+	prev := -1.0
+	for i := 0; i <= 100; i++ {
+		v := m.V(tr * float64(i) / 100)
+		if v < prev {
+			t.Fatalf("L-only response not monotone at %d", i)
+		}
+		prev = v
+	}
+	// Clamp beyond the window.
+	if m.V(2*tr) != m.V(tr) {
+		t.Error("V beyond tauR must clamp to boundary value")
+	}
+	// Known value: beta*(1-exp(-(Vdd-V0)/(a*beta))).
+	beta := m.P.Beta()
+	want := beta * (1 - math.Exp(-(1.8-0.6)/(1.2*beta)))
+	if math.Abs(m.VMax()-want) > 1e-15 {
+		t.Errorf("VMax = %g, want %g", m.VMax(), want)
+	}
+}
+
+func TestLModelODEResidual(t *testing.T) {
+	// The closed form must satisfy V + tauC*V' = beta inside the window.
+	m, _ := NewLModel(refParams())
+	tauC := m.P.TimeConstant()
+	beta := m.P.Beta()
+	tr := m.P.TauRise()
+	const h = 1e-15
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		tau := frac * tr
+		vdot := (m.V(tau+h) - m.V(tau-h)) / (2 * h)
+		res := m.V(tau) + tauC*vdot - beta
+		if math.Abs(res) > 1e-6*beta {
+			t.Errorf("ODE residual at %g: %g", tau, res)
+		}
+	}
+}
+
+func TestLModelCurrentConsistency(t *testing.T) {
+	// V = L * dI/dt must hold for the closed forms (Eqs. 6 and 8).
+	m, _ := NewLModel(refParams())
+	tr := m.P.TauRise()
+	const h = 1e-15
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		tau := frac * tr
+		didt := (m.I(tau+h) - m.I(tau-h)) / (2 * h)
+		if got, want := m.P.L*didt, m.V(tau); math.Abs(got-want) > 1e-4*want+1e-9 {
+			t.Errorf("L*dI/dt = %g, V = %g at tau=%g", got, want, tau)
+		}
+	}
+}
+
+func TestLModelWaveforms(t *testing.T) {
+	m, _ := NewLModel(refParams())
+	v, i, err := m.Waveforms(0.1e-9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 200 || i.Len() != 200 {
+		t.Fatal("wrong sample count")
+	}
+	// Before device turn-on (ramp start + V0/s) both must be ~0; query one
+	// full grid interval early to dodge interpolation into the first
+	// positive sample.
+	tOn := 0.1e-9 + m.P.TurnOnDelay()
+	dt := (v.Times[v.Len()-1] - v.Times[0]) / float64(v.Len()-1)
+	if v.At(tOn-2*dt) != 0 || i.At(tOn-2*dt) != 0 {
+		t.Error("nonzero before turn-on")
+	}
+	// Waveform peak equals VMax.
+	_, vmax := v.Max()
+	if math.Abs(vmax-m.VMax()) > 1e-12 {
+		t.Errorf("waveform max %g vs VMax %g", vmax, m.VMax())
+	}
+	if _, _, err := m.Waveforms(0, 1); err == nil {
+		t.Error("n<2 must error")
+	}
+}
+
+func TestLCModelReducesToLModelAsCVanishes(t *testing.T) {
+	p := refParams()
+	lm, _ := NewLModel(p)
+	for _, c := range []float64{1e-16, 1e-17, 1e-18} {
+		pc := p
+		pc.C = c
+		lcm, err := NewLCModel(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lcm.VMax()-lm.VMax()) > 1e-3*lm.VMax() {
+			t.Errorf("C=%g: LC VMax %g vs L VMax %g", c, lcm.VMax(), lm.VMax())
+		}
+	}
+	// Exactly zero C uses the degenerate branch.
+	lc0, err := NewLCModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc0.Case() != OverDamped {
+		t.Errorf("C=0 case = %v", lc0.Case())
+	}
+	tr := p.TauRise()
+	for _, frac := range []float64{0.25, 0.5, 1.0} {
+		if got, want := lc0.V(frac*tr), lm.V(frac*tr); math.Abs(got-want) > 1e-12 {
+			t.Errorf("C=0 V(%g) = %g, want %g", frac*tr, got, want)
+		}
+	}
+}
+
+func TestLCModelCaseClassification(t *testing.T) {
+	p := refParams()
+	cm := p.CriticalCapacitance()
+	cases := []struct {
+		c    float64
+		want Case
+	}{
+		{cm / 4, OverDamped},
+		{cm, CriticallyDamped},
+		{cm * 2.2, UnderDampedPeak}, // tau_p ~ 0.61 ns < tau_r = 0.667 ns
+	}
+	for _, c := range cases {
+		m, err := NewLCModel(p.WithGround(p.L, c.c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Case() != c.want {
+			t.Errorf("C=%g: case %v, want %v", c.c, m.Case(), c.want)
+		}
+	}
+	// Fast input: same under-damped circuit, 4x steeper ramp -> boundary.
+	pf := p.WithGround(p.L, cm*2.2)
+	pf.Slope *= 4
+	m, err := NewLCModel(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Case() != UnderDampedBoundary {
+		t.Errorf("fast-input case = %v, want UnderDampedBoundary", m.Case())
+	}
+}
+
+func TestLCModelInitialConditions(t *testing.T) {
+	p := refParams()
+	for _, c := range []float64{p.CriticalCapacitance() / 3, p.CriticalCapacitance(), 4e-12} {
+		m, err := NewLCModel(p.WithGround(p.L, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.V(0) != 0 {
+			t.Errorf("C=%g: V(0) = %g", c, m.V(0))
+		}
+		// V'(0+) ~ 0: check with a small forward step.
+		h := p.TauRise() * 1e-6
+		if vd := m.V(h) / h; math.Abs(vd) > 1e-3*p.Beta()/p.TauRise() {
+			t.Errorf("C=%g: V'(0+) = %g not ~0", c, vd)
+		}
+	}
+}
+
+func TestLCModelODEResidualAllCases(t *testing.T) {
+	// The closed forms must satisfy LC*V'' + NLKa*V' + V = beta in every
+	// regime (checked by central finite differences).
+	p := refParams()
+	for _, c := range []float64{0.5e-12, p.CriticalCapacitance(), 4e-12, 10e-12} {
+		m, err := NewLCModel(p.WithGround(p.L, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta := p.Beta()
+		nlka := float64(p.N) * p.L * p.Dev.K * p.Dev.A
+		tr := p.TauRise()
+		h := tr * 1e-5
+		for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			tau := frac * tr
+			v := m.V(tau)
+			vd := (m.V(tau+h) - m.V(tau-h)) / (2 * h)
+			vdd := (m.V(tau+h) - 2*v + m.V(tau-h)) / (h * h)
+			res := p.L*c*vdd + nlka*vd + v - beta
+			if math.Abs(res) > 1e-4*beta {
+				t.Errorf("C=%g tau=%g: ODE residual %g (beta %g)", c, tau, res, beta)
+			}
+		}
+	}
+}
+
+func TestLCModelVDotMatchesFiniteDifference(t *testing.T) {
+	p := refParams()
+	for _, c := range []float64{0.5e-12, p.CriticalCapacitance(), 4e-12} {
+		m, _ := NewLCModel(p.WithGround(p.L, c))
+		tr := p.TauRise()
+		h := tr * 1e-6
+		for _, frac := range []float64{0.2, 0.5, 0.8} {
+			tau := frac * tr
+			num := (m.V(tau+h) - m.V(tau-h)) / (2 * h)
+			if got := m.VDot(tau); math.Abs(got-num) > 1e-3*math.Abs(num)+1e-3 {
+				t.Errorf("C=%g tau=%g: VDot %g vs numeric %g", c, tau, got, num)
+			}
+		}
+	}
+}
+
+func TestLCModelAgainstRK4(t *testing.T) {
+	// Independent check: integrate the governing ODE with RK4 and compare
+	// the waveform pointwise in all three damping regimes.
+	p := refParams()
+	for _, c := range []float64{0.5e-12, 2e-12, 6e-12} {
+		pc := p.WithGround(p.L, c)
+		m, err := NewLCModel(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta := pc.Beta()
+		nlka := float64(pc.N) * pc.L * pc.Dev.K * pc.Dev.A
+		lc := pc.L * pc.C
+		f := func(tau float64, y, dy []float64) {
+			dy[0] = y[1]
+			dy[1] = (beta - y[0] - nlka*y[1]) / lc
+		}
+		tr := pc.TauRise()
+		ts, path := numeric.RK4Path(f, 0, tr, []float64{0, 0}, 4000)
+		for k := 0; k < len(ts); k += 400 {
+			want := path[k][0]
+			got := m.V(ts[k])
+			if math.Abs(got-want) > 1e-6*beta+1e-9 {
+				t.Errorf("C=%g tau=%g: closed form %g vs RK4 %g", c, ts[k], got, want)
+			}
+		}
+	}
+}
+
+func TestLCModelVMaxMatchesSampledMax(t *testing.T) {
+	// Table 1's four formulas must agree with dense sampling of V(tau).
+	p := refParams()
+	cm := p.CriticalCapacitance()
+	scenarios := []Params{
+		p.WithGround(p.L, cm/4),   // over-damped
+		p.WithGround(p.L, cm),     // critical
+		p.WithGround(p.L, cm*2.2), // under-damped, peak inside ramp
+		func() Params { // under-damped, fast input (boundary)
+			q := p.WithGround(p.L, cm*2.2)
+			q.Slope *= 4
+			return q
+		}(),
+	}
+	for i, q := range scenarios {
+		m, err := NewLCModel(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := q.TauRise()
+		sampled := 0.0
+		for k := 0; k <= 20000; k++ {
+			if v := m.V(tr * float64(k) / 20000); v > sampled {
+				sampled = v
+			}
+		}
+		if math.Abs(m.VMax()-sampled) > 1e-6*sampled {
+			t.Errorf("scenario %d (%v): VMax %g vs sampled %g", i, m.Case(), m.VMax(), sampled)
+		}
+	}
+}
+
+func TestUnderDampedPeakFormula(t *testing.T) {
+	p := refParams().WithGround(5e-9, 4e-12)
+	m, err := NewLCModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Case() != UnderDampedPeak {
+		t.Fatalf("case = %v", m.Case())
+	}
+	want := p.Beta() * (1 + math.Exp(-m.Sigma()*math.Pi/m.Omega()))
+	if math.Abs(m.VMax()-want) > 1e-15 {
+		t.Errorf("peak formula: %g vs %g", m.VMax(), want)
+	}
+	// The peak exceeds the asymptote beta but is at most 2*beta.
+	if m.VMax() <= p.Beta() || m.VMax() > 2*p.Beta() {
+		t.Errorf("peak %g outside (beta, 2*beta] = (%g, %g]", m.VMax(), p.Beta(), 2*p.Beta())
+	}
+	// Peak time is pi/omega.
+	if math.Abs(m.VMaxTime()-math.Pi/m.Omega()) > 1e-18 {
+		t.Error("VMaxTime != pi/omega")
+	}
+}
+
+func TestInductorCurrentConsistency(t *testing.T) {
+	// KCL: I_L = N*Id - C*Vdot, and V = L*dI_L/dt must both hold.
+	p := refParams().WithGround(5e-9, 3e-12)
+	m, err := NewLCModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.TauRise()
+	h := tr * 1e-6
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		tau := frac * tr
+		dil := (m.IInductor(tau+h) - m.IInductor(tau-h)) / (2 * h)
+		if got, want := p.L*dil, m.V(tau); math.Abs(got-want) > 1e-3*want+1e-6 {
+			t.Errorf("tau=%g: L*dI_L/dt = %g, V = %g", tau, got, want)
+		}
+	}
+}
+
+func TestVMaxMonotoneInBetaFactors(t *testing.T) {
+	// Paper Sec. 3: N, L and s act identically through beta; VMax must be
+	// non-decreasing in each.
+	base := refParams().WithGround(5e-9, 1.5e-12)
+	f := func(seed uint8) bool {
+		k := 1 + float64(seed%40)/10 // 1..4.9 scale factor
+		v0, _, err := MaxSSN(base)
+		if err != nil {
+			return false
+		}
+		vN, _, err := MaxSSN(base.WithN(int(float64(base.N) * k)))
+		if err != nil {
+			return false
+		}
+		pL := base.WithGround(base.L*k, base.C)
+		vL, _, err := MaxSSN(pL)
+		if err != nil {
+			return false
+		}
+		pS := base
+		pS.Slope *= k
+		vS, _, err := MaxSSN(pS)
+		if err != nil {
+			return false
+		}
+		return vN >= v0-1e-12 && vL >= v0-1e-12 && vS >= v0-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMaxBoundedByVdd(t *testing.T) {
+	// Physical sanity across random parameter draws: 0 < VMax <= 2*beta
+	// and the classifier always returns one of the four cases.
+	f := func(n8, l8, c8, s8 uint8) bool {
+		p := Params{
+			N:     1 + int(n8%32),
+			Dev:   device.ASDM{K: 4e-3, V0: 0.6, A: 1.2},
+			Vdd:   1.8,
+			Slope: (0.5 + float64(s8%40)/10) * 1e9,
+			L:     (0.5 + float64(l8%40)/4) * 1e-9,
+			C:     float64(c8%50) * 0.2e-12,
+		}
+		v, cse, err := MaxSSN(p)
+		if err != nil {
+			return false
+		}
+		if v <= 0 || v > 2*p.Beta()+1e-12 {
+			return false
+		}
+		switch cse {
+		case OverDamped, CriticallyDamped, UnderDampedPeak, UnderDampedBoundary:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalCapacitanceBoundary(t *testing.T) {
+	p := refParams()
+	cm := p.CriticalCapacitance()
+	under, err := NewLCModel(p.WithGround(p.L, cm*1.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := NewLCModel(p.WithGround(p.L, cm*0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Case() != OverDamped {
+		t.Errorf("just below Cm: %v", over.Case())
+	}
+	if under.Case() != UnderDampedPeak && under.Case() != UnderDampedBoundary {
+		t.Errorf("just above Cm: %v", under.Case())
+	}
+	// VMax is continuous across the boundary (within a percent).
+	dv := math.Abs(under.VMax() - over.VMax())
+	if dv > 0.02*over.VMax() {
+		t.Errorf("VMax jumps across Cm: %g vs %g", under.VMax(), over.VMax())
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	in := BaselineInput{N: 8, L: 5e-9, Vdd: 1.8, Slope: 1.8e9}
+	ap := AlphaParams{B: 3.4e-3, Vt: 0.45, Alpha: 1.24}
+
+	sq, err := SquareLawMax(in, 2e-3, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := VemuruMax(in, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := SongMax(in, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{"squarelaw": sq, "vemuru": vm, "song": sg} {
+		if v <= 0 || v >= in.Vdd {
+			t.Errorf("%s estimate %g outside (0, Vdd)", name, v)
+		}
+	}
+	// All must grow with N.
+	in2 := in
+	in2.N = 16
+	vm2, _ := VemuruMax(in2, ap)
+	sg2, _ := SongMax(in2, ap)
+	sq2, _ := SquareLawMax(in2, 2e-3, 0.45)
+	if vm2 <= vm || sg2 <= sg || sq2 <= sq {
+		t.Error("baseline estimates must increase with N")
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	in := BaselineInput{N: 8, L: 5e-9, Vdd: 1.8, Slope: 1.8e9}
+	ap := AlphaParams{B: 3.4e-3, Vt: 0.45, Alpha: 1.24}
+	if _, err := VemuruMax(BaselineInput{N: 0, L: 5e-9, Vdd: 1.8, Slope: 1e9}, ap); err == nil {
+		t.Error("N=0 must error")
+	}
+	if _, err := VemuruMax(in, AlphaParams{B: -1, Vt: 0.4, Alpha: 1.3}); err == nil {
+		t.Error("negative B must error")
+	}
+	if _, err := SongMax(in, AlphaParams{B: 1e-3, Vt: 0.4, Alpha: 3}); err == nil {
+		t.Error("alpha > 2 must error")
+	}
+	if _, err := SquareLawMax(in, -1, 0.45); err == nil {
+		t.Error("negative Kp must error")
+	}
+	if _, err := SquareLawMax(BaselineInput{N: 1, L: 1e-9, Vdd: 0.3, Slope: 1e9}, 1e-3, 0.45); err == nil {
+		t.Error("Vdd below Vt must error")
+	}
+}
+
+func TestMaxDriversForBudget(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	// Budget exactly at the N=8 level: must return at least 8.
+	v8, _, err := MaxSSN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := MaxDriversForBudget(p, v8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 8 {
+		t.Errorf("budget=VMax(8): n = %d, want >= 8", n)
+	}
+	// And the next driver must break the budget (strict monotonicity here).
+	vNext, _, _ := MaxSSN(p.WithN(n + 1))
+	if vNext <= v8 {
+		t.Errorf("VMax(N=%d) = %g not above budget %g", n+1, vNext, v8)
+	}
+	// Impossible budget.
+	n0, err := MaxDriversForBudget(p, 1e-9, 256)
+	if err != nil || n0 != 0 {
+		t.Errorf("tiny budget: n = %d, err = %v", n0, err)
+	}
+	// Unbounded budget hits the limit.
+	nMax, err := MaxDriversForBudget(p, 100, 64)
+	if err != nil || nMax != 64 {
+		t.Errorf("huge budget: n = %d, err = %v", nMax, err)
+	}
+	if _, err := MaxDriversForBudget(p, -1, 10); err == nil {
+		t.Error("negative budget must error")
+	}
+}
+
+func TestMinRiseTimeForBudget(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	// Pick the VMax at tr = 2 ns as budget; the search must return ~2 ns.
+	pv := p.WithRiseTime(2e-9)
+	budget, _, err := MaxSSN(pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := MinRiseTimeForBudget(p, budget, 0.1e-9, 20e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-2e-9) > 0.02e-9 {
+		t.Errorf("rise time = %g, want ~2e-9", tr)
+	}
+	// Budget met even at the fastest edge.
+	trFast, err := MinRiseTimeForBudget(p, 10, 0.1e-9, 20e-9)
+	if err != nil || trFast != 0.1e-9 {
+		t.Errorf("generous budget: tr = %g, err = %v", trFast, err)
+	}
+	// Unreachable budget.
+	if _, err := MinRiseTimeForBudget(p, 1e-12, 0.1e-9, 20e-9); err == nil {
+		t.Error("unreachable budget must error")
+	}
+	if _, err := MinRiseTimeForBudget(p, 0.1, 1e-9, 0.5e-9); err == nil {
+		t.Error("reversed window must error")
+	}
+}
+
+func TestInductanceBudget(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	pl := p.WithGround(2e-9, 1e-12)
+	budget, _, err := MaxSSN(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := InductanceBudget(p, budget, 0.1e-9, 50e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-2e-9) > 0.05e-9 {
+		t.Errorf("L budget = %g, want ~2e-9", l)
+	}
+	if _, err := InductanceBudget(p, 1e-12, 0.1e-9, 50e-9); err == nil {
+		t.Error("unreachable budget must error")
+	}
+	lm, err := InductanceBudget(p, 10, 0.1e-9, 50e-9)
+	if err != nil || lm != 50e-9 {
+		t.Errorf("generous budget: L = %g, err = %v", lm, err)
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	for _, c := range []Case{OverDamped, CriticallyDamped, UnderDampedPeak, UnderDampedBoundary, Case(99)} {
+		if c.String() == "" {
+			t.Error("empty case string")
+		}
+	}
+}
+
+func TestLCWaveforms(t *testing.T) {
+	p := refParams().WithGround(5e-9, 4e-12)
+	m, _ := NewLCModel(p)
+	v, i, err := m.Waveforms(0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vmax := v.Max()
+	// Under-damped peak case: the sampled waveform max can be slightly
+	// below the analytic peak (sampling), never above.
+	if vmax > m.VMax()*(1+1e-9) {
+		t.Errorf("sampled max %g exceeds analytic %g", vmax, m.VMax())
+	}
+	if vmax < 0.98*m.VMax() {
+		t.Errorf("sampled max %g too far below analytic %g", vmax, m.VMax())
+	}
+	if i.Len() != 500 {
+		t.Error("current samples missing")
+	}
+	if _, _, err := m.Waveforms(0, 1); err == nil {
+		t.Error("n<2 must error")
+	}
+}

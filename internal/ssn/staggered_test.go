@@ -1,0 +1,182 @@
+package ssn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStaggeredValidation(t *testing.T) {
+	p := refParams().WithGround(5e-9, 2e-12)
+	if _, err := NewStaggered(p, make([]float64, 3)); err == nil {
+		t.Error("offset count mismatch must error")
+	}
+	if _, err := NewStaggered(p, []float64{0, 0, 0, 0, 0, 0, 0, math.NaN()}); err == nil {
+		t.Error("NaN offset must error")
+	}
+	bad := p
+	bad.N = 0
+	if _, err := NewStaggered(bad, nil); err == nil {
+		t.Error("invalid params must error")
+	}
+}
+
+func TestStaggeredOffsetsNormalized(t *testing.T) {
+	p := refParams()
+	s, err := NewStaggered(p, []float64{5e-9, 3e-9, 4e-9, 3e-9, 6e-9, 3e-9, 3e-9, 3e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offsets[0] != 0 {
+		t.Errorf("offsets not normalized: %v", s.Offsets)
+	}
+	for i := 1; i < len(s.Offsets); i++ {
+		if s.Offsets[i] < s.Offsets[i-1] {
+			t.Fatal("offsets not sorted")
+		}
+	}
+	wantHorizon := 3e-9 + p.Vdd/p.Slope // span 3 ns + 1 ns ramp
+	if math.Abs(s.Horizon()-wantHorizon) > 1e-15 {
+		t.Errorf("horizon = %g, want %g", s.Horizon(), wantHorizon)
+	}
+}
+
+func TestStaggeredZeroOffsetsMatchesLCModel(t *testing.T) {
+	// With all offsets zero the integrator must reproduce the closed form.
+	for _, c := range []float64{1e-12, 4e-12} {
+		p := refParams().WithGround(5e-9, c)
+		m, err := NewLCModel(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStaggered(p, make([]float64, p.N))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.Solve(p.TurnOnDelay()+p.TauRise(), 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.TurnOnDelay()
+		for _, frac := range []float64{0.3, 0.6, 0.95} {
+			tau := frac * p.TauRise()
+			got := w.At(t0 + tau)
+			want := m.V(tau)
+			if math.Abs(got-want) > 0.01*p.Beta()+1e-6 {
+				t.Errorf("C=%g tau=%g: staggered %g vs closed form %g", c, tau, got, want)
+			}
+		}
+	}
+}
+
+func TestStaggeredZeroOffsetsMatchesLModel(t *testing.T) {
+	// C = 0 branch against the L-only closed form.
+	p := refParams() // C = 0
+	lm, err := NewLModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStaggered(p, make([]float64, p.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Solve(p.TurnOnDelay()+p.TauRise(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := p.TurnOnDelay()
+	for _, frac := range []float64{0.3, 0.6, 0.95} {
+		tau := frac * p.TauRise()
+		got := w.At(t0 + tau)
+		want := lm.V(tau)
+		if math.Abs(got-want) > 0.01*p.Beta() {
+			t.Errorf("tau=%g: staggered %g vs L-only %g", tau, got, want)
+		}
+	}
+}
+
+func TestStaggerReducesPeak(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	_, v0, err := mustStag(t, p, UniformStagger(p.N, 0)).VMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev = v0
+	for _, dt := range []float64{0.25e-9, 0.5e-9, 1e-9} {
+		_, v, err := mustStag(t, p, UniformStagger(p.N, dt)).VMax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Errorf("stagger %g did not reduce peak: %g -> %g", dt, prev, v)
+		}
+		prev = v
+	}
+	// Fully separated drivers approach the single-driver noise level.
+	_, vWide, err := mustStag(t, p, UniformStagger(p.N, 10e-9)).VMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := MaxSSN(p.WithN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vWide > 1.3*single {
+		t.Errorf("widely staggered peak %g should approach single-driver %g", vWide, single)
+	}
+}
+
+func mustStag(t *testing.T, p Params, offs []float64) *Staggered {
+	t.Helper()
+	s, err := NewStaggered(p, offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStaggeredGroupSwitching(t *testing.T) {
+	// Two half-size groups separated by more than the settling time behave
+	// like N/2 drivers each.
+	p := refParams().WithGround(5e-9, 1e-12)
+	offs := make([]float64, p.N)
+	for i := p.N / 2; i < p.N; i++ {
+		offs[i] = 6e-9
+	}
+	_, v, err := mustStag(t, p, offs).VMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, _, err := MaxSSN(p.WithN(p.N / 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-half)/half > 0.05 {
+		t.Errorf("two separated groups: peak %g, want ~VMax(N/2) = %g", v, half)
+	}
+}
+
+func TestStaggeredSolveDefaults(t *testing.T) {
+	p := refParams()
+	s := mustStag(t, p, make([]float64, p.N))
+	w, err := s.Solve(0, 0) // defaults: horizon, 4000 steps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4001 {
+		t.Errorf("default steps = %d samples", w.Len())
+	}
+	last := w.Times[w.Len()-1]
+	if math.Abs(last-s.Horizon()) > 1e-15 {
+		t.Errorf("solve end %g, want horizon %g", last, s.Horizon())
+	}
+}
+
+func TestUniformStagger(t *testing.T) {
+	offs := UniformStagger(4, 2e-9)
+	want := []float64{0, 2e-9, 4e-9, 6e-9}
+	for i := range want {
+		if math.Abs(offs[i]-want[i]) > 1e-18 {
+			t.Errorf("offs[%d] = %g, want %g", i, offs[i], want[i])
+		}
+	}
+}

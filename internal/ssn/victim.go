@@ -1,0 +1,94 @@
+package ssn
+
+import (
+	"fmt"
+	"math"
+
+	"ssnkit/internal/numeric"
+	"ssnkit/internal/waveform"
+)
+
+// Victim models the glitch coupled onto a *quiet* output that is being held
+// low while the ground rail bounces — the failure mode the paper's
+// introduction leads with ("generates glitches on the ground and
+// power-supply wires ... reduces the overall noise margin").
+//
+// A quiet-low driver's NMOS is fully on, so its output tracks the bounced
+// rail through the channel's triode resistance Ron into the load CL:
+//
+//	Ron·CL·ġ = V(t) − g,   g(0) = 0,
+//
+// a first-order low-pass of the rail waveform V(t) from the LC model. Fast
+// ringing is attenuated by the RC; slow over-damped bounce passes through
+// almost entirely.
+type Victim struct {
+	P   Params
+	Ron float64 // quiet driver channel resistance, Ohm (device.TriodeResistance)
+	CL  float64 // victim load capacitance, F
+
+	rail *LCModel
+}
+
+// NewVictim validates and builds the victim model.
+func NewVictim(p Params, ron, cl float64) (*Victim, error) {
+	if ron <= 0 || math.IsInf(ron, 0) {
+		return nil, fmt.Errorf("ssn: victim Ron = %g must be positive and finite", ron)
+	}
+	if cl <= 0 {
+		return nil, fmt.Errorf("ssn: victim CL = %g must be positive", cl)
+	}
+	rail, err := NewLCModel(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Victim{P: p, Ron: ron, CL: cl, rail: rail}, nil
+}
+
+// Tau returns the victim's tracking time constant Ron*CL.
+func (v *Victim) Tau() float64 { return v.Ron * v.CL }
+
+// Solve integrates the glitch over the model window with n RK4 steps
+// (n <= 0 picks 4000) and returns the glitch waveform in model time.
+func (v *Victim) Solve(n int) (*waveform.Waveform, error) {
+	if n <= 0 {
+		n = 4000
+	}
+	tau := v.Tau()
+	f := func(t float64, y, dy []float64) {
+		dy[0] = (v.rail.V(t) - y[0]) / tau
+	}
+	stop := v.P.TauRise()
+	ts, path := numeric.RK4Path(f, 0, stop, []float64{0}, n)
+	vals := make([]float64, len(ts))
+	for i := range ts {
+		vals[i] = path[i][0]
+	}
+	return waveform.New("model:v(victim)", ts, vals)
+}
+
+// PeakGlitch integrates and returns the worst victim excursion and the
+// attenuation relative to the rail peak (1 = tracks fully).
+func (v *Victim) PeakGlitch() (peak, attenuation float64, err error) {
+	w, err := v.Solve(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, peak = w.Max()
+	railMax := v.rail.VMax()
+	if railMax > 0 {
+		attenuation = peak / railMax
+	}
+	return peak, attenuation, nil
+}
+
+// NoiseMarginOK reports whether the victim glitch stays below a receiver's
+// low-level input threshold VIL with the given margin fraction (e.g. 0.1
+// demands 10% headroom).
+func (v *Victim) NoiseMarginOK(vil, margin float64) (bool, float64, error) {
+	peak, _, err := v.PeakGlitch()
+	if err != nil {
+		return false, 0, err
+	}
+	limit := vil * (1 - margin)
+	return peak <= limit, limit - peak, nil
+}

@@ -1,0 +1,136 @@
+package ssn
+
+import (
+	"math"
+	"testing"
+)
+
+func victimParams() Params { return refParams().WithGround(5e-9, 1e-12) }
+
+func TestNewVictimValidation(t *testing.T) {
+	p := victimParams()
+	if _, err := NewVictim(p, 0, 20e-12); err == nil {
+		t.Error("zero Ron must error")
+	}
+	if _, err := NewVictim(p, math.Inf(1), 20e-12); err == nil {
+		t.Error("infinite Ron must error")
+	}
+	if _, err := NewVictim(p, 100, 0); err == nil {
+		t.Error("zero CL must error")
+	}
+	bad := p
+	bad.N = 0
+	if _, err := NewVictim(bad, 100, 20e-12); err == nil {
+		t.Error("bad params must error")
+	}
+}
+
+func TestVictimTracksSlowBounce(t *testing.T) {
+	// With tau much shorter than the bounce, the glitch tracks the rail
+	// almost fully.
+	p := victimParams()
+	v, err := NewVictim(p, 10, 1e-12) // tau = 10 ps << 0.67 ns window
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, atten, err := v.PeakGlitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atten < 0.9 || atten > 1.01 {
+		t.Errorf("fast victim attenuation = %g, want ~1", atten)
+	}
+	rail, _ := NewLCModel(p)
+	if math.Abs(peak-rail.VMax()) > 0.1*rail.VMax() {
+		t.Errorf("fast victim peak %g vs rail %g", peak, rail.VMax())
+	}
+}
+
+func TestVictimAttenuatesWithLargeTau(t *testing.T) {
+	p := victimParams()
+	small, err := NewVictim(p, 50, 5e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewVictim(p, 200, 50e-12) // tau = 10 ns >> window
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aSmall, err := small.PeakGlitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aBig, err := big.PeakGlitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aBig >= aSmall {
+		t.Errorf("larger tau should attenuate more: %g vs %g", aBig, aSmall)
+	}
+	if aBig > 0.3 {
+		t.Errorf("tau >> window should attenuate strongly, got %g", aBig)
+	}
+}
+
+func TestVictimMonotoneGrowthWithN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{4, 8, 16, 32} {
+		p := victimParams().WithN(n)
+		v, err := NewVictim(p, 66, 20e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, _, err := v.PeakGlitch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak <= prev {
+			t.Errorf("victim glitch not growing at N=%d: %g", n, peak)
+		}
+		prev = peak
+	}
+}
+
+func TestVictimNoiseMargin(t *testing.T) {
+	p := victimParams()
+	v, err := NewVictim(p, 66, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _, err := v.PeakGlitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A receiver threshold just above the glitch passes with no margin
+	// and fails with enough margin demanded.
+	vil := peak * 1.05
+	ok, headroom, err := v.NoiseMarginOK(vil, 0)
+	if err != nil || !ok || headroom <= 0 {
+		t.Errorf("should pass with zero margin: ok=%v head=%g err=%v", ok, headroom, err)
+	}
+	ok, headroom, err = v.NoiseMarginOK(vil, 0.5)
+	if err != nil || ok || headroom >= 0 {
+		t.Errorf("should fail with 50%% margin: ok=%v head=%g err=%v", ok, headroom, err)
+	}
+}
+
+func TestVictimSolveGridAndTau(t *testing.T) {
+	p := victimParams()
+	v, err := NewVictim(p, 100, 10e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.Tau(), 1e-9; math.Abs(got-want) > 1e-18 {
+		t.Errorf("Tau = %g, want %g", got, want)
+	}
+	w, err := v.Solve(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1001 {
+		t.Errorf("samples = %d", w.Len())
+	}
+	if w.Values[0] != 0 {
+		t.Error("glitch must start at 0")
+	}
+}

@@ -1,0 +1,206 @@
+// Package svgplot renders line charts as standalone SVG documents using
+// only the standard library. It backs the HTML report of cmd/ssnrepro: the
+// same series the ASCII renditions show, but in a form a reviewer can zoom.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve. A nil/empty Color picks from a default cycle.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string
+}
+
+// Config controls the chart geometry and labels.
+type Config struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int // pixels; defaults 640x360
+}
+
+var defaultColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 72
+	marginRight  = 24
+	marginTop    = 40
+	marginBottom = 56
+)
+
+// Line renders the series as an SVG line chart. Non-finite points are
+// skipped (the polyline is broken there).
+func Line(cfg Config, series []Series) string {
+	w, h := cfg.Width, cfg.Height
+	if w < 200 {
+		w = 640
+	}
+	if h < 120 {
+		h = 360
+	}
+	xmin, xmax, ymin, ymax := bounds(series)
+	if xmin > xmax { // no data at all
+		return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><text x="20" y="30">no data</text></svg>`, w, h)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range a little so curves do not sit on the frame.
+	pad := 0.05 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	px := func(x float64) float64 { return float64(marginLeft) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginTop) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginLeft, escape(cfg.Title))
+	}
+
+	// Grid and ticks.
+	for _, tx := range Ticks(xmin, xmax, 6) {
+		x := px(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			x, marginTop, x, h-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, h-marginBottom+18, fmtTick(tx))
+	}
+	for _, ty := range Ticks(ymin, ymax, 5) {
+		y := py(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-6, y, fmtTick(ty))
+	}
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Axis labels.
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(marginLeft)+plotW/2, h-12, escape(cfg.XLabel))
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%.0f" text-anchor="middle" transform="rotate(-90 16 %.0f)">%s</text>`+"\n",
+			float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(cfg.YLabel))
+	}
+
+	// Curves.
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+			pts = pts[:0]
+		}
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(y)))
+		}
+		flush()
+		// Legend entry.
+		ly := marginTop + 16 + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			w-marginRight-110, ly, w-marginRight-90, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			w-marginRight-84, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func bounds(series []Series) (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	return
+}
+
+// Ticks returns up to n+1 "nice" tick positions covering [lo, hi] using a
+// 1/2/5 step ladder.
+func Ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var out []float64
+	for t := first; t <= hi+step*1e-9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	a := math.Abs(v)
+	if a >= 1e-3 && a < 1e4 {
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,122 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestLineBasic(t *testing.T) {
+	svg := Line(Config{Title: "test & demo", XLabel: "x", YLabel: "y"}, []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	})
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "polyline", "test &amp; demo", ">a<", ">b<", "rotate(-90"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count %d, want 2", got)
+	}
+}
+
+func TestLineNoData(t *testing.T) {
+	svg := Line(Config{}, nil)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart must say no data")
+	}
+	nan := Line(Config{}, []Series{{Name: "n", X: []float64{math.NaN()}, Y: []float64{1}}})
+	if !strings.Contains(nan, "no data") {
+		t.Error("all-NaN chart must say no data")
+	}
+}
+
+func TestLineBreaksAtNaN(t *testing.T) {
+	svg := Line(Config{}, []Series{{
+		Name: "gap",
+		X:    []float64{0, 1, 2, 3, 4},
+		Y:    []float64{0, 1, math.NaN(), 1, 0},
+	}})
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("NaN should split the polyline: got %d segments", got)
+	}
+}
+
+func TestLineFlatSeries(t *testing.T) {
+	svg := Line(Config{}, []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{3, 3}}})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("flat series should still draw")
+	}
+}
+
+func TestLineCustomColor(t *testing.T) {
+	svg := Line(Config{}, []Series{{Name: "c", X: []float64{0, 1}, Y: []float64{0, 1}, Color: "#123456"}})
+	if !strings.Contains(svg, "#123456") {
+		t.Error("custom color not used")
+	}
+}
+
+func TestTicksNice(t *testing.T) {
+	ts := Ticks(0, 10, 5)
+	if len(ts) < 4 || ts[0] != 0 {
+		t.Errorf("ticks(0,10) = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	// Steps are from the 1/2/5 ladder.
+	step := ts[1] - ts[0]
+	mant := step / math.Pow(10, math.Floor(math.Log10(step)))
+	ok := math.Abs(mant-1) < 1e-9 || math.Abs(mant-2) < 1e-9 || math.Abs(mant-5) < 1e-9
+	if !ok {
+		t.Errorf("step %g not on the 1/2/5 ladder", step)
+	}
+	// Degenerate span.
+	if got := Ticks(3, 3, 5); len(got) != 1 || got[0] != 3 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	for _, r := range [][2]float64{{0, 1}, {-5, 5}, {1e-12, 9e-12}, {0.2, 0.91}} {
+		ts := Ticks(r[0], r[1], 6)
+		if len(ts) < 2 {
+			t.Errorf("range %v: only %d ticks", r, len(ts))
+			continue
+		}
+		if ts[0] < r[0]-1e-12 || ts[len(ts)-1] > r[1]*(1+1e-9)+1e-12 {
+			t.Errorf("range %v: ticks %v leave the range", r, ts)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.5", 2: "2", 1e-9: "1e-09"}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package textplot renders simple ASCII line charts and aligned tables for
+// terminal output of the experiment harnesses. It has no styling ambitions:
+// the goal is that `go run ./cmd/ssnrepro` reproduces the *shape* of every
+// paper figure directly in the terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte // plot glyph; 0 picks from a default cycle
+}
+
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series into a width x height character grid with simple
+// axis labels. Series are overlaid in order; later series overwrite earlier
+// glyphs on collision.
+func Plot(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if len(s.Y) <= i {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin > xmax || ymin > ymax {
+		return title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			if len(s.Y) <= i {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, line := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%11.4g |%s\n", ymax, line)
+		case height - 1:
+			fmt.Fprintf(&b, "%11.4g |%s\n", ymin, line)
+		default:
+			fmt.Fprintf(&b, "%11s |%s\n", "", line)
+		}
+	}
+	fmt.Fprintf(&b, "%11s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%11s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%11s  legend: %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table. The first row is treated as
+// the header and separated by a rule.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	ncol := 0
+	for _, r := range rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for c := 0; c < ncol; c++ {
+			cell := ""
+			if c < len(r) {
+				cell = r[c]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+			if c < ncol-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+	b.WriteByte('\n')
+	for _, r := range rows[1:] {
+		writeRow(r)
+	}
+	return b.String()
+}

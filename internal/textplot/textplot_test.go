@@ -1,0 +1,98 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := []Series{{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}}
+	out := Plot("t", s, 40, 10)
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing marker")
+	}
+	if !strings.Contains(out, "legend: * line") {
+		t.Error("missing legend")
+	}
+	// y-axis labels include min and max.
+	if !strings.Contains(out, "2") || !strings.Contains(out, "0") {
+		t.Error("missing axis labels")
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	}
+	out := Plot("", s, 30, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("expected distinct default markers")
+	}
+	// Explicit marker wins.
+	s[0].Marker = 'Q'
+	out = Plot("", s, 30, 8)
+	if !strings.Contains(out, "Q") {
+		t.Error("explicit marker not used")
+	}
+}
+
+func TestPlotDegenerateData(t *testing.T) {
+	if out := Plot("empty", nil, 30, 8); !strings.Contains(out, "no data") {
+		t.Error("empty series should say no data")
+	}
+	nan := []Series{{Name: "n", X: []float64{math.NaN()}, Y: []float64{1}}}
+	if out := Plot("nan", nan, 30, 8); !strings.Contains(out, "no data") {
+		t.Error("all-NaN series should say no data")
+	}
+	// Constant data must not divide by zero.
+	flat := []Series{{Name: "f", X: []float64{1, 1}, Y: []float64{2, 2}}}
+	out := Plot("flat", flat, 30, 8)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series should still plot")
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := []Series{{Name: "x", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := Plot("", s, 1, 1)
+	if len(out) == 0 {
+		t.Error("tiny plot should render something")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"N", "sim", "model"},
+		{"2", "0.10", "0.11"},
+		{"32", "0.60", "0.59"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "N ") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule: %q", lines[1])
+	}
+	// Columns align: "32" row begins at the same column as "2" row.
+	if lines[2][0] != '2' || lines[3][0] != '3' {
+		t.Error("column alignment broken")
+	}
+}
+
+func TestTableRagged(t *testing.T) {
+	out := Table([][]string{{"a", "b"}, {"only"}})
+	if !strings.Contains(out, "only") {
+		t.Error("ragged rows must render")
+	}
+	if Table(nil) != "" {
+		t.Error("empty table must be empty string")
+	}
+}

@@ -1,0 +1,42 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that accepted inputs produce
+// finite values that round-trip through Format within tolerance.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"5n", "1.2pF", "3meg", "0.5", "-2.2e-9", "10mOhm", "1mil",
+		"", "nan", "inf", "+", "-", ".", "e", "1e", "1e+", "5x", "0x10",
+		"99999999999999999999", "1.2.3", "  7u  ", "5N", "3MEG",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		v, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("Parse(%q) accepted NaN", in)
+		}
+		if math.IsInf(v, 0) || v == 0 {
+			return // Inf from overflow and exact zero have no prefix form
+		}
+		av := math.Abs(v)
+		if av < 1e-20 || av > 1e20 {
+			return // outside the prefix table; Format falls back
+		}
+		s := Format(v, "")
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Format(%g) = %q does not re-parse: %v", v, s, err)
+		}
+		if !ApproxEqual(back, v, 1e-3, 0) {
+			t.Fatalf("round trip %q -> %g -> %q -> %g", in, v, s, back)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package waveform
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Set is an ordered collection of waveforms sharing a context (one
+// simulation run, one experiment sweep). Waveforms in a set may have
+// different time grids; CSV export resamples onto the first waveform's grid.
+type Set struct {
+	Waves []*Waveform
+}
+
+// Add appends a waveform to the set.
+func (s *Set) Add(w *Waveform) { s.Waves = append(s.Waves, w) }
+
+// Get returns the waveform with the given name, or nil.
+func (s *Set) Get(name string) *Waveform {
+	for _, w := range s.Waves {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Names lists the waveform names in order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.Waves))
+	for i, w := range s.Waves {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// WriteCSV writes the set as a CSV table with a "time" column followed by
+// one column per waveform, all sampled on the first waveform's time grid.
+func (s *Set) WriteCSV(w io.Writer) error {
+	if len(s.Waves) == 0 {
+		return ErrEmpty
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"time"}, s.Names()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	grid := s.Waves[0].Times
+	row := make([]string, len(s.Waves)+1)
+	for _, t := range grid {
+		row[0] = strconv.FormatFloat(t, 'g', 12, 64)
+		for j, wv := range s.Waves {
+			row[j+1] = strconv.FormatFloat(wv.At(t), 'g', 9, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table in the WriteCSV format back into a Set.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("waveform: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("waveform: csv needs a header and at least one row")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "time" {
+		return nil, fmt.Errorf("waveform: csv header must start with 'time', got %v", header)
+	}
+	ncol := len(header) - 1
+	times := make([]float64, 0, len(records)-1)
+	cols := make([][]float64, ncol)
+	for rowIdx, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("waveform: csv row %d has %d fields, want %d", rowIdx+2, len(rec), len(header))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("waveform: csv row %d time: %w", rowIdx+2, err)
+		}
+		times = append(times, t)
+		for j := 0; j < ncol; j++ {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("waveform: csv row %d col %d: %w", rowIdx+2, j+1, err)
+			}
+			cols[j] = append(cols[j], v)
+		}
+	}
+	set := &Set{}
+	for j := 0; j < ncol; j++ {
+		wv, err := New(header[j+1], times, cols[j])
+		if err != nil {
+			return nil, err
+		}
+		set.Add(wv)
+	}
+	return set, nil
+}

@@ -1,0 +1,92 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEyeFoldPeriodicSignal(t *testing.T) {
+	// A perfectly periodic signal folds into a zero-width band everywhere.
+	const period = 2e-9
+	w, err := FromFunc("per", func(tt float64) float64 {
+		return math.Sin(2 * math.Pi * tt / period)
+	}, 0, 10*period, 20001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eye, err := w.EyeFold(0, period, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, worst := eye.WorstBand()
+	if worst > 0.01 {
+		t.Errorf("periodic signal band height %g, want ~0", worst)
+	}
+	// The envelope follows the sine.
+	lo, hi := eye.BandAt(period / 4)
+	if math.Abs(lo-1) > 0.02 || math.Abs(hi-1) > 0.02 {
+		t.Errorf("quarter-phase band [%g, %g], want ~[1, 1]", lo, hi)
+	}
+}
+
+func TestEyeFoldDriftingSignal(t *testing.T) {
+	// A growing-amplitude oscillation folds into a wide band whose height
+	// reflects the cycle-to-cycle variation.
+	const period = 1e-9
+	w, err := FromFunc("grow", func(tt float64) float64 {
+		return (1 + tt/5e-9) * math.Sin(2*math.Pi*tt/period)
+	}, 0, 10e-9, 20001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eye, err := w.EyeFold(0, period, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, worst := eye.WorstBand()
+	if worst < 1.5 {
+		t.Errorf("drifting signal band %g, expected wide", worst)
+	}
+	// Worst band is near a sine extremum (quarter or three-quarter phase).
+	d1 := math.Abs(phase - period/4)
+	d2 := math.Abs(phase - 3*period/4)
+	if math.Min(d1, d2) > period/8 {
+		t.Errorf("worst band at phase %g, want near an extremum", phase)
+	}
+}
+
+func TestEyeFoldValidation(t *testing.T) {
+	w, _ := FromFunc("w", math.Sin, 0, 1, 101)
+	if _, err := w.EyeFold(0, 0, 32); err == nil {
+		t.Error("zero period must error")
+	}
+	if _, err := w.EyeFold(0, 10, 32); err == nil {
+		t.Error("period longer than data must error")
+	}
+	// Tiny bin count clamps rather than failing.
+	eye, err := w.EyeFold(0, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eye.Phase) != 64 {
+		t.Errorf("bins = %d, want clamped default 64", len(eye.Phase))
+	}
+}
+
+func TestEyeBandAtWrapsPhase(t *testing.T) {
+	const period = 1.0
+	w, _ := FromFunc("w", func(tt float64) float64 { return math.Mod(tt, period) }, 0, 6, 6001)
+	eye, err := w.EyeFold(0, period, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := eye.BandAt(0.25)
+	lo2, hi2 := eye.BandAt(0.25 + 3*period)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("BandAt must wrap the phase")
+	}
+	lo3, hi3 := eye.BandAt(-0.75) // same as +0.25
+	if lo1 != lo3 || hi1 != hi3 {
+		t.Error("BandAt must wrap negative phases")
+	}
+}

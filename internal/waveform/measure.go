@@ -1,0 +1,168 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measurement helpers: the standard signal-integrity numbers pulled from
+// simulated or modeled waveforms. All return an error when the waveform
+// never satisfies the measurement's premise (e.g. never crosses a level).
+
+// CrossTime returns the first time the waveform crosses the given level in
+// the given direction: +1 rising, -1 falling, 0 either.
+func (w *Waveform) CrossTime(level float64, direction int) (float64, error) {
+	n := w.Len()
+	for i := 1; i < n; i++ {
+		a, b := w.Values[i-1]-level, w.Values[i]-level
+		hit := false
+		switch {
+		case a == 0:
+			// Counts when the segment moves in the requested direction.
+			hit = (direction >= 0 && b > 0) || (direction <= 0 && b < 0)
+			if hit {
+				return w.Times[i-1], nil
+			}
+		case a*b < 0:
+			rising := b > 0
+			hit = direction == 0 || (direction > 0 && rising) || (direction < 0 && !rising)
+		}
+		if hit {
+			t := w.Times[i-1] + (w.Times[i]-w.Times[i-1])*a/(a-b)
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("waveform %q never crosses %g (direction %d)", w.Name, level, direction)
+}
+
+// RiseTime returns the 10%-90% rise time between the given low and high
+// reference levels (usually the signal's rails).
+func (w *Waveform) RiseTime(low, high float64) (float64, error) {
+	span := high - low
+	if span <= 0 {
+		return 0, fmt.Errorf("waveform %q: rise-time range [%g, %g] is empty", w.Name, low, high)
+	}
+	t10, err := w.CrossTime(low+0.1*span, +1)
+	if err != nil {
+		return 0, err
+	}
+	t90, err := w.CrossTime(low+0.9*span, +1)
+	if err != nil {
+		return 0, err
+	}
+	if t90 < t10 {
+		return 0, fmt.Errorf("waveform %q: 90%% crossing before 10%% crossing", w.Name)
+	}
+	return t90 - t10, nil
+}
+
+// FallTime returns the 90%-10% fall time between the reference levels.
+func (w *Waveform) FallTime(low, high float64) (float64, error) {
+	span := high - low
+	if span <= 0 {
+		return 0, fmt.Errorf("waveform %q: fall-time range [%g, %g] is empty", w.Name, low, high)
+	}
+	t90, err := w.CrossTime(low+0.9*span, -1)
+	if err != nil {
+		return 0, err
+	}
+	t10, err := w.CrossTime(low+0.1*span, -1)
+	if err != nil {
+		return 0, err
+	}
+	if t10 < t90 {
+		return 0, fmt.Errorf("waveform %q: 10%% crossing before 90%% crossing", w.Name)
+	}
+	return t10 - t90, nil
+}
+
+// Overshoot returns how far the waveform exceeds the final value, as a
+// fraction of the swing from the initial to the final value. A monotone
+// settle returns 0.
+func (w *Waveform) Overshoot() (float64, error) {
+	if w.Len() < 2 {
+		return 0, ErrEmpty
+	}
+	v0 := w.Values[0]
+	vf := w.Values[w.Len()-1]
+	swing := vf - v0
+	if swing == 0 {
+		return 0, fmt.Errorf("waveform %q has no net transition", w.Name)
+	}
+	worst := 0.0
+	for _, v := range w.Values {
+		// Excursion beyond the final value in the direction of the swing.
+		over := (v - vf) / swing
+		if over > worst {
+			worst = over
+		}
+	}
+	return worst, nil
+}
+
+// SettlingTime returns the time after which the waveform stays within
+// +-tol (absolute) of its final value.
+func (w *Waveform) SettlingTime(tol float64) (float64, error) {
+	if w.Len() < 2 {
+		return 0, ErrEmpty
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("waveform %q: settling tolerance must be positive", w.Name)
+	}
+	vf := w.Values[w.Len()-1]
+	// Walk backwards to the last sample outside the band.
+	for i := w.Len() - 1; i >= 0; i-- {
+		if math.Abs(w.Values[i]-vf) > tol {
+			if i == w.Len()-1 {
+				return 0, fmt.Errorf("waveform %q has not settled to within %g", w.Name, tol)
+			}
+			return w.Times[i+1], nil
+		}
+	}
+	return w.Times[0], nil
+}
+
+// DelayBetween returns t(other crosses level, dir) - t(w crosses level,
+// dir): the propagation delay from this waveform's transition to the
+// other's.
+func (w *Waveform) DelayBetween(other *Waveform, level float64, direction int) (float64, error) {
+	t1, err := w.CrossTime(level, direction)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := other.CrossTime(level, direction)
+	if err != nil {
+		return 0, err
+	}
+	return t2 - t1, nil
+}
+
+// Integral returns the trapezoidal integral of the waveform over its span.
+func (w *Waveform) Integral() float64 {
+	sum := 0.0
+	for i := 1; i < w.Len(); i++ {
+		sum += (w.Values[i] + w.Values[i-1]) / 2 * (w.Times[i] - w.Times[i-1])
+	}
+	return sum
+}
+
+// Derivative returns a new waveform of central-difference derivatives
+// (one-sided at the ends), named "<name>'".
+func (w *Waveform) Derivative() (*Waveform, error) {
+	n := w.Len()
+	if n < 2 {
+		return nil, ErrEmpty
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch i {
+		case 0:
+			vals[i] = (w.Values[1] - w.Values[0]) / (w.Times[1] - w.Times[0])
+		case n - 1:
+			vals[i] = (w.Values[n-1] - w.Values[n-2]) / (w.Times[n-1] - w.Times[n-2])
+		default:
+			vals[i] = (w.Values[i+1] - w.Values[i-1]) / (w.Times[i+1] - w.Times[i-1])
+		}
+	}
+	return New(w.Name+"'", w.Times, vals)
+}

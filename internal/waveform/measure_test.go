@@ -1,0 +1,184 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+// rampWave is 0 until 1ns, rises linearly to 1 at 2ns, holds.
+func rampWave(t *testing.T) *Waveform {
+	t.Helper()
+	w, err := FromFunc("ramp", func(tt float64) float64 {
+		switch {
+		case tt < 1e-9:
+			return 0
+		case tt > 2e-9:
+			return 1
+		default:
+			return (tt - 1e-9) / 1e-9
+		}
+	}, 0, 3e-9, 3001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCrossTime(t *testing.T) {
+	w := rampWave(t)
+	tc, err := w.CrossTime(0.5, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tc-1.5e-9) > 2e-12 {
+		t.Errorf("rising 50%% at %g, want 1.5e-9", tc)
+	}
+	// No falling crossing exists.
+	if _, err := w.CrossTime(0.5, -1); err == nil {
+		t.Error("falling crossing should not exist")
+	}
+	// Either-direction matches the rising one.
+	tc2, err := w.CrossTime(0.5, 0)
+	if err != nil || math.Abs(tc2-tc) > 1e-15 {
+		t.Errorf("direction 0 crossing %g vs %g (%v)", tc2, tc, err)
+	}
+	// Level never reached.
+	if _, err := w.CrossTime(2.0, 0); err == nil {
+		t.Error("unreachable level must error")
+	}
+}
+
+func TestRiseFallTime(t *testing.T) {
+	w := rampWave(t)
+	rt, err := w.RiseTime(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear ramp over 1 ns: 10-90% takes 0.8 ns.
+	if math.Abs(rt-0.8e-9) > 5e-12 {
+		t.Errorf("rise time %g, want 0.8e-9", rt)
+	}
+	// Falling version.
+	f, err := FromFunc("fall", func(tt float64) float64 {
+		switch {
+		case tt < 1e-9:
+			return 1
+		case tt > 3e-9:
+			return 0
+		default:
+			return 1 - (tt-1e-9)/2e-9
+		}
+	}, 0, 4e-9, 4001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := f.FallTime(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ft-1.6e-9) > 5e-12 {
+		t.Errorf("fall time %g, want 1.6e-9", ft)
+	}
+	if _, err := w.RiseTime(1, 0); err == nil {
+		t.Error("empty range must error")
+	}
+	if _, err := w.FallTime(1, 1); err == nil {
+		t.Error("empty fall range must error")
+	}
+}
+
+func TestOvershoot(t *testing.T) {
+	// Damped step with a 20% first overshoot.
+	w, err := FromFunc("ring", func(tt float64) float64 {
+		x := tt / 1e-9
+		return 1 - math.Exp(-x)*math.Cos(3*x)*1.2/math.Sqrt(1+x)
+	}, 0, 10e-9, 5001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := w.Overshoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os <= 0.01 || os > 0.6 {
+		t.Errorf("overshoot %g outside plausible band", os)
+	}
+	// Monotone settle: zero overshoot.
+	mono, _ := FromFunc("mono", func(tt float64) float64 {
+		return 1 - math.Exp(-tt/1e-9)
+	}, 0, 10e-9, 1001)
+	os, err = mono.Overshoot()
+	if err != nil || os != 0 {
+		t.Errorf("monotone overshoot = %g (%v)", os, err)
+	}
+	flat, _ := FromFunc("flat", func(float64) float64 { return 1 }, 0, 1e-9, 11)
+	if _, err := flat.Overshoot(); err == nil {
+		t.Error("flat waveform must error")
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	w, _ := FromFunc("exp", func(tt float64) float64 {
+		return 1 - math.Exp(-tt/1e-9)
+	}, 0, 10e-9, 10001)
+	st, err := w.SettlingTime(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 - e^{-t/tau} is within 2% of the *final* value (0.99995) when
+	// e^{-t/tau} <= 0.02 + 5e-5 -> t ~= 3.9 tau.
+	if st < 3.5e-9 || st > 4.3e-9 {
+		t.Errorf("settling time %g, want ~3.9e-9", st)
+	}
+	if _, err := w.SettlingTime(0); err == nil {
+		t.Error("zero tolerance must error")
+	}
+	// Already settled from the start.
+	flat, _ := FromFunc("flat", func(float64) float64 { return 5 }, 0, 1e-9, 11)
+	st, err = flat.SettlingTime(0.1)
+	if err != nil || st != 0 {
+		t.Errorf("flat settling = %g (%v)", st, err)
+	}
+}
+
+func TestDelayBetween(t *testing.T) {
+	a := rampWave(t)
+	b := a.Shift(0.3e-9)
+	d, err := a.DelayBetween(b, 0.5, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.3e-9) > 3e-12 {
+		t.Errorf("delay %g, want 0.3e-9", d)
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	// Integral of the unit ramp segment: 0.5 ns over the ramp + 1 ns hold
+	// = 1.5e-9 V*s.
+	w := rampWave(t)
+	got := w.Integral()
+	if math.Abs(got-1.5e-9) > 1e-12 {
+		t.Errorf("integral %g, want 1.5e-9", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	w, _ := FromFunc("lin", func(tt float64) float64 { return 3 * tt }, 0, 1e-9, 101)
+	d, err := w.Derivative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d.Values {
+		if math.Abs(v-3) > 1e-6 {
+			t.Fatalf("derivative[%d] = %g, want 3", i, v)
+		}
+	}
+	if d.Name != "lin'" {
+		t.Errorf("derivative name %q", d.Name)
+	}
+	single := &Waveform{Name: "s", Times: []float64{0}, Values: []float64{1}}
+	if _, err := single.Derivative(); err == nil {
+		t.Error("single-sample derivative must error")
+	}
+}

@@ -1,0 +1,107 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ssnkit/internal/numeric"
+)
+
+// Spectrum is a single-sided magnitude spectrum of a waveform: Freqs[i] in
+// Hz against Mag[i] in the waveform's units (peak amplitude per bin).
+type Spectrum struct {
+	Freqs []float64
+	Mag   []float64
+}
+
+// Spectrum computes the single-sided amplitude spectrum of the waveform,
+// resampled onto a power-of-two uniform grid of at least minPoints samples
+// and windowed with a Hann window (amplitude-corrected). SSN pulses are
+// broadband; the spectrum is how their EMI consequence is usually judged.
+func (w *Waveform) Spectrum(minPoints int) (*Spectrum, error) {
+	if w.Len() < 2 {
+		return nil, fmt.Errorf("waveform %q: %w", w.Name, ErrEmpty)
+	}
+	if minPoints < 16 {
+		minPoints = 16
+	}
+	n := numeric.NextPow2(minPoints)
+	rs, err := w.Resample(n)
+	if err != nil {
+		return nil, err
+	}
+	span := rs.Times[n-1] - rs.Times[0]
+	dt := span / float64(n-1)
+	win := numeric.Hann(n)
+	// Hann coherent gain is 0.5; correct amplitudes accordingly. The mean
+	// is removed before windowing (and reported as the DC bin) so the
+	// window does not leak DC into the low-frequency bins.
+	const hannGain = 0.5
+	mean := 0.0
+	for _, v := range rs.Values {
+		mean += v
+	}
+	mean /= float64(n)
+	x := make([]complex128, n)
+	for i, v := range rs.Values {
+		x[i] = complex((v-mean)*win[i], 0)
+	}
+	X, err := numeric.FFT(x)
+	if err != nil {
+		return nil, err
+	}
+	half := n / 2
+	sp := &Spectrum{
+		Freqs: make([]float64, half),
+		Mag:   make([]float64, half),
+	}
+	for k := 0; k < half; k++ {
+		sp.Freqs[k] = float64(k) / (float64(n) * dt)
+		m := cmplx.Abs(X[k]) / (float64(n) * hannGain)
+		if k > 0 {
+			m *= 2 // fold the negative frequencies into the single side
+		}
+		sp.Mag[k] = m
+	}
+	sp.Mag[0] = math.Abs(mean)
+	return sp, nil
+}
+
+// PeakFrequency returns the frequency of the largest non-DC spectral
+// component.
+func (s *Spectrum) PeakFrequency() (freq, mag float64) {
+	for k := 1; k < len(s.Freqs); k++ {
+		if s.Mag[k] > mag {
+			mag = s.Mag[k]
+			freq = s.Freqs[k]
+		}
+	}
+	return freq, mag
+}
+
+// EnergyAbove integrates |Mag|^2 above the given frequency — a crude EMI
+// figure comparing how much noise energy lands in a band of concern.
+func (s *Spectrum) EnergyAbove(freq float64) float64 {
+	sum := 0.0
+	for k := 1; k < len(s.Freqs); k++ {
+		if s.Freqs[k] >= freq {
+			sum += s.Mag[k] * s.Mag[k]
+		}
+	}
+	return sum
+}
+
+// MagAt returns the magnitude of the bin nearest to freq.
+func (s *Spectrum) MagAt(freq float64) float64 {
+	if len(s.Freqs) == 0 {
+		return math.NaN()
+	}
+	best, bd := 0, math.Inf(1)
+	for k, f := range s.Freqs {
+		if d := math.Abs(f - freq); d < bd {
+			bd, best = d, k
+		}
+	}
+	return s.Mag[best]
+}

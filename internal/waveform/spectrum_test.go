@@ -1,0 +1,122 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpectrumSineTone(t *testing.T) {
+	// 100 MHz sine, amplitude 0.7: the spectrum peaks there with ~0.7.
+	const f0 = 100e6
+	w, err := FromFunc("tone", func(tt float64) float64 {
+		return 0.7 * math.Sin(2*math.Pi*f0*tt)
+	}, 0, 200e-9, 4001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := w.Spectrum(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, pm := sp.PeakFrequency()
+	if math.Abs(pf-f0) > 0.03*f0 {
+		t.Errorf("peak at %g, want %g", pf, f0)
+	}
+	if math.Abs(pm-0.7) > 0.1 {
+		t.Errorf("peak magnitude %g, want ~0.7", pm)
+	}
+}
+
+func TestSpectrumDCOffset(t *testing.T) {
+	w, err := FromFunc("dc", func(float64) float64 { return 2.5 }, 0, 1e-6, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := w.Spectrum(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All non-DC bins are ~0.
+	_, pm := sp.PeakFrequency()
+	if pm > 1e-9 {
+		t.Errorf("constant signal has AC content %g", pm)
+	}
+}
+
+func TestSpectrumEnergyAbove(t *testing.T) {
+	// Two tones; energy above a cutoff between them counts only the upper.
+	const f1, f2 = 50e6, 400e6
+	w, err := FromFunc("two", func(tt float64) float64 {
+		return math.Sin(2*math.Pi*f1*tt) + 0.5*math.Sin(2*math.Pi*f2*tt)
+	}, 0, 400e-9, 8001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := w.Spectrum(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := sp.EnergyAbove(200e6)
+	all := sp.EnergyAbove(0)
+	if hi <= 0 || hi >= all {
+		t.Errorf("band energies: hi %g, all %g", hi, all)
+	}
+	// The upper tone has 1/4 the power of the lower; the hi fraction is
+	// therefore ~0.2 of the total.
+	frac := hi / all
+	if frac < 0.1 || frac > 0.35 {
+		t.Errorf("upper-band fraction %g, want ~0.2", frac)
+	}
+}
+
+func TestSpectrumMagAt(t *testing.T) {
+	const f0 = 100e6
+	w, _ := FromFunc("tone", func(tt float64) float64 {
+		return math.Sin(2 * math.Pi * f0 * tt)
+	}, 0, 200e-9, 2001)
+	sp, err := w.Spectrum(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.MagAt(f0) < 0.5 {
+		t.Errorf("MagAt(f0) = %g, want near 1", sp.MagAt(f0))
+	}
+	if sp.MagAt(3*f0) > 0.1 {
+		t.Errorf("MagAt(3*f0) = %g, want near 0", sp.MagAt(3*f0))
+	}
+}
+
+func TestSpectrumErrors(t *testing.T) {
+	w := &Waveform{Name: "short", Times: []float64{0}, Values: []float64{1}}
+	if _, err := w.Spectrum(64); err == nil {
+		t.Error("single-sample spectrum must error")
+	}
+}
+
+func TestSpectrumFasterEdgesMoreHighFrequencyEnergy(t *testing.T) {
+	// The EMI story: a faster SSN-like pulse puts more energy above
+	// 1 GHz. Build two half-sine pulses of different widths.
+	pulse := func(width float64) *Waveform {
+		w, err := FromFunc("pulse", func(tt float64) float64 {
+			if tt < 1e-9 || tt > 1e-9+width {
+				return 0
+			}
+			return 0.5 * math.Sin(math.Pi*(tt-1e-9)/width)
+		}, 0, 10e-9, 4001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	slow, err := pulse(2e-9).Spectrum(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := pulse(0.3e-9).Spectrum(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.EnergyAbove(1e9) <= slow.EnergyAbove(1e9) {
+		t.Error("faster pulse should carry more energy above 1 GHz")
+	}
+}

@@ -1,0 +1,290 @@
+// Package waveform implements sampled time-series signals: the lingua franca
+// between ssnkit's circuit simulator, the closed-form SSN models and the
+// experiment harnesses. A Waveform is a monotone time grid with one value
+// per sample; operations cover interpolation, extrema, threshold crossings,
+// arithmetic, comparison metrics and CSV round-tripping.
+package waveform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports an operation on a waveform with no samples.
+var ErrEmpty = errors.New("waveform: empty waveform")
+
+// Waveform is a named, sampled signal. Times must be strictly increasing.
+type Waveform struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// New builds a waveform after validating the grid. The slices are copied.
+func New(name string, times, values []float64) (*Waveform, error) {
+	if len(times) != len(values) {
+		return nil, fmt.Errorf("waveform %q: %d times vs %d values", name, len(times), len(values))
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("waveform %q: %w", name, ErrEmpty)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("waveform %q: non-increasing time at sample %d (%g after %g)",
+				name, i, times[i], times[i-1])
+		}
+	}
+	w := &Waveform{Name: name}
+	w.Times = append(w.Times, times...)
+	w.Values = append(w.Values, values...)
+	return w, nil
+}
+
+// FromFunc samples f on a uniform grid of n points over [t0, t1].
+func FromFunc(name string, f func(float64) float64, t0, t1 float64, n int) (*Waveform, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("waveform %q: need at least 2 samples", name)
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("waveform %q: bad interval [%g, %g]", name, t0, t1)
+	}
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	dt := (t1 - t0) / float64(n-1)
+	for i := range ts {
+		ts[i] = t0 + float64(i)*dt
+		vs[i] = f(ts[i])
+	}
+	ts[n-1] = t1
+	vs[n-1] = f(t1)
+	return New(name, ts, vs)
+}
+
+// Len returns the sample count.
+func (w *Waveform) Len() int { return len(w.Times) }
+
+// Clone returns a deep copy with the same name.
+func (w *Waveform) Clone() *Waveform {
+	c, _ := New(w.Name, w.Times, w.Values)
+	return c
+}
+
+// At linearly interpolates the signal at time t, holding end values outside
+// the sampled span.
+func (w *Waveform) At(t float64) float64 {
+	n := len(w.Times)
+	if n == 0 {
+		return math.NaN()
+	}
+	if t <= w.Times[0] {
+		return w.Values[0]
+	}
+	if t >= w.Times[n-1] {
+		return w.Values[n-1]
+	}
+	i := sort.SearchFloat64s(w.Times, t)
+	if w.Times[i] == t {
+		return w.Values[i]
+	}
+	t0, t1 := w.Times[i-1], w.Times[i]
+	v0, v1 := w.Values[i-1], w.Values[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Max returns the maximum value and the time at which it occurs.
+func (w *Waveform) Max() (tmax, vmax float64) {
+	vmax = math.Inf(-1)
+	for i, v := range w.Values {
+		if v > vmax {
+			vmax, tmax = v, w.Times[i]
+		}
+	}
+	return tmax, vmax
+}
+
+// Min returns the minimum value and its time.
+func (w *Waveform) Min() (tmin, vmin float64) {
+	vmin = math.Inf(1)
+	for i, v := range w.Values {
+		if v < vmin {
+			vmin, tmin = v, w.Times[i]
+		}
+	}
+	return tmin, vmin
+}
+
+// AbsMax returns the peak magnitude max |v| and its time.
+func (w *Waveform) AbsMax() (t, v float64) {
+	best := -1.0
+	for i, x := range w.Values {
+		if a := math.Abs(x); a > best {
+			best, t, v = a, w.Times[i], x
+		}
+	}
+	return t, v
+}
+
+// RMS returns the root-mean-square value over the sampled span, computed
+// with trapezoidal integration on the (possibly non-uniform) grid.
+func (w *Waveform) RMS() float64 {
+	n := len(w.Times)
+	if n < 2 {
+		if n == 1 {
+			return math.Abs(w.Values[0])
+		}
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < n; i++ {
+		dt := w.Times[i] - w.Times[i-1]
+		a, b := w.Values[i-1], w.Values[i]
+		sum += dt * (a*a + b*b) / 2
+	}
+	span := w.Times[n-1] - w.Times[0]
+	return math.Sqrt(sum / span)
+}
+
+// Crossings returns the interpolated times at which the signal crosses the
+// given level, in order. A sample exactly on the level counts once.
+func (w *Waveform) Crossings(level float64) []float64 {
+	var out []float64
+	n := len(w.Times)
+	for i := 1; i < n; i++ {
+		a, b := w.Values[i-1]-level, w.Values[i]-level
+		switch {
+		case a == 0:
+			if len(out) == 0 || out[len(out)-1] != w.Times[i-1] {
+				out = append(out, w.Times[i-1])
+			}
+		case a*b < 0:
+			t := w.Times[i-1] + (w.Times[i]-w.Times[i-1])*a/(a-b)
+			out = append(out, t)
+		}
+	}
+	if n > 0 && w.Values[n-1] == level {
+		if len(out) == 0 || out[len(out)-1] != w.Times[n-1] {
+			out = append(out, w.Times[n-1])
+		}
+	}
+	return out
+}
+
+// Peaks returns the indices of strict local maxima (greater than both
+// neighbours). Plateau edges are not reported.
+func (w *Waveform) Peaks() []int {
+	var out []int
+	for i := 1; i < len(w.Values)-1; i++ {
+		if w.Values[i] > w.Values[i-1] && w.Values[i] > w.Values[i+1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Window returns the sub-waveform with t in [t0, t1] (inclusive of samples
+// on the boundary). It returns ErrEmpty if no samples fall in the window.
+func (w *Waveform) Window(t0, t1 float64) (*Waveform, error) {
+	var ts, vs []float64
+	for i, t := range w.Times {
+		if t >= t0 && t <= t1 {
+			ts = append(ts, t)
+			vs = append(vs, w.Values[i])
+		}
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("waveform %q window [%g, %g]: %w", w.Name, t0, t1, ErrEmpty)
+	}
+	return New(w.Name, ts, vs)
+}
+
+// Resample returns the waveform evaluated on a uniform n-point grid spanning
+// the original time range.
+func (w *Waveform) Resample(n int) (*Waveform, error) {
+	if len(w.Times) == 0 {
+		return nil, ErrEmpty
+	}
+	t0, t1 := w.Times[0], w.Times[len(w.Times)-1]
+	if t1 == t0 || n < 2 {
+		return nil, fmt.Errorf("waveform %q: cannot resample span [%g, %g] to %d points", w.Name, t0, t1, n)
+	}
+	return FromFunc(w.Name, w.At, t0, t1, n)
+}
+
+// Scale returns a new waveform with every value multiplied by k.
+func (w *Waveform) Scale(k float64) *Waveform {
+	c := w.Clone()
+	for i := range c.Values {
+		c.Values[i] *= k
+	}
+	return c
+}
+
+// Shift returns a new waveform with every time shifted by dt.
+func (w *Waveform) Shift(dt float64) *Waveform {
+	c := w.Clone()
+	for i := range c.Times {
+		c.Times[i] += dt
+	}
+	return c
+}
+
+// Sub returns a waveform sampling (w - other) on w's grid, interpolating
+// other as needed. The result is named "<w>-<other>".
+func (w *Waveform) Sub(other *Waveform) *Waveform {
+	c := w.Clone()
+	c.Name = w.Name + "-" + other.Name
+	for i, t := range c.Times {
+		c.Values[i] -= other.At(t)
+	}
+	return c
+}
+
+// CompareStats summarizes how closely this waveform matches a reference over
+// the overlap of their spans, sampling both on n uniform points.
+type CompareStats struct {
+	MaxAbsErr float64 // worst absolute difference
+	RMSErr    float64 // root mean square difference
+	MaxRelErr float64 // worst |diff| / max(|ref peak|, floor)
+	PeakRel   float64 // relative error of the peak value |max(w)-max(ref)| / |max(ref)|
+}
+
+// Compare computes error metrics of w against ref over their overlapping
+// time span. The relative metrics are normalized by the reference peak
+// magnitude, the convention the paper uses ("within 3% of HSPICE").
+func (w *Waveform) Compare(ref *Waveform, n int) (CompareStats, error) {
+	if w.Len() == 0 || ref.Len() == 0 {
+		return CompareStats{}, ErrEmpty
+	}
+	t0 := math.Max(w.Times[0], ref.Times[0])
+	t1 := math.Min(w.Times[len(w.Times)-1], ref.Times[len(ref.Times)-1])
+	if t1 <= t0 {
+		return CompareStats{}, fmt.Errorf("waveform: no overlap between %q and %q", w.Name, ref.Name)
+	}
+	if n < 2 {
+		n = 256
+	}
+	_, refPeak := ref.AbsMax()
+	den := math.Abs(refPeak)
+	if den == 0 {
+		den = 1
+	}
+	var cs CompareStats
+	sum := 0.0
+	dt := (t1 - t0) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		d := math.Abs(w.At(t) - ref.At(t))
+		if d > cs.MaxAbsErr {
+			cs.MaxAbsErr = d
+		}
+		sum += d * d
+	}
+	cs.RMSErr = math.Sqrt(sum / float64(n))
+	cs.MaxRelErr = cs.MaxAbsErr / den
+	_, wPeak := w.Max()
+	_, rPeak := ref.Max()
+	cs.PeakRel = math.Abs(wPeak-rPeak) / math.Max(math.Abs(rPeak), 1e-30)
+	return cs, nil
+}

@@ -1,0 +1,218 @@
+// Package ssnkit is a Go library for analyzing simultaneous switching noise
+// (SSN, "ground bounce") at chip I/O pads. It reproduces and packages the
+// models of Ding & Mazumder, "Accurate Estimating Simultaneous Switching
+// Noises by Using Application Specific Device Modeling" (DATE 2002):
+//
+//   - an application-specific MOSFET model (ASDM) fitted to the SSN
+//     operating region, Id = K·(Vg − V0 − a·Vs);
+//   - a closed-form SSN waveform and maximum for inductance-only ground
+//     nets (paper Sec. 3);
+//   - a four-case closed form covering ground inductance plus pad
+//     capacitance (paper Sec. 4, Table 1), with the critical capacitance
+//     separating the damped regimes;
+//   - reconstructions of the prior-art estimates the paper compares with;
+//   - everything needed to validate the above from scratch: a MOSFET
+//     device-model library, a SPICE-like transient circuit simulator,
+//     package parasitic models and a driver-array circuit generator.
+//
+// This root package re-exports the supported API surface via type aliases
+// so downstream users never import ssnkit/internal/... directly:
+//
+//	asdm, _ := ssnkit.C018.ExtractASDM()
+//	p := ssnkit.Params{N: 16, Dev: asdm, Vdd: 1.8, Slope: 1.8e9,
+//	    L: 5e-9 / 4, C: 4e-12}
+//	vmax, cse, _ := ssnkit.MaxSSN(p)
+//
+// The experiment harnesses that regenerate every figure and table of the
+// paper live in cmd/ssnrepro; see EXPERIMENTS.md for the paper-vs-measured
+// summary.
+package ssnkit
+
+import (
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+	"ssnkit/internal/driver"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/waveform"
+)
+
+// Core SSN model API (internal/ssn).
+type (
+	// Params collects the inputs of the closed-form SSN models.
+	Params = ssn.Params
+	// LModel is the inductance-only closed form (paper Sec. 3).
+	LModel = ssn.LModel
+	// LCModel is the four-case inductance+capacitance model (Table 1).
+	LCModel = ssn.LCModel
+	// Case identifies which Table 1 formula applies.
+	Case = ssn.Case
+	// AlphaParams parameterize the prior-art baseline estimates.
+	AlphaParams = ssn.AlphaParams
+	// BaselineInput bundles circuit parameters for the baselines.
+	BaselineInput = ssn.BaselineInput
+	// Staggered integrates the ASDM system for drivers that do not switch
+	// simultaneously (the paper's Sec. 3 design knob).
+	Staggered = ssn.Staggered
+	// Sensitivity holds first-order dVmax/d{N,L,s,C} at an operating
+	// point.
+	Sensitivity = ssn.Sensitivity
+	// Victim models the glitch coupled onto a quiet-low output.
+	Victim = ssn.Victim
+	// Variation and MCResult drive Monte Carlo analysis over MaxSSN.
+	Variation = ssn.Variation
+	MCResult  = ssn.MCResult
+)
+
+// The four operating cases of the LC model.
+const (
+	OverDamped          = ssn.OverDamped
+	CriticallyDamped    = ssn.CriticallyDamped
+	UnderDampedPeak     = ssn.UnderDampedPeak
+	UnderDampedBoundary = ssn.UnderDampedBoundary
+)
+
+// Core entry points.
+var (
+	// MaxSSN classifies the operating case and evaluates the Table 1
+	// maximum-noise formula.
+	MaxSSN = ssn.MaxSSN
+	// NewLModel builds the Sec. 3 inductance-only model.
+	NewLModel = ssn.NewLModel
+	// NewLCModel builds the Sec. 4 four-case model.
+	NewLCModel = ssn.NewLCModel
+	// MaxDriversForBudget sizes the largest simultaneously switching bus
+	// that meets a noise budget.
+	MaxDriversForBudget = ssn.MaxDriversForBudget
+	// MinRiseTimeForBudget finds the fastest edge meeting a noise budget.
+	MinRiseTimeForBudget = ssn.MinRiseTimeForBudget
+	// InductanceBudget finds the largest ground inductance meeting a
+	// noise budget.
+	InductanceBudget = ssn.InductanceBudget
+	// SquareLawMax, VemuruMax and SongMax are the prior-art baselines.
+	SquareLawMax = ssn.SquareLawMax
+	VemuruMax    = ssn.VemuruMax
+	SongMax      = ssn.SongMax
+	// NewStaggered and UniformStagger analyze non-simultaneous switching.
+	NewStaggered   = ssn.NewStaggered
+	UniformStagger = ssn.UniformStagger
+	// LSensitivity and LCSensitivity evaluate design sensitivities.
+	LSensitivity  = ssn.LSensitivity
+	LCSensitivity = ssn.LCSensitivity
+	// NewVictim analyzes quiet-output glitches and noise margins.
+	NewVictim = ssn.NewVictim
+	// MonteCarlo draws process/environment variations over MaxSSN.
+	MonteCarlo = ssn.MonteCarlo
+	// DelayPushout estimates the switching-delay cost of the bounce.
+	DelayPushout = ssn.DelayPushout
+)
+
+// Device modeling API (internal/device).
+type (
+	// ASDM is the paper's application-specific device model.
+	ASDM = device.ASDM
+	// ExtractRegion describes the (Vg, Vs) region an ASDM is fitted over.
+	ExtractRegion = device.ExtractRegion
+	// DeviceModel is the large-signal MOSFET interface the simulator uses.
+	DeviceModel = device.Model
+	// Reference is the golden short-channel device (BSIM3 stand-in).
+	Reference = device.Reference
+	// AlphaPower is the Sakurai-Newton device model.
+	AlphaPower = device.AlphaPower
+	// SquareLaw is the classic long-channel device model.
+	SquareLaw = device.SquareLaw
+	// Process bundles a technology kit (supply + golden driver).
+	Process = device.Process
+	// Corner names a process corner (TT/SS/FF) for Process.At.
+	Corner = device.Corner
+)
+
+// Process corners.
+const (
+	TT = device.TT
+	SS = device.SS
+	FF = device.FF
+)
+
+// Process kits and device-fitting entry points.
+var (
+	C018                 = device.C018
+	C025                 = device.C025
+	C035                 = device.C035
+	Processes            = device.Processes
+	ProcessByName        = device.ProcessByName
+	ExtractASDM          = device.ExtractASDM
+	ExtractAlphaPowerSat = device.ExtractAlphaPowerSat
+	// TriodeResistance returns a quiet driver's channel resistance, the
+	// Ron input of the victim-glitch model.
+	TriodeResistance = device.TriodeResistance
+	// CornerByName parses "tt"/"ss"/"ff".
+	CornerByName = device.CornerByName
+)
+
+// Circuit and simulation API (internal/circuit, internal/spice).
+type (
+	// Circuit is a flat netlist.
+	Circuit = circuit.Circuit
+	// Deck is a parsed netlist plus requested analyses.
+	Deck = circuit.Deck
+	// TranSpec and DCSpec request analyses.
+	TranSpec = circuit.TranSpec
+	DCSpec   = circuit.DCSpec
+	// Engine is the MNA/Newton-Raphson simulator.
+	Engine = spice.Engine
+	// SimOptions tune solver tolerances.
+	SimOptions = spice.Options
+	// Source is a time-dependent stimulus.
+	Source = circuit.Source
+	// Ramp is the SSN input stimulus.
+	Ramp = circuit.Ramp
+)
+
+// Circuit construction and simulation entry points.
+var (
+	NewCircuit   = circuit.New
+	ParseNetlist = circuit.Parse
+	NewEngine    = spice.New
+	RunDeck      = spice.Run
+)
+
+// Scenario generation API (internal/driver, internal/pkgmodel).
+type (
+	// ArrayConfig describes a driver-array SSN scenario.
+	ArrayConfig = driver.ArrayConfig
+	// SimResult packages the observables of one scenario run.
+	SimResult = driver.SimResult
+	// PullKind selects ground bounce (pull-down) or power-rail droop
+	// (pull-up) scenarios.
+	PullKind = driver.Pull
+	// Package is a package parasitic class; GroundNet the paralleled
+	// ground pins seen by the chip.
+	Package   = pkgmodel.Package
+	GroundNet = pkgmodel.GroundNet
+)
+
+// Driver polarities for ArrayConfig.Pull.
+const (
+	PullDown = driver.PullDown
+	PullUp   = driver.PullUp
+)
+
+// Package catalog and scenario entry points.
+var (
+	PGA            = pkgmodel.PGA
+	QFP            = pkgmodel.QFP
+	BGA            = pkgmodel.BGA
+	COB            = pkgmodel.COB
+	PackageCatalog = pkgmodel.Catalog
+	PackageByName  = pkgmodel.ByName
+	Simulate       = driver.Simulate
+)
+
+// Waveform API (internal/waveform).
+type (
+	// Waveform is a sampled signal; WaveformSet a named collection.
+	Waveform    = waveform.Waveform
+	WaveformSet = waveform.Set
+)

@@ -1,0 +1,195 @@
+package ssnkit_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssnkit"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would: no internal imports, only the re-exported surface.
+
+func fittedParams(t *testing.T) ssnkit.Params {
+	t.Helper()
+	asdm, err := ssnkit.C018.ExtractASDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnd := ssnkit.PGA.Ground(2)
+	return ssnkit.Params{
+		N: 16, Dev: asdm, Vdd: ssnkit.C018.Vdd,
+		Slope: ssnkit.C018.Vdd / 1e-9, L: gnd.L, C: gnd.C,
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	p := fittedParams(t)
+	vmax, cse, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmax <= 0 || vmax >= p.Vdd {
+		t.Errorf("vmax = %g outside (0, Vdd)", vmax)
+	}
+	switch cse {
+	case ssnkit.OverDamped, ssnkit.CriticallyDamped, ssnkit.UnderDampedPeak, ssnkit.UnderDampedBoundary:
+	default:
+		t.Errorf("unexpected case %v", cse)
+	}
+}
+
+func TestModelsAgreeThroughFacade(t *testing.T) {
+	p := fittedParams(t)
+	p.C = 0
+	lm, err := ssnkit.NewLModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcm, err := ssnkit.NewLCModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lm.VMax()-lcm.VMax()) > 1e-9 {
+		t.Errorf("L %g vs LC(C=0) %g", lm.VMax(), lcm.VMax())
+	}
+}
+
+func TestDesignHelpersThroughFacade(t *testing.T) {
+	p := fittedParams(t)
+	vmax, _, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ssnkit.MaxDriversForBudget(p, vmax, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < p.N {
+		t.Errorf("budget at VMax(N=%d) allows only %d drivers", p.N, n)
+	}
+	s, err := ssnkit.LSensitivity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RelN != s.RelL {
+		t.Error("equal-lever property lost through facade")
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	b, vt, alpha, _, err := ssnkit.ExtractAlphaPowerSat(ssnkit.C018.Driver(1), 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ssnkit.BaselineInput{N: 8, L: 5e-9, Vdd: 1.8, Slope: 1.8e9}
+	ap := ssnkit.AlphaParams{B: b, Vt: vt, Alpha: alpha}
+	if _, err := ssnkit.VemuruMax(in, ap); err != nil {
+		t.Error(err)
+	}
+	if _, err := ssnkit.SongMax(in, ap); err != nil {
+		t.Error(err)
+	}
+	if _, err := ssnkit.SquareLawMax(in, 2e-3, vt); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	cfg := ssnkit.ArrayConfig{
+		Process: ssnkit.C018, N: 8, Load: 20e-12,
+		Ground: ssnkit.PGA.Ground(1), Rise: 1e-9, Merged: true,
+	}
+	res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSSN <= 0 {
+		t.Error("no bounce simulated")
+	}
+	// Pull-up variant.
+	cfg.Pull = ssnkit.PullUp
+	up, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.MaxSSN <= 0 || up.MaxSSN >= res.MaxSSN {
+		t.Errorf("droop %g vs bounce %g", up.MaxSSN, res.MaxSSN)
+	}
+}
+
+func TestNetlistThroughFacade(t *testing.T) {
+	deck, err := ssnkit.ParseNetlist(strings.NewReader(`rc
+v1 in 0 dc 1
+r1 in out 1k
+c1 out 0 1p
+.tran 10p 5n
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tran, _, err := ssnkit.RunDeck(deck, ssnkit.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tran.Get("v(out)")
+	if w == nil {
+		t.Fatal("missing waveform")
+	}
+	if got := w.At(5e-9); math.Abs(got-1) > 0.02 {
+		t.Errorf("lowpass settle = %g", got)
+	}
+}
+
+func TestStaggeredThroughFacade(t *testing.T) {
+	p := fittedParams(t)
+	s, err := ssnkit.NewStaggered(p, ssnkit.UniformStagger(p.N, 0.2e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, err := s.VMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vSim, _, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= vSim {
+		t.Errorf("staggered %g not below simultaneous %g", v, vSim)
+	}
+}
+
+func TestProcessAndPackageCatalogs(t *testing.T) {
+	if len(ssnkit.Processes()) != 3 {
+		t.Error("expected 3 process kits")
+	}
+	if len(ssnkit.PackageCatalog()) != 4 {
+		t.Error("expected 4 package classes")
+	}
+	if _, err := ssnkit.ProcessByName("c025"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ssnkit.PackageByName("bga"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircuitBuilderThroughFacade(t *testing.T) {
+	ckt := ssnkit.NewCircuit("facade")
+	ckt.AddV("v1", "a", "0", ssnkit.Ramp{V0: 0, V1: 1, Delay: 0, Rise: 1e-9})
+	ckt.AddR("r1", "a", "0", 1e3)
+	eng, err := ssnkit.NewEngine(ckt, ssnkit.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := eng.Transient(ssnkit.TranSpec{Step: 0.1e-9, Stop: 2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Get("v(a)") == nil {
+		t.Error("missing node waveform")
+	}
+}
