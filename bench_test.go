@@ -7,7 +7,9 @@
 package ssnkit_test
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -314,6 +316,37 @@ func BenchmarkMonteCarlo(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := ssnkit.MonteCarlo(p, v, 1000, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkMonteCarloSerial pins the single-worker baseline of the
+// parallelized sampler, so the speedup of the pooled version below is
+// visible in one bench run.
+func BenchmarkMonteCarloSerial(b *testing.B) {
+	p := benchParams(b)
+	v := ssnkit.Variation{K: 0.05, L: 0.1, C: 0.08, Slope: 0.07}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := ssnkit.MonteCarloCtx(context.Background(), p, v, 20000, 7, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = r
+	}
+}
+
+// BenchmarkMonteCarloParallel runs the same workload across the
+// GOMAXPROCS worker pool with per-worker RNG streams.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	p := benchParams(b)
+	v := ssnkit.Variation{K: 0.05, L: 0.1, C: 0.08, Slope: 0.07}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := ssnkit.MonteCarloCtx(context.Background(), p, v, 20000, 7, runtime.GOMAXPROCS(0))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,105 @@
+// Command ssnserve runs ssnkit's HTTP/JSON evaluation service: batch
+// closed-form SSN evaluation, model waveforms and asynchronous Monte Carlo
+// jobs, with an ASDM extraction cache and Prometheus metrics.
+//
+// Usage:
+//
+//	ssnserve                         # listen on :8350
+//	ssnserve -addr 127.0.0.1:9000 -workers 8 -max-batch 4096
+//
+// Endpoints (see README "Running the service" for request bodies):
+//
+//	POST /v1/maxssn   POST /v1/waveform   POST /v1/montecarlo
+//	GET  /v1/jobs/{id}   GET /healthz   GET /metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
+// in-flight jobs drain for up to -drain before being cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssnkit/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ssnserve:", err)
+		os.Exit(1)
+	}
+}
+
+// parseConfig builds the service config and drain budget from flags.
+func parseConfig(args []string) (serve.Config, time.Duration, error) {
+	fs := flag.NewFlagSet("ssnserve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8350", "listen address")
+		workers  = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		maxBatch = fs.Int("max-batch", 8192, "max items per /v1/maxssn batch")
+		cache    = fs.Int("cache", 64, "ASDM extraction cache entries")
+		timeout  = fs.Duration("timeout", 30*time.Second, "synchronous request budget")
+		maxBody  = fs.Int64("max-body", 8<<20, "request body cap in bytes")
+		maxJobs  = fs.Int("max-jobs", 1024, "retained async job records")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return serve.Config{}, 0, err
+	}
+	if fs.NArg() > 0 {
+		return serve.Config{}, 0, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxJobs:        *maxJobs,
+	}
+	return cfg, *drain, nil
+}
+
+func run(args []string, log io.Writer) error {
+	cfg, drain, err := parseConfig(args)
+	if err != nil {
+		return err
+	}
+	s := serve.New(cfg)
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	fmt.Fprintf(log, "ssnserve: listening on %s\n", s.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case sig := <-sigc:
+		fmt.Fprintf(log, "ssnserve: %v, draining (budget %s)\n", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := s.Shutdown(ctx)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	fmt.Fprintln(log, "ssnserve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ssnkit/internal/serve"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, drain, err := parseConfig([]string{
+		"-addr", "127.0.0.1:9123", "-workers", "3", "-max-batch", "16",
+		"-cache", "7", "-timeout", "5s", "-drain", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != "127.0.0.1:9123" || cfg.Workers != 3 || cfg.MaxBatch != 16 ||
+		cfg.CacheSize != 7 || cfg.RequestTimeout != 5*time.Second || drain != 2*time.Second {
+		t.Errorf("config %+v drain %s", cfg, drain)
+	}
+	if _, _, err := parseConfig([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+	if _, _, err := parseConfig([]string{"stray"}); err == nil {
+		t.Error("positional arguments must error")
+	}
+}
+
+// TestServerFromFlagsServes builds the server exactly as main does and
+// exercises the two endpoints the CI smoke step hits.
+func TestServerFromFlagsServes(t *testing.T) {
+	cfg, _, err := parseConfig([]string{"-max-batch", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(cfg).Handler())
+	defer ts.Close()
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+
+	body := `{"items":[{"process":"c018","n":16,"package":"pga","pads":2,"rise_time":1e-9},
+	                   {"process":"c018","n":32,"package":"bga","pads":4,"rise_time":2e-9}]}`
+	resp, err := http.Post(ts.URL+"/v1/maxssn", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maxssn status %d", resp.StatusCode)
+	}
+	var out struct {
+		Count   int `json:"count"`
+		Results []struct {
+			VMax  float64         `json:"vmax"`
+			Error json.RawMessage `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 2 || out.Results[0].VMax <= 0 || out.Results[1].VMax <= 0 {
+		t.Errorf("batch response: %+v", out)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink for the run loop under test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunGracefulSignal boots the real binary loop on a random port and
+// stops it with SIGTERM, covering the signal/drain path end to end.
+func TestRunGracefulSignal(t *testing.T) {
+	// Keep the default SIGTERM action from killing the test process if
+	// the signal lands before run registers its own handler.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	var log syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, &log)
+	}()
+
+	// Wait for the listener announcement, then signal ourselves.
+	for i := 0; ; i++ {
+		if strings.Contains(log.String(), "listening on") {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("server never announced its listener")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let run reach signal.Notify
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v (log: %s)", err, log.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit on SIGTERM")
+	}
+	if !strings.Contains(log.String(), "drained cleanly") {
+		t.Errorf("missing drain log: %s", log.String())
+	}
+}

@@ -1,0 +1,62 @@
+package device
+
+import "testing"
+
+func TestExtractSpecKeyCanonical(t *testing.T) {
+	a := ExtractSpec{Process: "c018", Corner: FF, Size: 0}
+	b := ExtractSpec{Process: "c018", Corner: FF, Size: 1}
+	if a.Key() != b.Key() {
+		t.Errorf("size 0 and 1 must share a key: %q vs %q", a.Key(), b.Key())
+	}
+	distinct := []ExtractSpec{
+		{Process: "c018", Corner: TT},
+		{Process: "c018", Corner: FF},
+		{Process: "c025", Corner: TT},
+		{Process: "c018", Corner: TT, Rail: true},
+		{Process: "c018", Corner: TT, Size: 4},
+	}
+	seen := map[string]bool{}
+	for _, s := range distinct {
+		k := s.Key()
+		if seen[k] {
+			t.Errorf("key collision at %+v: %q", s, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestExtractSpecExtractMatchesDirectExtraction(t *testing.T) {
+	spec := ExtractSpec{Process: "c018", Corner: FF, Size: 2}
+	got, _, err := spec.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := C018.At(FF)
+	want, _, err := ExtractASDM(proc.Driver(2), ExtractRegion{Vdd: proc.Vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("spec extraction diverged: %v vs %v", got, want)
+	}
+	rail := ExtractSpec{Process: "c018", Corner: TT, Rail: true}
+	up, _, err := rail.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up == got {
+		t.Error("pull-up extraction must differ from pull-down")
+	}
+}
+
+func TestExtractSpecErrors(t *testing.T) {
+	if _, _, err := (ExtractSpec{Process: "c999"}).Extract(); err == nil {
+		t.Error("unknown process must error")
+	}
+	if _, err := (ExtractSpec{Process: "c999"}).Vdd(); err == nil {
+		t.Error("unknown process must error in Vdd")
+	}
+	if vdd, err := (ExtractSpec{Process: "c025"}).Vdd(); err != nil || vdd != C025.Vdd {
+		t.Errorf("Vdd = %g, %v; want %g", vdd, err, C025.Vdd)
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/fit"
+)
+
+// extractCache is a mutex-guarded LRU over ASDM extractions keyed by
+// device.ExtractSpec.Key(). Extraction re-fits a least-squares problem on
+// a (Vg, Vs) grid per call — microseconds of closed-form evaluation hide
+// behind milliseconds of fitting when every batch item re-extracts — but
+// the result is a pure function of the spec, so a small cache turns the
+// common case (thousands of items on a handful of process corners) into
+// map lookups. Concurrent misses on the same key are deduplicated: the
+// first goroutine extracts inside the entry's sync.Once, later ones block
+// on it and share the result. Failed extractions are cached too (the
+// result for a bad spec never changes).
+type extractCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // of *cacheEntry; front = most recent
+	byKey    map[string]*list.Element
+	metrics  *Metrics
+}
+
+type cacheEntry struct {
+	key   string
+	once  sync.Once
+	model device.ASDM
+	stats fit.Stats
+	err   error
+}
+
+func newExtractCache(capacity int, m *Metrics) *extractCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &extractCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    map[string]*list.Element{},
+		metrics:  m,
+	}
+}
+
+// get returns the cached extraction for the spec, extracting on first use.
+func (c *extractCache) get(spec device.ExtractSpec) (device.ASDM, fit.Stats, error) {
+	key := spec.Key()
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		if c.metrics != nil {
+			c.metrics.CacheHit()
+		}
+		e.once.Do(func() {}) // wait out an in-flight extraction
+		return e.model, e.stats, e.err
+	}
+	e := &cacheEntry{key: key}
+	c.byKey[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.CacheMiss()
+	}
+	// Extract outside the lock: a slow fit must not serialize hits on
+	// other keys. Evicting this entry concurrently is harmless — holders
+	// of the pointer still see the result.
+	e.once.Do(func() {
+		e.model, e.stats, e.err = spec.Extract()
+	})
+	return e.model, e.stats, e.err
+}
+
+// len reports the number of cached entries.
+func (c *extractCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"ssnkit/internal/device"
+)
+
+func TestExtractCacheHitMissAndEquivalence(t *testing.T) {
+	m := NewMetrics()
+	c := newExtractCache(8, m)
+	spec := device.ExtractSpec{Process: "c018", Corner: device.FF}
+	a, _, err := c.get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cached result diverged: %v vs %v", a, b)
+	}
+	direct, _, err := spec.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != direct {
+		t.Errorf("cache changed the model: %v vs %v", a, direct)
+	}
+	if hits, misses := m.CacheRates(); hits != 1 || misses != 1 {
+		t.Errorf("hits %d misses %d, want 1/1", hits, misses)
+	}
+}
+
+func TestExtractCacheEviction(t *testing.T) {
+	c := newExtractCache(2, nil)
+	specs := []device.ExtractSpec{
+		{Process: "c018"}, {Process: "c025"}, {Process: "c035"},
+	}
+	for _, s := range specs {
+		if _, _, err := c.get(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len %d, want 2 after eviction", c.len())
+	}
+	// The evicted oldest entry re-extracts without error.
+	if _, _, err := c.get(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractCacheCachesFailures(t *testing.T) {
+	m := NewMetrics()
+	c := newExtractCache(4, m)
+	bad := device.ExtractSpec{Process: "c404"}
+	if _, _, err := c.get(bad); err == nil {
+		t.Fatal("unknown process must error")
+	}
+	if _, _, err := c.get(bad); err == nil {
+		t.Fatal("cached failure must still error")
+	}
+	if hits, misses := m.CacheRates(); hits != 1 || misses != 1 {
+		t.Errorf("failure not cached: hits %d misses %d", hits, misses)
+	}
+}
+
+func TestExtractCacheConcurrentSameKey(t *testing.T) {
+	m := NewMetrics()
+	c := newExtractCache(8, m)
+	spec := device.ExtractSpec{Process: "c025", Corner: device.SS}
+	var wg sync.WaitGroup
+	results := make([]device.ASDM, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, _, err := c.get(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = a
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d saw a different model", i)
+		}
+	}
+	// Concurrent first access dedupes to exactly one miss.
+	if _, misses := m.CacheRates(); misses != 1 {
+		t.Errorf("misses %d, want 1 (in-flight dedup)", misses)
+	}
+}
+
+func TestExtractCacheConcurrentManyKeys(t *testing.T) {
+	c := newExtractCache(4, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				spec := device.ExtractSpec{
+					Process: []string{"c018", "c025", "c035"}[(g+i)%3],
+					Corner:  device.Corner((g + i) % 3),
+					Size:    float64(1 + i%3),
+				}
+				if _, _, err := c.get(spec); err != nil {
+					t.Errorf("%+v: %v", spec, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 4 {
+		t.Errorf("cache exceeded capacity: %d", c.len())
+	}
+}
+
+func BenchmarkExtractUncached(b *testing.B) {
+	spec := device.ExtractSpec{Process: "c018"}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spec.Extract(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractCached(b *testing.B) {
+	c := newExtractCache(8, nil)
+	spec := device.ExtractSpec{Process: "c018"}
+	if _, _, err := c.get(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.get(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

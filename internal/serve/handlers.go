@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ssnkit/internal/ssn"
+)
+
+// decodeJSON reads a size-limited JSON body into dst with a structured
+// error on failure.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &apiError{Code: "body_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return badRequest("malformed JSON: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing left to report
+}
+
+// statusFor maps an apiError code to an HTTP status.
+func statusFor(e *apiError) int {
+	switch e.Code {
+	case "body_too_large":
+		return http.StatusRequestEntityTooLarge
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "not_found":
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, statusFor(e), map[string]*apiError{"error": e})
+}
+
+// evalOne resolves and evaluates a single item; errors land in the result
+// rather than aborting sibling items of a batch.
+func (s *Server) evalOne(index int, it EvalItem) EvalResult {
+	res := EvalResult{Index: index}
+	p, err := it.resolve(s.cache)
+	if err != nil {
+		res.Error = toAPIError(err)
+		return res
+	}
+	m, err := ssn.NewLCModel(p)
+	if err != nil {
+		res.Error = toAPIError(err)
+		return res
+	}
+	res.VMax = m.VMax()
+	res.Case = m.Case().String()
+	res.CaseCode = int(m.Case())
+	res.Beta = p.Beta()
+	res.Zeta = finiteOrNil(p.DampingRatio())
+	res.TMax = m.VMaxTime()
+	if it.Sensitivity {
+		sens, err := ssn.LCSensitivity(p, 0)
+		if err != nil {
+			res.Error = toAPIError(err)
+			return res
+		}
+		res.Sens = &SensitivityResult{
+			DVdN: sens.DVdN, DVdL: sens.DVdL, DVdS: sens.DVdS, DVdC: sens.DVdC,
+			RelN: sens.RelN, RelL: sens.RelL, RelS: sens.RelS, RelC: sens.RelC,
+		}
+	}
+	return res
+}
+
+// handleMaxSSN serves POST /v1/maxssn: a single item inline, or a batch
+// under "items". Batch items run concurrently on the shared worker pool;
+// per-item failures are reported in place so one bad corner does not void
+// a thousand good ones.
+func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
+	var req maxSSNRequest
+	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if len(req.Items) == 0 {
+		res := s.evalOne(0, req.EvalItem)
+		if res.Error != nil {
+			writeError(w, res.Error)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatch {
+		writeError(w, &apiError{Code: "batch_too_large",
+			Message:    fmt.Sprintf("batch of %d exceeds the %d-item limit", len(req.Items), s.cfg.MaxBatch),
+			Field:      "items",
+			Value:      len(req.Items),
+			Constraint: fmt.Sprintf("at most %d items", s.cfg.MaxBatch),
+		})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	results := make([]EvalResult, len(req.Items))
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		if err := s.pool.acquire(ctx); err != nil {
+			// Deadline or disconnect: fail the not-yet-started remainder.
+			for j := i; j < len(req.Items); j++ {
+				results[j] = EvalResult{Index: j,
+					Error: &apiError{Code: "timeout", Message: "evaluation aborted: " + err.Error()}}
+			}
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer s.pool.release()
+			results[i] = s.evalOne(i, req.Items[i])
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, maxSSNBatchResponse{Count: len(results), Results: results})
+}
+
+// handleWaveform serves POST /v1/waveform: the sampled closed-form V(t)
+// and inductor I(t) of one item, from the LC model (default) or the
+// inductance-only model.
+func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
+	var req waveformRequest
+	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	n := req.Samples
+	if n == 0 {
+		n = 256
+	}
+	if n < 2 || n > 65536 {
+		writeError(w, &apiError{Code: "invalid_request",
+			Message: fmt.Sprintf("samples = %d outside [2, 65536]", n),
+			Field:   "samples", Value: n, Constraint: "must be within [2, 65536]"})
+		return
+	}
+	p, err := req.EvalItem.resolve(s.cache)
+	if err != nil {
+		writeError(w, toAPIError(err))
+		return
+	}
+
+	var resp waveformResponse
+	switch req.Model {
+	case "", "lc":
+		m, err := ssn.NewLCModel(p)
+		if err != nil {
+			writeError(w, toAPIError(err))
+			return
+		}
+		vw, iw, err := m.Waveforms(req.RampStart, n)
+		if err != nil {
+			writeError(w, toAPIError(err))
+			return
+		}
+		resp = waveformResponse{Case: m.Case().String(), Times: vw.Times, V: vw.Values, I: iw.Values}
+	case "l":
+		m, err := ssn.NewLModel(p)
+		if err != nil {
+			writeError(w, toAPIError(err))
+			return
+		}
+		vw, iw, err := m.Waveforms(req.RampStart, n)
+		if err != nil {
+			writeError(w, toAPIError(err))
+			return
+		}
+		resp = waveformResponse{Times: vw.Times, V: vw.Values, I: iw.Values}
+	default:
+		writeError(w, &apiError{Code: "invalid_request",
+			Message: fmt.Sprintf("unknown model %q", req.Model),
+			Field:   "model", Value: req.Model, Constraint: `must be "lc" or "l"`})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMonteCarlo serves POST /v1/montecarlo: validate synchronously,
+// then run the sampling as an asynchronous job on the worker pool and
+// return 202 with a pollable job ID.
+func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	var req monteCarloRequest
+	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	p, err := req.EvalItem.resolve(s.cache)
+	if err != nil {
+		writeError(w, toAPIError(err))
+		return
+	}
+	n := req.Samples
+	if n == 0 {
+		n = 10000
+	}
+	if n > s.cfg.MaxMCSamples {
+		writeError(w, &apiError{Code: "invalid_request",
+			Message: fmt.Sprintf("samples = %d exceeds the %d limit", n, s.cfg.MaxMCSamples),
+			Field:   "samples", Value: n,
+			Constraint: fmt.Sprintf("at most %d", s.cfg.MaxMCSamples)})
+		return
+	}
+	v := ssn.Variation{K: req.Variation.K, V0: req.Variation.V0, A: req.Variation.A,
+		L: req.Variation.L, C: req.Variation.C, Slope: req.Variation.Slope}
+	// Pre-flight the cheap input checks so obviously bad jobs fail now,
+	// with a 400, instead of after a poll cycle.
+	if _, err := ssn.MonteCarloCtx(preflightCtx, p, v, n, req.Seed, 1); err != nil && !errors.Is(err, context.Canceled) {
+		writeError(w, toAPIError(err))
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+	job := s.jobs.submit(func(ctx context.Context) (any, error) {
+		res, err := ssn.MonteCarloCtx(ctx, p, v, n, req.Seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		cases := make(map[string]int, len(res.CaseCounts))
+		for cse, cnt := range res.CaseCounts {
+			cases[cse.String()] = cnt
+		}
+		return monteCarloResult{Samples: res.Samples, Mean: res.Mean, StdDev: res.StdDev,
+			Min: res.Min, Max: res.Max, P95: res.P95, P99: res.P99, Cases: cases}, nil
+	})
+	writeJSON(w, http.StatusAccepted, jobResponse{Job: job, StatusURL: "/v1/jobs/" + job.ID})
+}
+
+// preflightCtx is already cancelled: MonteCarloCtx with it runs all input
+// validation and then aborts before sampling.
+var preflightCtx = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+// handleJob serves GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.lookup(id)
+	if !ok {
+		writeError(w, &apiError{Code: "not_found", Message: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		JobsInFlight:  s.jobs.inFlight(),
+		CacheEntries:  s.cache.len(),
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.WriteTo(w)
+}
+
+// instrument wraps a handler with latency/status accounting and panic
+// containment under the route's canonical path label.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		startAt := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				rec.code = http.StatusInternalServerError
+				writeJSON(rec, http.StatusInternalServerError,
+					map[string]*apiError{"error": {Code: "internal", Message: fmt.Sprint(p)}})
+			}
+			s.metrics.ObserveRequest(path, rec.code, time.Since(startAt))
+		}()
+		h(rec, r)
+	})
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitTerminal(t *testing.T, st *jobStore, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := st.lookup(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch j.State {
+		case JobDone, JobFailed, JobCanceled:
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, j.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobStoreLifecycle(t *testing.T) {
+	st := newJobStore(newPool(2), NewMetrics(), 16)
+	j := st.submit(func(ctx context.Context) (any, error) { return 42, nil })
+	if j.ID == "" {
+		t.Fatal("empty job ID")
+	}
+	final := waitTerminal(t, st, j.ID)
+	if final.State != JobDone || final.Result != 42 {
+		t.Errorf("final %+v", final)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Error("timestamps not set")
+	}
+}
+
+func TestJobStoreFailure(t *testing.T) {
+	st := newJobStore(newPool(1), NewMetrics(), 16)
+	j := st.submit(func(ctx context.Context) (any, error) {
+		return nil, errors.New("solver exploded")
+	})
+	final := waitTerminal(t, st, j.ID)
+	if final.State != JobFailed || final.Error == nil || final.Error.Message != "solver exploded" {
+		t.Errorf("final %+v", final)
+	}
+}
+
+func TestJobStorePoolBound(t *testing.T) {
+	// With one slot, two blocking jobs must serialize.
+	st := newJobStore(newPool(1), NewMetrics(), 16)
+	gate := make(chan struct{})
+	running := make(chan string, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		st.submit(func(ctx context.Context) (any, error) {
+			running <- fmt.Sprint(i)
+			<-gate
+			return nil, nil
+		})
+	}
+	<-running
+	select {
+	case id := <-running:
+		t.Fatalf("second job %s ran concurrently on a 1-slot pool", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	if err := st.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobStoreEvictionKeepsActive(t *testing.T) {
+	st := newJobStore(newPool(4), NewMetrics(), 2)
+	var done []string
+	for i := 0; i < 4; i++ {
+		j := st.submit(func(ctx context.Context) (any, error) { return nil, nil })
+		done = append(done, j.ID)
+		waitTerminal(t, st, j.ID)
+	}
+	// A blocked (active) job plus overflow finished jobs: the active one
+	// must survive eviction.
+	gate := make(chan struct{})
+	active := st.submit(func(ctx context.Context) (any, error) { <-gate; return nil, nil })
+	st.submit(func(ctx context.Context) (any, error) { return nil, nil })
+	if _, ok := st.lookup(active.ID); !ok {
+		t.Fatal("active job evicted")
+	}
+	close(gate)
+	if err := st.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	n := len(st.jobs)
+	st.mu.Unlock()
+	if n > 3 {
+		t.Errorf("store retained %d jobs, cap is 2 (+ active slack)", n)
+	}
+	_ = done
+}
+
+func TestPoolAcquireRespectsContext(t *testing.T) {
+	p := newPool(1)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("full pool acquire: %v, want deadline", err)
+	}
+	p.release()
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.release()
+}
+
+func TestJobIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := newJobID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate job ID %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The range spans
+// microsecond closed-form evaluations up to multi-second Monte Carlo jobs.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Metrics is the service's instrumentation: request counters and latency
+// histograms per route, extraction-cache hit/miss counters and job
+// state-transition counters. It renders itself in the Prometheus text
+// exposition format on /metrics without importing a client library — the
+// format is three line shapes and the repo stays dependency-free.
+type Metrics struct {
+	mu           sync.Mutex
+	requests     map[requestKey]uint64
+	latency      map[string]*routeHistogram
+	cacheHits    uint64
+	cacheMisses  uint64
+	jobsByState  map[string]uint64
+	jobsInFlight int64
+}
+
+type requestKey struct {
+	path string
+	code int
+}
+
+type routeHistogram struct {
+	counts []uint64 // one per bucket, non-cumulative
+	inf    uint64
+	sum    float64
+	total  uint64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:    map[requestKey]uint64{},
+		latency:     map[string]*routeHistogram{},
+		jobsByState: map[string]uint64{},
+	}
+}
+
+// ObserveRequest records one finished HTTP request.
+func (m *Metrics) ObserveRequest(path string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{path, code}]++
+	h := m.latency[path]
+	if h == nil {
+		h = &routeHistogram{counts: make([]uint64, len(latencyBuckets))}
+		m.latency[path] = h
+	}
+	h.sum += secs
+	h.total++
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// CacheHit / CacheMiss record extraction-cache outcomes.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// CacheMiss records an extraction-cache miss.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// JobTransition counts a job entering the named state; running jobs also
+// move the in-flight gauge.
+func (m *Metrics) JobTransition(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsByState[state]++
+	switch state {
+	case "running":
+		m.jobsInFlight++
+	case "done", "failed", "canceled":
+		if m.jobsInFlight > 0 {
+			m.jobsInFlight--
+		}
+	}
+}
+
+// CacheRates returns the hit/miss counters (for tests and health output).
+func (m *Metrics) CacheRates() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses
+}
+
+// WriteTo renders the registry in the Prometheus text format. Series are
+// emitted in sorted label order so the output is deterministic.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cw := &countingWriter{w: w}
+
+	fmt.Fprintln(cw, "# HELP ssnserve_requests_total HTTP requests by route and status code.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_requests_total counter")
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].path != reqKeys[j].path {
+			return reqKeys[i].path < reqKeys[j].path
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	for _, k := range reqKeys {
+		fmt.Fprintf(cw, "ssnserve_requests_total{path=%q,code=\"%d\"} %d\n", k.path, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(cw, "# HELP ssnserve_request_duration_seconds Request latency by route.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_request_duration_seconds histogram")
+	paths := make([]string, 0, len(m.latency))
+	for p := range m.latency {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		h := m.latency[p]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(cw, "ssnserve_request_duration_seconds_bucket{path=%q,le=%q} %d\n",
+				p, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(cw, "ssnserve_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, h.total)
+		fmt.Fprintf(cw, "ssnserve_request_duration_seconds_sum{path=%q} %g\n", p, h.sum)
+		fmt.Fprintf(cw, "ssnserve_request_duration_seconds_count{path=%q} %d\n", p, h.total)
+	}
+
+	fmt.Fprintln(cw, "# HELP ssnserve_cache_hits_total ASDM extraction cache hits.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_cache_hits_total counter")
+	fmt.Fprintf(cw, "ssnserve_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintln(cw, "# HELP ssnserve_cache_misses_total ASDM extraction cache misses.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_cache_misses_total counter")
+	fmt.Fprintf(cw, "ssnserve_cache_misses_total %d\n", m.cacheMisses)
+
+	fmt.Fprintln(cw, "# HELP ssnserve_jobs_total Job state transitions.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_jobs_total counter")
+	states := make([]string, 0, len(m.jobsByState))
+	for s := range m.jobsByState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(cw, "ssnserve_jobs_total{state=%q} %d\n", s, m.jobsByState[s])
+	}
+	fmt.Fprintln(cw, "# HELP ssnserve_jobs_in_flight Jobs currently running.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_jobs_in_flight gauge")
+	fmt.Fprintf(cw, "ssnserve_jobs_in_flight %d\n", m.jobsInFlight)
+
+	return cw.n, cw.err
+}
+
+// countingWriter tracks bytes written and the first error, so WriteTo can
+// satisfy io.WriterTo without error plumbing at every Fprintf.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

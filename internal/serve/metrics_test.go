@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsRendering(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest("/v1/maxssn", 200, 300*time.Microsecond)
+	m.ObserveRequest("/v1/maxssn", 200, 2*time.Millisecond)
+	m.ObserveRequest("/v1/maxssn", 400, 50*time.Microsecond)
+	m.ObserveRequest("/healthz", 200, 10*time.Second) // beyond the last bucket
+	m.CacheHit()
+	m.CacheHit()
+	m.CacheMiss()
+	m.JobTransition("queued")
+	m.JobTransition("running")
+	m.JobTransition("done")
+
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`ssnserve_requests_total{path="/healthz",code="200"} 1`,
+		`ssnserve_requests_total{path="/v1/maxssn",code="200"} 2`,
+		`ssnserve_requests_total{path="/v1/maxssn",code="400"} 1`,
+		`ssnserve_request_duration_seconds_bucket{path="/v1/maxssn",le="0.0005"} 2`,
+		`ssnserve_request_duration_seconds_bucket{path="/v1/maxssn",le="+Inf"} 3`,
+		`ssnserve_request_duration_seconds_count{path="/v1/maxssn"} 3`,
+		`ssnserve_request_duration_seconds_bucket{path="/healthz",le="2.5"} 0`,
+		`ssnserve_request_duration_seconds_bucket{path="/healthz",le="+Inf"} 1`,
+		"ssnserve_cache_hits_total 2",
+		"ssnserve_cache_misses_total 1",
+		`ssnserve_jobs_total{state="done"} 1`,
+		"ssnserve_jobs_in_flight 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Buckets must be cumulative and ordered.
+	if strings.Index(text, `le="0.0001"`) > strings.Index(text, `le="0.001"`) {
+		t.Error("buckets out of order")
+	}
+}
+
+func TestMetricsDeterministicOutput(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest("/b", 200, time.Millisecond)
+	m.ObserveRequest("/a", 200, time.Millisecond)
+	m.JobTransition("running")
+	m.JobTransition("queued")
+	var one, two bytes.Buffer
+	if _, err := m.WriteTo(&one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two renders differ")
+	}
+	if strings.Index(one.String(), `path="/a"`) > strings.Index(one.String(), `path="/b"`) {
+		t.Error("series not sorted by label")
+	}
+}
+
+func TestMetricsInFlightGaugeFloor(t *testing.T) {
+	m := NewMetrics()
+	m.JobTransition("done") // transition without a matching running
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ssnserve_jobs_in_flight 0") {
+		t.Error("gauge went negative")
+	}
+}
+
+func TestMetricsConcurrentUpdates(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.ObserveRequest("/v1/maxssn", 200, time.Duration(i)*time.Microsecond)
+				m.CacheHit()
+				m.JobTransition("queued")
+			}
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `ssnserve_requests_total{path="/v1/maxssn",code="200"} 1600`) {
+		t.Errorf("lost updates:\n%s", buf.String())
+	}
+}

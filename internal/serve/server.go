@@ -1,0 +1,149 @@
+// Package serve is ssnkit's HTTP/JSON evaluation service: the closed-form
+// SSN models, batched and long-running, behind a small REST surface. It is
+// the seam every scaling direction plugs into — one process today, shards
+// behind a load balancer tomorrow — and it mirrors how SSN analysis is
+// consumed in signoff flows: cell noise models evaluated en masse per
+// design, not one CLI invocation at a time.
+//
+// Endpoints:
+//
+//	POST /v1/maxssn      single or batch Params -> {vmax, case, sensitivity}
+//	POST /v1/waveform    sampled V(t)/I(t) from the L or LC closed form
+//	POST /v1/montecarlo  asynchronous Monte Carlo job; returns a job ID
+//	GET  /v1/jobs/{id}   job status and result
+//	GET  /healthz        liveness + in-flight/cache gauges
+//	GET  /metrics        Prometheus text exposition
+//
+// Internals: every unit of evaluation — a batch item, a Monte Carlo job —
+// runs through one bounded worker pool sized by GOMAXPROCS; ASDM
+// extraction (the expensive repeated step) is cached per process corner in
+// a mutex-guarded LRU; requests are validated against size and time limits
+// with structured JSON errors; shutdown drains in-flight jobs before
+// cancelling them.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// production-ready default.
+type Config struct {
+	Addr           string        // listen address, default ":8350"
+	Workers        int           // worker-pool slots, default GOMAXPROCS
+	MaxBatch       int           // max items per /v1/maxssn batch, default 8192
+	CacheSize      int           // ASDM extraction LRU entries, default 64
+	RequestTimeout time.Duration // synchronous evaluation budget, default 30s
+	MaxBodyBytes   int64         // request body cap, default 8 MiB
+	MaxJobs        int           // retained job records, default 1024
+	MaxMCSamples   int           // max Monte Carlo samples per job, default 10,000,000
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8350"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8192
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxMCSamples <= 0 {
+		c.MaxMCSamples = 10_000_000
+	}
+	return c
+}
+
+// Server wires the pool, job store, extraction cache and metrics behind
+// the HTTP mux. Construct with New, serve with ListenAndServe (or mount
+// Handler in a test server), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *extractCache
+	pool    *pool
+	jobs    *jobStore
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	start   time.Time
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	p := newPool(cfg.Workers)
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   newExtractCache(cfg.CacheSize, m),
+		pool:    p,
+		jobs:    newJobStore(p, m, cfg.MaxJobs),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mux.Handle("POST /v1/maxssn", s.instrument("/v1/maxssn", s.handleMaxSSN))
+	s.mux.Handle("POST /v1/waveform", s.instrument("/v1/waveform", s.handleWaveform))
+	s.mux.Handle("POST /v1/montecarlo", s.instrument("/v1/montecarlo", s.handleMonteCarlo))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	return s
+}
+
+// Handler returns the routed handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (the ssnserve binary logs a summary on
+// exit; tests assert on counters).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ListenAndServe serves on cfg.Addr until Shutdown or a listener error.
+// Like net/http, it returns http.ErrServerClosed after a clean Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener (lets callers bind port 0 and
+// discover the address before accepting traffic).
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Shutdown stops accepting connections, then drains in-flight jobs. Jobs
+// still running when ctx expires are cancelled and awaited, so no
+// goroutine outlives the call.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.httpSrv.Shutdown(ctx)
+	drainErr := s.jobs.drain(ctx)
+	return errors.Join(httpErr, drainErr)
+}

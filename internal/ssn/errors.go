@@ -1,0 +1,37 @@
+package ssn
+
+import "fmt"
+
+// ValidationError is the single structured error type every input check in
+// this package returns: which field was rejected, the value it held and the
+// constraint it violated. Callers that relay model inputs from elsewhere —
+// an HTTP service mapping bad requests to 400 bodies, a CLI pointing at the
+// offending flag — can switch on the structure instead of parsing text,
+// while Error() keeps the exact message the bare fmt.Errorf versions used
+// to produce.
+type ValidationError struct {
+	Field      string // offending field, e.g. "N", "Slope", "Dev"
+	Value      any    // the rejected value
+	Constraint string // violated constraint, e.g. "must be positive"
+
+	msg   string // legacy error text, returned by Error()
+	cause error  // underlying error (device validation), if any
+}
+
+// Error returns the same text the pre-structured errors carried.
+func (e *ValidationError) Error() string { return e.msg }
+
+// Unwrap exposes the underlying cause (e.g. a device validation error) to
+// errors.Is / errors.As.
+func (e *ValidationError) Unwrap() error { return e.cause }
+
+// invalidf builds a ValidationError whose Error() text is the formatted
+// message.
+func invalidf(field string, value any, constraint, format string, args ...any) *ValidationError {
+	return &ValidationError{
+		Field:      field,
+		Value:      value,
+		Constraint: constraint,
+		msg:        fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,71 @@
+package ssn
+
+import (
+	"errors"
+	"testing"
+
+	"ssnkit/internal/device"
+)
+
+// Every Params.Validate failure must carry the structured field/value/
+// constraint triple while keeping the legacy message as Error().
+func TestParamsValidateStructuredErrors(t *testing.T) {
+	good := refParams().WithGround(5e-9, 1e-12)
+	cases := []struct {
+		name   string
+		mutate func(Params) Params
+		field  string
+	}{
+		{"N", func(p Params) Params { p.N = 0; return p }, "N"},
+		{"Vdd", func(p Params) Params { p.Vdd = p.Dev.V0; return p }, "Vdd"},
+		{"Slope", func(p Params) Params { p.Slope = 0; return p }, "Slope"},
+		{"L", func(p Params) Params { p.L = -1e-9; return p }, "L"},
+		{"C", func(p Params) Params { p.C = -1e-12; return p }, "C"},
+		{"Dev", func(p Params) Params { p.Dev.K = 0; return p }, "Dev"},
+	}
+	for _, tc := range cases {
+		err := tc.mutate(good).Validate()
+		if err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: got %T, want *ValidationError", tc.name, err)
+			continue
+		}
+		if ve.Field != tc.field {
+			t.Errorf("%s: field %q, want %q", tc.name, ve.Field, tc.field)
+		}
+		if ve.Constraint == "" || ve.Error() == "" {
+			t.Errorf("%s: constraint/message must be populated: %+v", tc.name, ve)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+}
+
+// The legacy texts are load-bearing (operators grep logs for them); make
+// sure the structured wrapper did not change them.
+func TestValidationErrorKeepsLegacyText(t *testing.T) {
+	p := refParams()
+	p.N = 0
+	if got := p.Validate().Error(); got != "ssn: N = 0 must be at least 1" {
+		t.Errorf("legacy N text changed: %q", got)
+	}
+	q := refParams()
+	q.Slope = -2
+	if got := q.Validate().Error(); got != "ssn: slope = -2 must be positive" {
+		t.Errorf("legacy slope text changed: %q", got)
+	}
+	// Device failures pass the device package's own message through and
+	// keep the cause reachable for errors.As.
+	d := refParams()
+	d.Dev.K = -1
+	err := d.Validate()
+	want := (device.ASDM{K: -1, V0: d.Dev.V0, A: d.Dev.A}).Validate().Error()
+	if got := err.Error(); got != want {
+		t.Errorf("device text not preserved: %q", got)
+	}
+}

@@ -1,9 +1,11 @@
 package ssn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 )
 
@@ -36,29 +38,128 @@ type MCResult struct {
 // spreads and evaluates the four-case maximum for each. The generator seed
 // makes runs reproducible. Samples whose draw is unphysical (e.g. negative
 // K) are redrawn; n must be at least 10.
+//
+// Sampling runs on a worker pool sized by GOMAXPROCS; see MonteCarloCtx
+// for cancellation and explicit worker-count control.
 func MonteCarlo(p Params, v Variation, n int, seed int64) (*MCResult, error) {
+	return MonteCarloCtx(context.Background(), p, v, n, seed, 0)
+}
+
+// MonteCarloCtx is MonteCarlo with cancellation and an explicit worker
+// count. The n samples are split into `workers` contiguous chunks, each
+// drawn from an independent RNG stream derived from the seed and the
+// worker index, so results are bit-for-bit deterministic for a fixed
+// (seed, workers) pair regardless of scheduling. workers <= 0 uses
+// GOMAXPROCS; the count is clamped to n. Cancelling the context aborts
+// the run and returns ctx.Err().
+func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64, workers int) (*MCResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if n < 10 {
-		return nil, fmt.Errorf("ssn: MonteCarlo needs at least 10 samples, got %d", n)
+		return nil, invalidf("Samples", n, "must be at least 10",
+			"ssn: MonteCarlo needs at least 10 samples, got %d", n)
 	}
 	for _, s := range []float64{v.K, v.V0, v.A, v.L, v.C, v.Slope} {
 		if s < 0 || s > 0.5 {
-			return nil, fmt.Errorf("ssn: variation sigma %g outside [0, 0.5]", s)
+			return nil, invalidf("Variation", s, "sigma must be within [0, 0.5]",
+				"ssn: variation sigma %g outside [0, 0.5]", s)
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
-	vals := make([]float64, 0, n)
-	res := &MCResult{Samples: n, Min: math.Inf(1), Max: math.Inf(-1), CaseCounts: map[Case]int{}}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 
+	// Deal the n samples into contiguous chunks, one per worker, each with
+	// its own seed-derived RNG stream. Merging worker results in worker
+	// order keeps every floating-point accumulation order fixed.
+	chunks := make([]mcChunk, workers)
+	base, extra := n/workers, n%workers
+	for w := range chunks {
+		size := base
+		if w < extra {
+			size++
+		}
+		chunks[w].n = size
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan int, workers)
+	for w := range chunks {
+		go func(w int) {
+			chunks[w].run(ctx, p, v, workerSeed(seed, w))
+			done <- w
+		}(w)
+	}
+	for range chunks {
+		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &MCResult{Samples: n, Min: math.Inf(1), Max: math.Inf(-1), CaseCounts: map[Case]int{}}
+	vals := make([]float64, 0, n)
+	for _, c := range chunks {
+		vals = append(vals, c.vals...)
+		res.Mean += c.sum
+		if c.min < res.Min {
+			res.Min = c.min
+		}
+		if c.max > res.Max {
+			res.Max = c.max
+		}
+		for cse, cnt := range c.cases {
+			if cnt > 0 {
+				res.CaseCounts[Case(cse)] += cnt
+			}
+		}
+	}
+	res.Mean /= float64(n)
+	ss := 0.0
+	for _, x := range vals {
+		d := x - res.Mean
+		ss += d * d
+	}
+	res.StdDev = math.Sqrt(ss / float64(n-1))
+	sort.Float64s(vals)
+	res.P95 = percentile(vals, 0.95)
+	res.P99 = percentile(vals, 0.99)
+	return res, nil
+}
+
+// mcChunk accumulates one worker's share of the samples.
+type mcChunk struct {
+	n     int
+	vals  []float64
+	sum   float64
+	min   float64
+	max   float64
+	cases [UnderDampedBoundary + 1]int
+}
+
+// run draws the chunk's samples, redrawing unphysical tails like the
+// original serial loop. It returns early (with a short chunk) only when
+// the context is cancelled; the caller treats any cancellation as fatal.
+func (c *mcChunk) run(ctx context.Context, p Params, v Variation, seed uint64) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	c.vals = make([]float64, 0, c.n)
+	c.min, c.max = math.Inf(1), math.Inf(-1)
 	draw := func(nominal, sigma float64) float64 {
 		if sigma == 0 {
 			return nominal
 		}
 		return nominal * (1 + sigma*rng.NormFloat64())
 	}
-	for len(vals) < n {
+	for len(c.vals) < c.n {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
 		q := p
 		q.Dev.K = draw(p.Dev.K, v.K)
 		q.Dev.V0 = draw(p.Dev.V0, v.V0)
@@ -73,27 +174,26 @@ func MonteCarlo(p Params, v Variation, n int, seed int64) (*MCResult, error) {
 		if err != nil {
 			continue
 		}
-		vals = append(vals, vm)
-		res.CaseCounts[cse]++
-		res.Mean += vm
-		if vm < res.Min {
-			res.Min = vm
+		c.vals = append(c.vals, vm)
+		c.cases[cse]++
+		c.sum += vm
+		if vm < c.min {
+			c.min = vm
 		}
-		if vm > res.Max {
-			res.Max = vm
+		if vm > c.max {
+			c.max = vm
 		}
 	}
-	res.Mean /= float64(n)
-	ss := 0.0
-	for _, x := range vals {
-		d := x - res.Mean
-		ss += d * d
-	}
-	res.StdDev = math.Sqrt(ss / float64(n-1))
-	sort.Float64s(vals)
-	res.P95 = percentile(vals, 0.95)
-	res.P99 = percentile(vals, 0.99)
-	return res, nil
+}
+
+// workerSeed derives an independent stream seed for worker w from the user
+// seed via one splitmix64 step — the standard way to fan one seed out into
+// decorrelated streams without a shared generator.
+func workerSeed(seed int64, w int) uint64 {
+	z := uint64(seed) + uint64(w+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // percentile returns the q-quantile of sorted values by linear

@@ -1,6 +1,8 @@
 package ssn
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -99,6 +101,65 @@ func TestMonteCarloCaseStraddling(t *testing.T) {
 	}
 	if total != r.Samples {
 		t.Errorf("case histogram total %d != samples %d", total, r.Samples)
+	}
+}
+
+func TestMonteCarloCtxDeterministicPerWorkerCount(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	v := Variation{K: 0.08, L: 0.1, Slope: 0.05}
+	for _, workers := range []int{1, 2, 4, 7} {
+		a, err := MonteCarloCtx(context.Background(), p, v, 301, 12345, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MonteCarloCtx(context.Background(), p, v, 301, 12345, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Mean != b.Mean || a.StdDev != b.StdDev || a.P95 != b.P95 ||
+			a.Min != b.Min || a.Max != b.Max {
+			t.Errorf("workers=%d: same (seed, workers) must be bit-identical: %+v vs %+v",
+				workers, a, b)
+		}
+	}
+	// Different worker counts partition the sample draws differently;
+	// statistics must still agree to Monte Carlo accuracy.
+	one, err := MonteCarloCtx(context.Background(), p, v, 2000, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := MonteCarloCtx(context.Background(), p, v, 2000, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.Mean-four.Mean) > 0.02*one.Mean {
+		t.Errorf("worker-count change moved the mean too far: %g vs %g", one.Mean, four.Mean)
+	}
+}
+
+func TestMonteCarloCtxCancel(t *testing.T) {
+	p := refParams().WithGround(5e-9, 1e-12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MonteCarloCtx(ctx, p, Variation{K: 0.1}, 100000, 1, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run must return context.Canceled, got %v", err)
+	}
+}
+
+func TestMonteCarloValidationErrorsAreStructured(t *testing.T) {
+	p := refParams()
+	_, err := MonteCarlo(p, Variation{K: 0.9}, 100, 1)
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("sigma error must be a *ValidationError, got %T", err)
+	}
+	if ve.Field != "Variation" || ve.Constraint == "" {
+		t.Errorf("unexpected structure: %+v", ve)
+	}
+	_, err = MonteCarlo(p, Variation{}, 5, 1)
+	if !errors.As(err, &ve) || ve.Field != "Samples" {
+		t.Errorf("sample-count error must name the Samples field, got %v", err)
 	}
 }
 

@@ -19,7 +19,6 @@
 package ssn
 
 import (
-	"fmt"
 	"math"
 
 	"ssnkit/internal/device"
@@ -35,25 +34,38 @@ type Params struct {
 	C     float64     // effective ground capacitance, F (0 => L-only)
 }
 
-// Validate reports whether the parameters are usable.
+// Validate reports whether the parameters are usable. All failures are
+// *ValidationError values carrying the offending field, value and
+// constraint; the error text is unchanged from earlier releases.
 func (p Params) Validate() error {
 	if p.N < 1 {
-		return fmt.Errorf("ssn: N = %d must be at least 1", p.N)
+		return invalidf("N", p.N, "must be at least 1",
+			"ssn: N = %d must be at least 1", p.N)
 	}
 	if err := p.Dev.Validate(); err != nil {
-		return err
+		return &ValidationError{
+			Field:      "Dev",
+			Value:      p.Dev.String(),
+			Constraint: "must be a valid ASDM",
+			msg:        err.Error(),
+			cause:      err,
+		}
 	}
 	if p.Vdd <= p.Dev.V0 {
-		return fmt.Errorf("ssn: Vdd = %g must exceed the device displacement voltage V0 = %g", p.Vdd, p.Dev.V0)
+		return invalidf("Vdd", p.Vdd, "must exceed the device displacement voltage",
+			"ssn: Vdd = %g must exceed the device displacement voltage V0 = %g", p.Vdd, p.Dev.V0)
 	}
 	if p.Slope <= 0 {
-		return fmt.Errorf("ssn: slope = %g must be positive", p.Slope)
+		return invalidf("Slope", p.Slope, "must be positive",
+			"ssn: slope = %g must be positive", p.Slope)
 	}
 	if p.L <= 0 {
-		return fmt.Errorf("ssn: L = %g must be positive", p.L)
+		return invalidf("L", p.L, "must be positive",
+			"ssn: L = %g must be positive", p.L)
 	}
 	if p.C < 0 {
-		return fmt.Errorf("ssn: C = %g must be non-negative", p.C)
+		return invalidf("C", p.C, "must be non-negative",
+			"ssn: C = %g must be non-negative", p.C)
 	}
 	return nil
 }

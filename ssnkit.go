@@ -26,6 +26,11 @@
 // The experiment harnesses that regenerate every figure and table of the
 // paper live in cmd/ssnrepro; see EXPERIMENTS.md for the paper-vs-measured
 // summary.
+//
+// For long-running consumption — batch evaluation, model waveforms over
+// HTTP, asynchronous Monte Carlo jobs — cmd/ssnserve wraps these models in
+// a concurrent evaluation service with an ASDM extraction cache and
+// Prometheus metrics (see README "Running the service").
 package ssnkit
 
 import (
@@ -63,6 +68,10 @@ type (
 	// Variation and MCResult drive Monte Carlo analysis over MaxSSN.
 	Variation = ssn.Variation
 	MCResult  = ssn.MCResult
+	// ValidationError is the structured error every input check returns:
+	// field, value and violated constraint, with the legacy message as
+	// Error(). Services map it onto HTTP 400 bodies.
+	ValidationError = ssn.ValidationError
 )
 
 // The four operating cases of the LC model.
@@ -102,8 +111,11 @@ var (
 	LCSensitivity = ssn.LCSensitivity
 	// NewVictim analyzes quiet-output glitches and noise margins.
 	NewVictim = ssn.NewVictim
-	// MonteCarlo draws process/environment variations over MaxSSN.
-	MonteCarlo = ssn.MonteCarlo
+	// MonteCarlo draws process/environment variations over MaxSSN on a
+	// GOMAXPROCS worker pool; MonteCarloCtx adds cancellation and an
+	// explicit worker count (deterministic per seed and worker count).
+	MonteCarlo    = ssn.MonteCarlo
+	MonteCarloCtx = ssn.MonteCarloCtx
 	// DelayPushout estimates the switching-delay cost of the bounce.
 	DelayPushout = ssn.DelayPushout
 )
@@ -126,6 +138,10 @@ type (
 	Process = device.Process
 	// Corner names a process corner (TT/SS/FF) for Process.At.
 	Corner = device.Corner
+	// ExtractSpec names one ASDM extraction (process, corner, polarity,
+	// width); its Key() is the cache key batch consumers reuse
+	// extractions under.
+	ExtractSpec = device.ExtractSpec
 )
 
 // Process corners.
