@@ -1,0 +1,134 @@
+package ssnkit_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"ssnkit"
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/device"
+	"ssnkit/internal/driver"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
+)
+
+// TestAPILockSignatures pins every public wrapper to the signature of its
+// internal counterpart: a refactor that changes an internal function now
+// fails here, in the facade, instead of in a downstream build.
+func TestAPILockSignatures(t *testing.T) {
+	pairs := []struct {
+		name     string
+		public   any
+		internal any
+	}{
+		{"MaxSSN", ssnkit.MaxSSN, ssn.MaxSSN},
+		{"NewLModel", ssnkit.NewLModel, ssn.NewLModel},
+		{"NewLCModel", ssnkit.NewLCModel, ssn.NewLCModel},
+		{"MaxDriversForBudget", ssnkit.MaxDriversForBudget, ssn.MaxDriversForBudget},
+		{"MinRiseTimeForBudget", ssnkit.MinRiseTimeForBudget, ssn.MinRiseTimeForBudget},
+		{"InductanceBudget", ssnkit.InductanceBudget, ssn.InductanceBudget},
+		{"SquareLawMax", ssnkit.SquareLawMax, ssn.SquareLawMax},
+		{"VemuruMax", ssnkit.VemuruMax, ssn.VemuruMax},
+		{"SongMax", ssnkit.SongMax, ssn.SongMax},
+		{"NewStaggered", ssnkit.NewStaggered, ssn.NewStaggered},
+		{"UniformStagger", ssnkit.UniformStagger, ssn.UniformStagger},
+		{"LSensitivity", ssnkit.LSensitivity, ssn.LSensitivity},
+		{"LCSensitivity", ssnkit.LCSensitivity, ssn.LCSensitivity},
+		{"NewVictim", ssnkit.NewVictim, ssn.NewVictim},
+		{"MonteCarlo", ssnkit.MonteCarlo, ssn.MonteCarlo},
+		{"MonteCarloCtx", ssnkit.MonteCarloCtx, ssn.MonteCarloCtx},
+		{"DelayPushout", ssnkit.DelayPushout, ssn.DelayPushout},
+		{"Processes", ssnkit.Processes, device.Processes},
+		{"ProcessByName", ssnkit.ProcessByName, device.ProcessByName},
+		{"ExtractASDM", ssnkit.ExtractASDM, device.ExtractASDM},
+		{"ExtractAlphaPowerSat", ssnkit.ExtractAlphaPowerSat, device.ExtractAlphaPowerSat},
+		{"TriodeResistance", ssnkit.TriodeResistance, device.TriodeResistance},
+		{"CornerByName", ssnkit.CornerByName, device.CornerByName},
+		{"NewCircuit", ssnkit.NewCircuit, circuit.New},
+		{"ParseNetlist", ssnkit.ParseNetlist, circuit.Parse},
+		{"NewEngine", ssnkit.NewEngine, spice.New},
+		{"RunDeck", ssnkit.RunDeck, spice.Run},
+		{"PackageCatalog", ssnkit.PackageCatalog, pkgmodel.Catalog},
+		{"PackageByName", ssnkit.PackageByName, pkgmodel.ByName},
+		{"Simulate", ssnkit.Simulate, driver.Simulate},
+	}
+	for _, p := range pairs {
+		pub, internal := reflect.TypeOf(p.public), reflect.TypeOf(p.internal)
+		if pub != internal {
+			t.Errorf("%s: facade signature %v != internal %v", p.name, pub, internal)
+		}
+	}
+}
+
+// TestAPILockBehavior spot-checks that wrappers delegate, not reimplement:
+// the facade and the internal package must return identical values.
+func TestAPILockBehavior(t *testing.T) {
+	asdm, stats, err := ssnkit.ExtractASDM(ssnkit.C018.Driver(1), ssnkit.ExtractRegion{Vdd: ssnkit.C018.Vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.R2 <= 0 {
+		t.Errorf("fit R2 = %g, want positive", stats.R2)
+	}
+	p := ssnkit.Params{N: 16, Dev: asdm, Vdd: ssnkit.C018.Vdd,
+		Slope: ssnkit.C018.Vdd / 1e-9, L: 5e-9 / 4, C: 4e-12}
+	gotV, gotC, err := ssnkit.MaxSSN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantC, err := ssn.MaxSSN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV != wantV || gotC != wantC {
+		t.Errorf("facade MaxSSN = (%g, %v), internal = (%g, %v)", gotV, gotC, wantV, wantC)
+	}
+}
+
+// allowedVars are the only package-level vars the facade may export: real
+// values (process kits, package classes), never functions.
+var allowedVars = map[string]bool{
+	"C018": true, "C025": true, "C035": true,
+	"PGA": true, "QFP": true, "BGA": true, "COB": true,
+}
+
+// TestNoFunctionTypedVars parses ssnkit.go and rejects any top-level var
+// beyond the allowed value set. Function-typed vars are mutable (any
+// importer could reassign ssnkit.MaxSSN) and invisible to godoc; the
+// facade must use real func declarations instead.
+func TestNoFunctionTypedVars(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ssnkit.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				if !allowedVars[name.Name] {
+					t.Errorf("unexpected package-level var %s at %s: export functions as func declarations",
+						name.Name, fset.Position(name.Pos()))
+				}
+			}
+		}
+	}
+	// The allowed vars must still be plain values, not functions.
+	for name := range allowedVars {
+		v := reflect.ValueOf(map[string]any{
+			"C018": ssnkit.C018, "C025": ssnkit.C025, "C035": ssnkit.C035,
+			"PGA": ssnkit.PGA, "QFP": ssnkit.QFP, "BGA": ssnkit.BGA, "COB": ssnkit.COB,
+		}[name])
+		if v.Kind() == reflect.Func {
+			t.Errorf("var %s is function-typed", name)
+		}
+	}
+}

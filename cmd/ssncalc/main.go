@@ -16,8 +16,8 @@ import (
 	"io"
 	"os"
 
+	"ssnkit/internal/cliflags"
 	"ssnkit/internal/device"
-	"ssnkit/internal/pkgmodel"
 	"ssnkit/internal/ssn"
 	"ssnkit/internal/units"
 	"ssnkit/internal/waveform"
@@ -33,56 +33,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ssncalc", flag.ContinueOnError)
 	var (
-		procName = fs.String("process", "c018", "process kit: c018, c025 or c035")
-		n        = fs.Int("n", 8, "number of simultaneously switching drivers")
-		size     = fs.Float64("size", 1, "driver width multiple")
-		pkgName  = fs.String("package", "pga", "package class: pga, qfp, bga, cob")
-		pads     = fs.Int("pads", 1, "paralleled ground pads")
-		lStr     = fs.String("l", "", "override ground inductance (e.g. 2.5n)")
-		cStr     = fs.String("c", "", "override ground capacitance (e.g. 2p)")
-		trStr    = fs.String("tr", "1n", "input rise time (e.g. 1n)")
-		budget   = fs.Float64("budget", 0, "optional noise budget in volts: print design guidance")
-		csvPath  = fs.String("csv", "", "write the model SSN waveform to this CSV file")
-		mc       = fs.Int("mc", 0, "Monte Carlo samples over typical process spreads (0 = off)")
-		vil      = fs.Float64("vil", 0, "receiver VIL in volts: check the quiet-output glitch margin")
-		rail     = fs.Bool("rail", false, "analyze power-rail droop (pull-up drivers) instead of ground bounce")
-		corner   = fs.String("corner", "tt", "process corner: tt, ss or ff")
+		budget  = fs.Float64("budget", 0, "optional noise budget in volts: print design guidance")
+		csvPath = fs.String("csv", "", "write the model SSN waveform to this CSV file")
+		mc      = fs.Int("mc", 0, "Monte Carlo samples over typical process spreads (0 = off)")
+		vil     = fs.Float64("vil", 0, "receiver VIL in volts: check the quiet-output glitch margin")
+		rail    = fs.Bool("rail", false, "analyze power-rail droop (pull-up drivers) instead of ground bounce")
 	)
+	fixed := cliflags.Register(fs, 8)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	proc, err := device.ProcessByName(*procName)
+	r, err := fixed.Resolve()
 	if err != nil {
 		return err
 	}
-	crn, err := device.CornerByName(*corner)
-	if err != nil {
-		return err
-	}
-	proc = proc.At(crn)
-	pack, err := pkgmodel.ByName(*pkgName)
-	if err != nil {
-		return err
-	}
-	gnd := pack.Ground(*pads)
-	if *lStr != "" {
-		if gnd.L, err = units.Parse(*lStr); err != nil {
-			return fmt.Errorf("-l: %w", err)
-		}
-	}
-	if *cStr != "" {
-		if gnd.C, err = units.Parse(*cStr); err != nil {
-			return fmt.Errorf("-c: %w", err)
-		}
-	}
-	tr, err := units.Parse(*trStr)
-	if err != nil {
-		return fmt.Errorf("-tr: %w", err)
-	}
-	if tr <= 0 {
-		return fmt.Errorf("rise time must be positive")
-	}
+	proc, pack, gnd, tr := r.Proc, r.Pack, r.Gnd, r.TR
+	n, size := &r.N, &r.Size
 
 	golden := proc.Driver(*size)
 	if *rail {

@@ -9,7 +9,7 @@
 //
 // Endpoints (see README "Running the service" for request bodies):
 //
-//	POST /v1/maxssn   POST /v1/waveform   POST /v1/montecarlo
+//	POST /v1/maxssn   POST /v1/waveform   POST /v1/sweep   POST /v1/montecarlo
 //	GET  /v1/jobs/{id}   GET /healthz   GET /metrics
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
@@ -49,6 +49,7 @@ func parseConfig(args []string) (serve.Config, time.Duration, error) {
 		timeout  = fs.Duration("timeout", 30*time.Second, "synchronous request budget")
 		maxBody  = fs.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxJobs  = fs.Int("max-jobs", 1024, "retained async job records")
+		maxSweep = fs.Int("max-sweep-points", 1_000_000, "max grid points per /v1/sweep")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,7 @@ func parseConfig(args []string) (serve.Config, time.Duration, error) {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		MaxJobs:        *maxJobs,
+		MaxSweepPoints: *maxSweep,
 	}
 	return cfg, *drain, nil
 }

@@ -84,9 +84,23 @@ type EvalItem struct {
 	Sensitivity bool `json:"sensitivity,omitempty"`
 }
 
+// extractSpec names the ASDM extraction the item asks for (only valid
+// when no explicit Dev is supplied).
+func (it EvalItem) extractSpec() (device.ExtractSpec, error) {
+	proc := it.Process
+	if proc == "" {
+		proc = "c018"
+	}
+	corner, err := device.CornerByName(it.Corner)
+	if err != nil {
+		return device.ExtractSpec{}, badRequest("%v", err)
+	}
+	return device.ExtractSpec{Process: proc, Corner: corner, Rail: it.Rail, Size: it.Size}, nil
+}
+
 // resolve turns the wire item into model parameters, pulling device
 // extraction through the cache.
-func (it EvalItem) resolve(cache *extractCache) (ssn.Params, error) {
+func (it EvalItem) resolve(cache *ExtractCache) (ssn.Params, error) {
 	var p ssn.Params
 	p.N = it.N
 
@@ -97,16 +111,11 @@ func (it EvalItem) resolve(cache *extractCache) (ssn.Params, error) {
 		}
 		p.Dev = device.ASDM{K: it.Dev.K, V0: it.Dev.V0, A: it.Dev.A}
 	} else {
-		proc := it.Process
-		if proc == "" {
-			proc = "c018"
-		}
-		corner, err := device.CornerByName(it.Corner)
+		spec, err := it.extractSpec()
 		if err != nil {
-			return p, badRequest("%v", err)
+			return p, err
 		}
-		spec := device.ExtractSpec{Process: proc, Corner: corner, Rail: it.Rail, Size: it.Size}
-		asdm, _, err := cache.get(spec)
+		asdm, _, err := cache.Get(spec)
 		if err != nil {
 			return p, badRequest("%v", err)
 		}
@@ -183,11 +192,28 @@ type EvalResult struct {
 	Error    *apiError          `json:"error,omitempty"`
 }
 
-// maxSSNRequest accepts either a single item (fields inline) or a batch
-// ({"items": [...]}); a non-empty items list wins.
+// paramsEnvelope is the request shape every endpoint shares: the canonical
+// form nests the evaluation point under "params"; the legacy form inlines
+// the EvalItem fields at the top level. A non-nil "params" wins. Endpoint
+// options (samples, model, axes, ...) always sit beside the envelope.
+type paramsEnvelope struct {
+	Params *EvalItem `json:"params"`
+	EvalItem
+}
+
+// item returns the evaluation point, preferring the canonical nested form.
+func (e paramsEnvelope) item() EvalItem {
+	if e.Params != nil {
+		return *e.Params
+	}
+	return e.EvalItem
+}
+
+// maxSSNRequest accepts a single point ("params" nested, or legacy inline
+// fields) or a batch ({"items": [...]}); a non-empty items list wins.
 type maxSSNRequest struct {
 	Items []EvalItem `json:"items"`
-	EvalItem
+	paramsEnvelope
 }
 
 // maxSSNBatchResponse is the envelope of a batch evaluation.
@@ -198,7 +224,7 @@ type maxSSNBatchResponse struct {
 
 // waveformRequest asks for the sampled model waveforms of one item.
 type waveformRequest struct {
-	EvalItem
+	paramsEnvelope
 	Model     string  `json:"model,omitempty"`      // "lc" (default) or "l"
 	Samples   int     `json:"samples,omitempty"`    // default 256, max 65536
 	RampStart float64 `json:"ramp_start,omitempty"` // absolute ramp start time, s
@@ -225,7 +251,7 @@ type VariationSpec struct {
 
 // monteCarloRequest submits an asynchronous Monte Carlo job.
 type monteCarloRequest struct {
-	EvalItem
+	paramsEnvelope
 	Samples   int           `json:"samples"`
 	Seed      int64         `json:"seed,omitempty"`
 	Workers   int           `json:"workers,omitempty"`

@@ -8,7 +8,7 @@ import (
 	"ssnkit/internal/fit"
 )
 
-// extractCache is a mutex-guarded LRU over ASDM extractions keyed by
+// ExtractCache is a mutex-guarded LRU over ASDM extractions keyed by
 // device.ExtractSpec.Key(). Extraction re-fits a least-squares problem on
 // a (Vg, Vs) grid per call — microseconds of closed-form evaluation hide
 // behind milliseconds of fitting when every batch item re-extracts — but
@@ -18,7 +18,11 @@ import (
 // first goroutine extracts inside the entry's sync.Once, later ones block
 // on it and share the result. Failed extractions are cached too (the
 // result for a bad spec never changes).
-type extractCache struct {
+//
+// The type is exported because it is the extraction cache for every bulk
+// consumer, not just the HTTP service: cmd/ssnsweep shares it with the
+// sweep engine so a size-axis sweep re-fits each width once.
+type ExtractCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // of *cacheEntry; front = most recent
@@ -34,11 +38,13 @@ type cacheEntry struct {
 	err   error
 }
 
-func newExtractCache(capacity int, m *Metrics) *extractCache {
+// NewExtractCache builds an ExtractCache holding up to capacity entries;
+// m may be nil when no metrics are collected (CLI use).
+func NewExtractCache(capacity int, m *Metrics) *ExtractCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &extractCache{
+	return &ExtractCache{
 		capacity: capacity,
 		ll:       list.New(),
 		byKey:    map[string]*list.Element{},
@@ -46,8 +52,8 @@ func newExtractCache(capacity int, m *Metrics) *extractCache {
 	}
 }
 
-// get returns the cached extraction for the spec, extracting on first use.
-func (c *extractCache) get(spec device.ExtractSpec) (device.ASDM, fit.Stats, error) {
+// Get returns the cached extraction for the spec, extracting on first use.
+func (c *ExtractCache) Get(spec device.ExtractSpec) (device.ASDM, fit.Stats, error) {
 	key := spec.Key()
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
@@ -80,8 +86,8 @@ func (c *extractCache) get(spec device.ExtractSpec) (device.ASDM, fit.Stats, err
 	return e.model, e.stats, e.err
 }
 
-// len reports the number of cached entries.
-func (c *extractCache) len() int {
+// Len reports the number of cached entries.
+func (c *ExtractCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

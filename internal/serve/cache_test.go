@@ -9,13 +9,13 @@ import (
 
 func TestExtractCacheHitMissAndEquivalence(t *testing.T) {
 	m := NewMetrics()
-	c := newExtractCache(8, m)
+	c := NewExtractCache(8, m)
 	spec := device.ExtractSpec{Process: "c018", Corner: device.FF}
-	a, _, err := c.get(spec)
+	a, _, err := c.Get(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := c.get(spec)
+	b, _, err := c.Get(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,32 +35,32 @@ func TestExtractCacheHitMissAndEquivalence(t *testing.T) {
 }
 
 func TestExtractCacheEviction(t *testing.T) {
-	c := newExtractCache(2, nil)
+	c := NewExtractCache(2, nil)
 	specs := []device.ExtractSpec{
 		{Process: "c018"}, {Process: "c025"}, {Process: "c035"},
 	}
 	for _, s := range specs {
-		if _, _, err := c.get(s); err != nil {
+		if _, _, err := c.Get(s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if c.len() != 2 {
-		t.Errorf("cache len %d, want 2 after eviction", c.len())
+	if c.Len() != 2 {
+		t.Errorf("cache len %d, want 2 after eviction", c.Len())
 	}
 	// The evicted oldest entry re-extracts without error.
-	if _, _, err := c.get(specs[0]); err != nil {
+	if _, _, err := c.Get(specs[0]); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestExtractCacheCachesFailures(t *testing.T) {
 	m := NewMetrics()
-	c := newExtractCache(4, m)
+	c := NewExtractCache(4, m)
 	bad := device.ExtractSpec{Process: "c404"}
-	if _, _, err := c.get(bad); err == nil {
+	if _, _, err := c.Get(bad); err == nil {
 		t.Fatal("unknown process must error")
 	}
-	if _, _, err := c.get(bad); err == nil {
+	if _, _, err := c.Get(bad); err == nil {
 		t.Fatal("cached failure must still error")
 	}
 	if hits, misses := m.CacheRates(); hits != 1 || misses != 1 {
@@ -70,7 +70,7 @@ func TestExtractCacheCachesFailures(t *testing.T) {
 
 func TestExtractCacheConcurrentSameKey(t *testing.T) {
 	m := NewMetrics()
-	c := newExtractCache(8, m)
+	c := NewExtractCache(8, m)
 	spec := device.ExtractSpec{Process: "c025", Corner: device.SS}
 	var wg sync.WaitGroup
 	results := make([]device.ASDM, 32)
@@ -78,7 +78,7 @@ func TestExtractCacheConcurrentSameKey(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			a, _, err := c.get(spec)
+			a, _, err := c.Get(spec)
 			if err != nil {
 				t.Error(err)
 				return
@@ -99,7 +99,7 @@ func TestExtractCacheConcurrentSameKey(t *testing.T) {
 }
 
 func TestExtractCacheConcurrentManyKeys(t *testing.T) {
-	c := newExtractCache(4, nil)
+	c := NewExtractCache(4, nil)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -111,7 +111,7 @@ func TestExtractCacheConcurrentManyKeys(t *testing.T) {
 					Corner:  device.Corner((g + i) % 3),
 					Size:    float64(1 + i%3),
 				}
-				if _, _, err := c.get(spec); err != nil {
+				if _, _, err := c.Get(spec); err != nil {
 					t.Errorf("%+v: %v", spec, err)
 					return
 				}
@@ -119,8 +119,8 @@ func TestExtractCacheConcurrentManyKeys(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if c.len() > 4 {
-		t.Errorf("cache exceeded capacity: %d", c.len())
+	if c.Len() > 4 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
 	}
 }
 
@@ -134,14 +134,14 @@ func BenchmarkExtractUncached(b *testing.B) {
 }
 
 func BenchmarkExtractCached(b *testing.B) {
-	c := newExtractCache(8, nil)
+	c := NewExtractCache(8, nil)
 	spec := device.ExtractSpec{Process: "c018"}
-	if _, _, err := c.get(spec); err != nil {
+	if _, _, err := c.Get(spec); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.get(spec); err != nil {
+		if _, _, err := c.Get(spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -102,7 +102,7 @@ func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Items) == 0 {
-		res := s.evalOne(0, req.EvalItem)
+		res := s.evalOne(0, req.item())
 		if res.Error != nil {
 			writeError(w, res.Error)
 			return
@@ -163,7 +163,7 @@ func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
 			Field:   "samples", Value: n, Constraint: "must be within [2, 65536]"})
 		return
 	}
-	p, err := req.EvalItem.resolve(s.cache)
+	p, err := req.item().resolve(s.cache)
 	if err != nil {
 		writeError(w, toAPIError(err))
 		return
@@ -213,7 +213,7 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	p, err := req.EvalItem.resolve(s.cache)
+	p, err := req.item().resolve(s.cache)
 	if err != nil {
 		writeError(w, toAPIError(err))
 		return
@@ -281,7 +281,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		JobsInFlight:  s.jobs.inFlight(),
-		CacheEntries:  s.cache.len(),
+		CacheEntries:  s.cache.Len(),
 	})
 }
 

@@ -36,6 +36,14 @@ func (p *pool) acquire(ctx context.Context) error {
 
 func (p *pool) release() { <-p.sem }
 
+// Acquire and Release let the pool satisfy sweep.Gate, so sweep chunks
+// share the same slots as batch items and Monte Carlo jobs — the one-pool
+// invariant survives the streaming endpoint.
+func (p *pool) Acquire(ctx context.Context) error { return p.acquire(ctx) }
+
+// Release frees the slot taken by Acquire.
+func (p *pool) Release() { p.release() }
+
 // JobState is the lifecycle state of an asynchronous job.
 type JobState string
 

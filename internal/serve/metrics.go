@@ -29,6 +29,12 @@ type Metrics struct {
 	cacheMisses  uint64
 	jobsByState  map[string]uint64
 	jobsInFlight int64
+
+	sweeps        uint64
+	sweepsAborted uint64
+	sweepPoints   uint64
+	sweepChunks   uint64
+	sweepRefined  uint64
 }
 
 type requestKey struct {
@@ -104,6 +110,26 @@ func (m *Metrics) JobTransition(state string) {
 	}
 }
 
+// ObserveSweep records one finished (or aborted) /v1/sweep run.
+func (m *Metrics) ObserveSweep(points, chunks, refined int, completed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweeps++
+	if !completed {
+		m.sweepsAborted++
+	}
+	m.sweepPoints += uint64(points)
+	m.sweepChunks += uint64(chunks)
+	m.sweepRefined += uint64(refined)
+}
+
+// SweepCounts returns the sweep counters (for tests).
+func (m *Metrics) SweepCounts() (sweeps, aborted, points uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweeps, m.sweepsAborted, m.sweepPoints
+}
+
 // CacheRates returns the hit/miss counters (for tests and health output).
 func (m *Metrics) CacheRates() (hits, misses uint64) {
 	m.mu.Lock()
@@ -160,6 +186,22 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintln(cw, "# HELP ssnserve_cache_misses_total ASDM extraction cache misses.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_cache_misses_total counter")
 	fmt.Fprintf(cw, "ssnserve_cache_misses_total %d\n", m.cacheMisses)
+
+	fmt.Fprintln(cw, "# HELP ssnserve_sweeps_total Grid sweeps started.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_sweeps_total counter")
+	fmt.Fprintf(cw, "ssnserve_sweeps_total %d\n", m.sweeps)
+	fmt.Fprintln(cw, "# HELP ssnserve_sweeps_aborted_total Grid sweeps cancelled mid-stream.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_sweeps_aborted_total counter")
+	fmt.Fprintf(cw, "ssnserve_sweeps_aborted_total %d\n", m.sweepsAborted)
+	fmt.Fprintln(cw, "# HELP ssnserve_sweep_points_total Sweep points evaluated.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_sweep_points_total counter")
+	fmt.Fprintf(cw, "ssnserve_sweep_points_total %d\n", m.sweepPoints)
+	fmt.Fprintln(cw, "# HELP ssnserve_sweep_chunks_total Sweep chunks dispatched.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_sweep_chunks_total counter")
+	fmt.Fprintf(cw, "ssnserve_sweep_chunks_total %d\n", m.sweepChunks)
+	fmt.Fprintln(cw, "# HELP ssnserve_sweep_refined_points_total Adaptive refinement points emitted.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_sweep_refined_points_total counter")
+	fmt.Fprintf(cw, "ssnserve_sweep_refined_points_total %d\n", m.sweepRefined)
 
 	fmt.Fprintln(cw, "# HELP ssnserve_jobs_total Job state transitions.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_jobs_total counter")

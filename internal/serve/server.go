@@ -9,6 +9,7 @@
 //
 //	POST /v1/maxssn      single or batch Params -> {vmax, case, sensitivity}
 //	POST /v1/waveform    sampled V(t)/I(t) from the L or LC closed form
+//	POST /v1/sweep       multi-axis grid sweep streamed as NDJSON
 //	POST /v1/montecarlo  asynchronous Monte Carlo job; returns a job ID
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /healthz        liveness + in-flight/cache gauges
@@ -42,6 +43,7 @@ type Config struct {
 	MaxBodyBytes   int64         // request body cap, default 8 MiB
 	MaxJobs        int           // retained job records, default 1024
 	MaxMCSamples   int           // max Monte Carlo samples per job, default 10,000,000
+	MaxSweepPoints int           // max grid points per /v1/sweep, default 1,000,000
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +71,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxMCSamples <= 0 {
 		c.MaxMCSamples = 10_000_000
 	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1_000_000
+	}
 	return c
 }
 
@@ -78,7 +83,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	cache   *extractCache
+	cache   *ExtractCache
 	pool    *pool
 	jobs    *jobStore
 	mux     *http.ServeMux
@@ -94,7 +99,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		cache:   newExtractCache(cfg.CacheSize, m),
+		cache:   NewExtractCache(cfg.CacheSize, m),
 		pool:    p,
 		jobs:    newJobStore(p, m, cfg.MaxJobs),
 		mux:     http.NewServeMux(),
@@ -106,6 +111,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.Handle("POST /v1/maxssn", s.instrument("/v1/maxssn", s.handleMaxSSN))
 	s.mux.Handle("POST /v1/waveform", s.instrument("/v1/waveform", s.handleWaveform))
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/montecarlo", s.instrument("/v1/montecarlo", s.handleMonteCarlo))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))

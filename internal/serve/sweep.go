@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/sweep"
+)
+
+// SweepAxis is the wire shape of one swept dimension.
+type SweepAxis struct {
+	Axis   string  `json:"axis"` // n, l, c, slope, tr, size
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+	Points int     `json:"points"`
+	Log    bool    `json:"log,omitempty"`
+}
+
+// sweepRequest asks for a multi-axis grid sweep streamed as NDJSON. The
+// fixed parameters use the shared params envelope; swept fields may be
+// omitted there (axes override them per point).
+type sweepRequest struct {
+	paramsEnvelope
+	Axes        []SweepAxis `json:"axes"`
+	ChunkSize   int         `json:"chunk_size,omitempty"`   // default 1024
+	Workers     int         `json:"workers,omitempty"`      // capped at the server pool
+	RefineDepth int         `json:"refine_depth,omitempty"` // case-boundary bisection levels, max 8
+}
+
+// sweepPoint is one NDJSON record: the resolved axis values, the Table 1
+// answer, and — for failed points — the standard error object in place.
+type sweepPoint struct {
+	Values   map[string]float64 `json:"values"`
+	VMax     float64            `json:"vmax,omitempty"`
+	Case     string             `json:"case,omitempty"`
+	CaseCode int                `json:"case_code,omitempty"`
+	Depth    int                `json:"depth,omitempty"`
+	Error    *apiError          `json:"error,omitempty"`
+}
+
+// sweepStats mirrors sweep.Stats on the wire.
+type sweepStats struct {
+	GridPoints    int `json:"grid_points"`
+	Chunks        int `json:"chunks"`
+	Evaluated     int `json:"evaluated"`
+	Errors        int `json:"errors"`
+	RefinedPoints int `json:"refined_points"`
+	MaxDepth      int `json:"max_refine_depth"`
+	Workers       int `json:"workers"`
+}
+
+// sweepSummary is the terminal NDJSON record of a completed sweep.
+type sweepSummary struct {
+	Done  bool       `json:"done"`
+	Stats sweepStats `json:"stats"`
+}
+
+// maxRefineDepth bounds the refinement recursion a request may ask for.
+const maxRefineDepth = 8
+
+// buildSweep validates the request and assembles the engine inputs.
+func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiError) {
+	var g sweep.Grid
+	var cfg sweep.Config
+	if len(req.Axes) == 0 {
+		return g, cfg, &apiError{Code: "invalid_request", Message: "need at least one axis",
+			Field: "axes", Constraint: "must name 1 or more swept axes"}
+	}
+	total := 1
+	sizeSwept := false
+	for _, ax := range req.Axes {
+		if ax.Points < 1 {
+			return g, cfg, &apiError{Code: "invalid_request",
+				Message: fmt.Sprintf("axis %s: points = %d must be at least 1", ax.Axis, ax.Points),
+				Field:   "axes", Value: ax.Points, Constraint: "points >= 1"}
+		}
+		if total > s.cfg.MaxSweepPoints/ax.Points {
+			total = s.cfg.MaxSweepPoints + 1
+			break
+		}
+		total *= ax.Points
+		if ax.Axis == sweep.AxisSize {
+			sizeSwept = true
+		}
+		g.Axes = append(g.Axes, sweep.Axis{Name: ax.Axis, From: ax.From, To: ax.To,
+			Points: ax.Points, Log: ax.Log})
+	}
+	if total > s.cfg.MaxSweepPoints {
+		return g, cfg, &apiError{Code: "grid_too_large",
+			Message:    fmt.Sprintf("grid exceeds the %d-point limit", s.cfg.MaxSweepPoints),
+			Field:      "axes",
+			Constraint: fmt.Sprintf("at most %d grid points", s.cfg.MaxSweepPoints)}
+	}
+	// Reject malformed axes (unknown name, duplicates, inverted range)
+	// here, while a 400 status line is still possible — once streaming
+	// starts, errors can only arrive as trailing NDJSON records.
+	if err := g.Validate(); err != nil {
+		return g, cfg, toAPIError(err)
+	}
+
+	// Resolve the fixed parameters, defaulting the swept fields so a
+	// request need not supply values the axes will overwrite anyway.
+	it := req.item()
+	for _, ax := range req.Axes {
+		switch ax.Axis {
+		case sweep.AxisN:
+			if it.N == 0 {
+				it.N = 1
+			}
+		case sweep.AxisSlope, sweep.AxisRise:
+			if it.Slope == 0 && it.RiseTime == 0 {
+				it.RiseTime = 1e-9
+			}
+		}
+	}
+	if sizeSwept {
+		if it.Dev != nil {
+			return g, cfg, &apiError{Code: "invalid_request",
+				Message: "a size axis re-extracts the device and cannot be combined with an explicit dev",
+				Field:   "dev", Constraint: "omit dev when sweeping size"}
+		}
+		spec, err := it.extractSpec()
+		if err != nil {
+			return g, cfg, toAPIError(err)
+		}
+		g.Spec = spec
+	}
+	p, err := it.resolve(s.cache)
+	if err != nil {
+		return g, cfg, toAPIError(err)
+	}
+	g.Base = p
+
+	if req.RefineDepth < 0 || req.RefineDepth > maxRefineDepth {
+		return g, cfg, &apiError{Code: "invalid_request",
+			Message: fmt.Sprintf("refine_depth = %d outside [0, %d]", req.RefineDepth, maxRefineDepth),
+			Field:   "refine_depth", Value: req.RefineDepth,
+			Constraint: fmt.Sprintf("must be within [0, %d]", maxRefineDepth)}
+	}
+	cfg = sweep.Config{
+		Workers:     req.Workers,
+		ChunkSize:   req.ChunkSize,
+		RefineDepth: req.RefineDepth,
+		Gate:        s.pool,
+		Extract: func(spec device.ExtractSpec) (device.ASDM, error) {
+			m, _, err := s.cache.Get(spec)
+			return m, err
+		},
+	}
+	if cfg.Workers <= 0 || cfg.Workers > s.cfg.Workers {
+		cfg.Workers = s.cfg.Workers
+	}
+	return g, cfg, nil
+}
+
+// sweepRecord shapes one engine point for the wire: resolved values (the
+// rounded N, the extracted size) where available, raw axis values for
+// failed points.
+func sweepRecord(axes []sweep.Axis, pt sweep.Point) sweepPoint {
+	rec := sweepPoint{Values: make(map[string]float64, len(axes)), Depth: pt.Depth}
+	for k, ax := range axes {
+		v := pt.Values[k]
+		if ax.Name == sweep.AxisN && pt.Err == nil {
+			v = float64(pt.Params.N)
+		}
+		rec.Values[ax.Name] = v
+	}
+	if pt.Err != nil {
+		rec.Error = toAPIError(pt.Err)
+		return rec
+	}
+	rec.VMax = pt.VMax
+	rec.Case = pt.Case.String()
+	rec.CaseCode = int(pt.Case)
+	return rec
+}
+
+// sweepFlushEvery bounds how many NDJSON lines may buffer before a flush:
+// clients observe progress incrementally without a per-line syscall.
+const sweepFlushEvery = 64
+
+// handleSweep serves POST /v1/sweep: a chunked multi-axis grid sweep
+// streamed as NDJSON, one record per point, with per-point errors in
+// place, optional adaptive refinement records, and a terminal
+// {"done":true} summary. Cancelling the request (closing the connection)
+// cancels the sweep mid-stream; the engine guarantees no goroutine
+// survives the handler.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	g, cfg, aerr := s.buildSweep(req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	lines := 0
+	sink := func(pt sweep.Point) error {
+		if err := enc.Encode(sweepRecord(g.Axes, pt)); err != nil {
+			return err
+		}
+		lines++
+		if flusher != nil && lines%sweepFlushEvery == 0 {
+			flusher.Flush()
+		}
+		return nil
+	}
+	stats, err := sweep.Run(r.Context(), g, cfg, sink)
+	s.metrics.ObserveSweep(stats.Evaluated, stats.Chunks, stats.RefinedPoints, err == nil)
+	if err != nil {
+		// The status line is long gone; report the abort as a terminal
+		// NDJSON record in the same error envelope.
+		_ = enc.Encode(map[string]*apiError{"error": toAPIError(err)})
+	} else {
+		_ = enc.Encode(sweepSummary{Done: true, Stats: sweepStats{
+			GridPoints: stats.GridPoints, Chunks: stats.Chunks,
+			Evaluated: stats.Evaluated, Errors: stats.Errors,
+			RefinedPoints: stats.RefinedPoints, MaxDepth: stats.MaxDepth,
+			Workers: stats.Workers,
+		}})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

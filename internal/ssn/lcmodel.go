@@ -62,10 +62,22 @@ const critTol = 1e-9
 // over-damped formulas in the L-only limit (use LModel directly when no
 // capacitance estimate exists at all).
 func NewLCModel(p Params) (*LCModel, error) {
-	if err := p.Validate(); err != nil {
+	m := &LCModel{}
+	if err := m.Init(p); err != nil {
 		return nil, err
 	}
-	m := &LCModel{P: p, beta: p.Beta(), tauR: p.TauRise()}
+	return m, nil
+}
+
+// Init re-initializes m in place for p, overwriting any previous state.
+// It is the allocation-free core of NewLCModel: hot loops that classify
+// millions of parameter points (the sweep engine, Monte Carlo) keep one
+// LCModel per worker and re-Init it instead of allocating per point.
+func (m *LCModel) Init(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	*m = LCModel{P: p, beta: p.Beta(), tauR: p.TauRise()}
 	nlka := float64(p.N) * p.L * p.Dev.K * p.Dev.A
 	if p.C == 0 {
 		// Degenerate first-order system: one finite eigenvalue -1/(NLKa)
@@ -74,7 +86,7 @@ func NewLCModel(p Params) (*LCModel, error) {
 		m.cse = OverDamped
 		m.l1 = -1 / nlka
 		m.l2 = math.Inf(-1)
-		return m, nil
+		return nil
 	}
 	disc := nlka*nlka - 4*p.L*p.C
 	scale := nlka * nlka
@@ -95,7 +107,7 @@ func NewLCModel(p Params) (*LCModel, error) {
 			m.cse = UnderDampedBoundary
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // Case returns the operating case the model classified at construction.

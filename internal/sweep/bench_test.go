@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// benchGrid is the 10^5-point design space the PR's acceptance benchmark
+// runs over: 50 x 50 x 40 = 100,000 closed-form evaluations with a fixed
+// ASDM (no extraction in the hot path).
+func benchGrid() Grid {
+	return Grid{
+		Base: baseParams(),
+		Axes: []Axis{
+			{Name: AxisN, From: 1, To: 64, Points: 50},
+			{Name: AxisL, From: 0.2e-9, To: 8e-9, Points: 50},
+			{Name: AxisC, From: 0.05e-12, To: 40e-12, Points: 40, Log: true},
+		},
+	}
+}
+
+func benchmarkSweep(b *testing.B, workers int) {
+	g := benchGrid()
+	var sum float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := Run(context.Background(), g, Config{Workers: workers},
+			func(pt Point) error { sum += pt.VMax; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Evaluated != 100_000 {
+			b.Fatalf("evaluated %d points", stats.Evaluated)
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) } // GOMAXPROCS

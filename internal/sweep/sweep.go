@@ -1,0 +1,472 @@
+// Package sweep is ssnkit's design-space exploration engine: a chunked,
+// cancellable, multi-dimensional grid sweep over the closed-form maximum
+// SSN. The paper's closed forms exist precisely so designers can explore
+// the (N, L, C, slope, size) space without transistor-level simulation —
+// β = N·L·K·s and the Table 1 case boundaries are design knobs — and this
+// package turns one ssn.MaxSSN call into a hardware-saturating scan:
+//
+//   - a Grid is a cartesian product of Axes (linear or log spacing per
+//     axis) applied over a base ssn.Params;
+//   - evaluation is chunked and runs on a bounded worker pool (GOMAXPROCS
+//     by default), with driver re-extraction for a swept size axis pulled
+//     through a memoized device.ExtractSpec cache;
+//   - results stream incrementally through a sink callback, so memory
+//     stays O(chunk), not O(grid); base-grid points arrive in row-major
+//     grid order;
+//   - a sink error or context cancellation stops the sweep promptly and
+//     Run only returns once every worker goroutine has exited;
+//   - optional adaptive refinement bisects between grid neighbors whose
+//     Table 1 case differs — the damped-regime formula changes
+//     discontinuously in derivative there — so extra resolution lands
+//     exactly on the case boundaries.
+//
+// Both front-ends are thin over Run: cmd/ssnsweep renders the stream as
+// tables/CSV, and internal/serve streams it as NDJSON over HTTP.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/ssn"
+)
+
+// Axis names: the sweepable design knobs. AxisRise ("tr") is the
+// designer-facing alias of AxisSlope — both set the input edge, so a grid
+// may contain only one of them.
+const (
+	AxisN     = "n"     // simultaneously switching drivers (rounded to int >= 1)
+	AxisL     = "l"     // effective ground inductance, H
+	AxisC     = "c"     // effective ground capacitance, F
+	AxisSlope = "slope" // input ramp slope, V/s
+	AxisRise  = "tr"    // input rise time, s (slope = Vdd/tr)
+	AxisSize  = "size"  // driver width multiple (re-extracts the ASDM)
+)
+
+// Axis is one swept dimension: Points samples from From to To, linearly or
+// logarithmically spaced.
+type Axis struct {
+	Name string
+	From float64
+	To   float64
+	// Points is the sample count; 1 pins the axis at From.
+	Points int
+	// Log selects logarithmic spacing (requires From > 0).
+	Log bool
+}
+
+func (a Axis) validate() error {
+	switch a.Name {
+	case AxisN, AxisL, AxisC, AxisSlope, AxisRise, AxisSize:
+	default:
+		return fmt.Errorf("sweep: unknown axis %q (n, l, c, slope, tr, size)", a.Name)
+	}
+	if a.Points < 1 {
+		return fmt.Errorf("sweep: axis %s needs at least 1 point", a.Name)
+	}
+	if a.Points > 1 && a.To <= a.From {
+		return fmt.Errorf("sweep: axis %s: to = %g must exceed from = %g", a.Name, a.To, a.From)
+	}
+	if a.Log && a.From <= 0 {
+		return fmt.Errorf("sweep: axis %s: log spacing needs a positive from", a.Name)
+	}
+	return nil
+}
+
+// Values materializes the axis coordinates.
+func (a Axis) Values() []float64 {
+	if a.Points == 1 {
+		return []float64{a.From}
+	}
+	vs := make([]float64, a.Points)
+	if a.Log {
+		la, lb := math.Log(a.From), math.Log(a.To)
+		for i := range vs {
+			vs[i] = math.Exp(la + (lb-la)*float64(i)/float64(a.Points-1))
+		}
+	} else {
+		for i := range vs {
+			vs[i] = a.From + (a.To-a.From)*float64(i)/float64(a.Points-1)
+		}
+	}
+	vs[a.Points-1] = a.To
+	return vs
+}
+
+// Grid is the cartesian product of Axes over a base parameter point. Axes
+// override the corresponding Base fields per point; everything else is
+// fixed. When a size axis is present, Spec names the device to re-extract
+// (its Size field is overwritten per point) and Base.Dev is ignored.
+type Grid struct {
+	Base ssn.Params
+	Axes []Axis
+	Spec device.ExtractSpec
+}
+
+// Total returns the number of base-grid points (product of axis counts).
+func (g Grid) Total() int {
+	t := 1
+	for _, a := range g.Axes {
+		t *= a.Points
+	}
+	return t
+}
+
+// Validate checks the axis set without running anything, so front-ends
+// can reject a bad grid before committing to a streamed response.
+func (g Grid) Validate() error {
+	if len(g.Axes) == 0 {
+		return fmt.Errorf("sweep: need at least one axis")
+	}
+	seen := map[string]bool{}
+	for _, a := range g.Axes {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		name := a.Name
+		if name == AxisRise {
+			name = AxisSlope // tr and slope set the same knob
+		}
+		if seen[name] {
+			return fmt.Errorf("sweep: duplicate axis %q", a.Name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// ExtractFunc resolves a device extraction; front-ends plug in a shared
+// cache (the serve ASDM extraction LRU) so repeated sizes never re-fit.
+type ExtractFunc func(device.ExtractSpec) (device.ASDM, error)
+
+// Gate bounds global concurrency: workers acquire it once per chunk, so a
+// sweep embedded in a service shares slots with the rest of the traffic
+// instead of stacking its own pool on top.
+type Gate interface {
+	Acquire(context.Context) error
+	Release()
+}
+
+// Config tunes one Run. The zero value is usable.
+type Config struct {
+	// Workers is the number of parallel chunk evaluators; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// ChunkSize is the number of grid points per unit of work; <= 0 means
+	// 1024. The sink sees at most O(Workers x ChunkSize) buffered points.
+	ChunkSize int
+	// RefineDepth enables adaptive refinement around Table 1 case
+	// boundaries, bisecting up to this many levels; 0 disables.
+	RefineDepth int
+	// Extract resolves device extraction for a swept size axis. Nil falls
+	// back to direct (memoized) ExtractSpec.Extract calls.
+	Extract ExtractFunc
+	// Gate, when non-nil, bounds chunk concurrency globally.
+	Gate Gate
+}
+
+// Point is one streamed result. Per-point failures are reported in place
+// via Err — one bad corner never aborts the rest of the grid.
+type Point struct {
+	// Index holds the grid coordinates in Grid.Axes order; nil for
+	// refined points, which lie between grid coordinates.
+	Index []int
+	// Values holds the axis values in Grid.Axes order.
+	Values []float64
+	// Params is the fully resolved parameter point (zero when Err is a
+	// resolution failure).
+	Params ssn.Params
+	VMax   float64
+	Case   ssn.Case
+	// Depth is 0 for base-grid points, >= 1 for refinement levels.
+	Depth int
+	Err   error
+}
+
+// Sink receives every evaluated point. It is never called concurrently;
+// returning an error cancels the sweep. Base-grid points arrive in
+// row-major grid order (last axis fastest); refined points follow in
+// unspecified order.
+type Sink func(Point) error
+
+// Stats summarizes one Run.
+type Stats struct {
+	GridPoints    int // size of the base grid
+	Chunks        int // units of work the grid was split into
+	Evaluated     int // points delivered to the sink (grid + refined)
+	Errors        int // points delivered with Err set
+	RefinedPoints int // refinement points delivered
+	MaxDepth      int // deepest refinement level reached
+	Workers       int // parallel evaluators used
+}
+
+// engine carries the per-run immutable state shared by all workers.
+type engine struct {
+	grid     Grid
+	axisVals [][]float64
+	stride   []int // row-major stride per axis
+	extract  func(size float64) (device.ASDM, error)
+	// cases records the Table 1 case per base-grid point (0 = failed),
+	// written only by the emitter goroutine; refinement reads it after
+	// the base grid completes. O(grid) bytes, allocated only when
+	// refinement is enabled.
+	cases []uint8
+}
+
+func newEngine(g Grid, cfg Config) *engine {
+	e := &engine{grid: g}
+	e.axisVals = make([][]float64, len(g.Axes))
+	for k, a := range g.Axes {
+		e.axisVals[k] = a.Values()
+	}
+	e.stride = make([]int, len(g.Axes))
+	s := 1
+	for k := len(g.Axes) - 1; k >= 0; k-- {
+		e.stride[k] = s
+		s *= g.Axes[k].Points
+	}
+	if cfg.RefineDepth > 0 {
+		e.cases = make([]uint8, g.Total())
+	}
+
+	// Memoize extraction: the size axis revisits the same handful of
+	// widths grid-line after grid-line, and extraction re-fits a
+	// least-squares problem per call.
+	inner := cfg.Extract
+	if inner == nil {
+		inner = func(spec device.ExtractSpec) (device.ASDM, error) {
+			m, _, err := spec.Extract()
+			return m, err
+		}
+	}
+	var mu sync.Mutex
+	type extRes struct {
+		dev device.ASDM
+		err error
+	}
+	memo := map[float64]extRes{}
+	e.extract = func(size float64) (device.ASDM, error) {
+		mu.Lock()
+		r, ok := memo[size]
+		mu.Unlock()
+		if !ok {
+			spec := e.grid.Spec
+			spec.Size = size
+			r.dev, r.err = inner(spec)
+			mu.Lock()
+			memo[size] = r
+			mu.Unlock()
+		}
+		return r.dev, r.err
+	}
+	return e
+}
+
+// coords decomposes a flat row-major index into per-axis coordinates.
+func (e *engine) coords(flat int) []int {
+	idx := make([]int, len(e.grid.Axes))
+	for k := range idx {
+		idx[k] = (flat / e.stride[k]) % e.grid.Axes[k].Points
+	}
+	return idx
+}
+
+// flat recomposes coordinates into the row-major index.
+func (e *engine) flat(idx []int) int {
+	f := 0
+	for k, i := range idx {
+		f += i * e.stride[k]
+	}
+	return f
+}
+
+// paramsAt applies the axis values over the base parameters.
+func (e *engine) paramsAt(values []float64) (ssn.Params, error) {
+	p := e.grid.Base
+	for k, ax := range e.grid.Axes {
+		v := values[k]
+		switch ax.Name {
+		case AxisN:
+			n := int(math.Round(v))
+			if n < 1 {
+				n = 1
+			}
+			p.N = n
+		case AxisL:
+			p.L = v
+		case AxisC:
+			p.C = v
+		case AxisSlope:
+			p.Slope = v
+		case AxisRise:
+			if v <= 0 {
+				return p, fmt.Errorf("sweep: tr = %g must be positive", v)
+			}
+			p.Slope = p.Vdd / v
+		case AxisSize:
+			dev, err := e.extract(v)
+			if err != nil {
+				return p, err
+			}
+			p.Dev = dev
+		}
+	}
+	return p, nil
+}
+
+// eval resolves and classifies one point, reusing the worker's scratch
+// model so the hot loop does not allocate per point.
+func (e *engine) eval(m *ssn.LCModel, idx []int, values []float64, depth int) Point {
+	pt := Point{Index: idx, Values: values, Depth: depth}
+	p, err := e.paramsAt(values)
+	if err != nil {
+		pt.Err = err
+		return pt
+	}
+	pt.Params = p
+	if err := m.Init(p); err != nil {
+		pt.Err = err
+		return pt
+	}
+	pt.VMax = m.VMax()
+	pt.Case = m.Case()
+	return pt
+}
+
+// Run sweeps the grid, streaming every point through sink, and returns the
+// run statistics. It blocks until the sweep completes, the sink fails, or
+// ctx is cancelled; in every case all worker goroutines have exited before
+// it returns. The returned error is nil on completion, the sink's error,
+// or ctx.Err().
+func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
+	if sink == nil {
+		return Stats{}, fmt.Errorf("sweep: nil sink")
+	}
+	if err := g.Validate(); err != nil {
+		return Stats{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	total := g.Total()
+	nChunks := (total + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	stats := Stats{GridPoints: total, Chunks: nChunks, Workers: workers}
+	e := newEngine(g, cfg)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type chunkOut struct {
+		idx int
+		pts []Point
+	}
+	tasks := make(chan int)
+	out := make(chan chunkOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch ssn.LCModel
+			for ci := range tasks {
+				if cfg.Gate != nil {
+					if err := cfg.Gate.Acquire(ctx); err != nil {
+						return
+					}
+				}
+				lo := ci * chunk
+				hi := min(lo+chunk, total)
+				pts := make([]Point, 0, hi-lo)
+				for f := lo; f < hi && ctx.Err() == nil; f++ {
+					idx := e.coords(f)
+					values := make([]float64, len(idx))
+					for k, i := range idx {
+						values[k] = e.axisVals[k][i]
+					}
+					pts = append(pts, e.eval(&scratch, idx, values, 0))
+				}
+				if cfg.Gate != nil {
+					cfg.Gate.Release()
+				}
+				select {
+				case out <- chunkOut{ci, pts}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(tasks)
+		for ci := 0; ci < nChunks; ci++ {
+			select {
+			case tasks <- ci:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Ordered emitter: deliver chunks to the sink in grid order. Workers
+	// block once the reorder window fills, so pending holds at most
+	// O(workers) chunks.
+	var sinkErr error
+	pending := map[int][]Point{}
+	next := 0
+	for co := range out {
+		pending[co.idx] = co.pts
+		for {
+			pts, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			for i := range pts {
+				pt := pts[i]
+				if sinkErr != nil || ctx.Err() != nil {
+					continue
+				}
+				stats.Evaluated++
+				if pt.Err != nil {
+					stats.Errors++
+				} else if e.cases != nil {
+					e.cases[e.flat(pt.Index)] = uint8(pt.Case)
+				}
+				if err := sink(pt); err != nil {
+					sinkErr = err
+					cancel()
+				}
+			}
+		}
+	}
+	if sinkErr != nil {
+		return stats, sinkErr
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+
+	if cfg.RefineDepth > 0 {
+		if err := e.refine(ctx, cancel, cfg, workers, sink, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

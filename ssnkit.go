@@ -15,8 +15,10 @@
 //     device-model library, a SPICE-like transient circuit simulator,
 //     package parasitic models and a driver-array circuit generator.
 //
-// This root package re-exports the supported API surface via type aliases
-// so downstream users never import ssnkit/internal/... directly:
+// This root package re-exports the supported API surface — type aliases
+// for data types, real wrapper functions for entry points (so every
+// signature is locked at compile time and godoc shows it in place) — and
+// downstream users never import ssnkit/internal/... directly:
 //
 //	asdm, _ := ssnkit.C018.ExtractASDM()
 //	p := ssnkit.Params{N: 16, Dev: asdm, Vdd: 1.8, Slope: 1.8e9,
@@ -34,9 +36,13 @@
 package ssnkit
 
 import (
+	"context"
+	"io"
+
 	"ssnkit/internal/circuit"
 	"ssnkit/internal/device"
 	"ssnkit/internal/driver"
+	"ssnkit/internal/fit"
 	"ssnkit/internal/pkgmodel"
 	"ssnkit/internal/spice"
 	"ssnkit/internal/ssn"
@@ -82,43 +88,84 @@ const (
 	UnderDampedBoundary = ssn.UnderDampedBoundary
 )
 
-// Core entry points.
-var (
-	// MaxSSN classifies the operating case and evaluates the Table 1
-	// maximum-noise formula.
-	MaxSSN = ssn.MaxSSN
-	// NewLModel builds the Sec. 3 inductance-only model.
-	NewLModel = ssn.NewLModel
-	// NewLCModel builds the Sec. 4 four-case model.
-	NewLCModel = ssn.NewLCModel
-	// MaxDriversForBudget sizes the largest simultaneously switching bus
-	// that meets a noise budget.
-	MaxDriversForBudget = ssn.MaxDriversForBudget
-	// MinRiseTimeForBudget finds the fastest edge meeting a noise budget.
-	MinRiseTimeForBudget = ssn.MinRiseTimeForBudget
-	// InductanceBudget finds the largest ground inductance meeting a
-	// noise budget.
-	InductanceBudget = ssn.InductanceBudget
-	// SquareLawMax, VemuruMax and SongMax are the prior-art baselines.
-	SquareLawMax = ssn.SquareLawMax
-	VemuruMax    = ssn.VemuruMax
-	SongMax      = ssn.SongMax
-	// NewStaggered and UniformStagger analyze non-simultaneous switching.
-	NewStaggered   = ssn.NewStaggered
-	UniformStagger = ssn.UniformStagger
-	// LSensitivity and LCSensitivity evaluate design sensitivities.
-	LSensitivity  = ssn.LSensitivity
-	LCSensitivity = ssn.LCSensitivity
-	// NewVictim analyzes quiet-output glitches and noise margins.
-	NewVictim = ssn.NewVictim
-	// MonteCarlo draws process/environment variations over MaxSSN on a
-	// GOMAXPROCS worker pool; MonteCarloCtx adds cancellation and an
-	// explicit worker count (deterministic per seed and worker count).
-	MonteCarlo    = ssn.MonteCarlo
-	MonteCarloCtx = ssn.MonteCarloCtx
-	// DelayPushout estimates the switching-delay cost of the bounce.
-	DelayPushout = ssn.DelayPushout
-)
+// MaxSSN classifies the operating case and evaluates the Table 1
+// maximum-noise formula.
+func MaxSSN(p Params) (float64, Case, error) { return ssn.MaxSSN(p) }
+
+// NewLModel builds the Sec. 3 inductance-only model.
+func NewLModel(p Params) (*LModel, error) { return ssn.NewLModel(p) }
+
+// NewLCModel builds the Sec. 4 four-case model.
+func NewLCModel(p Params) (*LCModel, error) { return ssn.NewLCModel(p) }
+
+// MaxDriversForBudget sizes the largest simultaneously switching bus that
+// meets a noise budget.
+func MaxDriversForBudget(p Params, budget float64, limit int) (int, error) {
+	return ssn.MaxDriversForBudget(p, budget, limit)
+}
+
+// MinRiseTimeForBudget finds the fastest edge meeting a noise budget.
+func MinRiseTimeForBudget(p Params, budget, trFast, trSlow float64) (float64, error) {
+	return ssn.MinRiseTimeForBudget(p, budget, trFast, trSlow)
+}
+
+// InductanceBudget finds the largest ground inductance meeting a noise
+// budget.
+func InductanceBudget(p Params, budget, lMin, lMax float64) (float64, error) {
+	return ssn.InductanceBudget(p, budget, lMin, lMax)
+}
+
+// SquareLawMax is the classic square-law prior-art baseline.
+func SquareLawMax(in BaselineInput, kp, vt float64) (float64, error) {
+	return ssn.SquareLawMax(in, kp, vt)
+}
+
+// VemuruMax is the Vemuru alpha-power prior-art baseline.
+func VemuruMax(in BaselineInput, ap AlphaParams) (float64, error) {
+	return ssn.VemuruMax(in, ap)
+}
+
+// SongMax is the Song et al. prior-art baseline.
+func SongMax(in BaselineInput, ap AlphaParams) (float64, error) {
+	return ssn.SongMax(in, ap)
+}
+
+// NewStaggered analyzes drivers that do not switch simultaneously.
+func NewStaggered(p Params, offsets []float64) (*Staggered, error) {
+	return ssn.NewStaggered(p, offsets)
+}
+
+// UniformStagger builds n switching offsets spaced dt apart.
+func UniformStagger(n int, dt float64) []float64 { return ssn.UniformStagger(n, dt) }
+
+// LSensitivity evaluates design sensitivities of the L-only model.
+func LSensitivity(p Params) (Sensitivity, error) { return ssn.LSensitivity(p) }
+
+// LCSensitivity evaluates design sensitivities of the LC model (h is the
+// finite-difference step; 0 picks a default).
+func LCSensitivity(p Params, h float64) (Sensitivity, error) {
+	return ssn.LCSensitivity(p, h)
+}
+
+// NewVictim analyzes quiet-output glitches and noise margins.
+func NewVictim(p Params, ron, cl float64) (*Victim, error) {
+	return ssn.NewVictim(p, ron, cl)
+}
+
+// MonteCarlo draws process/environment variations over MaxSSN on a
+// GOMAXPROCS worker pool.
+func MonteCarlo(p Params, v Variation, n int, seed int64) (*MCResult, error) {
+	return ssn.MonteCarlo(p, v, n, seed)
+}
+
+// MonteCarloCtx is MonteCarlo with cancellation and an explicit worker
+// count (deterministic per seed and worker count).
+func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64, workers int) (*MCResult, error) {
+	return ssn.MonteCarloCtx(ctx, p, v, n, seed, workers)
+}
+
+// DelayPushout estimates the switching-delay cost of the bounce.
+func DelayPushout(p Params) (float64, error) { return ssn.DelayPushout(p) }
 
 // Device modeling API (internal/device).
 type (
@@ -142,6 +189,8 @@ type (
 	// width); its Key() is the cache key batch consumers reuse
 	// extractions under.
 	ExtractSpec = device.ExtractSpec
+	// FitStats reports goodness-of-fit of a device extraction.
+	FitStats = fit.Stats
 )
 
 // Process corners.
@@ -151,21 +200,39 @@ const (
 	FF = device.FF
 )
 
-// Process kits and device-fitting entry points.
+// Process kits.
 var (
-	C018                 = device.C018
-	C025                 = device.C025
-	C035                 = device.C035
-	Processes            = device.Processes
-	ProcessByName        = device.ProcessByName
-	ExtractASDM          = device.ExtractASDM
-	ExtractAlphaPowerSat = device.ExtractAlphaPowerSat
-	// TriodeResistance returns a quiet driver's channel resistance, the
-	// Ron input of the victim-glitch model.
-	TriodeResistance = device.TriodeResistance
-	// CornerByName parses "tt"/"ss"/"ff".
-	CornerByName = device.CornerByName
+	C018 = device.C018
+	C025 = device.C025
+	C035 = device.C035
 )
+
+// Processes lists the built-in technology kits.
+func Processes() []Process { return device.Processes() }
+
+// ProcessByName resolves a kit by name ("c018", "c025", "c035").
+func ProcessByName(name string) (Process, error) { return device.ProcessByName(name) }
+
+// ExtractASDM fits the paper's application-specific device model to a
+// golden device over the SSN operating region.
+func ExtractASDM(golden DeviceModel, region ExtractRegion) (ASDM, FitStats, error) {
+	return device.ExtractASDM(golden, region)
+}
+
+// ExtractAlphaPowerSat fits the Sakurai-Newton saturation model to a
+// golden device (the baselines' parameter source).
+func ExtractAlphaPowerSat(golden DeviceModel, vdd float64) (b, vt, alpha float64, stats FitStats, err error) {
+	return device.ExtractAlphaPowerSat(golden, vdd)
+}
+
+// TriodeResistance returns a quiet driver's channel resistance, the Ron
+// input of the victim-glitch model.
+func TriodeResistance(m DeviceModel, vgs, vbs float64) float64 {
+	return device.TriodeResistance(m, vgs, vbs)
+}
+
+// CornerByName parses "tt"/"ss"/"ff".
+func CornerByName(name string) (Corner, error) { return device.CornerByName(name) }
 
 // Circuit and simulation API (internal/circuit, internal/spice).
 type (
@@ -180,19 +247,27 @@ type (
 	Engine = spice.Engine
 	// SimOptions tune solver tolerances.
 	SimOptions = spice.Options
+	// DCSweepResult carries the operating points of a .dc analysis.
+	DCSweepResult = spice.DCSweepResult
 	// Source is a time-dependent stimulus.
 	Source = circuit.Source
 	// Ramp is the SSN input stimulus.
 	Ramp = circuit.Ramp
 )
 
-// Circuit construction and simulation entry points.
-var (
-	NewCircuit   = circuit.New
-	ParseNetlist = circuit.Parse
-	NewEngine    = spice.New
-	RunDeck      = spice.Run
-)
+// NewCircuit starts an empty netlist with the given title.
+func NewCircuit(title string) *Circuit { return circuit.New(title) }
+
+// ParseNetlist reads a SPICE-like deck: netlist plus analysis cards.
+func ParseNetlist(r io.Reader) (*Deck, error) { return circuit.Parse(r) }
+
+// NewEngine builds the MNA/Newton-Raphson simulator over a circuit.
+func NewEngine(ckt *Circuit, opts SimOptions) (*Engine, error) { return spice.New(ckt, opts) }
+
+// RunDeck executes every analysis a parsed deck requests.
+func RunDeck(deck *Deck, opts SimOptions) (*WaveformSet, *DCSweepResult, error) {
+	return spice.Run(deck, opts)
+}
 
 // Scenario generation API (internal/driver, internal/pkgmodel).
 type (
@@ -215,16 +290,25 @@ const (
 	PullUp   = driver.PullUp
 )
 
-// Package catalog and scenario entry points.
+// Package parasitic classes.
 var (
-	PGA            = pkgmodel.PGA
-	QFP            = pkgmodel.QFP
-	BGA            = pkgmodel.BGA
-	COB            = pkgmodel.COB
-	PackageCatalog = pkgmodel.Catalog
-	PackageByName  = pkgmodel.ByName
-	Simulate       = driver.Simulate
+	PGA = pkgmodel.PGA
+	QFP = pkgmodel.QFP
+	BGA = pkgmodel.BGA
+	COB = pkgmodel.COB
 )
+
+// PackageCatalog lists the built-in package classes.
+func PackageCatalog() []Package { return pkgmodel.Catalog() }
+
+// PackageByName resolves a package class by name ("pga", "qfp", ...).
+func PackageByName(name string) (Package, error) { return pkgmodel.ByName(name) }
+
+// Simulate generates and runs one driver-array SSN scenario at the
+// transistor level (step/stop 0 pick defaults from the rise time).
+func Simulate(cfg ArrayConfig, opts SimOptions, step, stop float64) (*SimResult, error) {
+	return driver.Simulate(cfg, opts, step, stop)
+}
 
 // Waveform API (internal/waveform).
 type (
