@@ -185,6 +185,7 @@ c1 n2 0 1p
 .tran 1p 2n
 .end
 `
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		deck, err := ssnkit.ParseNetlist(strings.NewReader(deckText))
 		if err != nil {
@@ -268,6 +269,7 @@ rl far 0 100
 .tran 20p 8n uic
 .end
 `
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		deck, err := ssnkit.ParseNetlist(strings.NewReader(deckText))
 		if err != nil {
@@ -289,6 +291,7 @@ func BenchmarkAdaptiveVsFixed(b *testing.B) {
 		Ground: ssnkit.PGA.Ground(1), Rise: 1e-9, Merged: true,
 	}
 	b.Run("fixed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{}, 2.5e-12, 0)
 			if err != nil {
@@ -298,6 +301,7 @@ func BenchmarkAdaptiveVsFixed(b *testing.B) {
 		}
 	})
 	b.Run("adaptive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := ssnkit.Simulate(cfg, ssnkit.SimOptions{Adaptive: true, LTETol: 1e-4}, 2e-11, 0)
 			if err != nil {

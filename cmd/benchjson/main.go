@@ -1,0 +1,168 @@
+// Command benchjson turns `go test -bench` output into a stable JSON
+// baseline and gates regressions against a committed one.
+//
+// Parse mode reads benchmark text on stdin and emits JSON:
+//
+//	go test -run XX -bench Transient -benchtime=100x -count=3 . | benchjson -parse > new.json
+//
+// Repeated counts of the same benchmark collapse to the minimum ns/op (the
+// least-noise estimate). Check mode compares a freshly parsed file against a
+// committed baseline and exits nonzero when any shared benchmark runs slower
+// than maxRatio times its baseline:
+//
+//	benchjson -check new.json -against BENCH_spice.json -max-ratio 2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's record. SeedNsPerOp preserves the pre-optimization
+// number when the baseline documents a before/after pair.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	SeedNsPerOp float64 `json:"seed_ns_per_op,omitempty"`
+}
+
+// File is the schema shared by parsed output and the committed baseline.
+type File struct {
+	Note       string           `json:"note,omitempty"`
+	Benchtime  string           `json:"benchtime,omitempty"`
+	Count      int              `json:"count,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "read `go test -bench` text on stdin, write JSON to stdout")
+	check := flag.String("check", "", "JSON `file` of fresh results to gate")
+	against := flag.String("against", "BENCH_spice.json", "baseline JSON `file` for -check")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when fresh ns/op exceeds baseline by this factor")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	case *check != "":
+		ok, err := runCheck(*check, *against, *maxRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse() error {
+	out := File{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, ns, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if e, seen := out.Benchmarks[name]; !seen || ns < e.NsPerOp {
+			out.Benchmarks[name] = Entry{NsPerOp: ns}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(out.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseBenchLine extracts (name, ns/op) from one `go test -bench` line, e.g.
+//
+//	BenchmarkTransientRLC-4   100   368764 ns/op   120 B/op   3 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines transfer across runners.
+func parseBenchLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func runCheck(freshPath, basePath string, maxRatio float64) (bool, error) {
+	fresh, err := readFile(freshPath)
+	if err != nil {
+		return false, err
+	}
+	base, err := readFile(basePath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		f, seen := fresh.Benchmarks[name]
+		if !seen {
+			fmt.Printf("SKIP %-40s not in fresh run\n", name)
+			continue
+		}
+		ratio := f.NsPerOp / b.NsPerOp
+		status := "ok  "
+		if ratio > maxRatio {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%s %-40s baseline %12.0f ns/op  fresh %12.0f ns/op  ratio %.2fx\n",
+			status, name, b.NsPerOp, f.NsPerOp, ratio)
+	}
+	if !ok {
+		fmt.Printf("benchjson: regression beyond %.1fx detected\n", maxRatio)
+	}
+	return ok, nil
+}

@@ -73,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		procName = fs.String("process", "c018", "process kit")
 		quiet    = fs.Bool("quiet", false, "suppress figure renditions; print records only")
 		htmlOut  = fs.Bool("html", false, "also write an HTML report with SVG figures to <out>/report.html")
+		workers  = fs.Int("workers", 0, "sweep-point parallelism; <=0 uses GOMAXPROCS, 1 forces serial (artifacts are byte-identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +82,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx := experiments.Context{Process: proc, Fast: *fast}
+	ctx := experiments.Context{Process: proc, Fast: *fast, Workers: *workers}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}

@@ -42,10 +42,11 @@ func (m *AlphaPower) Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64) {
 	if vov <= 0 {
 		return 0, 0, 0, 0
 	}
-	isat := m.B * math.Pow(vov, m.Alpha)              // saturation current sans CLM
-	disat := m.B * m.Alpha * math.Pow(vov, m.Alpha-1) // d isat / d vov
-	vdsat := m.Kv * math.Pow(vov, m.Alpha/2)
-	dvdsat := m.Kv * (m.Alpha / 2) * math.Pow(vov, m.Alpha/2-1)
+	pa, ph := alphaPowers(vov, m.Alpha)
+	isat := m.B * pa                  // saturation current sans CLM
+	disat := m.B * m.Alpha * pa / vov // d isat / d vov
+	vdsat := m.Kv * ph
+	dvdsat := m.Kv * (m.Alpha / 2) * ph / vov
 	clm := 1 + m.Lambda*vds
 
 	if vds >= vdsat {

@@ -65,6 +65,11 @@ func bodyVt(vt0, gamma, phi, vbs float64) (vt, dvtdvbs float64) {
 	if gamma == 0 {
 		return vt0, 0
 	}
+	if vbs == 0 && phi >= 1e-3 {
+		// Source tied to bulk (every rail-referenced driver): the two square
+		// roots cancel exactly, so compute just the derivative's.
+		return vt0, -gamma / (2 * math.Sqrt(phi))
+	}
 	arg := phi - vbs
 	const minArg = 1e-3
 	if arg < minArg {
@@ -89,6 +94,15 @@ func TriodeResistance(m Model, vgs, vbs float64) float64 {
 		return math.Inf(1)
 	}
 	return vds / id
+}
+
+// alphaPowers returns v^alpha and v^(alpha/2) for v > 0. The alpha-power
+// family needs four fractional powers of the same overdrive per Ids call;
+// sharing one Log/Exp pair and one Sqrt (the quotient forms v^(a-1) = v^a/v
+// cover the rest) removes math.Pow from the transient solver's profile.
+func alphaPowers(v, alpha float64) (pa, ph float64) {
+	pa = math.Exp(alpha * math.Log(v))
+	return pa, math.Sqrt(pa)
 }
 
 // softplus returns st*ln(1+exp(x/st)) and its derivative, a smooth max(x,0)

@@ -1,7 +1,5 @@
 package device
 
-import "math"
-
 // Reference is ssnkit's golden short-channel device — the stand-in for the
 // BSIM3 (HSPICE Level 49) transistors the paper validates against. It is an
 // alpha-power core augmented with the second-order effects that make real
@@ -55,10 +53,12 @@ func (m *Reference) Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64) {
 	if veff <= 0 {
 		return 0, 0, 0, 0
 	}
-	isat := m.B * math.Pow(veff, m.Alpha)
-	disat := m.B * m.Alpha * math.Pow(veff, m.Alpha-1)
-	vdsat := m.Kv * math.Pow(veff, m.Alpha/2)
-	dvdsat := m.Kv * (m.Alpha / 2) * math.Pow(veff, m.Alpha/2-1)
+	pa, ph := alphaPowers(veff, m.Alpha)
+	vinv := 1 / veff // shared reciprocal: the derivative terms all divide by veff
+	isat := m.B * pa
+	disat := m.B * m.Alpha * pa * vinv
+	vdsat := m.Kv * ph
+	dvdsat := m.Kv * (m.Alpha / 2) * ph * vinv
 	clm := 1 + m.Lambda*vds
 
 	var didveff float64
@@ -67,12 +67,13 @@ func (m *Reference) Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64) {
 		didveff = disat * clm
 		gds = isat * m.Lambda
 	} else {
-		u := vds / vdsat
+		dsinv := 1 / vdsat
+		u := vds * dsinv
 		f := u * (2 - u)
 		df := 2 - 2*u
 		id = isat * f * clm
-		gds = isat*df/vdsat*clm + isat*f*m.Lambda
-		didveff = disat*f*clm - isat*df*(vds/(vdsat*vdsat))*dvdsat*clm
+		gds = isat*df*dsinv*clm + isat*f*m.Lambda
+		didveff = disat*f*clm - isat*df*(vds*dsinv*dsinv)*dvdsat*clm
 	}
 	gm = didveff * dveff
 	gmbs = didveff * dveff * (-dvt)

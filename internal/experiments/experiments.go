@@ -24,6 +24,11 @@ type Context struct {
 	// Fast shrinks grids and simulation resolution for CI; headline
 	// comparisons still hold, error bands are evaluated more coarsely.
 	Fast bool
+	// Workers bounds the worker pool the sweep harnesses fan their
+	// simulation points out on: <= 0 uses GOMAXPROCS, 1 forces the serial
+	// order. Results are collected in input order either way, so the
+	// emitted artifacts are identical for any worker count.
+	Workers int
 }
 
 func (c Context) withDefaults() Context {

@@ -52,34 +52,44 @@ func Fig3(ctx Context) (*Fig3Result, error) {
 		step = cfg.Rise / 150
 	}
 	res := &Fig3Result{Process: cfg.Process, N: counts}
-	for _, n := range counts {
+	type point struct {
+		sim, thisWrk, vemuru, song float64
+	}
+	pts, err := parMap(c.Workers, counts, func(_ int, n int) (point, error) {
 		sc := cfg
 		sc.N = n
 		sim, err := driver.Simulate(sc, c.SimOpts, step, 0)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: N=%d: %w", n, err)
+			return point{}, fmt.Errorf("fig3: N=%d: %w", n, err)
 		}
-		simMax := sim.MaxSSNWithinRamp()
-		res.Sim = append(res.Sim, simMax)
+		pt := point{sim: sim.MaxSSNWithinRamp()}
 
 		p := ssnParams(sc, asdm)
 		lm, err := ssn.NewLModel(p)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: %w", err)
+			return point{}, fmt.Errorf("fig3: %w", err)
 		}
-		res.ThisWrk = append(res.ThisWrk, lm.VMax())
+		pt.thisWrk = lm.VMax()
 
 		in := ssn.BaselineInput{N: n, L: sc.Ground.L, Vdd: sc.Process.Vdd, Slope: sc.Slope()}
-		vem, err := ssn.VemuruMax(in, ap)
+		pt.vemuru, err = ssn.VemuruMax(in, ap)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: vemuru: %w", err)
+			return point{}, fmt.Errorf("fig3: vemuru: %w", err)
 		}
-		res.Vemuru = append(res.Vemuru, vem)
-		song, err := ssn.SongMax(in, ap)
+		pt.song, err = ssn.SongMax(in, ap)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: song: %w", err)
+			return point{}, fmt.Errorf("fig3: song: %w", err)
 		}
-		res.Song = append(res.Song, song)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		res.Sim = append(res.Sim, pt.sim)
+		res.ThisWrk = append(res.ThisWrk, pt.thisWrk)
+		res.Vemuru = append(res.Vemuru, pt.vemuru)
+		res.Song = append(res.Song, pt.song)
 	}
 	res.ErrThisWork = meanRelErr(res.ThisWrk, res.Sim)
 	res.ErrVemuru = meanRelErr(res.Vemuru, res.Sim)

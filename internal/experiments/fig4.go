@@ -81,29 +81,38 @@ func Fig4(ctx Context) (*Fig4Result, error) {
 			lm, _ := ssn.NewLModel(pRef)
 			return lm.VMax()
 		}()
-		for _, cap := range cs {
+		type point struct {
+			sim, lc float64
+			cse     ssn.Case
+		}
+		pts, err := parMap(c.Workers, cs, func(_ int, cap float64) (point, error) {
 			sc := base
 			sc.Ground = pkgmodel.GroundNet{Pads: cfg.gnd.Pads, L: cfg.gnd.L, C: cap}
 			sim, err := driver.Simulate(sc, c.SimOpts, step, 0)
 			if err != nil {
-				return nil, fmt.Errorf("fig4: %s C=%g: %w", cfg.label, cap, err)
+				return point{}, fmt.Errorf("fig4: %s C=%g: %w", cfg.label, cap, err)
 			}
 			p := ssnParams(sc, asdm)
 			m, err := ssn.NewLCModel(p)
 			if err != nil {
-				return nil, fmt.Errorf("fig4: %w", err)
+				return point{}, fmt.Errorf("fig4: %w", err)
 			}
 			// The closed forms model the ramp window; measure the
 			// simulation over the same window (for the peak case the first
 			// ring falls inside it anyway).
-			simMax := sim.MaxSSNWithinRamp()
-			pc.C = append(pc.C, cap)
-			pc.Sim = append(pc.Sim, simMax)
+			return point{sim: sim.MaxSSNWithinRamp(), lc: m.VMax(), cse: m.Case()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, pt := range pts {
+			pc.C = append(pc.C, cs[i])
+			pc.Sim = append(pc.Sim, pt.sim)
 			pc.LOnly = append(pc.LOnly, lOnly)
-			pc.LC = append(pc.LC, m.VMax())
-			pc.Case = append(pc.Case, m.Case())
-			pc.ErrL = append(pc.ErrL, math.Abs(lOnly-simMax)/simMax)
-			pc.ErrLC = append(pc.ErrLC, math.Abs(m.VMax()-simMax)/simMax)
+			pc.LC = append(pc.LC, pt.lc)
+			pc.Case = append(pc.Case, pt.cse)
+			pc.ErrL = append(pc.ErrL, math.Abs(lOnly-pt.sim)/pt.sim)
+			pc.ErrLC = append(pc.ErrLC, math.Abs(pt.lc-pt.sim)/pt.sim)
 		}
 		res.Cases = append(res.Cases, pc)
 	}

@@ -65,14 +65,14 @@ func Table1(ctx Context) (*Table1Result, error) {
 	}
 
 	res := &Table1Result{}
-	for _, sc := range scenarios {
+	rows, err := parMap(c.Workers, scenarios, func(_ int, sc scenario) (Table1Row, error) {
 		cfg := base
 		cfg.Ground = pkgmodel.GroundNet{Pads: cfg.Ground.Pads, L: cfg.Ground.L, C: sc.c}
 		cfg.Rise = base.Rise / sc.slope
 		p := ssnParams(cfg, asdm)
 		m, err := ssn.NewLCModel(p)
 		if err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", sc.name, err)
+			return Table1Row{}, fmt.Errorf("table1: %s: %w", sc.name, err)
 		}
 		// Dense sampling of the analytic waveform.
 		tr := p.TauRise()
@@ -84,14 +84,14 @@ func Table1(ctx Context) (*Table1Result, error) {
 		}
 		sim, err := driver.Simulate(cfg, c.SimOpts, step, 0)
 		if err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", sc.name, err)
+			return Table1Row{}, fmt.Errorf("table1: %s: %w", sc.name, err)
 		}
 		simMax := sim.MaxSSN
 		if m.Case() == ssn.UnderDampedBoundary || m.Case() == ssn.OverDamped || m.Case() == ssn.CriticallyDamped {
 			// These formulas model the ramp window only.
 			simMax = sim.MaxSSNWithinRamp()
 		}
-		row := Table1Row{
+		return Table1Row{
 			Scenario:   sc.name,
 			WantCase:   sc.want,
 			GotCase:    m.Case(),
@@ -100,9 +100,12 @@ func Table1(ctx Context) (*Table1Result, error) {
 			SimMax:     simMax,
 			SelfErr:    math.Abs(m.VMax()-sampled) / sampled,
 			SimErr:     math.Abs(m.VMax()-simMax) / simMax,
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

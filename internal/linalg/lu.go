@@ -10,20 +10,43 @@ import (
 // zero or numerically negligible.
 var ErrSingular = errors.New("linalg: matrix is singular to working precision")
 
+// Solver is the factor-then-solve contract the MNA engine programs against:
+// Factor captures A, Solve back-substitutes one right-hand side. Both the
+// dense LU and the SparseLU satisfy it, so the engine can pick a backend by
+// system size while the call sites stay identical.
+type Solver interface {
+	Factor(a *Matrix) error
+	Solve(b, x []float64) error
+}
+
 // LU holds an in-place LU factorization with partial pivoting: PA = LU.
 // The factorization buffer is reusable across Newton iterations — the MNA
 // solver refactorizes the same-size system thousands of times per transient.
 type LU struct {
 	n    int
-	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	buf  []float64 // owned factorization buffer (used by Factor)
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above); buf or a caller matrix
 	piv  []int
 	sign int
+	y    []float64 // solve scratch, so steady-state solves do not allocate
+	dinv []float64 // reciprocal U diagonal, so back substitution multiplies
+	tiny bool      // a pivot fell below safeMin; Solve divides instead
 }
 
 // NewLU prepares a factorization workspace for n x n systems.
 func NewLU(n int) *LU {
-	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n)}
+	buf := make([]float64, n*n)
+	return &LU{
+		n: n, buf: buf, lu: buf, piv: make([]int, n),
+		y: make([]float64, n), dinv: make([]float64, n),
+	}
 }
+
+// safeMin is the threshold below which a pivot reciprocal could overflow;
+// above it elimination multiplies by the reciprocal (one division per pivot
+// instead of one per row, the LAPACK dgetf2 strategy), below it each row
+// divides directly.
+const safeMin = 0x1p-1021
 
 // Factor computes the LU factorization of a. a is not modified. It returns
 // ErrSingular when a pivot underflows the singularity threshold.
@@ -32,8 +55,139 @@ func (f *LU) Factor(a *Matrix) error {
 	if a.Rows != n || a.Cols != n {
 		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
 	}
+	f.lu = f.buf
 	copy(f.lu, a.Data)
+	return f.factorize()
+}
+
+// FactorScratch factors a in place, destroying its contents, and keeps the
+// factorization aliased to a.Data until the next Factor/FactorScratch call.
+// For callers that restamp the matrix before every factorization anyway
+// (the Newton loop), this skips Factor's O(n^2) defensive copy.
+func (f *LU) FactorScratch(a *Matrix) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
+	}
+	f.lu = a.Data
+	return f.factorize()
+}
+
+// FactorSolveScratch factors a in place (like FactorScratch) while reducing
+// right-hand side b alongside the elimination, then back-substitutes into x.
+// The fused pass is bit-identical to FactorScratch followed by Solve — the
+// rhs reduction performs exactly the forward-substitution operations in the
+// same order — but it touches each multiplier while it is already in
+// registers and skips the permutation gather. The factorization stays valid
+// for further Solve calls. x must not alias a.Data; b is only read (unless
+// it aliases x).
+func (f *LU) FactorSolveScratch(a *Matrix, b, x []float64) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
+	}
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	f.lu = a.Data
 	f.sign = 1
+	f.tiny = false
+	lu := f.lu
+	w := x
+	copy(w, b)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		max := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk := lu[k*n : k*n+n]
+			rp := lu[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			w[k], w[p] = w[p], w[k]
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		rk := lu[k*n : k*n+n]
+		wk := w[k]
+		if max >= safeMin {
+			pinv := 1 / pivot
+			f.dinv[k] = pinv
+			for i := k + 1; i < n; i++ {
+				m := lu[i*n+k] * pinv
+				lu[i*n+k] = m
+				w[i] -= m * wk
+				if m == 0 {
+					continue
+				}
+				ri := lu[i*n : i*n+n]
+				for j := k + 1; j < n; j++ {
+					ri[j] -= m * rk[j]
+				}
+			}
+			continue
+		}
+		f.tiny = true
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			w[i] -= m * wk
+			if m == 0 {
+				continue
+			}
+			ri := lu[i*n : i*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	f.backSub(w)
+	return nil
+}
+
+// backSub performs the U back-substitution pass in place on y.
+func (f *LU) backSub(y []float64) {
+	n := f.n
+	lu := f.lu
+	if f.tiny {
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			row := lu[i*n+i+1 : i*n+n]
+			ys := y[i+1:]
+			for j, v := range row {
+				s -= v * ys[j]
+			}
+			y[i] = s / lu[i*n+i]
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		row := lu[i*n+i+1 : i*n+n]
+		ys := y[i+1:]
+		for j, v := range row {
+			s -= v * ys[j]
+		}
+		y[i] = s * f.dinv[i]
+	}
+}
+
+func (f *LU) factorize() error {
+	n := f.n
+	f.sign = 1
+	f.tiny = false
 	lu := f.lu
 	for i := range f.piv {
 		f.piv[i] = i
@@ -60,6 +214,24 @@ func (f *LU) Factor(a *Matrix) error {
 			f.sign = -f.sign
 		}
 		pivot := lu[k*n+k]
+		rk := lu[k*n : k*n+n]
+		if max >= safeMin {
+			pinv := 1 / pivot
+			f.dinv[k] = pinv
+			for i := k + 1; i < n; i++ {
+				m := lu[i*n+k] * pinv
+				lu[i*n+k] = m
+				if m == 0 {
+					continue
+				}
+				ri := lu[i*n : i*n+n]
+				for j := k + 1; j < n; j++ {
+					ri[j] -= m * rk[j]
+				}
+			}
+			continue
+		}
+		f.tiny = true
 		for i := k + 1; i < n; i++ {
 			m := lu[i*n+k] / pivot
 			lu[i*n+k] = m
@@ -67,7 +239,6 @@ func (f *LU) Factor(a *Matrix) error {
 				continue
 			}
 			ri := lu[i*n : i*n+n]
-			rk := lu[k*n : k*n+n]
 			for j := k + 1; j < n; j++ {
 				ri[j] -= m * rk[j]
 			}
@@ -83,30 +254,34 @@ func (f *LU) Solve(b, x []float64) error {
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
 	}
-	// Apply permutation: y = Pb.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		y[i] = b[f.piv[i]]
+	if n == 0 {
+		return nil
+	}
+	// Work in x directly unless it aliases b (the permutation gather would
+	// clobber entries of b not yet read).
+	y := x
+	if &x[0] == &b[0] {
+		y = f.y
 	}
 	lu := f.lu
-	// Forward substitution with unit-lower L.
+	// Permutation fused with forward substitution on unit-lower L.
+	y[0] = b[f.piv[0]]
 	for i := 1; i < n; i++ {
-		s := y[i]
+		s := b[f.piv[i]]
 		row := lu[i*n : i*n+i]
 		for j, v := range row {
 			s -= v * y[j]
 		}
 		y[i] = s
 	}
-	// Back substitution with U.
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for j := i + 1; j < n; j++ {
-			s -= lu[i*n+j] * y[j]
-		}
-		y[i] = s / lu[i*n+i]
+	// Back substitution with U. The diagonal reciprocals were computed at
+	// Factor time, so the dependency chain is multiply-latency rather than
+	// divide-latency; if any pivot was below safeMin the reciprocals are
+	// unusable and backSub divides.
+	f.backSub(y)
+	if &y[0] != &x[0] {
+		copy(x, y)
 	}
-	copy(x, y)
 	return nil
 }
 

@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSparse builds an n x n diagonally dominant matrix with about nnzPerRow
+// off-diagonal nonzeros per row — the shape MNA systems take.
+func randSparse(rng *rand.Rand, n, nnzPerRow int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for k := 0; k < nnzPerRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			a.Add(i, j, v)
+			sum += math.Abs(v)
+		}
+		a.Add(i, i, sum+1+rng.Float64())
+	}
+	return a
+}
+
+func solveBoth(t *testing.T, a *Matrix, b []float64) (xd, xs []float64) {
+	t.Helper()
+	n := a.Rows
+	dense := NewLU(n)
+	sparse := NewSparseLU(n)
+	if err := dense.Factor(a); err != nil {
+		t.Fatalf("dense Factor: %v", err)
+	}
+	if err := sparse.Factor(a); err != nil {
+		t.Fatalf("sparse Factor: %v", err)
+	}
+	xd = make([]float64, n)
+	xs = make([]float64, n)
+	if err := dense.Solve(b, xd); err != nil {
+		t.Fatalf("dense Solve: %v", err)
+	}
+	if err := sparse.Solve(b, xs); err != nil {
+		t.Fatalf("sparse Solve: %v", err)
+	}
+	return xd, xs
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		scale := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if scale < 1 {
+			scale = 1
+		}
+		if d := math.Abs(a[i]-b[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestSparseMatchesDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 16, 48, 96} {
+		for trial := 0; trial < 5; trial++ {
+			a := randSparse(rng, n, 4)
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			xd, xs := solveBoth(t, a, b)
+			if d := maxRelDiff(xd, xs); d > 1e-12 {
+				t.Fatalf("n=%d trial=%d: sparse deviates from dense by %g", n, trial, d)
+			}
+		}
+	}
+}
+
+func TestSparseMatchesDenseFull(t *testing.T) {
+	// Fully dense input exercises heavy fill-in during elimination.
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	a := NewMatrix(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			sum += math.Abs(v)
+		}
+		a.Set(i, i, sum+1)
+		b[i] = rng.NormFloat64()
+	}
+	xd, xs := solveBoth(t, a, b)
+	if d := maxRelDiff(xd, xs); d > 1e-12 {
+		t.Fatalf("dense-input cross-check deviates by %g", d)
+	}
+}
+
+func TestSparseNeedsPivoting(t *testing.T) {
+	// Zero diagonal forces a row exchange; a no-pivot elimination would fail.
+	a := NewMatrix(3, 3)
+	a.Set(0, 1, 2)
+	a.Set(0, 2, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 2, -1)
+	a.Set(2, 0, 1)
+	a.Set(2, 1, 1)
+	a.Set(2, 2, 3)
+	b := []float64{1, 2, 3}
+	xd, xs := solveBoth(t, a, b)
+	if d := maxRelDiff(xd, xs); d > 1e-12 {
+		t.Fatalf("pivoting cross-check deviates by %g", d)
+	}
+}
+
+func TestSparseSingular(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4) // row 1 = 2 * row 0
+	a.Set(2, 2, 1)
+	s := NewSparseLU(3)
+	if err := s.Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor(singular) = %v, want ErrSingular", err)
+	}
+	// An all-zero column must also report singular, not index out of range.
+	z := NewMatrix(2, 2)
+	z.Set(0, 0, 1)
+	z.Set(1, 0, 1)
+	if err := NewSparseLU(2).Factor(z); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor(zero column) = %v, want ErrSingular", err)
+	}
+}
+
+func TestSparseSolveAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	a := randSparse(rng, n, 3)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	s := NewSparseLU(n)
+	if err := s.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	if err := s.Solve(b, want); err != nil {
+		t.Fatal(err)
+	}
+	// x aliasing b must produce the same answer.
+	if err := s.Solve(b, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("aliased solve differs at %d: %g vs %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSparseReuseNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 32
+	a := randSparse(rng, n, 3)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	s := NewSparseLU(n)
+	// Warm up to size internal buffers.
+	if err := s.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := s.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Factor+Solve reuse allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestDenseSolveNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 16
+	a := randSparse(rng, n, 3)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	f := NewLU(n)
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("dense Factor+Solve allocates %v times per run, want 0", allocs)
+	}
+}
+
+// Solver interface compliance.
+var (
+	_ Solver = (*LU)(nil)
+	_ Solver = (*SparseLU)(nil)
+)

@@ -60,6 +60,7 @@ type DCSweepResult struct {
 // operating point at each step, with solution continuation between points.
 func (e *Engine) DCSweep(spec circuit.DCSpec) (*DCSweepResult, error) {
 	var target *vsrcStamp
+	var knownTarget *knownNode
 	for _, v := range e.vsrc {
 		if equalFold(v.name, spec.Source) {
 			target = v
@@ -67,19 +68,39 @@ func (e *Engine) DCSweep(spec circuit.DCSpec) (*DCSweepResult, error) {
 		}
 	}
 	if target == nil {
+		for _, k := range e.knowns {
+			if equalFold(k.name, spec.Source) {
+				knownTarget = k
+				break
+			}
+		}
+	}
+	if target == nil && knownTarget == nil {
 		return nil, fmt.Errorf("spice: .DC source %q not found", spec.Source)
 	}
 	if spec.Step <= 0 || spec.To < spec.From {
 		return nil, fmt.Errorf("spice: bad .DC range [%g:%g:%g]", spec.From, spec.Step, spec.To)
 	}
-	origWave := target.wave
-	defer func() { target.wave = origWave }()
+	setWave := func(w circuit.Source) {
+		if target != nil {
+			target.wave = w
+		} else {
+			knownTarget.wave = w
+		}
+	}
+	var origWave circuit.Source
+	if target != nil {
+		origWave = target.wave
+	} else {
+		origWave = knownTarget.wave
+	}
+	defer func() { setWave(origWave) }()
 
 	res := &DCSweepResult{Outputs: map[string][]float64{}}
 	n := int(math.Floor((spec.To-spec.From)/spec.Step+1e-9)) + 1
 	for k := 0; k < n; k++ {
 		val := spec.From + float64(k)*spec.Step
-		target.wave = circuit.DC(val)
+		setWave(circuit.DC(val))
 		if err := e.OperatingPoint(0); err != nil {
 			return nil, fmt.Errorf("spice: .DC at %s=%g: %w", spec.Source, val, err)
 		}
@@ -93,7 +114,7 @@ func (e *Engine) recordInto(out map[string][]float64) {
 	names := e.ckt.NodeNames()
 	for idx := 1; idx < len(names); idx++ {
 		key := "v(" + names[idx] + ")"
-		out[key] = append(out[key], e.x[idx-1])
+		out[key] = append(out[key], e.nodeV(e.x, idx))
 	}
 	for _, l := range e.inds {
 		key := "i(" + lower(l.name) + ")"
@@ -102,6 +123,10 @@ func (e *Engine) recordInto(out map[string][]float64) {
 	for _, v := range e.vsrc {
 		key := "i(" + lower(v.name) + ")"
 		out[key] = append(out[key], e.x[v.br])
+	}
+	for _, k := range e.knowns {
+		key := "i(" + lower(k.name) + ")"
+		out[key] = append(out[key], 0)
 	}
 }
 
@@ -122,9 +147,13 @@ func (e *Engine) Transient(spec circuit.TranSpec) (*waveform.Set, error) {
 			// Seed node voltages implied by grounded-capacitor ICs so the
 			// consistency solve below starts close to the answer.
 			if c.n2 == 0 && c.n1 != 0 {
-				e.x[c.n1-1] = c.ic
+				if s := e.slot[c.n1]; s >= 0 {
+					e.x[s] = c.ic
+				}
 			} else if c.n1 == 0 && c.n2 != 0 {
-				e.x[c.n2-1] = -c.ic
+				if s := e.slot[c.n2]; s >= 0 {
+					e.x[s] = -c.ic
+				}
 			}
 		}
 		for _, l := range e.inds {
@@ -132,7 +161,7 @@ func (e *Engine) Transient(spec circuit.TranSpec) (*waveform.Set, error) {
 			e.x[l.br] = l.ic
 		}
 		for node, v := range e.nodeICs {
-			e.x[node-1] = v
+			e.x[e.slot[node]] = v // SetNodeICs only admits unknown nodes
 		}
 		// Consistency solve: a backward-Euler micro-step pins capacitor
 		// voltages and inductor currents to their ICs while letting the
@@ -177,8 +206,21 @@ func (e *Engine) Transient(spec circuit.TranSpec) (*waveform.Set, error) {
 	// Breakpoints from all sources, restricted to the run window.
 	bps := e.breakpoints(spec.Start, spec.Stop)
 
-	times := []float64{spec.Start}
-	samples := [][]float64{e.snapshot()}
+	// Pre-size the result slices from the step grid (plus breakpoints and
+	// slack for halvings) and carve the per-step snapshots out of a chunked
+	// arena, so the accept path of the loop does not allocate.
+	est := int((spec.Stop-spec.Start)/spec.Step) + len(bps) + 8
+	if est < 16 {
+		est = 16
+	}
+	if est > 1<<20 {
+		est = 1 << 20
+	}
+	arena := sampleArena{per: e.nUnknown}
+	times := make([]float64, 1, est)
+	times[0] = spec.Start
+	samples := make([][]float64, 1, est)
+	samples[0] = arena.take(e.x)
 
 	t := spec.Start
 	h := spec.Step
@@ -192,7 +234,12 @@ func (e *Engine) Transient(spec circuit.TranSpec) (*waveform.Set, error) {
 		spec.Step = math.Min(spec.Step, td/2)
 	}
 
-	for t < spec.Stop-1e-18*spec.Stop {
+	// The 1e-12 relative guard (matching nearly()) ends the run when the
+	// remaining gap is accumulated round-off: integrating a sub-ULP-scale
+	// final step would put companion conductances near 1/eps and record one
+	// ill-conditioned garbage sample (or a duplicated time point under
+	// adaptive control).
+	for t < spec.Stop-1e-12*spec.Stop {
 		// Target the next time point, clipped to breakpoints and stop time.
 		hEff := math.Min(h, spec.Stop-t)
 		if bp, ok := nextBreak(bps, t); ok && t+hEff > bp {
@@ -240,7 +287,7 @@ func (e *Engine) Transient(spec circuit.TranSpec) (*waveform.Set, error) {
 		}
 		t += hEff
 		times = append(times, t)
-		samples = append(samples, e.snapshot())
+		samples = append(samples, arena.take(e.x))
 
 		// Breakpoint handling: if we landed exactly on one, consume it and
 		// restart integration with BE.
@@ -271,21 +318,26 @@ type reactiveSnapshot struct {
 	tlSrc  [][2]float64 // e1, e2 per line
 }
 
+// saveReactive fills the engine's rollback scratch and returns it. The
+// buffers are reused across calls (adaptiveStep saves once per step), so
+// steady-state stepping does not allocate.
 func (e *Engine) saveReactive() *reactiveSnapshot {
-	s := &reactiveSnapshot{x: make([]float64, len(e.x))}
-	copy(s.x, e.x)
-	s.caps = make([][2]float64, len(e.caps))
-	for i, c := range e.caps {
-		s.caps[i] = [2]float64{c.vOld, c.iOld}
+	s := &e.snap
+	s.x = append(s.x[:0], e.x...)
+	s.caps = s.caps[:0]
+	for _, c := range e.caps {
+		s.caps = append(s.caps, [2]float64{c.vOld, c.iOld})
 	}
-	s.inds = make([][2]float64, len(e.inds))
-	for i, l := range e.inds {
-		s.inds[i] = [2]float64{l.iOld, l.vOld}
+	s.inds = s.inds[:0]
+	for _, l := range e.inds {
+		s.inds = append(s.inds, [2]float64{l.iOld, l.vOld})
 	}
-	s.tlines = make([][]tlineSample, len(e.tlines))
-	s.tlSrc = make([][2]float64, len(e.tlines))
+	if len(s.tlines) != len(e.tlines) {
+		s.tlines = make([][]tlineSample, len(e.tlines))
+		s.tlSrc = make([][2]float64, len(e.tlines))
+	}
 	for i, tl := range e.tlines {
-		s.tlines[i] = append([]tlineSample(nil), tl.hist...)
+		s.tlines[i] = append(s.tlines[i][:0], tl.hist...)
 		s.tlSrc[i] = [2]float64{tl.e1, tl.e2}
 	}
 	return s
@@ -320,7 +372,7 @@ func (e *Engine) adaptiveStep(t, hWant float64) (h float64, accepted bool, err e
 			h /= 2
 			continue
 		}
-		xFull := make([]float64, len(e.x))
+		xFull := e.xFull
 		copy(xFull, e.x)
 		e.restoreReactive(snap)
 
@@ -364,13 +416,14 @@ func (e *Engine) adaptiveStep(t, hWant float64) (h float64, accepted bool, err e
 // updateStates advances the reactive element histories after an accepted
 // step of size h ending at time tNew.
 func (e *Engine) updateStates(tNew, h float64, wasBE bool) {
+	hinv := 1 / h // one division shared by every capacitor update
 	for _, c := range e.caps {
 		v := e.nodeV(e.x, c.n1) - e.nodeV(e.x, c.n2)
 		var i float64
 		if wasBE {
-			i = c.c / h * (v - c.vOld)
+			i = c.c * hinv * (v - c.vOld)
 		} else {
-			i = 2*c.c/h*(v-c.vOld) - c.iOld
+			i = 2*c.c*hinv*(v-c.vOld) - c.iOld
 		}
 		c.vOld, c.iOld = v, i
 	}
@@ -381,9 +434,24 @@ func (e *Engine) updateStates(tNew, h float64, wasBE bool) {
 	e.updateTLines(tNew)
 }
 
-func (e *Engine) snapshot() []float64 {
-	s := make([]float64, len(e.x))
-	copy(s, e.x)
+// sampleArena hands out per-step solution snapshots carved from chunked
+// backing arrays: one allocation covers many steps, and earlier snapshots
+// stay valid when a fresh chunk is started.
+type sampleArena struct {
+	per   int // floats per snapshot
+	chunk []float64
+}
+
+// arenaChunkSamples is how many snapshots each backing chunk holds.
+const arenaChunkSamples = 256
+
+func (a *sampleArena) take(x []float64) []float64 {
+	if len(a.chunk)+a.per > cap(a.chunk) {
+		a.chunk = make([]float64, 0, a.per*arenaChunkSamples)
+	}
+	s := a.chunk[len(a.chunk) : len(a.chunk)+a.per]
+	a.chunk = a.chunk[:len(a.chunk)+a.per]
+	copy(s, x)
 	return s
 }
 
@@ -398,7 +466,18 @@ func (e *Engine) wavesFrom(times []float64, samples [][]float64) (*waveform.Set,
 	}
 	names := e.ckt.NodeNames()
 	for idx := 1; idx < len(names); idx++ {
-		w, err := waveform.New("v("+names[idx]+")", times, col(idx-1))
+		var data []float64
+		if s := e.slot[idx]; s >= 0 {
+			data = col(s)
+		} else {
+			// Source-pinned node: its voltage is the source waveform itself.
+			k := e.knowns[-2-s]
+			data = make([]float64, len(times))
+			for i, t := range times {
+				data[i] = k.sign * k.wave.At(t)
+			}
+		}
+		w, err := waveform.New("v("+names[idx]+")", times, data)
 		if err != nil {
 			return nil, err
 		}
@@ -418,6 +497,13 @@ func (e *Engine) wavesFrom(times []float64, samples [][]float64) (*waveform.Set,
 		}
 		set.Add(w)
 	}
+	for _, k := range e.knowns {
+		w, err := waveform.New("i("+lower(k.name)+")", times, make([]float64, len(times)))
+		if err != nil {
+			return nil, err
+		}
+		set.Add(w)
+	}
 	return set, nil
 }
 
@@ -432,6 +518,9 @@ func (e *Engine) breakpoints(start, stop float64) []float64 {
 	}
 	for _, v := range e.vsrc {
 		add(v.wave)
+	}
+	for _, k := range e.knowns {
+		add(k.wave)
 	}
 	for _, s := range e.isrc {
 		add(s.wave)

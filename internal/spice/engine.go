@@ -81,6 +81,17 @@ const (
 	modeTR                  // trapezoidal with step h
 )
 
+// gPin is the stiff Norton conductance used to enforce .IC node voltages
+// during the UIC consistency solve — stronger than any companion
+// conductance the micro-step produces.
+const gPin = 1e8
+
+// sparseThreshold is the unknown count at/above which the engine factors
+// with the CSR sparse solver instead of dense LU. MNA rows hold O(1)
+// nonzeros, so the sparse elimination wins early; tests override this to
+// force one path or the other.
+var sparseThreshold = 40
+
 // compiled element states ---------------------------------------------------
 
 type resStamp struct {
@@ -115,11 +126,33 @@ type isrcStamp struct {
 	wave   circuit.Source
 }
 
+// knownNode is a node whose voltage is pinned exactly by a grounded voltage
+// source and eliminated from the unknown vector. A node qualifies when the
+// source is its only current-carrying connection — FET gates and bulks are
+// infinite-impedance in MNA, so a gate-drive node's KCL row contains nothing
+// but the source branch, forcing v(node) = wave and i(source) = 0
+// identically. Eliminating both unknowns shrinks every factorization.
+type knownNode struct {
+	node int
+	sign float64 // +1 when the live terminal is np, -1 when nn
+	wave circuit.Source
+	name string  // the eliminated source's name (for i() outputs and .DC)
+	val  float64 // sign * wave.At(t) * srcScale, refreshed per solve
+}
+
 type fetStamp struct {
 	d, g, s, b int
 	model      device.Model
 	pch        bool
 	name       string
+
+	// Linearization memo: Ids depends only on the terminal voltages, so
+	// when the iterate revisits a point (every step's first iteration
+	// re-linearizes at the previous step's converged solution) the cached
+	// stamps are bit-identical to a recompute.
+	cacheOK            bool
+	cVd, cVg, cVs, cVb float64
+	cID, cJG, cJD, cJB float64
 }
 
 type mutualStamp struct {
@@ -136,6 +169,14 @@ type Engine struct {
 	nNodes   int // including ground
 	nUnknown int
 
+	// Known-node elimination: slot maps a node index to its position in the
+	// unknown vector (>= 0), -1 for ground, or -2-k for the node pinned by
+	// knowns[k]. Node unknowns occupy slots [0, nodeUnknowns); branch
+	// currents follow.
+	slot         []int
+	nodeUnknowns int
+	knowns       []*knownNode
+
 	res    []*resStamp
 	caps   []*capStamp
 	inds   []*indStamp
@@ -145,16 +186,54 @@ type Engine struct {
 	muts   []*mutualStamp
 	tlines []*tlineStamp
 
-	g   *linalg.Matrix
-	rhs []float64
-	lu  *linalg.LU
-	x   []float64 // current solution [v1..v_{n-1}, branch currents]
+	g       *linalg.Matrix // working matrix: base copy plus FET companions
+	base    *linalg.Matrix // cached linear stamps for the current (h, mode) key
+	rhs     []float64
+	solver  linalg.Solver
+	denseLU *linalg.LU // non-nil when solver is the dense backend (devirtualized hot path)
+	x       []float64  // current solution [v1..v_{n-1}, branch currents]
+
+	// rhsLin caches the iterate-independent rhs contributions (reactive
+	// state and sources) for the duration of one Newton solve; rhsLinOK is
+	// cleared at each solve entry.
+	rhsLin   []float64
+	rhsLinOK bool
+
+	// Base-matrix cache key. The base holds every matrix entry that does
+	// not depend on the Newton iterate; it is restamped only when one of
+	// these changes.
+	baseH      float64
+	baseMode   integMode
+	baseGshunt float64
+	basePinICs bool
+	baseValid  bool
+
+	// Factorization reuse: matEpoch advances whenever the assembled matrix
+	// content can have changed (base rebuild or a FET re-linearization);
+	// facEpoch records the epoch the solver last factored. Matching epochs
+	// mean the held factorization is of a bit-identical matrix, so Factor
+	// is skipped — across timesteps for linear circuits, and on each
+	// step's first Newton iteration for FET circuits.
+	matEpoch uint64
+	facEpoch uint64
+	facValid bool
+
+	xOld, xNew []float64        // Newton scratch, hoisted out of solve
+	xFull      []float64        // adaptive-step scratch (full-step trial solution)
+	snap       reactiveSnapshot // adaptive-step rollback scratch
+
+	branchIdx map[string]int // inductor/vsource name -> branch unknown index
 
 	srcScale float64 // 1 normally; <1 during source stepping
 	gshunt   float64 // extra conductance to ground; >Gmin during gmin stepping
 
 	nodeICs map[int]float64 // .IC node voltages (node index -> V)
 	pinICs  bool            // true only during the UIC consistency solve
+
+	// refMode disables the base cache, factorization reuse and the linear
+	// single-solve shortcut, restoring the pre-optimization assemble/factor
+	// sequence. Equivalence tests use it as the reference path.
+	refMode bool
 }
 
 // New compiles a circuit into an engine. The circuit must Validate.
@@ -163,7 +242,85 @@ func New(ckt *circuit.Circuit, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("spice: %w", err)
 	}
 	e := &Engine{ckt: ckt, opts: opts.withDefaults(), nNodes: ckt.NumNodes(), srcScale: 1}
-	br := ckt.NumNodes() - 1 // next free unknown index
+	// Known-node pre-scan: count each node's current-carrying connections.
+	// FET gate and bulk terminals draw no current in MNA (the companion model
+	// stamps only the drain and source rows), so they do not count.
+	carrying := make([]int, e.nNodes)
+	mark := func(n int) {
+		if n > 0 && n < e.nNodes {
+			carrying[n]++
+		}
+	}
+	for _, el := range ckt.Elements {
+		switch c := el.(type) {
+		case *circuit.Resistor:
+			mark(c.N1)
+			mark(c.N2)
+		case *circuit.Capacitor:
+			mark(c.N1)
+			mark(c.N2)
+		case *circuit.Inductor:
+			mark(c.N1)
+			mark(c.N2)
+		case *circuit.VSource:
+			mark(c.Np)
+			mark(c.Nn)
+		case *circuit.ISource:
+			mark(c.Np)
+			mark(c.Nn)
+		case *circuit.MOSFET:
+			mark(c.D)
+			mark(c.S)
+		case *circuit.TLine:
+			mark(c.N1p)
+			mark(c.N1n)
+			mark(c.N2p)
+			mark(c.N2n)
+		}
+	}
+	// A grounded source whose live node has no other current-carrying
+	// connection pins that node exactly; eliminate node and branch.
+	e.slot = make([]int, e.nNodes)
+	for i := range e.slot {
+		e.slot[i] = -1
+	}
+	elim := map[*circuit.VSource]bool{}
+	for _, el := range ckt.Elements {
+		v, ok := el.(*circuit.VSource)
+		if !ok {
+			continue
+		}
+		var node int
+		var sign float64
+		switch {
+		case v.Nn == 0 && v.Np != 0:
+			node, sign = v.Np, 1
+		case v.Np == 0 && v.Nn != 0:
+			node, sign = v.Nn, -1
+		default:
+			continue
+		}
+		if carrying[node] != 1 || e.slot[node] != -1 {
+			continue
+		}
+		e.slot[node] = -2 - len(e.knowns)
+		e.knowns = append(e.knowns, &knownNode{node: node, sign: sign, wave: v.Wave, name: v.Name})
+		elim[v] = true
+	}
+	for n := 1; n < e.nNodes; n++ {
+		if e.slot[n] == -1 {
+			e.slot[n] = e.nodeUnknowns
+			e.nodeUnknowns++
+		}
+	}
+	br := e.nodeUnknowns // next free unknown index
+	// vsrcOrder preserves the element-order, first-name-wins precedence of
+	// the branch-name lookup across kept and eliminated sources.
+	type brName struct {
+		name string
+		br   int
+	}
+	var vsrcOrder []brName
 	for _, el := range ckt.Elements {
 		switch c := el.(type) {
 		case *circuit.Resistor:
@@ -174,7 +331,12 @@ func New(ckt *circuit.Circuit, opts Options) (*Engine, error) {
 			e.inds = append(e.inds, &indStamp{n1: c.N1, n2: c.N2, br: br, l: c.Henrys, ic: c.IC, name: c.Name})
 			br++
 		case *circuit.VSource:
+			if elim[c] {
+				vsrcOrder = append(vsrcOrder, brName{c.Name, -1})
+				continue
+			}
 			e.vsrc = append(e.vsrc, &vsrcStamp{np: c.Np, nn: c.Nn, br: br, wave: c.Wave, name: c.Name})
+			vsrcOrder = append(vsrcOrder, brName{c.Name, br})
 			br++
 		case *circuit.ISource:
 			e.isrc = append(e.isrc, &isrcStamp{np: c.Np, nn: c.Nn, wave: c.Wave})
@@ -213,35 +375,71 @@ func New(ckt *circuit.Circuit, opts Options) (*Engine, error) {
 	}
 	e.nUnknown = br
 	e.g = linalg.NewMatrix(br, br)
+	e.base = linalg.NewMatrix(br, br)
 	e.rhs = make([]float64, br)
-	e.lu = linalg.NewLU(br)
+	e.rhsLin = make([]float64, br)
+	if br >= sparseThreshold {
+		e.solver = linalg.NewSparseLU(br)
+	} else {
+		e.denseLU = linalg.NewLU(br)
+		e.solver = e.denseLU
+	}
 	e.x = make([]float64, br)
+	e.xOld = make([]float64, br)
+	e.xNew = make([]float64, br)
+	e.xFull = make([]float64, br)
+	// First name wins, inductors before sources: the same precedence the
+	// old linear scans had. Eliminated sources map to -1 (their current is
+	// identically zero).
+	e.branchIdx = make(map[string]int, len(e.inds)+len(vsrcOrder))
+	for _, l := range e.inds {
+		if _, ok := e.branchIdx[l.name]; !ok {
+			e.branchIdx[l.name] = l.br
+		}
+	}
+	for _, v := range vsrcOrder {
+		if _, ok := e.branchIdx[v.name]; !ok {
+			e.branchIdx[v.name] = v.br
+		}
+	}
 	e.gshunt = e.opts.Gmin
 	return e, nil
 }
 
-// vIdx maps a node index to its unknown index, or -1 for ground.
-func vIdx(node int) int { return node - 1 }
+// vIdx maps a node index to its unknown slot, or -1 when the node carries no
+// unknown (ground or a source-pinned known node).
+func (e *Engine) vIdx(node int) int {
+	if node <= 0 {
+		return -1
+	}
+	if s := e.slot[node]; s >= 0 {
+		return s
+	}
+	return -1
+}
 
 func (e *Engine) nodeV(x []float64, node int) float64 {
 	if node == 0 {
 		return 0
 	}
-	return x[node-1]
+	if s := e.slot[node]; s >= 0 {
+		return x[s]
+	}
+	return e.knowns[-2-e.slot[node]].val
 }
 
-// stampG adds conductance g between nodes n1 and n2.
-func (e *Engine) stampG(n1, n2 int, g float64) {
-	if i := vIdx(n1); i >= 0 {
-		e.g.Add(i, i, g)
-		if j := vIdx(n2); j >= 0 {
-			e.g.Add(i, j, -g)
+// stampG adds conductance g between nodes n1 and n2 into matrix m.
+func (e *Engine) stampG(m *linalg.Matrix, n1, n2 int, g float64) {
+	if i := e.vIdx(n1); i >= 0 {
+		m.Add(i, i, g)
+		if j := e.vIdx(n2); j >= 0 {
+			m.Add(i, j, -g)
 		}
 	}
-	if j := vIdx(n2); j >= 0 {
-		e.g.Add(j, j, g)
-		if i := vIdx(n1); i >= 0 {
-			e.g.Add(j, i, -g)
+	if j := e.vIdx(n2); j >= 0 {
+		m.Add(j, j, g)
+		if i := e.vIdx(n1); i >= 0 {
+			m.Add(j, i, -g)
 		}
 	}
 }
@@ -249,69 +447,71 @@ func (e *Engine) stampG(n1, n2 int, g float64) {
 // stampI adds a current ieq flowing from n1 to n2 *through the element* into
 // the right-hand side (i.e. it is extracted at n1 and injected at n2).
 func (e *Engine) stampI(n1, n2 int, ieq float64) {
-	if i := vIdx(n1); i >= 0 {
+	if i := e.vIdx(n1); i >= 0 {
 		e.rhs[i] -= ieq
 	}
-	if j := vIdx(n2); j >= 0 {
+	if j := e.vIdx(n2); j >= 0 {
 		e.rhs[j] += ieq
 	}
 }
 
-// assemble builds G and rhs for the given time, step and mode, linearized
-// around the iterate x.
-func (e *Engine) assemble(t, h float64, mode integMode, x []float64) {
-	e.g.Zero()
-	for i := range e.rhs {
-		e.rhs[i] = 0
+// ensureBase restamps the cached linear base matrix when the cache key
+// changes. The base holds every matrix entry that does not depend on the
+// Newton iterate or on time: element conductances, companion conductances
+// for the (h, mode) pair, branch incidence rows, mutual cross-terms,
+// transmission-line port conductances and the .IC pin conductances.
+// Rebuilding invalidates any factorization held by the solver.
+func (e *Engine) ensureBase(h float64, mode integMode) {
+	if e.baseValid && h == e.baseH && mode == e.baseMode &&
+		e.gshunt == e.baseGshunt && e.pinICs == e.basePinICs {
+		return
 	}
+	b := e.base
+	b.Zero()
 	// Shunt conductance to ground on every node: keeps floating nodes (gate
 	// networks, open capacitors in DC) nonsingular.
 	for n := 1; n < e.nNodes; n++ {
-		e.g.Add(n-1, n-1, e.gshunt)
+		if i := e.vIdx(n); i >= 0 {
+			b.Add(i, i, e.gshunt)
+		}
 	}
 	for _, r := range e.res {
-		e.stampG(r.n1, r.n2, r.g)
+		e.stampG(b, r.n1, r.n2, r.g)
 	}
 	for _, c := range e.caps {
 		switch mode {
 		case modeDC:
 			// open circuit: nothing to stamp
 		case modeBE:
-			geq := c.c / h
-			e.stampG(c.n1, c.n2, geq)
-			e.stampI(c.n1, c.n2, -geq*c.vOld)
+			e.stampG(b, c.n1, c.n2, c.c/h)
 		case modeTR:
-			geq := 2 * c.c / h
-			e.stampG(c.n1, c.n2, geq)
-			e.stampI(c.n1, c.n2, -(geq*c.vOld + c.iOld))
+			e.stampG(b, c.n1, c.n2, 2*c.c/h)
 		}
 	}
 	for _, l := range e.inds {
 		// Branch current column: current leaves n1, enters n2.
-		if i := vIdx(l.n1); i >= 0 {
-			e.g.Add(i, l.br, 1)
+		if i := e.vIdx(l.n1); i >= 0 {
+			b.Add(i, l.br, 1)
 		}
-		if j := vIdx(l.n2); j >= 0 {
-			e.g.Add(j, l.br, -1)
+		if j := e.vIdx(l.n2); j >= 0 {
+			b.Add(j, l.br, -1)
 		}
 		// Branch voltage row.
-		if i := vIdx(l.n1); i >= 0 {
-			e.g.Add(l.br, i, 1)
+		if i := e.vIdx(l.n1); i >= 0 {
+			b.Add(l.br, i, 1)
 		}
-		if j := vIdx(l.n2); j >= 0 {
-			e.g.Add(l.br, j, -1)
+		if j := e.vIdx(l.n2); j >= 0 {
+			b.Add(l.br, j, -1)
 		}
 		switch mode {
 		case modeDC:
 			// Short circuit: v1 - v2 = 0; keep a tiny series resistance to
 			// avoid singular loops of shorts and sources.
-			e.g.Add(l.br, l.br, -1e-6)
+			b.Add(l.br, l.br, -1e-6)
 		case modeBE:
-			e.g.Add(l.br, l.br, -l.l/h)
-			e.rhs[l.br] = -l.l / h * l.iOld
+			b.Add(l.br, l.br, -l.l/h)
 		case modeTR:
-			e.g.Add(l.br, l.br, -2*l.l/h)
-			e.rhs[l.br] = -l.vOld - 2*l.l/h*l.iOld
+			b.Add(l.br, l.br, -2*l.l/h)
 		}
 	}
 	// Mutual coupling cross-terms between inductor branch rows. In DC the
@@ -320,54 +520,126 @@ func (e *Engine) assemble(t, h float64, mode integMode, x []float64) {
 		switch mode {
 		case modeBE:
 			mh := mu.m / h
-			e.g.Add(mu.a.br, mu.b.br, -mh)
-			e.g.Add(mu.b.br, mu.a.br, -mh)
-			e.rhs[mu.a.br] -= mh * mu.b.iOld
-			e.rhs[mu.b.br] -= mh * mu.a.iOld
+			b.Add(mu.a.br, mu.b.br, -mh)
+			b.Add(mu.b.br, mu.a.br, -mh)
 		case modeTR:
 			mh := 2 * mu.m / h
-			e.g.Add(mu.a.br, mu.b.br, -mh)
-			e.g.Add(mu.b.br, mu.a.br, -mh)
-			e.rhs[mu.a.br] -= mh * mu.b.iOld
-			e.rhs[mu.b.br] -= mh * mu.a.iOld
+			b.Add(mu.a.br, mu.b.br, -mh)
+			b.Add(mu.b.br, mu.a.br, -mh)
 		}
 	}
 	for _, v := range e.vsrc {
-		if i := vIdx(v.np); i >= 0 {
-			e.g.Add(i, v.br, 1)
+		if i := e.vIdx(v.np); i >= 0 {
+			b.Add(i, v.br, 1)
 		}
-		if j := vIdx(v.nn); j >= 0 {
-			e.g.Add(j, v.br, -1)
+		if j := e.vIdx(v.nn); j >= 0 {
+			b.Add(j, v.br, -1)
 		}
-		if i := vIdx(v.np); i >= 0 {
-			e.g.Add(v.br, i, 1)
+		if i := e.vIdx(v.np); i >= 0 {
+			b.Add(v.br, i, 1)
 		}
-		if j := vIdx(v.nn); j >= 0 {
-			e.g.Add(v.br, j, -1)
+		if j := e.vIdx(v.nn); j >= 0 {
+			b.Add(v.br, j, -1)
 		}
-		e.rhs[v.br] = v.wave.At(t) * e.srcScale
 	}
-	for _, s := range e.isrc {
-		e.stampI(s.np, s.nn, s.wave.At(t)*e.srcScale)
+	// Branin's method stamps a constant 1/Z0 across each port; only the
+	// injected currents vary with time, and those live in the RHS.
+	for _, tl := range e.tlines {
+		g0 := 1 / tl.z0
+		e.stampG(b, tl.n1p, tl.n1n, g0)
+		e.stampG(b, tl.n2p, tl.n2n, g0)
+	}
+	if e.pinICs {
+		for node := range e.nodeICs {
+			if i := e.vIdx(node); i >= 0 {
+				b.Add(i, i, gPin)
+			}
+		}
+	}
+	e.baseH, e.baseMode, e.baseGshunt, e.basePinICs = h, mode, e.gshunt, e.pinICs
+	e.baseValid = !e.refMode
+	e.matEpoch++
+}
+
+// assemble builds the MNA system for the given time, step and mode,
+// linearized around the iterate x, and returns the matrix to factor. The
+// linear part is served from the base cache; only the FET companion models
+// are restamped per iteration, on a copy of the base. The right-hand side
+// is rebuilt on every call (it carries the time-varying sources and the
+// companion-model history terms).
+func (e *Engine) assemble(t, h float64, mode integMode, x []float64) *linalg.Matrix {
+	e.ensureBase(h, mode)
+	a := e.base
+	if len(e.fets) > 0 {
+		copy(e.g.Data, e.base.Data)
+		a = e.g
+	}
+	rhs := e.rhs
+	if e.rhsLinOK && !e.refMode {
+		// The state- and source-driven contributions do not depend on the
+		// Newton iterate, so iterations after the first within one solve
+		// reuse the vector built on the first.
+		copy(rhs, e.rhsLin)
+	} else {
+		// Pinned node values are constant within one solve (same t, same
+		// source scale); refresh them alongside the linear rhs.
+		for _, k := range e.knowns {
+			k.val = k.sign * k.wave.At(t) * e.srcScale
+		}
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		for _, c := range e.caps {
+			switch mode {
+			case modeBE:
+				e.stampI(c.n1, c.n2, -c.c/h*c.vOld)
+			case modeTR:
+				e.stampI(c.n1, c.n2, -(2*c.c/h*c.vOld + c.iOld))
+			}
+		}
+		for _, l := range e.inds {
+			switch mode {
+			case modeBE:
+				rhs[l.br] = -l.l / h * l.iOld
+			case modeTR:
+				rhs[l.br] = -l.vOld - 2*l.l/h*l.iOld
+			}
+		}
+		for _, mu := range e.muts {
+			switch mode {
+			case modeBE:
+				mh := mu.m / h
+				rhs[mu.a.br] -= mh * mu.b.iOld
+				rhs[mu.b.br] -= mh * mu.a.iOld
+			case modeTR:
+				mh := 2 * mu.m / h
+				rhs[mu.a.br] -= mh * mu.b.iOld
+				rhs[mu.b.br] -= mh * mu.a.iOld
+			}
+		}
+		for _, v := range e.vsrc {
+			rhs[v.br] = v.wave.At(t) * e.srcScale
+		}
+		for _, s := range e.isrc {
+			e.stampI(s.np, s.nn, s.wave.At(t)*e.srcScale)
+		}
+		copy(e.rhsLin, rhs)
+		e.rhsLinOK = !e.refMode
 	}
 	for _, f := range e.fets {
 		e.stampFET(f, x)
 	}
 	for _, tl := range e.tlines {
-		e.stampTLine(tl, t, mode, x)
+		e.stampTLineRHS(tl, t, mode, x)
 	}
 	if e.pinICs {
-		// .IC enforcement during the UIC consistency solve: a stiff Norton
-		// pin to the requested voltage, stronger than any companion
-		// conductance the micro-step produces.
-		const gPin = 1e8
 		for node, v := range e.nodeICs {
-			if i := vIdx(node); i >= 0 {
-				e.g.Add(i, i, gPin)
-				e.rhs[i] += gPin * v
+			if i := e.vIdx(node); i >= 0 {
+				rhs[i] += gPin * v
 			}
 		}
 	}
+	return a
 }
 
 // SetNodeICs registers .IC initial node voltages (applied at the start of a
@@ -387,6 +659,10 @@ func (e *Engine) SetNodeICs(ics map[string]float64) error {
 		if idx == 0 {
 			return fmt.Errorf("spice: .IC cannot set the ground node")
 		}
+		if e.slot[idx] < 0 {
+			return fmt.Errorf("spice: .IC cannot set node %q, it is pinned by source %s",
+				name, e.knowns[-2-e.slot[idx]].name)
+		}
 		e.nodeICs[idx] = v
 	}
 	return nil
@@ -402,34 +678,46 @@ func (e *Engine) stampFET(f *fetStamp, x []float64) {
 	vb := e.nodeV(x, f.b)
 
 	var id, jg, jd, jb float64
-	if !f.pch {
-		i, gm, gds, gmbs := f.model.Ids(vg-vs, vd-vs, vb-vs)
-		id, jg, jd, jb = i, gm, gds, gmbs
+	if f.cacheOK && !e.refMode && vd == f.cVd && vg == f.cVg && vs == f.cVs && vb == f.cVb {
+		id, jg, jd, jb = f.cID, f.cJG, f.cJD, f.cJB
 	} else {
-		// P-channel: evaluate the mirrored N model; the drain->source
-		// current of the P device is the negative of the mirrored current,
-		// and the chain rule flips each partial twice, leaving jg, jd, jb
-		// equal to the N-model conductances.
-		i, gm, gds, gmbs := f.model.Ids(vs-vg, vs-vd, vs-vb)
-		id, jg, jd, jb = -i, gm, gds, gmbs
+		if !f.pch {
+			i, gm, gds, gmbs := f.model.Ids(vg-vs, vd-vs, vb-vs)
+			id, jg, jd, jb = i, gm, gds, gmbs
+		} else {
+			// P-channel: evaluate the mirrored N model; the drain->source
+			// current of the P device is the negative of the mirrored current,
+			// and the chain rule flips each partial twice, leaving jg, jd, jb
+			// equal to the N-model conductances.
+			i, gm, gds, gmbs := f.model.Ids(vs-vg, vs-vd, vs-vb)
+			id, jg, jd, jb = -i, gm, gds, gmbs
+		}
+		f.cacheOK = true
+		f.cVd, f.cVg, f.cVs, f.cVb = vd, vg, vs, vb
+		f.cID, f.cJG, f.cJD, f.cJB = id, jg, jd, jb
+		e.matEpoch++
 	}
 	js := -(jg + jd + jb)
 
-	// Conductance stamps: row d gets +partials, row s gets -partials.
+	// Conductance stamps: row d gets +partials, row s gets -partials. A
+	// column belonging to a source-pinned node is a constant contribution;
+	// it moves to the right-hand side with the known voltage.
+	addCol := func(i, node int, coef, v float64) {
+		if node == 0 {
+			return
+		}
+		if j := e.slot[node]; j >= 0 {
+			e.g.Add(i, j, coef)
+		} else {
+			e.rhs[i] -= coef * v
+		}
+	}
 	addRow := func(row int, sign float64) {
-		if i := vIdx(row); i >= 0 {
-			if j := vIdx(f.g); j >= 0 {
-				e.g.Add(i, j, sign*jg)
-			}
-			if j := vIdx(f.d); j >= 0 {
-				e.g.Add(i, j, sign*jd)
-			}
-			if j := vIdx(f.b); j >= 0 {
-				e.g.Add(i, j, sign*jb)
-			}
-			if j := vIdx(f.s); j >= 0 {
-				e.g.Add(i, j, sign*js)
-			}
+		if i := e.vIdx(row); i >= 0 {
+			addCol(i, f.g, sign*jg, vg)
+			addCol(i, f.d, sign*jd, vd)
+			addCol(i, f.b, sign*jb, vb)
+			addCol(i, f.s, sign*js, vs)
 		}
 	}
 	addRow(f.d, 1)
@@ -441,10 +729,14 @@ func (e *Engine) stampFET(f *fetStamp, x []float64) {
 // converged checks the NR update against the mixed relative/absolute
 // tolerances.
 func (e *Engine) converged(xNew, xOld []float64) bool {
-	nv := e.nNodes - 1
+	nv := e.nodeUnknowns
 	for i := range xNew {
 		diff := math.Abs(xNew[i] - xOld[i])
-		scale := math.Max(math.Abs(xNew[i]), math.Abs(xOld[i]))
+		an, ao := math.Abs(xNew[i]), math.Abs(xOld[i])
+		scale := an
+		if ao > an {
+			scale = ao
+		}
 		var atol float64
 		if i < nv {
 			atol = e.opts.VNTol
@@ -460,22 +752,68 @@ func (e *Engine) converged(xNew, xOld []float64) bool {
 
 // solve runs damped Newton-Raphson at time t with the given integration
 // mode, starting from and updating e.x.
+//
+// Circuits without FETs assemble a system that does not depend on the
+// iterate outside modeDC with transmission lines (whose DC relaxation
+// reads the iterate), so one factor-free Solve lands exactly on the fixed
+// point the iteration would reach: every iteration solves the identical
+// (G, rhs), damping only perturbs discarded intermediates, and the final
+// accepted iterate is the plain linear solution.
 func (e *Engine) solve(t, h float64, mode integMode) error {
-	xOld := make([]float64, e.nUnknown)
-	xNew := make([]float64, e.nUnknown)
+	xOld, xNew := e.xOld, e.xNew
 	copy(xOld, e.x)
+	e.rhsLinOK = false
+	linear := len(e.fets) == 0
+	fastLinear := linear && !e.refMode && (mode != modeDC || len(e.tlines) == 0)
 	for iter := 0; iter < e.opts.MaxNewton; iter++ {
-		e.assemble(t, h, mode, xOld)
-		if err := e.lu.Factor(e.g); err != nil {
-			return fmt.Errorf("spice: singular MNA matrix at t=%g: %w", t, err)
+		a := e.assemble(t, h, mode, xOld)
+		if e.refMode || !e.facValid || e.facEpoch != e.matEpoch {
+			var err error
+			if e.denseLU != nil && a == e.g {
+				// The working matrix is rebuilt from base on every assemble,
+				// so the fused factor+solve may destroy it in place.
+				err = e.denseLU.FactorSolveScratch(a, e.rhs, xNew)
+			} else {
+				if e.denseLU != nil {
+					err = e.denseLU.Factor(a)
+				} else {
+					err = e.solver.Factor(a)
+				}
+				if err == nil {
+					if e.denseLU != nil {
+						err = e.denseLU.Solve(e.rhs, xNew)
+					} else {
+						err = e.solver.Solve(e.rhs, xNew)
+					}
+					if err != nil {
+						return err
+					}
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("spice: singular MNA matrix at t=%g: %w", t, err)
+			}
+			e.facValid = !e.refMode
+			e.facEpoch = e.matEpoch
+		} else {
+			var err error
+			if e.denseLU != nil {
+				err = e.denseLU.Solve(e.rhs, xNew)
+			} else {
+				err = e.solver.Solve(e.rhs, xNew)
+			}
+			if err != nil {
+				return err
+			}
 		}
-		if err := e.lu.Solve(e.rhs, xNew); err != nil {
-			return err
+		if fastLinear {
+			copy(e.x, xNew)
+			return nil
 		}
 		// Damping: if the largest voltage update exceeds DampLimit, scale
 		// the whole update uniformly to preserve the Newton direction.
 		maxDv := 0.0
-		for i := 0; i < e.nNodes-1; i++ {
+		for i := 0; i < e.nodeUnknowns; i++ {
 			if d := math.Abs(xNew[i] - xOld[i]); d > maxDv {
 				maxDv = d
 			}
@@ -512,17 +850,14 @@ func (e *Engine) NodeVoltage(name string) (float64, error) {
 }
 
 // BranchCurrent returns the solved current of a named inductor or voltage
-// source.
+// source. The name-to-branch map is built once in New; the report path
+// calls this per output step.
 func (e *Engine) BranchCurrent(name string) (float64, error) {
-	for _, l := range e.inds {
-		if l.name == name {
-			return e.x[l.br], nil
+	if br, ok := e.branchIdx[name]; ok {
+		if br < 0 {
+			return 0, nil // eliminated source: its current is identically zero
 		}
-	}
-	for _, v := range e.vsrc {
-		if v.name == name {
-			return e.x[v.br], nil
-		}
+		return e.x[br], nil
 	}
 	return 0, fmt.Errorf("spice: no branch current for %q", name)
 }

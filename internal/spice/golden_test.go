@@ -1,0 +1,138 @@
+package spice
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/waveform"
+)
+
+// The golden equivalence suite pins the fast paths — cached base matrix,
+// factorization reuse, fused factor+solve, the linear single-solve shortcut,
+// known-node elimination and the sparse backend — against the reference
+// assemble/factor sequence (refMode) on every deck in testdata. The cache and
+// reuse paths replay bit-identical arithmetic, so they must agree to
+// round-off; the sparse backend eliminates in a different order and gets the
+// same 1e-12 band the ISSUE demands.
+const goldenTol = 1e-12
+
+func goldenDecks(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.cir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata decks found")
+	}
+	return paths
+}
+
+func runGoldenDeck(t *testing.T, path string, opts Options, ref bool) *waveform.Set {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if deck.Tran == nil {
+		t.Fatalf("%s: deck has no .tran", path)
+	}
+	eng, err := New(deck.Circuit, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	eng.refMode = ref
+	if err := eng.SetNodeICs(deck.NodeICs); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	set, err := eng.Transient(*deck.Tran)
+	if err != nil {
+		t.Fatalf("%s: transient (ref=%v): %v", path, ref, err)
+	}
+	return set
+}
+
+func diffSets(t *testing.T, label string, want, got *waveform.Set) {
+	t.Helper()
+	if len(got.Waves) != len(want.Waves) {
+		t.Fatalf("%s: waveform count %d, want %d", label, len(got.Waves), len(want.Waves))
+	}
+	for _, w := range want.Waves {
+		g := got.Get(w.Name)
+		if g == nil {
+			t.Fatalf("%s: missing waveform %s", label, w.Name)
+		}
+		if len(g.Times) != len(w.Times) {
+			t.Fatalf("%s: %s has %d samples, want %d", label, w.Name, len(g.Times), len(w.Times))
+		}
+		worst := 0.0
+		for i := range w.Values {
+			if w.Times[i] != g.Times[i] {
+				t.Fatalf("%s: %s time grid diverges at sample %d: %g vs %g",
+					label, w.Name, i, g.Times[i], w.Times[i])
+			}
+			d := math.Abs(g.Values[i]-w.Values[i]) / math.Max(1, math.Abs(w.Values[i]))
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > goldenTol {
+			t.Errorf("%s: %s deviates by %.3e (tol %g)", label, w.Name, worst, goldenTol)
+		}
+	}
+}
+
+// TestGoldenFastPathsMatchReference checks the optimized dense engine against
+// the reference path on every deck.
+func TestGoldenFastPathsMatchReference(t *testing.T) {
+	for _, path := range goldenDecks(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".cir")
+		t.Run(name, func(t *testing.T) {
+			ref := runGoldenDeck(t, path, Options{}, true)
+			opt := runGoldenDeck(t, path, Options{}, false)
+			diffSets(t, name, ref, opt)
+		})
+	}
+}
+
+// TestGoldenSparseMatchesReference forces the CSR backend onto every deck
+// (threshold 1) and checks it against the reference dense path.
+func TestGoldenSparseMatchesReference(t *testing.T) {
+	orig := sparseThreshold
+	defer func() { sparseThreshold = orig }()
+	for _, path := range goldenDecks(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".cir")
+		t.Run(name, func(t *testing.T) {
+			sparseThreshold = orig
+			ref := runGoldenDeck(t, path, Options{}, true)
+			sparseThreshold = 1
+			sparse := runGoldenDeck(t, path, Options{}, false)
+			diffSets(t, name, ref, sparse)
+		})
+	}
+}
+
+// TestGoldenAdaptiveMatchesReference runs the adaptive integrator on both
+// paths: the LTE accept/reject decisions depend on solved values, so matching
+// time grids and waveforms exercise the caches under step-size control too.
+func TestGoldenAdaptiveMatchesReference(t *testing.T) {
+	opts := Options{Adaptive: true}
+	for _, path := range []string{
+		filepath.Join("testdata", "rlc.cir"),
+		filepath.Join("testdata", "fetinv.cir"),
+	} {
+		name := "adaptive/" + strings.TrimSuffix(filepath.Base(path), ".cir")
+		ref := runGoldenDeck(t, path, opts, true)
+		opt := runGoldenDeck(t, path, opts, false)
+		diffSets(t, name, ref, opt)
+	}
+}

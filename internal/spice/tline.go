@@ -55,10 +55,12 @@ func (tl *tlineStamp) at(t float64) tlineSample {
 	}
 }
 
-// stampTLine adds the line's Norton companions for the solve at time t.
-// In DC mode the delayed waves are taken from the present iterate, which
-// relaxes toward the correct v1 = v2, i1 = -i2 steady state.
-func (e *Engine) stampTLine(tl *tlineStamp, t float64, mode integMode, x []float64) {
+// stampTLineRHS injects the line's Norton currents for the solve at time t.
+// The constant 1/Z0 port conductances are part of the cached base matrix
+// (see ensureBase); only these injections vary per solve. In DC mode the
+// delayed waves are taken from the present iterate, which relaxes toward
+// the correct v1 = v2, i1 = -i2 steady state.
+func (e *Engine) stampTLineRHS(tl *tlineStamp, t float64, mode integMode, x []float64) {
 	g0 := 1 / tl.z0
 	var s tlineSample
 	if mode == modeDC {
@@ -75,9 +77,7 @@ func (e *Engine) stampTLine(tl *tlineStamp, t float64, mode integMode, x []float
 	tl.e1 = s.v2 + tl.z0*s.i2
 	tl.e2 = s.v1 + tl.z0*s.i1
 
-	e.stampG(tl.n1p, tl.n1n, g0)
 	e.stampI(tl.n1p, tl.n1n, -tl.e1*g0)
-	e.stampG(tl.n2p, tl.n2n, g0)
 	e.stampI(tl.n2p, tl.n2n, -tl.e2*g0)
 }
 
