@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-points", "40", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "40 points, 40 pass, 0 fail") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+}
+
+func TestRunVerboseLogsEveryPoint(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-points", "5", "-v"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"#0 ", "#4 "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("verbose output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

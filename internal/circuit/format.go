@@ -174,6 +174,9 @@ func modelCard(name string, m device.Model, pol Polarity) (string, error) {
 	case *device.Reference:
 		return fmt.Sprintf(".model %s %s (level=3 b=%.9g vt0=%.9g alpha=%.9g kv=%.9g gamma=%.9g phi=%.9g lambda=%.9g subslope=%.9g)",
 			name, kind, d.B, d.Vt0, d.Alpha, d.Kv, d.Gamma, d.Phi, d.Lambda, d.SubSlope), nil
+	case *device.ASDMDevice:
+		return fmt.Sprintf(".model %s %s (level=4 k=%.9g v0=%.9g a=%.9g)",
+			name, kind, d.M.K, d.M.V0, d.M.A), nil
 	default:
 		return "", fmt.Errorf("device model type %T has no .MODEL form", m)
 	}

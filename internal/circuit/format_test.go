@@ -185,3 +185,29 @@ func relDiff(a, b float64) float64 {
 	}
 	return d / b
 }
+
+func TestFormatRoundTripASDMModel(t *testing.T) {
+	ckt := New("asdm deck")
+	ckt.AddV("vin", "g", "0", Ramp{V0: 0, V1: 1.8, Delay: 1e-10, Rise: 1e-9})
+	ckt.AddM("m1", "out", "g", "vssi", "0",
+		&device.ASDMDevice{M: device.ASDM{K: 3.2e-3, V0: 0.47, A: 1.31}}, NChannel)
+	cl := ckt.AddC("cl", "out", "0", 2e-12)
+	cl.IC = 1.8
+	ckt.AddL("lgnd", "vssi", "0", 5e-9)
+	deck := &Deck{Circuit: ckt, Tran: &TranSpec{Step: 2e-12, Stop: 1.2e-9, UseIC: true}}
+	back := reparse(t, deck)
+	m := back.Circuit.FindElement("m1").(*MOSFET)
+	asdm, ok := m.Model.(*device.ASDMDevice)
+	if !ok {
+		t.Fatalf("model after round trip is %T, want *device.ASDMDevice", m.Model)
+	}
+	if asdm.M.K != 3.2e-3 || asdm.M.V0 != 0.47 || asdm.M.A != 1.31 {
+		t.Errorf("ASDM params after round trip: %+v", asdm.M)
+	}
+	if back.Circuit.NodeName(m.B) != "0" {
+		t.Errorf("bulk node %q, want ground", back.Circuit.NodeName(m.B))
+	}
+	if back.Tran == nil || !back.Tran.UseIC {
+		t.Errorf("tran spec lost: %+v", back.Tran)
+	}
+}

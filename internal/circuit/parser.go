@@ -51,7 +51,7 @@ func errAt(line int, format string, args ...any) error {
 //	Vname n+ n- DC v | value | PWL(t v ...) | PULSE(v1 v2 td tr tf pw per) | RAMP(v0 v1 td tr)
 //	Iname n+ n- (same source forms)
 //	Mname d g s b modelname
-//	.MODEL name NMOS|PMOS (param=value ...)   params: LEVEL B KP VT0 ALPHA KV GAMMA PHI LAMBDA SUBSLOPE
+//	.MODEL name NMOS|PMOS (param=value ...)   params: LEVEL B KP VT0 ALPHA KV GAMMA PHI LAMBDA SUBSLOPE K V0 A
 //	Tname p1+ p1- p2+ p2- z0=<ohm> td=<s>     (ideal transmission line)
 //	Kname l1 l2 coefficient                   (coupled inductors)
 //	Xname node... subcktname                  (subcircuit instance)
@@ -565,8 +565,17 @@ func parseModel(toks []string, line int) (string, device.Model, Polarity, error)
 			Lambda:    get("lambda", 0.05),
 			SubSlope:  get("subslope", 0.045),
 		}
+	case 4:
+		mdl = &device.ASDMDevice{
+			ModelName: name,
+			M: device.ASDM{
+				K:  get("k", 1e-3),
+				V0: get("v0", 0.5),
+				A:  get("a", 1.3),
+			},
+		}
 	default:
-		return "", nil, NChannel, errAt(line, "unsupported model LEVEL=%d (1=square-law, 2=alpha-power, 3=reference)", level)
+		return "", nil, NChannel, errAt(line, "unsupported model LEVEL=%d (1=square-law, 2=alpha-power, 3=reference, 4=asdm)", level)
 	}
 	pol := NChannel
 	if kind == "pmos" {

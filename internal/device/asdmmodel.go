@@ -1,0 +1,52 @@
+package device
+
+// ASDMDevice lifts the paper's application-specific device model into a
+// circuit-level Model, so the transient engine can simulate the *exact*
+// device the closed forms assume. With an ASDMDevice in the driver array,
+// the analytic Table 1 maxima and the simulated bounce must agree to
+// numerical-integration accuracy — any larger disagreement is a bug in one
+// of the two paths. This is the foundation of the differential oracle
+// (internal/oracle): it separates "the formulas solve their own ODE
+// correctly" from "the ASDM approximates a real transistor well", which the
+// experiments (Fig. 3, Table 1) quantify separately against the golden
+// Reference device.
+//
+// The ASDM is written in ground-referenced terminal voltages,
+//
+//	Id = K * max(0, Vg - V0 - A*Vs),
+//
+// while Model.Ids receives source-referenced ones (vgs, vds, vbs) and never
+// sees Vs directly. The bulk terminal supplies it: oracle netlists wire the
+// bulk to the true ground node, so vbs = -Vs and
+//
+//	Id = K * max(0, vgs - V0 + (A-1)*vbs).
+//
+// A bulk tied anywhere else silently changes the modeled equation, so Build
+// code must use node "0" for the bulk of every ASDMDevice. The drain
+// voltage does not appear at all (gds = 0): the ASDM holds the drain in the
+// region where Id is drain-insensitive, which is also why the device never
+// source/drain-reverses like the physical models do.
+type ASDMDevice struct {
+	ModelName string
+	M         ASDM
+}
+
+// Name implements Model.
+func (d *ASDMDevice) Name() string {
+	if d.ModelName != "" {
+		return d.ModelName
+	}
+	return "asdm"
+}
+
+// Ids implements Model. The device is piecewise linear: constant
+// derivatives gm = K and gmbs = K*(A-1) while conducting, identically zero
+// in cutoff, so Newton iteration converges in one step away from the
+// cutoff corner.
+func (d *ASDMDevice) Ids(vgs, vds, vbs float64) (id, gm, gds, gmbs float64) {
+	drive := vgs - d.M.V0 + (d.M.A-1)*vbs
+	if drive <= 0 {
+		return 0, 0, 0, 0
+	}
+	return d.M.K * drive, d.M.K, 0, d.M.K * (d.M.A - 1)
+}

@@ -1,0 +1,75 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestASDMDeviceMatchesASDMWithGroundedBulk(t *testing.T) {
+	m := ASDM{K: 4e-3, V0: 0.5, A: 1.4}
+	dev := &ASDMDevice{M: m}
+	// Terminal voltages referenced to ground: gate vg, source vs, bulk 0.
+	for _, tc := range []struct{ vg, vs float64 }{
+		{0, 0}, {0.5, 0}, {1.2, 0}, {1.8, 0.2}, {1.0, 0.4}, {0.6, 0.3},
+	} {
+		want := m.Id(tc.vg, tc.vs)
+		id, _, _, _ := dev.Ids(tc.vg-tc.vs, 1.8-tc.vs, 0-tc.vs)
+		if math.Abs(id-want) > 1e-15 {
+			t.Errorf("Ids(vg=%g, vs=%g) = %g, want ASDM.Id = %g", tc.vg, tc.vs, id, want)
+		}
+	}
+}
+
+func TestASDMDeviceDrainInsensitive(t *testing.T) {
+	dev := &ASDMDevice{M: ASDM{K: 4e-3, V0: 0.5, A: 1.4}}
+	id1, _, gds, _ := dev.Ids(1.0, 1.8, -0.1)
+	id2, _, _, _ := dev.Ids(1.0, 0.05, -0.1)
+	id3, _, _, _ := dev.Ids(1.0, -0.7, -0.1)
+	if gds != 0 {
+		t.Errorf("gds = %g, want 0", gds)
+	}
+	if id1 != id2 || id1 != id3 {
+		t.Errorf("drain voltage leaked into Id: %g, %g, %g", id1, id2, id3)
+	}
+}
+
+func TestASDMDeviceDerivativesMatchFiniteDifference(t *testing.T) {
+	dev := &ASDMDevice{M: ASDM{K: 4e-3, V0: 0.5, A: 1.4}}
+	const h = 1e-7
+	vgs, vds, vbs := 0.9, 1.5, -0.2
+	id, gm, gds, gmbs := dev.Ids(vgs, vds, vbs)
+	if id <= 0 {
+		t.Fatal("device should conduct at this bias")
+	}
+	fd := func(f func(float64) float64, x float64) float64 {
+		return (f(x+h) - f(x-h)) / (2 * h)
+	}
+	gotGm := fd(func(x float64) float64 { i, _, _, _ := dev.Ids(x, vds, vbs); return i }, vgs)
+	gotGds := fd(func(x float64) float64 { i, _, _, _ := dev.Ids(vgs, x, vbs); return i }, vds)
+	gotGmbs := fd(func(x float64) float64 { i, _, _, _ := dev.Ids(vgs, vds, x); return i }, vbs)
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{{"gm", gm, gotGm}, {"gds", gds, gotGds}, {"gmbs", gmbs, gotGmbs}} {
+		if math.Abs(c.got-c.want) > 1e-6 {
+			t.Errorf("%s = %g, finite difference %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestASDMDeviceCutoff(t *testing.T) {
+	dev := &ASDMDevice{M: ASDM{K: 4e-3, V0: 0.5, A: 1.4}}
+	id, gm, gds, gmbs := dev.Ids(0.4, 1.8, 0)
+	if id != 0 || gm != 0 || gds != 0 || gmbs != 0 {
+		t.Errorf("cutoff leaks: id=%g gm=%g gds=%g gmbs=%g", id, gm, gds, gmbs)
+	}
+}
+
+func TestASDMDeviceName(t *testing.T) {
+	if n := (&ASDMDevice{}).Name(); n != "asdm" {
+		t.Errorf("default name %q", n)
+	}
+	if n := (&ASDMDevice{ModelName: "x"}).Name(); n != "x" {
+		t.Errorf("name %q, want x", n)
+	}
+}

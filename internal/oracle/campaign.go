@@ -1,0 +1,175 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ssnkit/internal/spice"
+	"ssnkit/internal/sweep"
+)
+
+// Config parameterizes a differential-verification campaign.
+type Config struct {
+	Points  int           // design points to check (default 500)
+	Seed    int64         // generator seed; same seed => same points, any worker count
+	Workers int           // concurrent checkers (default GOMAXPROCS)
+	Opts    spice.Options // transient-engine options (zero value = defaults)
+
+	// ReproDir, when non-empty, receives a shrunk .cir + .json repro pair
+	// for each disagreement (capped at maxRepros per run).
+	ReproDir string
+
+	// Gate optionally bounds campaign concurrency jointly with other
+	// subsystems (the sweep engine's semaphore satisfies it). Nil means
+	// unbounded beyond Workers.
+	Gate sweep.Gate
+}
+
+// maxRepros caps how many disagreements one campaign run shrinks and dumps;
+// past the first few, more dumps are noise, and shrinking is expensive.
+const maxRepros = 8
+
+// Report summarizes a campaign.
+type Report struct {
+	Points     int            // points checked
+	Passed     int            // inside their tolerance band
+	Failed     int            // outside the band: genuine disagreements
+	Errored    int            // infrastructure errors (build/convergence), not disagreements
+	CaseCounts map[string]int // checked points per Table 1 case
+	WorstRel   map[string]float64
+	Failures   []Result // the disagreements (and errors), index order
+	Dumped     []string // repro basenames written to Config.ReproDir
+}
+
+// OK reports whether the campaign found no disagreements and no errors.
+func (r *Report) OK() bool { return r.Failed == 0 && r.Errored == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle campaign: %d points, %d pass, %d fail, %d error\n",
+		r.Points, r.Passed, r.Failed, r.Errored)
+	names := make([]string, 0, len(r.CaseCounts))
+	for name := range r.CaseCounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-22s %5d points, worst rel err %.3g\n",
+			name, r.CaseCounts[name], r.WorstRel[name])
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  #%d %s\n", f.Index, f)
+	}
+	for _, d := range r.Dumped {
+		fmt.Fprintf(&b, "  repro: %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Run executes a seeded campaign: Points design points are generated
+// deterministically from Seed (point i is always the same, regardless of
+// Workers), each is checked differentially against the transient engine,
+// and disagreements are shrunk to minimal repros and dumped to ReproDir.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Points <= 0 {
+		cfg.Points = 500
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Points {
+		cfg.Workers = cfg.Points
+	}
+
+	results := make([]Result, cfg.Points)
+	var (
+		wg       sync.WaitGroup
+		gateErr  error
+		gateOnce sync.Once
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Index striping keeps the point->result mapping fixed for any
+			// worker count; determinism lives in Generate(seed, i).
+			for i := w; i < cfg.Points; i += cfg.Workers {
+				if ctx.Err() != nil {
+					return
+				}
+				if cfg.Gate != nil {
+					if err := cfg.Gate.Acquire(ctx); err != nil {
+						gateOnce.Do(func() { gateErr = err })
+						return
+					}
+				}
+				results[i] = checkIndex(cfg, i)
+				if cfg.Gate != nil {
+					cfg.Gate.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if gateErr != nil {
+		return nil, gateErr
+	}
+
+	rep := &Report{
+		Points:     cfg.Points,
+		CaseCounts: map[string]int{},
+		WorstRel:   map[string]float64{},
+	}
+	for _, res := range results {
+		switch {
+		case res.Err != nil:
+			rep.Errored++
+			rep.Failures = append(rep.Failures, res)
+		case res.Pass:
+			rep.Passed++
+		default:
+			rep.Failed++
+			rep.Failures = append(rep.Failures, res)
+		}
+		if res.Err == nil {
+			rep.CaseCounts[res.CaseName]++
+			rep.WorstRel[res.CaseName] = math.Max(rep.WorstRel[res.CaseName], res.RelErr)
+		}
+	}
+
+	// Shrink+dump serially: failures are rare, shrinking re-simulates, and
+	// deterministic dump order beats parallel speed here.
+	if cfg.ReproDir != "" {
+		for _, f := range rep.Failures {
+			if len(rep.Dumped) >= maxRepros || f.Err != nil {
+				break
+			}
+			small := Shrink(f.Point, cfg.Opts)
+			name, err := DumpRepro(cfg.ReproDir, fmt.Sprintf("campaign-seed%d-%d", cfg.Seed, f.Index), small, cfg.Opts)
+			if err != nil {
+				return rep, fmt.Errorf("oracle: dump repro for point %d: %w", f.Index, err)
+			}
+			rep.Dumped = append(rep.Dumped, name)
+		}
+	}
+	return rep, nil
+}
+
+// checkIndex generates and checks the i-th point of the campaign.
+func checkIndex(cfg Config, i int) Result {
+	pt, ok := Generate(cfg.Seed, i)
+	if !ok {
+		return Result{Index: i, Err: fmt.Errorf("oracle: generator exhausted retries at index %d", i)}
+	}
+	res := Check(pt, cfg.Opts)
+	res.Index = i
+	return res
+}

@@ -1,0 +1,175 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/spice"
+)
+
+// Shrink greedily reduces a disagreeing design point to a smaller one that
+// still disagrees: fewer drivers, degenerate knobs (C -> 0, a -> 1), and
+// rounded parameter values all make the eventual repro deck easier to read
+// and to replay by hand. Every candidate is re-Checked; a transformation is
+// kept only if the shrunk point still fails, so the returned point always
+// reproduces the disagreement (in the worst case it is pt unchanged).
+func Shrink(pt DesignPoint, opts spice.Options) DesignPoint {
+	fails := func(cand DesignPoint) bool {
+		res := Check(cand, opts)
+		return res.Err == nil && !res.Pass
+	}
+	if !fails(pt) {
+		// Not reproducibly failing (flaky infrastructure); nothing to do.
+		return pt
+	}
+
+	// Fewer drivers first: N=1 is the easiest deck to stare at. Binary
+	// descent, then linear for the last steps.
+	for pt.N > 1 {
+		cand := pt
+		cand.N = pt.N / 2
+		if !fails(cand) {
+			break
+		}
+		pt = cand
+	}
+	for pt.N > 1 {
+		cand := pt
+		cand.N--
+		if !fails(cand) {
+			break
+		}
+		pt = cand
+	}
+
+	// Degenerate knobs: drop the pad capacitance, neutralize the source
+	// sensitivity.
+	if pt.C != 0 {
+		cand := pt
+		cand.C = 0
+		if fails(cand) {
+			pt = cand
+		} else {
+			for i := 0; i < 8; i++ {
+				cand := pt
+				cand.C = pt.C / 2
+				if !fails(cand) {
+					break
+				}
+				pt = cand
+			}
+		}
+	}
+	if pt.A != 1 {
+		cand := pt
+		cand.A = 1
+		if fails(cand) {
+			pt = cand
+		}
+	}
+
+	// Round every float to 3 significant digits where the failure survives
+	// it: repro decks full of 17-digit literals are hostile to humans.
+	round := func(get func(*DesignPoint) *float64) {
+		cand := pt
+		f := get(&cand)
+		*f = roundSig(*f, 3)
+		if fails(cand) {
+			pt = cand
+		}
+	}
+	round(func(p *DesignPoint) *float64 { return &p.L })
+	round(func(p *DesignPoint) *float64 { return &p.C })
+	round(func(p *DesignPoint) *float64 { return &p.K })
+	round(func(p *DesignPoint) *float64 { return &p.V0 })
+	round(func(p *DesignPoint) *float64 { return &p.A })
+	round(func(p *DesignPoint) *float64 { return &p.Slope })
+	round(func(p *DesignPoint) *float64 { return &p.Vdd })
+	return pt
+}
+
+// roundSig rounds x to n significant decimal digits.
+func roundSig(x float64, n int) float64 {
+	if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	mag := math.Pow(10, float64(n-1)-math.Floor(math.Log10(math.Abs(x))))
+	return math.Round(x*mag) / mag
+}
+
+// reproFile is the JSON shape of a dumped repro: the design point plus the
+// checked outcome at dump time, so the regression test knows what the
+// disagreement looked like.
+type reproFile struct {
+	Comment string      `json:"comment,omitempty"`
+	Point   DesignPoint `json:"point"`
+	Result  struct {
+		CaseName string  `json:"case_name"`
+		Analytic float64 `json:"analytic"`
+		Sim      float64 `json:"sim"`
+		RelErr   float64 `json:"rel_err"`
+		Tol      float64 `json:"tol"`
+	} `json:"result"`
+}
+
+// DumpRepro writes the <name>.json design point + result and the matching
+// <name>.cir simulation deck into dir, creating it if needed, and returns
+// the basename. The .cir deck round-trips through circuit.Parse, so the
+// disagreement can be replayed with cmd/spicerun or any deck consumer.
+func DumpRepro(dir, name string, pt DesignPoint, opts spice.Options) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	res := Check(pt, opts)
+
+	var rf reproFile
+	if res.Pass {
+		rf.Comment = "ssnoracle curated regression point: agrees within tolerance"
+	} else {
+		rf.Comment = "ssnoracle repro: closed-form vs transient-engine disagreement"
+	}
+	rf.Point = pt
+	rf.Result.CaseName = res.CaseName
+	rf.Result.Analytic = res.Analytic
+	rf.Result.Sim = res.Sim
+	rf.Result.RelErr = res.RelErr
+	rf.Result.Tol = res.Tol
+	js, err := json.MarshalIndent(&rf, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(js, '\n'), 0o644); err != nil {
+		return "", err
+	}
+
+	deck, err := Deck(pt)
+	if err != nil {
+		return "", fmt.Errorf("oracle: deck for repro %s: %w", name, err)
+	}
+	var b strings.Builder
+	if err := circuit.Format(&b, deck); err != nil {
+		return "", fmt.Errorf("oracle: format repro %s: %w", name, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".cir"), []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// LoadRepro reads a <path>.json repro file back into its design point.
+func LoadRepro(path string) (DesignPoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	var rf reproFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return DesignPoint{}, fmt.Errorf("oracle: parse repro %s: %w", path, err)
+	}
+	return rf.Point, nil
+}
