@@ -6,9 +6,13 @@
 //	go test -run XX -bench Transient -benchtime=100x -count=3 . | benchjson -parse > new.json
 //
 // Repeated counts of the same benchmark collapse to the minimum ns/op (the
-// least-noise estimate). Check mode compares a freshly parsed file against a
-// committed baseline and exits nonzero when any shared benchmark runs slower
-// than maxRatio times its baseline:
+// least-noise estimate); allocs/op is recorded alongside when the benchmark
+// reports it (-benchmem or b.ReportAllocs). Check mode compares a freshly
+// parsed file against a committed baseline and exits nonzero when any shared
+// benchmark runs slower than maxRatio times its baseline, or — for baseline
+// entries carrying max_allocs_per_op — allocates more than that cap per op
+// (allocation counts are deterministic, so the cap gates exactly; 0 pins a
+// kernel to zero-allocation):
 //
 //	benchjson -check new.json -against BENCH_spice.json -max-ratio 2
 package main
@@ -25,10 +29,15 @@ import (
 )
 
 // Entry is one benchmark's record. SeedNsPerOp preserves the pre-optimization
-// number when the baseline documents a before/after pair.
+// number when the baseline documents a before/after pair. AllocsPerOp is
+// present when the benchmark reported allocations; MaxAllocsPerOp, set only
+// in committed baselines, makes -check fail when the fresh run allocates
+// more than the cap (0 = the benchmark must stay allocation-free).
 type Entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	SeedNsPerOp float64 `json:"seed_ns_per_op,omitempty"`
+	NsPerOp        float64  `json:"ns_per_op"`
+	SeedNsPerOp    float64  `json:"seed_ns_per_op,omitempty"`
+	AllocsPerOp    *float64 `json:"allocs_per_op,omitempty"`
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
 }
 
 // File is the schema shared by parsed output and the committed baseline.
@@ -71,12 +80,12 @@ func runParse() error {
 	out := File{Benchmarks: map[string]Entry{}}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		name, ns, ok := parseBenchLine(sc.Text())
+		name, ns, allocs, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
 		if e, seen := out.Benchmarks[name]; !seen || ns < e.NsPerOp {
-			out.Benchmarks[name] = Entry{NsPerOp: ns}
+			out.Benchmarks[name] = Entry{NsPerOp: ns, AllocsPerOp: allocs}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -90,15 +99,17 @@ func runParse() error {
 	return enc.Encode(out)
 }
 
-// parseBenchLine extracts (name, ns/op) from one `go test -bench` line, e.g.
+// parseBenchLine extracts (name, ns/op, allocs/op) from one `go test -bench`
+// line, e.g.
 //
 //	BenchmarkTransientRLC-4   100   368764 ns/op   120 B/op   3 allocs/op
 //
 // The -N GOMAXPROCS suffix is stripped so baselines transfer across runners.
-func parseBenchLine(line string) (string, float64, bool) {
+// The allocs pointer is nil when the line has no allocs/op column.
+func parseBenchLine(line string) (string, float64, *float64, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", 0, nil, false
 	}
 	name := fields[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -106,16 +117,25 @@ func parseBenchLine(line string) (string, float64, bool) {
 			name = name[:i]
 		}
 	}
+	ns, haveNs := 0.0, false
+	var allocs *float64
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return "", 0, false
-			}
-			return name, ns, true
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			ns, haveNs = v, true
+		case "allocs/op":
+			a := v
+			allocs = &a
 		}
 	}
-	return "", 0, false
+	if !haveNs {
+		return "", 0, nil, false
+	}
+	return name, ns, allocs, true
 }
 
 func readFile(path string) (*File, error) {
@@ -160,6 +180,21 @@ func runCheck(freshPath, basePath string, maxRatio float64) (bool, error) {
 		}
 		fmt.Printf("%s %-40s baseline %12.0f ns/op  fresh %12.0f ns/op  ratio %.2fx\n",
 			status, name, b.NsPerOp, f.NsPerOp, ratio)
+		if b.MaxAllocsPerOp != nil {
+			switch {
+			case f.AllocsPerOp == nil:
+				fmt.Printf("FAIL %-40s baseline caps allocs at %g/op but the fresh run reported none (run with -benchmem)\n",
+					name, *b.MaxAllocsPerOp)
+				ok = false
+			case *f.AllocsPerOp > *b.MaxAllocsPerOp:
+				fmt.Printf("FAIL %-40s allocs %g/op exceeds the %g/op cap\n",
+					name, *f.AllocsPerOp, *b.MaxAllocsPerOp)
+				ok = false
+			default:
+				fmt.Printf("ok   %-40s allocs %g/op within the %g/op cap\n",
+					name, *f.AllocsPerOp, *b.MaxAllocsPerOp)
+			}
+		}
 	}
 	if !ok {
 		fmt.Printf("benchjson: regression beyond %.1fx detected\n", maxRatio)

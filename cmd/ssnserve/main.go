@@ -12,6 +12,12 @@
 //	POST /v1/maxssn   POST /v1/waveform   POST /v1/sweep   POST /v1/montecarlo
 //	GET  /v1/jobs/{id}   GET /healthz   GET /metrics
 //
+// With -pprof, the diagnostics surface /debug/pprof/ (net/http/pprof) and
+// /debug/runtime (runtime/metrics snapshot) is also mounted. Profiles
+// expose heap contents and symbol names — pass -pprof only when the
+// listener is loopback or otherwise access-controlled, never on an
+// address facing untrusted clients.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, then
 // in-flight jobs drain for up to -drain before being cancelled.
 package main
@@ -51,6 +57,8 @@ func parseConfig(args []string) (serve.Config, time.Duration, error) {
 		maxJobs  = fs.Int("max-jobs", 1024, "retained async job records")
 		maxSweep = fs.Int("max-sweep-points", 1_000_000, "max grid points per /v1/sweep")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		pprof    = fs.Bool("pprof", false,
+			"mount /debug/pprof/ and /debug/runtime (diagnostics; loopback listeners only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return serve.Config{}, 0, err
@@ -67,6 +75,7 @@ func parseConfig(args []string) (serve.Config, time.Duration, error) {
 		MaxBodyBytes:   *maxBody,
 		MaxJobs:        *maxJobs,
 		MaxSweepPoints: *maxSweep,
+		EnablePprof:    *pprof,
 	}
 	return cfg, *drain, nil
 }

@@ -222,7 +222,9 @@ func run(args []string, out io.Writer) error {
 			// error (the HTTP endpoint reports per-point errors in place).
 			return fmt.Errorf("%s: %w", describePoint(axes, pt.Values), pt.Err)
 		}
-		rw := row{vals: pt.Values, vmax: pt.VMax, cse: pt.Case, simMax: math.NaN(), depth: pt.Depth}
+		// pt.Values is backed by a pooled chunk buffer and only valid for
+		// the duration of this call; the row outlives it, so copy.
+		rw := row{vals: append([]float64(nil), pt.Values...), vmax: pt.VMax, cse: pt.Case, simMax: math.NaN(), depth: pt.Depth}
 		if *verify {
 			size := r.Size
 			if sizeIdx >= 0 {

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"ssnkit/internal/spice"
+	"ssnkit/internal/ssn"
 	"ssnkit/internal/sweep"
 )
 
@@ -97,7 +98,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			// Index striping keeps the point->result mapping fixed for any
-			// worker count; determinism lives in Generate(seed, i).
+			// worker count; determinism lives in Generate(seed, i). The Plan
+			// is the worker's reusable analytic evaluator (see checkWith).
+			var pl ssn.Plan
 			for i := w; i < cfg.Points; i += cfg.Workers {
 				if ctx.Err() != nil {
 					return
@@ -108,7 +111,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 						return
 					}
 				}
-				results[i] = checkIndex(cfg, i)
+				results[i] = checkIndex(&pl, cfg, i)
 				if cfg.Gate != nil {
 					cfg.Gate.Release()
 				}
@@ -163,13 +166,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// checkIndex generates and checks the i-th point of the campaign.
-func checkIndex(cfg Config, i int) Result {
+// checkIndex generates and checks the i-th point of the campaign with the
+// worker's reusable Plan.
+func checkIndex(pl *ssn.Plan, cfg Config, i int) Result {
 	pt, ok := Generate(cfg.Seed, i)
 	if !ok {
 		return Result{Index: i, Err: fmt.Errorf("oracle: generator exhausted retries at index %d", i)}
 	}
-	res := Check(pt, cfg.Opts)
+	res := checkWith(pl, pt, cfg.Opts)
 	res.Index = i
 	return res
 }

@@ -131,16 +131,25 @@ func (r Result) String() string {
 // against the per-case tolerance band. A zero opts uses the engine
 // defaults (fixed-step trapezoidal integration).
 func Check(pt DesignPoint, opts spice.Options) Result {
+	var pl ssn.Plan
+	return checkWith(&pl, pt, opts)
+}
+
+// checkWith is Check with a caller-owned Plan for the analytic side.
+// Compile with PlanFixed validates exactly like the model constructor and
+// produces bitwise-identical Table 1 answers, so campaign workers reuse
+// one Plan across their stripe of points instead of allocating a model
+// per check — the analytic half of the comparison stays off the heap.
+func checkWith(pl *ssn.Plan, pt DesignPoint, opts spice.Options) Result {
 	res := Result{Point: pt}
-	m, err := ssn.NewLCModel(pt.Params())
-	if err != nil {
+	if err := pl.Compile(pt.Params(), ssn.PlanFixed); err != nil {
 		res.Err = err
 		return res
 	}
-	res.Case = m.Case()
-	res.CaseName = m.Case().String()
-	res.Analytic = m.VMax()
-	res.Tol = Tolerance(m.Case())
+	res.Case = pl.Case()
+	res.CaseName = pl.Case().String()
+	res.Analytic = pl.VMax()
+	res.Tol = Tolerance(pl.Case())
 
 	sim, steps, err := Simulate(pt, opts)
 	if err != nil {

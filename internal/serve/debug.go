@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+)
+
+// mountDebug attaches the opt-in diagnostics surface: the standard
+// net/http/pprof handlers under /debug/pprof/ and a runtime/metrics
+// snapshot under /debug/runtime. Gated behind Config.EnablePprof because
+// profiles expose heap contents, symbol names and build paths — this
+// surface is for loopback or otherwise access-controlled listeners, never
+// one facing untrusted clients.
+func (s *Server) mountDebug() {
+	// pprof.Index also routes the named profiles (heap, goroutine, block,
+	// mutex, allocs, threadcreate) under the /debug/pprof/ subtree.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("GET /debug/runtime", s.handleRuntime)
+}
+
+// handleRuntime serves GET /debug/runtime: a point-in-time snapshot of
+// every scalar runtime/metrics value as a flat JSON object, metric name to
+// value. Histogram-kind metrics are summarized by bucket counts being
+// omitted — scalar gauges (heap bytes, GC cycles, goroutines, scheduler
+// latencies' totals) are what a quick curl during an incident needs; full
+// distributions come from the pprof profiles next door.
+func (s *Server) handleRuntime(w http.ResponseWriter, r *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for _, smp := range samples {
+		switch smp.Value.Kind() {
+		case metrics.KindUint64:
+			out[smp.Name] = smp.Value.Uint64()
+		case metrics.KindFloat64:
+			out[smp.Name] = smp.Value.Float64()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestDebugEndpointsGated(t *testing.T) {
+	// Off by default: the diagnostics surface must not leak onto a
+	// production listener that did not ask for it.
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/runtime without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDebugEndpointsEnabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnablePprof: true})
+	resp, err := http.Get(ts.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/runtime: status %d", resp.StatusCode)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check two metrics that exist in every supported Go release.
+	for _, name := range []string{"/memory/classes/heap/objects:bytes", "/sched/goroutines:goroutines"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", resp2.StatusCode)
+	}
+	resp3, err := http.Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/goroutine: status %d", resp3.StatusCode)
+	}
+}

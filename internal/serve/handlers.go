@@ -66,17 +66,17 @@ func (s *Server) evalOne(index int, it EvalItem) EvalResult {
 		res.Error = toAPIError(err)
 		return res
 	}
-	m, err := ssn.NewLCModel(p)
+	vmax, cse, tmax, err := s.plans.Get(p)
 	if err != nil {
 		res.Error = toAPIError(err)
 		return res
 	}
-	res.VMax = m.VMax()
-	res.Case = m.Case().String()
-	res.CaseCode = int(m.Case())
+	res.VMax = vmax
+	res.Case = cse.String()
+	res.CaseCode = int(cse)
 	res.Beta = p.Beta()
 	res.Zeta = finiteOrNil(p.DampingRatio())
-	res.TMax = m.VMaxTime()
+	res.TMax = tmax
 	if it.Sensitivity {
 		sens, err := ssn.LCSensitivity(p, 0)
 		if err != nil {

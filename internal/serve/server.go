@@ -18,8 +18,9 @@
 // Internals: every unit of evaluation — a batch item, a Monte Carlo job —
 // runs through one bounded worker pool sized by GOMAXPROCS; ASDM
 // extraction (the expensive repeated step) is cached per process corner in
-// a mutex-guarded LRU; requests are validated against size and time limits
-// with structured JSON errors; shutdown drains in-flight jobs before
+// a sharded LRU, and compiled evaluation plans are memoized per parameter
+// point; requests are validated against size and time limits with
+// structured JSON errors; shutdown drains in-flight jobs before
 // cancelling them.
 package serve
 
@@ -44,6 +45,13 @@ type Config struct {
 	MaxJobs        int           // retained job records, default 1024
 	MaxMCSamples   int           // max Monte Carlo samples per job, default 10,000,000
 	MaxSweepPoints int           // max grid points per /v1/sweep, default 1,000,000
+	PlanCacheSize  int           // compiled-plan cache entries, default 4096
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ and a
+	// runtime/metrics snapshot under /debug/runtime. Profiles expose heap
+	// contents and symbol names; enable only on loopback or otherwise
+	// access-controlled listeners, never on one facing untrusted clients.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 1_000_000
 	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 4096
+	}
 	return c
 }
 
@@ -84,6 +95,7 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *ExtractCache
+	plans   *PlanCache
 	pool    *pool
 	jobs    *jobStore
 	mux     *http.ServeMux
@@ -100,6 +112,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: m,
 		cache:   NewExtractCache(cfg.CacheSize, m),
+		plans:   NewPlanCache(cfg.PlanCacheSize),
 		pool:    p,
 		jobs:    newJobStore(p, m, cfg.MaxJobs),
 		mux:     http.NewServeMux(),
@@ -116,6 +129,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	if cfg.EnablePprof {
+		s.mountDebug()
+	}
 	return s
 }
 

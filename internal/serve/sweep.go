@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"ssnkit/internal/device"
 	"ssnkit/internal/sweep"
@@ -155,11 +157,20 @@ func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiErr
 	return g, cfg, nil
 }
 
-// sweepRecord shapes one engine point for the wire: resolved values (the
-// rounded N, the extracted size) where available, raw axis values for
-// failed points.
-func sweepRecord(axes []sweep.Axis, pt sweep.Point) sweepPoint {
-	rec := sweepPoint{Values: make(map[string]float64, len(axes)), Depth: pt.Depth}
+// sweepRecordInto shapes one engine point for the wire into a reused
+// record: resolved values (the rounded N, the extracted size) where
+// available, raw axis values for failed points. Reuse matters at 10^5+
+// points per stream — the Values map keys are the axis names on every
+// point, so overwriting in place allocates nothing after the first call.
+func sweepRecordInto(rec *sweepPoint, axes []sweep.Axis, pt sweep.Point) {
+	if rec.Values == nil {
+		rec.Values = make(map[string]float64, len(axes))
+	}
+	rec.Depth = pt.Depth
+	rec.VMax = 0
+	rec.Case = ""
+	rec.CaseCode = 0
+	rec.Error = nil
 	for k, ax := range axes {
 		v := pt.Values[k]
 		if ax.Name == sweep.AxisN && pt.Err == nil {
@@ -169,17 +180,29 @@ func sweepRecord(axes []sweep.Axis, pt sweep.Point) sweepPoint {
 	}
 	if pt.Err != nil {
 		rec.Error = toAPIError(pt.Err)
-		return rec
+		return
 	}
 	rec.VMax = pt.VMax
 	rec.Case = pt.Case.String()
 	rec.CaseCode = int(pt.Case)
-	return rec
 }
 
 // sweepFlushEvery bounds how many NDJSON lines may buffer before a flush:
 // clients observe progress incrementally without a per-line syscall.
 const sweepFlushEvery = 64
+
+// sweepBufPool recycles NDJSON encode buffers across sweep requests.
+// Records are encoded into a pooled bytes.Buffer and written to the
+// connection once per sweepFlushEvery lines, so the per-point cost is a
+// JSON encode into memory, not a ResponseWriter round trip.
+var sweepBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// sweepBufMaxRetain caps the capacity of a buffer returned to the pool; a
+// stream of pathologically wide records must not pin its high-water mark
+// for the life of the process.
+const sweepBufMaxRetain = 1 << 16
 
 // handleSweep serves POST /v1/sweep: a chunked multi-axis grid sweep
 // streamed as NDJSON, one record per point, with per-point errors in
@@ -202,16 +225,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	buf := sweepBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= sweepBufMaxRetain {
+			sweepBufPool.Put(buf)
+		}
+	}()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
+	var rec sweepPoint
 	lines := 0
 	sink := func(pt sweep.Point) error {
-		if err := enc.Encode(sweepRecord(g.Axes, pt)); err != nil {
+		sweepRecordInto(&rec, g.Axes, pt)
+		if err := enc.Encode(&rec); err != nil {
 			return err
 		}
 		lines++
-		if flusher != nil && lines%sweepFlushEvery == 0 {
-			flusher.Flush()
+		if lines%sweepFlushEvery == 0 {
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return err
+			}
+			buf.Reset()
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		return nil
 	}
@@ -229,6 +267,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Workers: stats.Workers,
 		}})
 	}
+	_, _ = w.Write(buf.Bytes()) // drain the partial batch + terminal record
+	buf.Reset()
 	if flusher != nil {
 		flusher.Flush()
 	}

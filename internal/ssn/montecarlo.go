@@ -73,17 +73,22 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 		workers = n
 	}
 
-	// Deal the n samples into contiguous chunks, one per worker, each with
-	// its own seed-derived RNG stream. Merging worker results in worker
-	// order keeps every floating-point accumulation order fixed.
+	// Deal the n samples into contiguous ranges of one shared slab, one per
+	// worker, each with its own seed-derived RNG stream. Workers report by
+	// filling their index range in place — no per-sample values escape —
+	// and the slab concatenates results in worker order, which keeps every
+	// floating-point accumulation order fixed.
+	slab := make([]float64, n)
 	chunks := make([]mcChunk, workers)
 	base, extra := n/workers, n%workers
+	off := 0
 	for w := range chunks {
 		size := base
 		if w < extra {
 			size++
 		}
-		chunks[w].n = size
+		chunks[w].vals = slab[off : off+size : off+size]
+		off += size
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -102,9 +107,8 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 	}
 
 	res := &MCResult{Samples: n, Min: math.Inf(1), Max: math.Inf(-1), CaseCounts: map[Case]int{}}
-	vals := make([]float64, 0, n)
-	for _, c := range chunks {
-		vals = append(vals, c.vals...)
+	for i := range chunks {
+		c := &chunks[i]
 		res.Mean += c.sum
 		if c.min < res.Min {
 			res.Min = c.min
@@ -120,20 +124,20 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 	}
 	res.Mean /= float64(n)
 	ss := 0.0
-	for _, x := range vals {
+	for _, x := range slab {
 		d := x - res.Mean
 		ss += d * d
 	}
 	res.StdDev = math.Sqrt(ss / float64(n-1))
-	sort.Float64s(vals)
-	res.P95 = percentile(vals, 0.95)
-	res.P99 = percentile(vals, 0.99)
+	sort.Float64s(slab)
+	res.P95 = percentile(slab, 0.95)
+	res.P99 = percentile(slab, 0.99)
 	return res, nil
 }
 
-// mcChunk accumulates one worker's share of the samples.
+// mcChunk accumulates one worker's share of the samples. vals is the
+// worker's contiguous range of the shared result slab.
 type mcChunk struct {
-	n     int
 	vals  []float64
 	sum   float64
 	min   float64
@@ -141,12 +145,19 @@ type mcChunk struct {
 	cases [UnderDampedBoundary + 1]int
 }
 
+// mcCancelStride bounds how many draws a worker makes between context
+// polls; polling per draw costs a channel operation on the hot path.
+const mcCancelStride = 64
+
 // run draws the chunk's samples, redrawing unphysical tails like the
-// original serial loop. It returns early (with a short chunk) only when
-// the context is cancelled; the caller treats any cancellation as fatal.
+// original serial loop. Each accepted draw compiles the worker's Plan in
+// place: Compile's PlanFixed validity predicate is exactly Params.Validate,
+// so the accept/reject (and hence RNG) sequence matches the historical
+// Validate+MaxSSN pairing bit for bit — without MaxSSN's per-sample model
+// allocation. It returns early (with a short chunk) only when the context
+// is cancelled; the caller treats any cancellation as fatal.
 func (c *mcChunk) run(ctx context.Context, p Params, v Variation, seed uint64) {
 	rng := rand.New(rand.NewSource(int64(seed)))
-	c.vals = make([]float64, 0, c.n)
 	c.min, c.max = math.Inf(1), math.Inf(-1)
 	draw := func(nominal, sigma float64) float64 {
 		if sigma == 0 {
@@ -154,11 +165,15 @@ func (c *mcChunk) run(ctx context.Context, p Params, v Variation, seed uint64) {
 		}
 		return nominal * (1 + sigma*rng.NormFloat64())
 	}
-	for len(c.vals) < c.n {
-		select {
-		case <-ctx.Done():
-			return
-		default:
+	var pl Plan
+	filled := 0
+	for iter := 0; filled < len(c.vals); iter++ {
+		if iter%mcCancelStride == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
 		}
 		q := p
 		q.Dev.K = draw(p.Dev.K, v.K)
@@ -167,14 +182,12 @@ func (c *mcChunk) run(ctx context.Context, p Params, v Variation, seed uint64) {
 		q.L = draw(p.L, v.L)
 		q.C = draw(p.C, v.C)
 		q.Slope = draw(p.Slope, v.Slope)
-		if q.Validate() != nil {
+		if pl.Compile(q, PlanFixed) != nil {
 			continue // unphysical tail draw; retry
 		}
-		vm, cse, err := MaxSSN(q)
-		if err != nil {
-			continue
-		}
-		c.vals = append(c.vals, vm)
+		vm, cse := pl.VMax(), pl.Case()
+		c.vals[filled] = vm
+		filled++
 		c.cases[cse]++
 		c.sum += vm
 		if vm < c.min {

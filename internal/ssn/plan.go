@@ -1,0 +1,340 @@
+package ssn
+
+import "math"
+
+// PlanAxis names the single Params field a Plan's batch kernels vary.
+// PlanFixed compiles a fully resolved point (every invariant hoisted,
+// including the Table 1 case); the axis variants leave exactly one field
+// open and hoist everything that does not depend on it.
+type PlanAxis uint8
+
+// The compiled axis kinds. Each kernel re-derives only the terms its axis
+// invalidates (the per-axis invalidation mask, DESIGN.md §12):
+//
+//	PlanFixed      nothing varies: β, τr, damping and case all hoisted
+//	PlanAxisN      τr hoisted; β and the damping recomputed per point
+//	PlanAxisL      τr hoisted; β and the damping recomputed per point
+//	PlanAxisC      β and τr hoisted; only the damping split varies
+//	PlanAxisSlope  damping hoisted (σ, ω, roots are slope-free); β, τr
+//	               and the under-damped case split recomputed per point
+const (
+	PlanFixed PlanAxis = iota
+	PlanAxisN
+	PlanAxisL
+	PlanAxisC
+	PlanAxisSlope
+)
+
+// Plan is a compiled evaluation plan for the Table 1 closed forms: the
+// validated parameter point with every axis-independent derived quantity
+// hoisted, exposing batch kernels that evaluate structure-of-arrays inputs
+// with zero allocations. A Plan is the unit the hot consumers reuse — one
+// per grid run in the sweep engine, one skeleton per Monte Carlo worker,
+// one per design point in the oracle and the serve batch endpoint.
+//
+// Bitwise contract: every kernel produces results bit-for-bit identical to
+// the scalar LCModel/MaxSSN path. The kernels share the scalar path's code
+// (damping, tableCase, vAt, vmaxOf) and hoist only sub-expressions whose
+// evaluation order Go fixes identically in both paths, so no floating-point
+// operation is reordered. plan_test.go proves the property over seeded
+// points spanning all four cases.
+type Plan struct {
+	base Params
+	axis PlanAxis
+
+	// invariants; which are meaningful depends on axis (see PlanAxis)
+	beta float64
+	tauR float64
+	d    dampState
+	cse  Case
+	vmax float64
+
+	// PlanAxisSlope hoists: β = nlk·s and τr = dv/s
+	nlk float64 // N·L·K
+	dv  float64 // Vdd - V0
+
+	// PlanAxisC hoists: the sub-terms of damping() that do not involve C,
+	// factored so each per-point expression keeps the scalar path's exact
+	// operand order (see damping()).
+	nlka  float64 // N·L·K·a
+	nlka2 float64 // (N·L·K·a)², the discriminant offset and scale
+	band  float64 // critTol·(N·L·K·a)², the critical-damping band
+	fourL float64 // 4·L
+	twoL  float64 // 2·L
+	nka   float64 // N·K·a
+	c0l1  float64 // -1/(N·L·K·a), the C = 0 eigenvalue
+}
+
+// CompilePlan validates p and compiles a plan for the axis. When axis is
+// not PlanFixed, the corresponding field of p is exempt from validation
+// (the kernels take its values per point) and its base value is ignored.
+func CompilePlan(p Params, axis PlanAxis) (*Plan, error) {
+	pl := &Plan{}
+	if err := pl.Compile(p, axis); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// Compile re-compiles pl in place: the allocation-free core of CompilePlan
+// for callers that keep one Plan per worker and re-point it per run.
+//
+// For PlanFixed the validity predicate is exactly Params.Validate, so a
+// caller that previously paired Validate with MaxSSN (Monte Carlo redraw
+// loops) sees the identical accept/reject sequence.
+func (pl *Plan) Compile(p Params, axis PlanAxis) error {
+	chk := p
+	switch axis {
+	case PlanAxisN:
+		chk.N = 1
+	case PlanAxisL:
+		chk.L = 1
+	case PlanAxisC:
+		chk.C = 0
+	case PlanAxisSlope:
+		chk.Slope = 1
+	}
+	if err := chk.Validate(); err != nil {
+		return err
+	}
+	*pl = Plan{base: p, axis: axis}
+	switch axis {
+	case PlanFixed:
+		pl.beta = p.Beta()
+		pl.tauR = p.TauRise()
+		pl.d = damping(p)
+		pl.cse = tableCase(pl.d, pl.tauR)
+		pl.vmax = vmaxOf(pl.beta, pl.tauR, pl.d, pl.cse)
+	case PlanAxisN, PlanAxisL:
+		pl.tauR = p.TauRise()
+	case PlanAxisC:
+		pl.beta = p.Beta()
+		pl.tauR = p.TauRise()
+		pl.nlka = float64(p.N) * p.L * p.Dev.K * p.Dev.A
+		pl.nlka2 = pl.nlka * pl.nlka
+		pl.band = critTol * pl.nlka2
+		pl.fourL = 4 * p.L
+		pl.twoL = 2 * p.L
+		pl.nka = float64(p.N) * p.Dev.K * p.Dev.A
+		pl.c0l1 = -1 / pl.nlka
+	case PlanAxisSlope:
+		pl.d = damping(p)
+		pl.nlk = float64(p.N) * p.L * p.Dev.K
+		pl.dv = p.Vdd - p.Dev.V0
+	}
+	return nil
+}
+
+// Params returns the compiled base point.
+func (pl *Plan) Params() Params { return pl.base }
+
+// Axis returns the compiled axis kind.
+func (pl *Plan) Axis() PlanAxis { return pl.axis }
+
+// VMax returns the hoisted Table 1 maximum of a PlanFixed plan.
+func (pl *Plan) VMax() float64 { return pl.vmax }
+
+// Case returns the hoisted operating case of a PlanFixed plan.
+func (pl *Plan) Case() Case { return pl.cse }
+
+// VMaxTime returns the model time of the maximum of a PlanFixed plan:
+// τp = π/ω for the under-damped peak case, τr otherwise.
+func (pl *Plan) VMaxTime() float64 {
+	if pl.cse == UnderDampedPeak {
+		return math.Pi / pl.d.omega
+	}
+	return pl.tauR
+}
+
+// VMaxBatch evaluates the Table 1 maximum at each axis value, writing
+// dst[i] for values[i]. It is VMaxCaseBatch without the case output.
+func (pl *Plan) VMaxBatch(dst, values []float64) {
+	pl.VMaxCaseBatch(dst, nil, values)
+}
+
+// VMaxCaseBatch evaluates the Table 1 maximum and operating case at each
+// axis value: dst[i] and cases[i] for values[i]. cases may be nil; dst and
+// values must have equal length (and cases too when non-nil) or the kernel
+// panics. The kernel performs no validation and never allocates: each
+// value must satisfy the Params.Validate constraint of its axis field
+// (L > 0, C >= 0, Slope > 0; PlanAxisN values are rounded to the nearest
+// driver count and clamped to >= 1) — out-of-range values yield
+// unspecified numbers, not errors, exactly as the scalar formulas would.
+// For PlanFixed every element is the hoisted maximum and case.
+func (pl *Plan) VMaxCaseBatch(dst []float64, cases []Case, values []float64) {
+	if len(dst) != len(values) || (cases != nil && len(cases) != len(values)) {
+		panic("ssn: Plan batch length mismatch")
+	}
+	switch pl.axis {
+	case PlanFixed:
+		for i := range values {
+			dst[i] = pl.vmax
+		}
+		if cases != nil {
+			for i := range values {
+				cases[i] = pl.cse
+			}
+		}
+	case PlanAxisN:
+		pl.batchN(dst, cases, values)
+	case PlanAxisL:
+		pl.batchL(dst, cases, values)
+	case PlanAxisC:
+		pl.batchC(dst, cases, values)
+	case PlanAxisSlope:
+		pl.batchSlope(dst, cases, values)
+	}
+}
+
+// batchN varies the driver count. β and the damping both involve N, so
+// only τr is hoisted; the per-point work reuses the scalar helpers on a
+// mutated copy of the base point.
+func (pl *Plan) batchN(dst []float64, cases []Case, values []float64) {
+	q := pl.base
+	for i, v := range values {
+		n := int(math.Round(v))
+		if n < 1 {
+			n = 1
+		}
+		q.N = n
+		d := damping(q)
+		cse := tableCase(d, pl.tauR)
+		dst[i] = vmaxOf(q.Beta(), pl.tauR, d, cse)
+		if cases != nil {
+			cases[i] = cse
+		}
+	}
+}
+
+// batchL varies the ground inductance; like N it feeds both β and the
+// damping, so only τr survives hoisting.
+func (pl *Plan) batchL(dst []float64, cases []Case, values []float64) {
+	q := pl.base
+	for i, v := range values {
+		q.L = v
+		d := damping(q)
+		cse := tableCase(d, pl.tauR)
+		dst[i] = vmaxOf(q.Beta(), pl.tauR, d, cse)
+		if cases != nil {
+			cases[i] = cse
+		}
+	}
+}
+
+// batchC varies the pad capacitance: β and τr are C-free and hoisted, so
+// the per-point work is exactly the damping split with its C-free
+// sub-terms precomputed. Each expression mirrors damping() term for term
+// (left-associated products let 4·L·C hoist as (4·L)·C, and so on), which
+// is what keeps the output bitwise identical to the scalar path.
+func (pl *Plan) batchC(dst []float64, cases []Case, values []float64) {
+	dst = dst[:len(values)] // hoist the bounds check out of the loop
+	beta, tauR := pl.beta, pl.tauR
+	for i, c := range values {
+		// The damping split below already resolves the regime, so each
+		// branch calls the shared per-regime closed form directly instead
+		// of building a dampState for tableCase/vmaxOf to re-dispatch on.
+		var vm float64
+		var cse Case
+		if c == 0 {
+			cse = OverDamped
+			vm = vAtOver(beta, pl.c0l1, math.Inf(-1), tauR)
+		} else {
+			disc := pl.nlka2 - pl.fourL*c
+			switch {
+			case math.Abs(disc) <= pl.band:
+				cse = CriticallyDamped
+				vm = vAtCrit(beta, pl.nka/(2*c), tauR)
+			case disc > 0:
+				// σ is dead on the over-damped output path, so the kernel
+				// skips its division; the result is still bitwise equal to
+				// the scalar path, which computes but never reads it here.
+				root := math.Sqrt(disc)
+				l1 := (-pl.nlka + root) / (pl.twoL * c)
+				l2 := (-pl.nlka - root) / (pl.twoL * c)
+				cse = OverDamped
+				vm = vAtOver(beta, l1, l2, tauR)
+			default:
+				sigma := pl.nka / (2 * c)
+				omega := math.Sqrt(1/(pl.base.L*c) - sigma*sigma)
+				if math.Pi/omega <= tauR { // tableCase's under-damped split
+					cse = UnderDampedPeak
+					vm = vmaxPeak(beta, sigma, omega)
+				} else {
+					cse = UnderDampedBoundary
+					vm = vAtUnder(beta, sigma, omega, tauR)
+				}
+			}
+		}
+		dst[i] = vm
+		if cases != nil {
+			cases[i] = cse
+		}
+	}
+}
+
+// batchSlope varies the input edge rate. The damping is slope-free and
+// fully hoisted; per point only β = (N·L·K)·s, τr = (Vdd-V0)/s and the
+// under-damped case split (does the first ring fit the window?) move.
+func (pl *Plan) batchSlope(dst []float64, cases []Case, values []float64) {
+	dst = dst[:len(values)] // hoist the bounds check out of the loop
+	d := pl.d
+	switch d.kind {
+	case dampOver:
+		for i, s := range values {
+			dst[i] = vAtOver(pl.nlk*s, d.l1, d.l2, pl.dv/s)
+			if cases != nil {
+				cases[i] = OverDamped
+			}
+		}
+	case dampCrit:
+		for i, s := range values {
+			dst[i] = vAtCrit(pl.nlk*s, d.sigma, pl.dv/s)
+			if cases != nil {
+				cases[i] = CriticallyDamped
+			}
+		}
+	default:
+		// Under-damped: only the window split moves per point. τp = π/ω is
+		// the same division tableCase performs, hoisted (same operands,
+		// same bits).
+		tp := math.Pi / d.omega
+		for i, s := range values {
+			beta := pl.nlk * s
+			tauR := pl.dv / s
+			if tp <= tauR {
+				dst[i] = vmaxPeak(beta, d.sigma, d.omega)
+				if cases != nil {
+					cases[i] = UnderDampedPeak
+				}
+			} else {
+				dst[i] = vAtUnder(beta, d.sigma, d.omega, tauR)
+				if cases != nil {
+					cases[i] = UnderDampedBoundary
+				}
+			}
+		}
+	}
+}
+
+// WaveformInto samples the bounce waveform of a PlanFixed plan at the
+// model times ts, writing dst[i] = V(ts[i]) with LCModel.V's window
+// clamping (0 before turn-on, held at τr past the ramp). dst and ts must
+// have equal length. It allocates nothing and matches LCModel.V bitwise.
+func (pl *Plan) WaveformInto(dst, ts []float64) {
+	if pl.axis != PlanFixed {
+		panic("ssn: WaveformInto needs a PlanFixed plan")
+	}
+	if len(dst) != len(ts) {
+		panic("ssn: Plan batch length mismatch")
+	}
+	for i, tau := range ts {
+		if tau <= 0 {
+			dst[i] = 0
+			continue
+		}
+		if tau > pl.tauR {
+			tau = pl.tauR
+		}
+		dst[i] = vAt(pl.beta, pl.d, tau)
+	}
+}

@@ -1,0 +1,280 @@
+package ssn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randPlanParams draws a valid base point spanning the design space widely
+// enough that the four Table 1 cases all occur. Every fourth draw pins C
+// at the critical capacitance so the critically-damped band is exercised.
+func randPlanParams(rng *rand.Rand, round int) Params {
+	p := Params{
+		N:     1 + rng.Intn(128),
+		Vdd:   0.9 + 2.4*rng.Float64(),
+		Slope: math.Exp(math.Log(1e8) + rng.Float64()*math.Log(1e10/1e8)),
+		L:     math.Exp(math.Log(5e-11) + rng.Float64()*math.Log(1e-8/5e-11)),
+	}
+	p.Dev.K = 1e-3 * math.Exp(rng.Float64()*math.Log(20))
+	p.Dev.V0 = 0.2 + 0.5*rng.Float64()
+	p.Dev.A = 0.5 + 1.5*rng.Float64()
+	switch round % 4 {
+	case 0:
+		p.C = p.CriticalCapacitance()
+	case 1:
+		p.C = 0
+	default:
+		p.C = math.Exp(math.Log(1e-14) + rng.Float64()*math.Log(1e-10/1e-14))
+	}
+	return p
+}
+
+// randAxisValue draws a per-point value valid for the axis.
+func randAxisValue(rng *rand.Rand, axis PlanAxis, p Params) float64 {
+	switch axis {
+	case PlanAxisN:
+		return rng.Float64() * 130
+	case PlanAxisL:
+		return math.Exp(math.Log(5e-11) + rng.Float64()*math.Log(1e-8/5e-11))
+	case PlanAxisC:
+		switch rng.Intn(4) {
+		case 0:
+			return p.CriticalCapacitance()
+		case 1:
+			return 0
+		default:
+			return math.Exp(math.Log(1e-14) + rng.Float64()*math.Log(1e-10/1e-14))
+		}
+	case PlanAxisSlope:
+		return math.Exp(math.Log(1e8) + rng.Float64()*math.Log(1e10/1e8))
+	default:
+		return 0
+	}
+}
+
+// applyAxis mirrors the kernel's interpretation of an axis value onto the
+// scalar parameter struct (including PlanAxisN's round-and-clamp).
+func applyAxis(p Params, axis PlanAxis, v float64) Params {
+	switch axis {
+	case PlanAxisN:
+		n := int(math.Round(v))
+		if n < 1 {
+			n = 1
+		}
+		p.N = n
+	case PlanAxisL:
+		p.L = v
+	case PlanAxisC:
+		p.C = v
+	case PlanAxisSlope:
+		p.Slope = v
+	}
+	return p
+}
+
+// TestPlanBitwiseEqualsScalar is the tentpole property: across 10^4 seeded
+// points covering every axis kind and all four Table 1 cases, the batch
+// kernels reproduce the scalar MaxSSN bit for bit.
+func TestPlanBitwiseEqualsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	axes := []PlanAxis{PlanFixed, PlanAxisN, PlanAxisL, PlanAxisC, PlanAxisSlope}
+	const rounds, batch = 500, 20 // 10^4 points total
+	caseSeen := map[Case]int{}
+
+	vals := make([]float64, batch)
+	dst := make([]float64, batch)
+	cases := make([]Case, batch)
+	for round := 0; round < rounds; round++ {
+		p := randPlanParams(rng, round)
+		axis := axes[round%len(axes)]
+		for i := range vals {
+			vals[i] = randAxisValue(rng, axis, p)
+		}
+		pl, err := CompilePlan(p, axis)
+		if err != nil {
+			t.Fatalf("round %d: compile axis %d: %v", round, axis, err)
+		}
+		pl.VMaxCaseBatch(dst, cases, vals)
+		for i, v := range vals {
+			q := applyAxis(p, axis, v)
+			want, wantCase, err := MaxSSN(q)
+			if err != nil {
+				t.Fatalf("round %d[%d]: scalar MaxSSN: %v", round, i, err)
+			}
+			if math.Float64bits(want) != math.Float64bits(dst[i]) {
+				t.Fatalf("round %d[%d] axis %d: batch %v (%#x) != scalar %v (%#x) at %+v",
+					round, i, axis, dst[i], math.Float64bits(dst[i]),
+					want, math.Float64bits(want), q)
+			}
+			if cases[i] != wantCase {
+				t.Fatalf("round %d[%d] axis %d: batch case %v != scalar %v at %+v",
+					round, i, axis, cases[i], wantCase, q)
+			}
+			caseSeen[wantCase]++
+		}
+	}
+	for _, c := range []Case{OverDamped, CriticallyDamped, UnderDampedPeak, UnderDampedBoundary} {
+		if caseSeen[c] == 0 {
+			t.Fatalf("generator never produced case %v; coverage: %v", c, caseSeen)
+		}
+	}
+	t.Logf("case coverage over %d points: %v", rounds*batch, caseSeen)
+}
+
+// TestPlanWaveformBitwiseEqualsScalar checks WaveformInto against
+// LCModel.V sample for sample, including the window clamps.
+func TestPlanWaveformBitwiseEqualsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const rounds, samples = 200, 32
+	ts := make([]float64, samples)
+	dst := make([]float64, samples)
+	for round := 0; round < rounds; round++ {
+		p := randPlanParams(rng, round)
+		pl, err := CompilePlan(p, PlanFixed)
+		if err != nil {
+			t.Fatalf("round %d: compile: %v", round, err)
+		}
+		m, err := NewLCModel(p)
+		if err != nil {
+			t.Fatalf("round %d: model: %v", round, err)
+		}
+		tauR := p.TauRise()
+		for i := range ts {
+			// span before turn-on through past the ramp end
+			ts[i] = tauR * (2.4*rng.Float64() - 0.2)
+		}
+		pl.WaveformInto(dst, ts)
+		for i, tau := range ts {
+			want := m.V(tau)
+			if math.Float64bits(want) != math.Float64bits(dst[i]) {
+				t.Fatalf("round %d[%d]: WaveformInto %v != V %v at tau=%v", round, i, dst[i], want, tau)
+			}
+		}
+	}
+}
+
+// TestPlanCompileValidation checks the per-axis validation exemption: the
+// axis field may hold any value at compile time, every other field is
+// validated exactly like Params.Validate.
+func TestPlanCompileValidation(t *testing.T) {
+	base := Params{N: 8, Vdd: 1.8, Slope: 2e9, L: 1e-9, C: 1e-12}
+	base.Dev.K = 4e-3
+	base.Dev.V0 = 0.6
+	base.Dev.A = 1.2
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*Params)
+		axis PlanAxis
+		ok   bool
+	}{
+		{"fixed valid", func(*Params) {}, PlanFixed, true},
+		{"fixed bad L", func(p *Params) { p.L = 0 }, PlanFixed, false},
+		{"axis L exempt", func(p *Params) { p.L = -1 }, PlanAxisL, true},
+		{"axis C exempt", func(p *Params) { p.C = -1 }, PlanAxisC, true},
+		{"axis slope exempt", func(p *Params) { p.Slope = 0 }, PlanAxisSlope, true},
+		{"axis N exempt", func(p *Params) { p.N = 0 }, PlanAxisN, true},
+		{"axis L still checks Vdd", func(p *Params) { p.Vdd = 0.1 }, PlanAxisL, false},
+		{"axis slope still checks L", func(p *Params) { p.L = 0 }, PlanAxisSlope, false},
+	} {
+		p := base
+		tc.mut(&p)
+		_, err := CompilePlan(p, tc.axis)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestPlanBatchAllocs is the satellite allocation guard: the batch kernels
+// and the in-place Compile must not allocate at all.
+func TestPlanBatchAllocs(t *testing.T) {
+	p := Params{N: 16, Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+
+	const n = 256
+	vals := make([]float64, n)
+	dst := make([]float64, n)
+	cases := make([]Case, n)
+	rng := rand.New(rand.NewSource(1))
+	var pl Plan
+	for _, axis := range []PlanAxis{PlanFixed, PlanAxisN, PlanAxisL, PlanAxisC, PlanAxisSlope} {
+		for i := range vals {
+			vals[i] = randAxisValue(rng, axis, p)
+		}
+		if err := pl.Compile(p, axis); err != nil {
+			t.Fatalf("compile axis %d: %v", axis, err)
+		}
+		if got := testing.AllocsPerRun(100, func() {
+			pl.VMaxCaseBatch(dst, cases, vals)
+		}); got != 0 {
+			t.Errorf("axis %d: VMaxCaseBatch allocates %v/run, want 0", axis, got)
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := pl.Compile(p, PlanFixed); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("Compile allocates %v/run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		pl.WaveformInto(dst, vals)
+	}); got != 0 {
+		t.Errorf("WaveformInto allocates %v/run, want 0", got)
+	}
+}
+
+// BenchmarkVMaxBatch measures the compiled C-axis kernel — the innermost
+// axis of the reference sweep — over a 1024-point batch per op.
+func BenchmarkVMaxBatch(b *testing.B) {
+	p := Params{N: 16, Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+	const n = 1024
+	vals := make([]float64, n)
+	la, lb := math.Log(0.05e-12), math.Log(40e-12)
+	for i := range vals {
+		vals[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	dst := make([]float64, n)
+	pl, err := CompilePlan(p, PlanAxisC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.VMaxBatch(dst, vals)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/point")
+}
+
+// BenchmarkMaxSSNScalar is the scalar baseline for the same point mix.
+func BenchmarkMaxSSNScalar(b *testing.B) {
+	p := Params{N: 16, Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+	const n = 1024
+	vals := make([]float64, n)
+	la, lb := math.Log(0.05e-12), math.Log(40e-12)
+	for i := range vals {
+		vals[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	var m LCModel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := p
+		q.C = vals[i%n]
+		if err := m.Init(q); err != nil {
+			b.Fatal(err)
+		}
+		_ = m.VMax()
+	}
+}

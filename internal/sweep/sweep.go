@@ -191,6 +191,10 @@ type Point struct {
 // returning an error cancels the sweep. Base-grid points arrive in
 // row-major grid order (last axis fastest); refined points follow in
 // unspecified order.
+//
+// The Point's Index and Values slices are backed by pooled chunk buffers
+// and are valid only for the duration of the call: a sink that retains
+// points past its return must copy the slices it keeps.
 type Sink func(Point) error
 
 // Stats summarizes one Run.
@@ -215,7 +219,33 @@ type engine struct {
 	// the base grid completes. O(grid) bytes, allocated only when
 	// refinement is enabled.
 	cases []uint8
+
+	// Compiled-plan state for the innermost axis. Points along the last
+	// axis are contiguous in row-major order and share every other
+	// coordinate, so each such run evaluates through one ssn.Plan compiled
+	// for planAxis over planVals (the axis values, with a rise-time axis
+	// pre-converted to slopes). planVals is nil when the innermost axis is
+	// not batchable (a size axis re-extracts the device per point) — the
+	// engine then falls back to the scalar path. planBad marks inner values
+	// the scalar path would reject, so those points take the scalar
+	// fallback and report the identical error.
+	planAxis ssn.PlanAxis
+	planVals []float64
+	planBad  []bool
+	// planBadAny is true when any planBad entry is set; the all-valid case
+	// (the common one) takes a materialize loop with no per-point validity
+	// branch.
+	planBadAny bool
+	// planN holds the pre-rounded driver counts for an N inner axis, so the
+	// hot loop stores an int instead of re-rounding per point.
+	planN []int
 }
+
+// maxAxes bounds the axis count of a grid: the six axis names minus the
+// slope/tr collision. Fixed-size local copies of the outer coordinates are
+// sized by it so the materialize loop reads stack slots the compiler knows
+// cannot alias the point buffers.
+const maxAxes = 8
 
 func newEngine(g Grid, cfg Config) *engine {
 	e := &engine{grid: g}
@@ -232,6 +262,7 @@ func newEngine(g Grid, cfg Config) *engine {
 	if cfg.RefineDepth > 0 {
 		e.cases = make([]uint8, g.Total())
 	}
+	e.compileInner()
 
 	// Memoize extraction: the size axis revisits the same handful of
 	// widths grid-line after grid-line, and extraction re-fits a
@@ -266,6 +297,67 @@ func newEngine(g Grid, cfg Config) *engine {
 	return e
 }
 
+// compileInner resolves the innermost axis into its ssn.PlanAxis kind and
+// per-coordinate values/validity, enabling the batched chunk path. A
+// rise-time axis is converted to slope values up front (slope = Vdd/tr,
+// the exact expression paramsAt uses; no axis ever changes Vdd, so the
+// conversion is position-independent).
+func (e *engine) compileInner() {
+	last := len(e.grid.Axes) - 1
+	raw := e.axisVals[last]
+	switch e.grid.Axes[last].Name {
+	case AxisN:
+		e.planAxis = ssn.PlanAxisN
+		e.planVals = raw
+		e.planBad = make([]bool, len(raw)) // rounding clamps; never invalid
+		e.planN = make([]int, len(raw))
+		for i, v := range raw {
+			n := int(math.Round(v))
+			if n < 1 {
+				n = 1
+			}
+			e.planN[i] = n
+		}
+	case AxisL:
+		e.planAxis = ssn.PlanAxisL
+		e.planVals = raw
+		e.planBad = make([]bool, len(raw))
+		for i, v := range raw {
+			e.planBad[i] = v <= 0
+		}
+	case AxisC:
+		e.planAxis = ssn.PlanAxisC
+		e.planVals = raw
+		e.planBad = make([]bool, len(raw))
+		for i, v := range raw {
+			e.planBad[i] = v < 0
+		}
+	case AxisSlope:
+		e.planAxis = ssn.PlanAxisSlope
+		e.planVals = raw
+		e.planBad = make([]bool, len(raw))
+		for i, v := range raw {
+			e.planBad[i] = v <= 0
+		}
+	case AxisRise:
+		e.planAxis = ssn.PlanAxisSlope
+		e.planVals = make([]float64, len(raw))
+		e.planBad = make([]bool, len(raw))
+		for i, v := range raw {
+			e.planBad[i] = v <= 0
+			e.planVals[i] = e.grid.Base.Vdd / v
+		}
+	default: // AxisSize re-extracts per point; no batch kernel
+		e.planVals = nil
+	}
+	for _, b := range e.planBad {
+		if b {
+			e.planBadAny = true
+			break
+		}
+	}
+}
+
 // coords decomposes a flat row-major index into per-axis coordinates.
 func (e *engine) coords(flat int) []int {
 	idx := make([]int, len(e.grid.Axes))
@@ -287,35 +379,42 @@ func (e *engine) flat(idx []int) int {
 // paramsAt applies the axis values over the base parameters.
 func (e *engine) paramsAt(values []float64) (ssn.Params, error) {
 	p := e.grid.Base
-	for k, ax := range e.grid.Axes {
-		v := values[k]
-		switch ax.Name {
-		case AxisN:
-			n := int(math.Round(v))
-			if n < 1 {
-				n = 1
-			}
-			p.N = n
-		case AxisL:
-			p.L = v
-		case AxisC:
-			p.C = v
-		case AxisSlope:
-			p.Slope = v
-		case AxisRise:
-			if v <= 0 {
-				return p, fmt.Errorf("sweep: tr = %g must be positive", v)
-			}
-			p.Slope = p.Vdd / v
-		case AxisSize:
-			dev, err := e.extract(v)
-			if err != nil {
-				return p, err
-			}
-			p.Dev = dev
+	for k := range e.grid.Axes {
+		if err := e.applyOne(&p, k, values[k]); err != nil {
+			return p, err
 		}
 	}
 	return p, nil
+}
+
+// applyOne applies the value of one axis onto p.
+func (e *engine) applyOne(p *ssn.Params, k int, v float64) error {
+	switch e.grid.Axes[k].Name {
+	case AxisN:
+		n := int(math.Round(v))
+		if n < 1 {
+			n = 1
+		}
+		p.N = n
+	case AxisL:
+		p.L = v
+	case AxisC:
+		p.C = v
+	case AxisSlope:
+		p.Slope = v
+	case AxisRise:
+		if v <= 0 {
+			return fmt.Errorf("sweep: tr = %g must be positive", v)
+		}
+		p.Slope = p.Vdd / v
+	case AxisSize:
+		dev, err := e.extract(v)
+		if err != nil {
+			return err
+		}
+		p.Dev = dev
+	}
+	return nil
 }
 
 // eval resolves and classifies one point, reusing the worker's scratch
@@ -335,6 +434,277 @@ func (e *engine) eval(m *ssn.LCModel, idx []int, values []float64, depth int) Po
 	pt.VMax = m.VMax()
 	pt.Case = m.Case()
 	return pt
+}
+
+// chunkBuf holds everything one unit of work needs to evaluate a chunk
+// without allocating: the Point slice handed to the emitter, the backing
+// arrays its Index/Values slices are cut from, batch-kernel outputs, and
+// the per-worker scalar/plan scratch. Buffers cycle through a sync.Pool —
+// the emitter returns each one after its points have been sunk, which is
+// why Sink documents the retention restriction.
+type chunkBuf struct {
+	pts     []Point
+	idx     []int     // len chunk*nAxes backing for Point.Index
+	vals    []float64 // len chunk*nAxes backing for Point.Values
+	coord   []int     // odometer state
+	vmax    []float64 // batch kernel output
+	cases   []ssn.Case
+	scratch ssn.LCModel
+	plan    ssn.Plan
+	// wiring state: how many pts entries have their Index/Values headers
+	// pointed at the backing arrays, and at which axis stride.
+	wiredPts int
+	wiredAx  int
+}
+
+func newChunkBuf(chunk, nAxes int) *chunkBuf {
+	b := &chunkBuf{
+		pts:   make([]Point, 0, chunk),
+		idx:   make([]int, chunk*nAxes),
+		vals:  make([]float64, chunk*nAxes),
+		coord: make([]int, nAxes),
+		vmax:  make([]float64, chunk),
+		cases: make([]ssn.Case, chunk),
+	}
+	b.wire(chunk, nAxes)
+	return b
+}
+
+// wire points each buffered Point's Index/Values header at its slot of the
+// backing arrays. The headers depend only on the buffer geometry — point i
+// always owns slots [i·nAxes, (i+1)·nAxes) — so once wired they never
+// change and evalChunk's per-point loop skips re-storing them.
+func (b *chunkBuf) wire(chunk, nAxes int) {
+	pts := b.pts[:cap(b.pts)]
+	idx := b.idx[:cap(b.idx)]
+	vals := b.vals[:cap(b.vals)]
+	for i := 0; i < chunk; i++ {
+		pts[i].Index = idx[i*nAxes : (i+1)*nAxes]
+		pts[i].Values = vals[i*nAxes : (i+1)*nAxes]
+	}
+	b.wiredPts = chunk
+	b.wiredAx = nAxes
+}
+
+// chunkBufPool recycles chunk buffers across Runs so steady-state sweeps
+// (a service evaluating grid after grid) stop paying the per-Run buffer
+// allocation and the GC scans it induces.
+var chunkBufPool sync.Pool
+
+// getChunkBuf returns a pooled buffer when its geometry fits this Run's
+// chunk size and axis count, re-slicing the length-tracked arrays and
+// re-wiring the point headers if the stride changed; a misfit is dropped
+// for the GC and replaced.
+func getChunkBuf(chunk, nAxes int) *chunkBuf {
+	if v := chunkBufPool.Get(); v != nil {
+		b := v.(*chunkBuf)
+		if cap(b.pts) >= chunk && cap(b.idx) >= chunk*nAxes && cap(b.vals) >= chunk*nAxes &&
+			cap(b.vmax) >= chunk && cap(b.cases) >= chunk &&
+			cap(b.coord) >= nAxes {
+			b.vmax = b.vmax[:chunk]
+			b.cases = b.cases[:chunk]
+			b.coord = b.coord[:nAxes]
+			if b.wiredAx != nAxes || b.wiredPts < chunk {
+				b.wire(chunk, nAxes)
+			}
+			return b
+		}
+	}
+	return newChunkBuf(chunk, nAxes)
+}
+
+// evalChunk evaluates grid points [lo, hi) into buf.pts. Consecutive
+// row-major indices walk the innermost axis, so the chunk decomposes into
+// runs that differ only in the inner coordinate; each run compiles one
+// ssn.Plan over the outer point and evaluates the inner values through the
+// batch kernel. Points the batch path cannot take — a size inner axis, an
+// inner value the scalar path rejects, an outer resolution or compile
+// failure — fall back to the scalar eval, which reproduces the identical
+// result or error. The hot loop allocates nothing.
+func (e *engine) evalChunk(ctx context.Context, buf *chunkBuf, lo, hi int) {
+	nAx := len(e.grid.Axes)
+	inner := nAx - 1
+	innerPts := e.grid.Axes[inner].Points
+	buf.pts = buf.pts[:0]
+	iu := 0 // used prefix of the idx/vals backing arrays (same stride)
+	idxBack := buf.idx[:cap(buf.idx)]
+	valBack := buf.vals[:cap(buf.vals)]
+	coord := buf.coord
+	for k := range coord {
+		coord[k] = (lo / e.stride[k]) % e.grid.Axes[k].Points
+	}
+
+	if ctx.Err() != nil {
+		return
+	}
+	innerVals := e.axisVals[inner]
+	for f := lo; f < hi; {
+		c0 := coord[inner]
+		run := innerPts - c0
+		if run > hi-f {
+			run = hi - f
+		}
+
+		// Resolve the run's shared outer point and compile its plan. Any
+		// failure — non-batchable inner axis, outer resolution error,
+		// compile rejection — drops the run (or the affected points) to the
+		// scalar path below, which reproduces the identical result or error.
+		usePlan := e.planVals != nil
+		var q ssn.Params
+		if usePlan {
+			q = e.grid.Base
+			for k := 0; k < inner; k++ {
+				if e.applyOne(&q, k, e.axisVals[k][coord[k]]) != nil {
+					usePlan = false
+					break
+				}
+			}
+		}
+		if usePlan && buf.plan.Compile(q, e.planAxis) != nil {
+			usePlan = false
+		}
+		var vals []float64
+		var bad []bool
+		if usePlan {
+			vals = e.planVals[c0 : c0+run]
+			bad = e.planBad[c0 : c0+run]
+			// Kernel over the maximal valid spans, writing at run offsets so
+			// the materialize loop below indexes outputs by j directly.
+			for s := 0; s < run; {
+				if bad[s] {
+					s++
+					continue
+				}
+				t := s + 1
+				for t < run && !bad[t] {
+					t++
+				}
+				buf.plan.VMaxCaseBatch(buf.vmax[s:t], buf.cases[s:t], vals[s:t])
+				s = t
+			}
+		}
+
+		// Materialize the run's Index/Values backing column-major: outer
+		// slots hold run-constant values written in tight strided loops,
+		// and the per-point result pass below touches only the inner slot.
+		// Fixed-size stack copies of the outer coordinates keep the loops
+		// free of aliasing reloads against the point buffers.
+		var oi [maxAxes]int
+		var ov [maxAxes]float64
+		for k := 0; k < nAx; k++ {
+			oi[k] = coord[k]
+			ov[k] = e.axisVals[k][coord[k]]
+		}
+		end := iu + run*nAx
+		for k := 0; k < inner; k++ {
+			ck, vk := oi[k], ov[k]
+			for p := iu + k; p < end; p += nAx {
+				idxBack[p] = ck
+				valBack[p] = vk
+			}
+		}
+		for p, j := iu+inner, 0; p < end; p, j = p+nAx, j+1 {
+			idxBack[p] = c0 + j
+			valBack[p] = innerVals[c0+j]
+		}
+
+		// Result pass: write each point in place. The Index/Values headers
+		// are pre-wired to the backing slots just filled, so only the result
+		// fields move. Reused buffer entries keep Depth == 0 from their
+		// zeroing at allocation (only base-grid points flow through chunks);
+		// every other field is overwritten, including a stale Err.
+		start := len(buf.pts)
+		buf.pts = buf.pts[:start+run]
+		pts := buf.pts[start : start+run]
+		iu = end
+		if usePlan && !e.planBadAny {
+			// All-valid fast path: no per-point validity branch, kernel
+			// outputs re-sliced to run length so the indexing is check-free,
+			// and the axis dispatch is hoisted out of the loop (the loops
+			// differ only in which Params field takes the inner value).
+			vmax := buf.vmax[:run]
+			cs := buf.cases[:run]
+			switch e.planAxis {
+			case ssn.PlanAxisN:
+				pn := e.planN[c0 : c0+run]
+				for j := range pts {
+					pt := &pts[j]
+					pt.Params = q
+					pt.Params.N = pn[j]
+					pt.VMax = vmax[j]
+					pt.Case = cs[j]
+					pt.Err = nil
+				}
+			case ssn.PlanAxisL:
+				for j := range pts {
+					pt := &pts[j]
+					pt.Params = q
+					pt.Params.L = vals[j]
+					pt.VMax = vmax[j]
+					pt.Case = cs[j]
+					pt.Err = nil
+				}
+			case ssn.PlanAxisC:
+				for j := range pts {
+					pt := &pts[j]
+					pt.Params = q
+					pt.Params.C = vals[j]
+					pt.VMax = vmax[j]
+					pt.Case = cs[j]
+					pt.Err = nil
+				}
+			case ssn.PlanAxisSlope:
+				for j := range pts {
+					pt := &pts[j]
+					pt.Params = q
+					pt.Params.Slope = vals[j]
+					pt.VMax = vmax[j]
+					pt.Case = cs[j]
+					pt.Err = nil
+				}
+			}
+		} else {
+			for j := range pts {
+				pt := &pts[j]
+				if usePlan && !bad[j] {
+					pt.Params = q
+					e.setInner(&pt.Params, vals[j])
+					pt.VMax = buf.vmax[j]
+					pt.Case = buf.cases[j]
+					pt.Err = nil
+				} else {
+					*pt = e.eval(&buf.scratch, pt.Index, pt.Values, 0)
+				}
+			}
+		}
+
+		f += run
+		coord[inner] += run
+		for k := inner; k > 0 && coord[k] >= e.grid.Axes[k].Points; k-- {
+			coord[k] = 0
+			coord[k-1]++
+		}
+	}
+}
+
+// setInner writes an already-converted inner-axis value onto p, mirroring
+// the batch kernel's interpretation (rise-time values arrive pre-converted
+// to slopes in planVals).
+func (e *engine) setInner(p *ssn.Params, v float64) {
+	switch e.planAxis {
+	case ssn.PlanAxisN:
+		n := int(math.Round(v))
+		if n < 1 {
+			n = 1
+		}
+		p.N = n
+	case ssn.PlanAxisL:
+		p.L = v
+	case ssn.PlanAxisC:
+		p.C = v
+	case ssn.PlanAxisSlope:
+		p.Slope = v
+	}
 }
 
 // Run sweeps the grid, streaming every point through sink, and returns the
@@ -370,7 +740,7 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 
 	type chunkOut struct {
 		idx int
-		pts []Point
+		buf *chunkBuf
 	}
 	tasks := make(chan int)
 	out := make(chan chunkOut, workers)
@@ -379,7 +749,6 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var scratch ssn.LCModel
 			for ci := range tasks {
 				if cfg.Gate != nil {
 					if err := cfg.Gate.Acquire(ctx); err != nil {
@@ -388,20 +757,13 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 				}
 				lo := ci * chunk
 				hi := min(lo+chunk, total)
-				pts := make([]Point, 0, hi-lo)
-				for f := lo; f < hi && ctx.Err() == nil; f++ {
-					idx := e.coords(f)
-					values := make([]float64, len(idx))
-					for k, i := range idx {
-						values[k] = e.axisVals[k][i]
-					}
-					pts = append(pts, e.eval(&scratch, idx, values, 0))
-				}
+				buf := getChunkBuf(chunk, len(g.Axes))
+				e.evalChunk(ctx, buf, lo, hi)
 				if cfg.Gate != nil {
 					cfg.Gate.Release()
 				}
 				select {
-				case out <- chunkOut{ci, pts}:
+				case out <- chunkOut{ci, buf}:
 				case <-ctx.Done():
 					return
 				}
@@ -425,35 +787,52 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 
 	// Ordered emitter: deliver chunks to the sink in grid order. Workers
 	// block once the reorder window fills, so pending holds at most
-	// O(workers) chunks.
+	// O(workers) chunks. Cancellation is observed at chunk granularity —
+	// a chunk is microseconds of sink work — so the hot loop avoids the
+	// per-point context poll (ctx.Err takes a mutex).
 	var sinkErr error
-	pending := map[int][]Point{}
+	pending := map[int]*chunkBuf{}
 	next := 0
 	for co := range out {
-		pending[co.idx] = co.pts
+		pending[co.idx] = co.buf
 		for {
-			pts, ok := pending[next]
+			buf, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
 			next++
-			for i := range pts {
-				pt := pts[i]
-				if sinkErr != nil || ctx.Err() != nil {
-					continue
-				}
-				stats.Evaluated++
-				if pt.Err != nil {
-					stats.Errors++
-				} else if e.cases != nil {
-					e.cases[e.flat(pt.Index)] = uint8(pt.Case)
-				}
-				if err := sink(pt); err != nil {
-					sinkErr = err
-					cancel()
+			if sinkErr == nil && ctx.Err() == nil {
+				pts := buf.pts
+				if e.cases == nil {
+					for i := range pts {
+						stats.Evaluated++
+						if pts[i].Err != nil {
+							stats.Errors++
+						}
+						if err := sink(pts[i]); err != nil {
+							sinkErr = err
+							cancel()
+							break
+						}
+					}
+				} else {
+					for i := range pts {
+						stats.Evaluated++
+						if pts[i].Err != nil {
+							stats.Errors++
+						} else {
+							e.cases[e.flat(pts[i].Index)] = uint8(pts[i].Case)
+						}
+						if err := sink(pts[i]); err != nil {
+							sinkErr = err
+							cancel()
+							break
+						}
+					}
 				}
 			}
+			chunkBufPool.Put(buf)
 		}
 	}
 	if sinkErr != nil {

@@ -93,7 +93,13 @@ func TestBruteForceCrossCheck(t *testing.T) {
 	}
 	var got []Point
 	stats, err := Run(context.Background(), g, Config{Workers: 4, ChunkSize: 13},
-		func(pt Point) error { got = append(got, pt); return nil })
+		func(pt Point) error {
+			// Points are only valid during the sink call; copy to retain.
+			pt.Index = append([]int(nil), pt.Index...)
+			pt.Values = append([]float64(nil), pt.Values...)
+			got = append(got, pt)
+			return nil
+		})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,6 +303,8 @@ func TestRefinementLocality(t *testing.T) {
 	var basePts, refined []Point
 	stats, err := Run(context.Background(), g, Config{Workers: 2, RefineDepth: depth},
 		func(pt Point) error {
+			pt.Index = append([]int(nil), pt.Index...)
+			pt.Values = append([]float64(nil), pt.Values...)
 			if pt.Depth == 0 {
 				basePts = append(basePts, pt)
 			} else {
