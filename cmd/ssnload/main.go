@@ -1,0 +1,342 @@
+// Command ssnload drives synthetic load at an ssnserve instance and
+// reports what came back: latency quantiles (p50/p90/p99/max), throughput,
+// and the shed rate — the fraction of requests the server's admission
+// control turned away with 429. It exists to answer the capacity question
+// admission control poses: where does this replica saturate, and does it
+// degrade by shedding (good) or by queueing without bound (bad)?
+//
+// Usage:
+//
+//	ssnload -url http://127.0.0.1:8350 -c 32 -d 10s
+//	ssnload -mix single=8,batch=1,sweep=1 -c 64 -d 30s -json
+//
+// The mix weights pick per request among three shapes: "single" (one
+// /v1/maxssn point), "batch" (a 64-item /v1/maxssn batch) and "sweep" (a
+// 256-point /v1/sweep stream).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssnload:", err)
+		os.Exit(1)
+	}
+}
+
+// shape is one request kind in the mix.
+type shape struct {
+	name   string
+	weight int
+	path   string
+	body   []byte
+}
+
+// parseMix decodes -mix: "single=8,batch=1,sweep=1" (weights) or a bare
+// shape name. Unknown names are rejected.
+func parseMix(s string) ([]shape, error) {
+	bodies := map[string]shape{
+		"single": {name: "single", path: "/v1/maxssn",
+			body: []byte(`{"params":{"n":8,"package":"pga","rise_time":1e-9}}`)},
+		"batch": {name: "batch", path: "/v1/maxssn", body: batchBody(64)},
+		"sweep": {name: "sweep", path: "/v1/sweep",
+			body: []byte(`{"params":{"package":"pga","rise_time":1e-9},"axes":[{"axis":"n","from":1,"to":256,"points":256}]}`)},
+	}
+	var shapes []shape
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, "=")
+		sh, ok := bodies[name]
+		if !ok {
+			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, sweep)", name)
+		}
+		sh.weight = 1
+		if hasW {
+			w, err := strconv.Atoi(wstr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("mix: bad weight %q for %s", wstr, name)
+			}
+			sh.weight = w
+		}
+		shapes = append(shapes, sh)
+	}
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("mix: empty")
+	}
+	return shapes, nil
+}
+
+// batchBody builds an n-item /v1/maxssn batch body.
+func batchBody(n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"items":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"n":%d,"package":"pga","rise_time":1e-9}`, 1+i)
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}
+
+// hist is a log-bucketed latency histogram: bucket i spans
+// [minLat*growth^i, minLat*growth^(i+1)). Quantiles interpolate within the
+// winning bucket, which at 5% growth keeps the error under the bucket
+// width — plenty for load-test numbers.
+type hist struct {
+	counts []uint64
+	max    float64
+	total  uint64
+}
+
+const (
+	histMin    = 10e-6 // 10us floor
+	histGrowth = 1.05
+	histSize   = 400 // covers 10us .. ~3000s
+)
+
+func newHist() *hist { return &hist{counts: make([]uint64, histSize)} }
+
+func (h *hist) add(sec float64) {
+	h.total++
+	if sec > h.max {
+		h.max = sec
+	}
+	i := 0
+	if sec > histMin {
+		i = int(math.Log(sec/histMin) / math.Log(histGrowth))
+		if i >= histSize {
+			i = histSize - 1
+		}
+	}
+	h.counts[i]++
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the q-th latency quantile in seconds.
+func (h *hist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			return histMin * math.Pow(histGrowth, float64(i)+0.5)
+		}
+	}
+	return h.max
+}
+
+// workerStats is one goroutine's private tally, merged after the run.
+type workerStats struct {
+	lat     *hist
+	ok      uint64
+	shed    uint64 // 429s
+	errs    uint64 // transport errors
+	other   uint64 // non-200/429 statuses
+	byShape map[string]uint64
+	bytesIn uint64
+}
+
+// report is the final result, printed as text or -json.
+type report struct {
+	Duration    float64           `json:"duration_seconds"`
+	Concurrency int               `json:"concurrency"`
+	Requests    uint64            `json:"requests"`
+	OK          uint64            `json:"ok"`
+	Shed        uint64            `json:"shed"`   // HTTP 429
+	Errors      uint64            `json:"errors"` // transport failures
+	Other       uint64            `json:"other"`  // unexpected statuses
+	Throughput  float64           `json:"requests_per_sec"`
+	ShedRate    float64           `json:"shed_rate"`
+	P50         float64           `json:"p50_seconds"`
+	P90         float64           `json:"p90_seconds"`
+	P99         float64           `json:"p99_seconds"`
+	Max         float64           `json:"max_seconds"`
+	ByShape     map[string]uint64 `json:"by_shape"`
+	BytesIn     uint64            `json:"bytes_read"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssnload", flag.ContinueOnError)
+	var (
+		url     = fs.String("url", "http://127.0.0.1:8350", "target ssnserve base URL")
+		conc    = fs.Int("c", 8, "concurrent request loops")
+		dur     = fs.Duration("d", 10*time.Second, "run duration")
+		mixStr  = fs.String("mix", "single", "request mix: shape[=weight],... (single, batch, sweep)")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+		apiKey  = fs.String("api-key", "", "X-API-Key header (exercises per-client quotas)")
+		asJSON  = fs.Bool("json", false, "emit the report as JSON")
+		seed    = fs.Int64("seed", 1, "mix-selection seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *conc < 1 {
+		return fmt.Errorf("-c must be at least 1")
+	}
+	shapes, err := parseMix(*mixStr)
+	if err != nil {
+		return err
+	}
+	// Expand weights into a pick table once; workers index it uniformly.
+	var picks []shape
+	for _, sh := range shapes {
+		for i := 0; i < sh.weight; i++ {
+			picks = append(picks, sh)
+		}
+	}
+	base := strings.TrimSuffix(*url, "/")
+
+	client := &http.Client{Timeout: *timeout, Transport: &http.Transport{
+		MaxIdleConnsPerHost: *conc,
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), *dur)
+	defer cancel()
+
+	stats := make([]*workerStats, *conc)
+	var wg sync.WaitGroup
+	startAt := time.Now()
+	for w := 0; w < *conc; w++ {
+		st := &workerStats{lat: newHist(), byShape: map[string]uint64{}}
+		stats[w] = st
+		rng := rand.New(rand.NewSource(*seed + int64(w)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				sh := picks[rng.Intn(len(picks))]
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					base+sh.path, bytes.NewReader(sh.body))
+				if err != nil {
+					st.errs++
+					st.byShape[sh.name]++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *apiKey != "" {
+					req.Header.Set("X-API-Key", *apiKey)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					// A request cut off by the run deadline is not a failure;
+					// it is simply not counted.
+					if ctx.Err() == nil {
+						st.errs++
+						st.byShape[sh.name]++
+					}
+					continue
+				}
+				st.byShape[sh.name]++
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.bytesIn += uint64(n)
+				st.lat.add(time.Since(t0).Seconds())
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.ok++
+				case http.StatusTooManyRequests:
+					st.shed++
+				default:
+					st.other++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(startAt).Seconds()
+
+	merged := newHist()
+	rep := report{Duration: elapsed, Concurrency: *conc, ByShape: map[string]uint64{}}
+	for _, st := range stats {
+		merged.merge(st.lat)
+		rep.OK += st.ok
+		rep.Shed += st.shed
+		rep.Errors += st.errs
+		rep.Other += st.other
+		rep.BytesIn += st.bytesIn
+		for k, v := range st.byShape {
+			rep.ByShape[k] += v
+		}
+	}
+	rep.Requests = rep.OK + rep.Shed + rep.Errors + rep.Other
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	rep.P50 = merged.quantile(0.50)
+	rep.P90 = merged.quantile(0.90)
+	rep.P99 = merged.quantile(0.99)
+	rep.Max = merged.max
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(out, "ssnload: %s for %.1fs at c=%d\n", base, rep.Duration, rep.Concurrency)
+	fmt.Fprintf(out, "  requests   %d (%.1f/s)\n", rep.Requests, rep.Throughput)
+	fmt.Fprintf(out, "  ok         %d\n", rep.OK)
+	fmt.Fprintf(out, "  shed (429) %d (%.1f%%)\n", rep.Shed, 100*rep.ShedRate)
+	fmt.Fprintf(out, "  other      %d, transport errors %d\n", rep.Other, rep.Errors)
+	fmt.Fprintf(out, "  latency    p50 %s  p90 %s  p99 %s  max %s\n",
+		fmtLat(rep.P50), fmtLat(rep.P90), fmtLat(rep.P99), fmtLat(rep.Max))
+	names := make([]string, 0, len(rep.ByShape))
+	for k := range rep.ByShape {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(out, "  mix %-7s %d\n", k, rep.ByShape[k])
+	}
+	return nil
+}
+
+// fmtLat renders a latency with a sensible unit.
+func fmtLat(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2fs", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.0fus", sec*1e6)
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	shapes, err := parseMix("single=8,batch=1,sweep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 3 || shapes[0].weight != 8 || shapes[1].weight != 1 {
+		t.Errorf("parsed %+v", shapes)
+	}
+	if shapes, err := parseMix("sweep"); err != nil || len(shapes) != 1 || shapes[0].weight != 1 {
+		t.Errorf("bare shape: %+v, %v", shapes, err)
+	}
+	for _, bad := range []string{"", "nope", "single=0", "single=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestBatchBody(t *testing.T) {
+	var req struct {
+		Items []struct {
+			N float64 `json:"n"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(batchBody(64), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Items) != 64 || req.Items[0].N != 1 || req.Items[63].N != 64 {
+		t.Errorf("batch body: %d items, first %v, last %v",
+			len(req.Items), req.Items[0].N, req.Items[len(req.Items)-1].N)
+	}
+}
+
+// TestHistQuantiles pins the log-bucket math: quantiles of a known
+// population land within one bucket width of the truth.
+func TestHistQuantiles(t *testing.T) {
+	h := newHist()
+	// 100 samples: 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.add(float64(i) * 1e-3)
+	}
+	checks := []struct{ q, want float64 }{{0.50, 0.050}, {0.90, 0.090}, {0.99, 0.099}}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		if got < c.want/1.06 || got > c.want*1.06 {
+			t.Errorf("q%.0f = %v, want ~%v", c.q*100, got, c.want)
+		}
+	}
+	if h.max != 0.100 {
+		t.Errorf("max = %v", h.max)
+	}
+	if newHist().quantile(0.5) != 0 {
+		t.Error("empty hist quantile != 0")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := newHist(), newHist()
+	a.add(1e-3)
+	b.add(2e-3)
+	b.add(5e-1)
+	a.merge(b)
+	if a.total != 3 || a.max != 5e-1 {
+		t.Errorf("merged total %d max %v", a.total, a.max)
+	}
+}
+
+// TestRunAgainstStub drives the full loop against a stub server that sheds
+// every third request, and checks the JSON report adds up.
+func TestRunAgainstStub(t *testing.T) {
+	var n atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-c", "4", "-d", "200ms",
+		"-mix", "single=2,batch=1", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Requests == 0 || rep.OK == 0 || rep.Shed == 0 {
+		t.Fatalf("report %+v: want some ok and some shed", rep)
+	}
+	if rep.Requests != rep.OK+rep.Shed+rep.Errors+rep.Other {
+		t.Errorf("request count does not add up: %+v", rep)
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate >= 1 {
+		t.Errorf("shed rate %v outside (0, 1)", rep.ShedRate)
+	}
+	var total uint64
+	for _, v := range rep.ByShape {
+		total += v
+	}
+	if total != rep.Requests {
+		t.Errorf("by_shape sums to %d, requests %d", total, rep.Requests)
+	}
+	if rep.P50 <= 0 || rep.Max < rep.P99 || rep.P99 < rep.P50 {
+		t.Errorf("latency ordering broken: %+v", rep)
+	}
+}
+
+// TestRunTextOutput smoke-checks the human format.
+func TestRunTextOutput(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-c", "2", "-d", "100ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"requests", "shed (429)", "latency", "mix single"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-c", "0"},
+		{"-mix", "nope"},
+		{"stray"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

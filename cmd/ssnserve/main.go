@@ -56,6 +56,11 @@ func parseConfig(args []string) (serve.Config, time.Duration, error) {
 		maxBody  = fs.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxJobs  = fs.Int("max-jobs", 1024, "retained async job records")
 		maxSweep = fs.Int("max-sweep-points", 1_000_000, "max grid points per /v1/sweep")
+		maxConc  = fs.Int("max-concurrent", 0, "concurrently admitted eval requests (0 = 2x workers)")
+		maxQueue = fs.Int("max-queue", 64, "requests allowed to wait for admission before 429")
+		retryAft = fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		quotaRPS = fs.Float64("quota-rps", 0, "per-API-key request rate (0 = quotas off)")
+		quotaBur = fs.Float64("quota-burst", 0, "per-API-key burst capacity (0 = 2x rate)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		pprof    = fs.Bool("pprof", false,
 			"mount /debug/pprof/ and /debug/runtime (diagnostics; loopback listeners only)")
@@ -75,6 +80,11 @@ func parseConfig(args []string) (serve.Config, time.Duration, error) {
 		MaxBodyBytes:   *maxBody,
 		MaxJobs:        *maxJobs,
 		MaxSweepPoints: *maxSweep,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		RetryAfter:     *retryAft,
+		QuotaRPS:       *quotaRPS,
+		QuotaBurst:     *quotaBur,
 		EnablePprof:    *pprof,
 	}
 	return cfg, *drain, nil

@@ -1,0 +1,482 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"ssnkit/internal/dist/store"
+)
+
+// Options tunes one coordinator run. The zero value evaluates in-process
+// with no checkpointing.
+type Options struct {
+	// Workers are ssnserve replica base URLs (e.g. "http://10.0.0.2:8350").
+	// Empty means evaluate shards in-process.
+	Workers []string
+	// Checkpoint is the on-disk store directory; empty disables
+	// checkpointing (a crash recomputes everything).
+	Checkpoint string
+	// Resume replays an existing checkpoint instead of truncating it. A
+	// checkpoint written under a different spec is refused; a missing one
+	// starts fresh.
+	Resume bool
+	// RequestTimeout bounds one shard HTTP attempt; default 120s.
+	RequestTimeout time.Duration
+	// Retries is the attempt budget per shard across all workers before
+	// the run fails; default max(4, 2 x len(Workers)).
+	Retries int
+	// InFlight is the concurrent shards per worker replica (or, for
+	// in-process runs, the total evaluator goroutines); default 2 per
+	// worker, GOMAXPROCS in-process.
+	InFlight int
+	// Client overrides the HTTP client (tests); nil uses a default.
+	Client *http.Client
+	// APIKey, when set, is sent as X-API-Key so per-client quotas on the
+	// workers attribute the load correctly.
+	APIKey string
+	// Eval configures in-process evaluation (extraction cache, gate).
+	Eval EvalConfig
+	// Tracker receives live progress; nil allocates a private one.
+	Tracker *Tracker
+	// Progress, when non-nil, is called after every shard completes or is
+	// reused (from the emitter goroutine; keep it fast).
+	Progress func(Progress)
+}
+
+// Summary reports a completed run.
+type Summary struct {
+	Shards   int // shards in the decomposition
+	Points   int // grid points emitted
+	Reused   int // shards replayed from the checkpoint
+	Retries  int // failed shard attempts that were retried
+	Duration time.Duration
+}
+
+// task is one shard assignment circulating between the dispatcher and the
+// workers; attempts rides along so failover has a budget.
+type task struct {
+	shard    int
+	attempts int
+}
+
+// result is one computed shard payload.
+type result struct {
+	shard   int
+	worker  string
+	payload []byte
+}
+
+// coord carries one run's shared state.
+type coord struct {
+	spec    SweepSpec
+	opts    Options
+	tracker *Tracker
+	client  *http.Client
+
+	tasks   chan task
+	requeue chan task
+	results chan result
+	winSem  chan struct{} // dispatch window: dispatched-but-not-emitted shards
+
+	cancel context.CancelFunc
+	failMu sync.Mutex
+	failed error
+
+	maxAttempts int
+}
+
+// fail records the first fatal error and cancels the run.
+func (c *coord) fail(err error) {
+	c.failMu.Lock()
+	if c.failed == nil && err != nil {
+		c.failed = err
+	}
+	c.failMu.Unlock()
+	c.cancel()
+}
+
+func (c *coord) failure() error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.failed
+}
+
+// Run executes the distributed sweep: shards fan out to the worker
+// replicas (or in-process evaluators), completed payloads are committed to
+// the checkpoint store and merged to out in shard order. The merged bytes
+// are identical for any worker count and across kill-and-resume, and equal
+// to the single-process sweep stream for the same spec.
+func Run(ctx context.Context, spec SweepSpec, opts Options, out io.Writer) (Summary, error) {
+	startAt := time.Now()
+	if err := spec.Validate(); err != nil {
+		return Summary{}, err
+	}
+	nShards := spec.NumShards()
+	total := spec.Total()
+
+	tracker := opts.Tracker
+	if tracker == nil {
+		tracker = NewTracker()
+	}
+	workerNames := opts.Workers
+	if len(workerNames) == 0 {
+		workerNames = []string{"local"}
+	}
+	tracker.begin(nShards, int64(total), workerNames)
+
+	// Checkpoint store. Resume replays an existing checkpoint (fingerprint
+	// checked); anything else starts fresh.
+	var st *store.Store
+	if opts.Checkpoint != "" {
+		var err error
+		if opts.Resume {
+			st, err = store.Open(opts.Checkpoint, spec.Fingerprint())
+			if errors.Is(err, fs.ErrNotExist) {
+				st, err = store.Create(opts.Checkpoint, spec.Fingerprint())
+			}
+		} else {
+			st, err = store.Create(opts.Checkpoint, spec.Fingerprint())
+		}
+		if err != nil {
+			return Summary{}, err
+		}
+		defer st.Close()
+	}
+
+	inFlight := opts.InFlight
+	var evaluators int
+	if len(opts.Workers) == 0 {
+		if inFlight <= 0 {
+			inFlight = runtime.GOMAXPROCS(0)
+		}
+		evaluators = inFlight
+	} else {
+		if inFlight <= 0 {
+			inFlight = 2
+		}
+		evaluators = inFlight * len(opts.Workers)
+	}
+	window := 2 * evaluators
+	if window < 8 {
+		window = 8
+	}
+	maxAttempts := opts.Retries
+	if maxAttempts <= 0 {
+		maxAttempts = max(4, 2*len(opts.Workers))
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c := &coord{
+		spec:        spec,
+		opts:        opts,
+		tracker:     tracker,
+		client:      opts.Client,
+		tasks:       make(chan task),
+		requeue:     make(chan task, window),
+		results:     make(chan result, evaluators),
+		winSem:      make(chan struct{}, window),
+		cancel:      cancel,
+		maxAttempts: maxAttempts,
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+
+	// Workers.
+	var wg sync.WaitGroup
+	if len(opts.Workers) == 0 {
+		for w := 0; w < evaluators; w++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); c.localWorker(ctx) }()
+		}
+	} else {
+		for _, url := range opts.Workers {
+			for k := 0; k < inFlight; k++ {
+				wg.Add(1)
+				go func(url string) { defer wg.Done(); c.httpWorker(ctx, url) }(url)
+			}
+		}
+	}
+
+	// Dispatcher: feed uncommitted shards in order, bounded by the window,
+	// with requeued (failed-over) shards taking priority so a retried shard
+	// never starves behind fresh work.
+	wg.Add(1)
+	go func() { defer wg.Done(); c.dispatch(ctx, st, nShards) }()
+
+	// Emitter: merge in shard order — reused shards replayed from the
+	// store, computed shards committed as they land and held (window-
+	// bounded) until their turn.
+	summary := Summary{Shards: nShards}
+	pending := map[int][]byte{}
+	emitErr := func() error {
+		for next := 0; next < nShards; next++ {
+			lo, hi := spec.ShardRange(next)
+			var payload []byte
+			if p, ok := pending[next]; ok {
+				payload = p
+				delete(pending, next)
+				<-c.winSem
+			} else if st != nil && st.Has(next) {
+				p, err := st.Get(next)
+				if err != nil {
+					return fmt.Errorf("dist: checkpoint replay: %w", err)
+				}
+				payload = p
+				summary.Reused++
+				tracker.reused(int64(hi - lo))
+				if opts.Progress != nil {
+					opts.Progress(tracker.Snapshot())
+				}
+			} else {
+				// Wait for results until shard `next` shows up.
+				for {
+					select {
+					case r := <-c.results:
+						if st != nil {
+							if err := st.Commit(r.shard, r.payload); err != nil {
+								return fmt.Errorf("dist: checkpoint commit: %w", err)
+							}
+						}
+						slo, shi := spec.ShardRange(r.shard)
+						tracker.shardDone(r.worker, int64(shi-slo))
+						if opts.Progress != nil {
+							opts.Progress(tracker.Snapshot())
+						}
+						pending[r.shard] = r.payload
+					case <-ctx.Done():
+						if err := c.failure(); err != nil {
+							return err
+						}
+						return ctx.Err()
+					}
+					if _, ok := pending[next]; ok {
+						break
+					}
+				}
+				payload = pending[next]
+				delete(pending, next)
+				<-c.winSem
+			}
+			if _, err := out.Write(payload); err != nil {
+				return fmt.Errorf("dist: output: %w", err)
+			}
+			summary.Points += hi - lo
+		}
+		return nil
+	}()
+
+	cancel()
+	wg.Wait()
+	if emitErr == nil {
+		emitErr = c.failure()
+	}
+	p := tracker.Snapshot()
+	summary.Retries = p.Retries
+	summary.Duration = time.Since(startAt)
+	tracker.finish(emitErr)
+	if opts.Progress != nil {
+		opts.Progress(tracker.Snapshot())
+	}
+	return summary, emitErr
+}
+
+// dispatch feeds the task channel: requeued shards first, then fresh
+// uncommitted shards in order, each holding a window token until emitted.
+func (c *coord) dispatch(ctx context.Context, st *store.Store, nShards int) {
+	next := 0
+	advance := func() int {
+		for next < nShards && st != nil && st.Has(next) {
+			next++
+		}
+		if next >= nShards {
+			return -1
+		}
+		s := next
+		next++
+		return s
+	}
+	for {
+		// Requeued shards already hold a window token; forward them ahead
+		// of fresh dispatches.
+		select {
+		case t := <-c.requeue:
+			select {
+			case c.tasks <- t:
+				continue
+			case <-ctx.Done():
+				return
+			}
+		default:
+		}
+		select {
+		case t := <-c.requeue:
+			select {
+			case c.tasks <- t:
+			case <-ctx.Done():
+				return
+			}
+		case c.winSem <- struct{}{}:
+			s := advance()
+			if s < 0 {
+				<-c.winSem // nothing fresh left; keep serving requeues
+				for {
+					select {
+					case t := <-c.requeue:
+						select {
+						case c.tasks <- t:
+						case <-ctx.Done():
+							return
+						}
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			select {
+			case c.tasks <- task{shard: s}:
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// localWorker evaluates shards in-process.
+func (c *coord) localWorker(ctx context.Context) {
+	for {
+		select {
+		case t := <-c.tasks:
+			c.tracker.attempt("local", +1)
+			payload, err := EvalShard(ctx, c.spec, t.shard, c.opts.Eval)
+			c.tracker.attempt("local", -1)
+			if err != nil {
+				if ctx.Err() == nil {
+					c.fail(fmt.Errorf("dist: shard %d: %w", t.shard, err))
+				}
+				return
+			}
+			select {
+			case c.results <- result{shard: t.shard, worker: "local", payload: payload}:
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// httpWorker pulls shards and evaluates them on one replica, with retry,
+// exponential backoff and failover: a failed shard goes back to the shared
+// queue (any replica may pick it up), and this worker backs off after
+// consecutive failures so a dead replica stops burning the attempt budget.
+func (c *coord) httpWorker(ctx context.Context, url string) {
+	consec := 0
+	for {
+		select {
+		case t := <-c.tasks:
+			c.tracker.attempt(url, +1)
+			payload, retryAfter, err := c.fetchShard(ctx, url, t.shard)
+			c.tracker.attempt(url, -1)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				c.tracker.failure(url)
+				t.attempts++
+				if t.attempts >= c.maxAttempts {
+					c.fail(fmt.Errorf("dist: shard %d failed %d attempts, last on %s: %w",
+						t.shard, t.attempts, url, err))
+					return
+				}
+				c.requeue <- t // buffered to the window; never blocks
+				consec++
+				backoff := time.Duration(100*(1<<min(consec, 5))) * time.Millisecond
+				if retryAfter > backoff {
+					backoff = retryAfter
+				}
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return
+				}
+				continue
+			}
+			consec = 0
+			select {
+			case c.results <- result{shard: t.shard, worker: url, payload: payload}:
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// fetchShard runs one POST /v1/shard attempt. A 429 reports the parsed
+// Retry-After so the backoff honors the replica's shed hint.
+func (c *coord) fetchShard(ctx context.Context, url string, shard int) ([]byte, time.Duration, error) {
+	timeout := c.opts.RequestTimeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	rctx, rcancel := context.WithTimeout(ctx, timeout)
+	defer rcancel()
+	body, err := shardRequestBody(c.spec, shard)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.opts.APIKey != "" {
+		req.Header.Set("X-API-Key", c.opts.APIKey)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		var retryAfter time.Duration
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, retryAfter, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(snippet))
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, 0, nil
+}
+
+// ShardRequest is the wire body of POST /v1/shard.
+type ShardRequest struct {
+	Spec  SweepSpec `json:"spec"`
+	Shard int       `json:"shard"`
+}
+
+func shardRequestBody(spec SweepSpec, shard int) ([]byte, error) {
+	return json.Marshal(ShardRequest{Spec: spec, Shard: shard})
+}

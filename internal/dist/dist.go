@@ -1,0 +1,180 @@
+// Package dist turns the in-process design-space sweep into distributed
+// infrastructure: a sweep spec decomposes into deterministic shards
+// (contiguous row-major index ranges, the same unit internal/sweep chunks
+// by), shards fan out to ssnserve worker replicas over POST /v1/shard with
+// per-shard retry, backoff and failover, and completed shard payloads are
+// checkpointed to an append-only on-disk store (internal/dist/store) so a
+// restarted coordinator resumes from the last committed shard instead of
+// recomputing a billion-point scan from zero.
+//
+// The invariant everything hangs off is byte determinism: a shard's
+// payload is the NDJSON encoding of its points in index order, identical
+// no matter which replica (or the in-process fallback) evaluated it, so
+// the merged stream — shard payloads concatenated in shard order — is
+// byte-for-byte the single-process internal/sweep stream for the same
+// spec, whether the run used 1 worker, N workers, or crashed halfway and
+// resumed. Equality is checkable with cmp(1), and the checkpoint store
+// never has to reconcile divergent replicas.
+//
+// Front-ends: cmd/ssndist drives a coordinator from the command line;
+// internal/serve exposes the worker side (POST /v1/shard) and a
+// server-side coordinator (POST /v1/distsweep, GET /v1/distsweep/status).
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ssnkit/internal/device"
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/sweep"
+)
+
+// BaseParams is the wire shape of the resolved fixed operating point
+// (ssn.Params with the device flattened): the coordinator resolves process
+// kits, packages and units once, and workers evaluate exactly the numbers
+// they are handed.
+type BaseParams struct {
+	N     int     `json:"n"`
+	K     float64 `json:"k"`
+	V0    float64 `json:"v0"`
+	A     float64 `json:"a"`
+	Vdd   float64 `json:"vdd"`
+	Slope float64 `json:"slope"`
+	L     float64 `json:"l"`
+	C     float64 `json:"c"`
+}
+
+// Axis is the wire shape of one swept dimension, mirroring sweep.Axis.
+type Axis struct {
+	Name   string  `json:"axis"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+	Points int     `json:"points"`
+	Log    bool    `json:"log,omitempty"`
+}
+
+// Extract names the device extraction a size axis re-runs per width.
+// Required exactly when a size axis is present.
+type Extract struct {
+	Process string `json:"process"`
+	Corner  string `json:"corner,omitempty"` // "tt" (default), "ss", "ff"
+	Rail    bool   `json:"rail,omitempty"`
+}
+
+// SweepSpec is the complete, self-contained description of one
+// distributed sweep: resolved base parameters, the axis grid and the
+// shard size. Identical specs produce identical shard decompositions and
+// identical payload bytes everywhere.
+type SweepSpec struct {
+	Base        BaseParams `json:"base"`
+	Axes        []Axis     `json:"axes"`
+	Extract     *Extract   `json:"extract,omitempty"`
+	ShardPoints int        `json:"shard_points"`
+}
+
+// DefaultShardPoints is the shard size when the spec leaves it zero: large
+// enough to amortize one HTTP round trip and a checkpoint fsync, small
+// enough that a lost worker re-evaluates milliseconds of closed-form work.
+const DefaultShardPoints = 4096
+
+// Params returns the resolved base operating point.
+func (s SweepSpec) Params() ssn.Params {
+	return ssn.Params{
+		N:     s.Base.N,
+		Dev:   device.ASDM{K: s.Base.K, V0: s.Base.V0, A: s.Base.A},
+		Vdd:   s.Base.Vdd,
+		Slope: s.Base.Slope,
+		L:     s.Base.L,
+		C:     s.Base.C,
+	}
+}
+
+// Grid assembles the sweep.Grid the spec describes.
+func (s SweepSpec) Grid() (sweep.Grid, error) {
+	g := sweep.Grid{Base: s.Params()}
+	sizeSwept := false
+	for _, a := range s.Axes {
+		if a.Name == sweep.AxisSize {
+			sizeSwept = true
+		}
+		g.Axes = append(g.Axes, sweep.Axis{Name: a.Name, From: a.From, To: a.To,
+			Points: a.Points, Log: a.Log})
+	}
+	if sizeSwept {
+		if s.Extract == nil {
+			return g, fmt.Errorf("dist: a size axis needs an extract spec")
+		}
+		corner, err := device.CornerByName(s.Extract.Corner)
+		if err != nil {
+			return g, err
+		}
+		g.Spec = device.ExtractSpec{Process: s.Extract.Process, Corner: corner, Rail: s.Extract.Rail}
+	}
+	return g, nil
+}
+
+// Validate rejects malformed specs: bad axes (structure and static
+// domain), a missing extract spec, or a non-positive shard size.
+func (s SweepSpec) Validate() error {
+	g, err := s.Grid()
+	if err != nil {
+		return err
+	}
+	if err := g.ValidateDomain(); err != nil {
+		return err
+	}
+	if s.ShardPoints < 0 {
+		return fmt.Errorf("dist: shard_points = %d must be non-negative", s.ShardPoints)
+	}
+	return nil
+}
+
+// Total returns the number of grid points.
+func (s SweepSpec) Total() int {
+	t := 1
+	for _, a := range s.Axes {
+		t *= a.Points
+	}
+	return t
+}
+
+// shardPoints returns the effective shard size.
+func (s SweepSpec) shardPoints() int {
+	if s.ShardPoints > 0 {
+		return s.ShardPoints
+	}
+	return DefaultShardPoints
+}
+
+// NumShards returns the shard count: ceil(total / shard size).
+func (s SweepSpec) NumShards() int {
+	sp := s.shardPoints()
+	return (s.Total() + sp - 1) / sp
+}
+
+// ShardRange returns the row-major index range [lo, hi) of shard i.
+func (s SweepSpec) ShardRange(i int) (lo, hi int) {
+	sp := s.shardPoints()
+	lo = i * sp
+	hi = min(lo+sp, s.Total())
+	return lo, hi
+}
+
+// Fingerprint hashes the canonical JSON encoding of the spec. The
+// checkpoint store records it at creation and refuses to resume under a
+// different spec — a resumed run that silently mixed shard payloads from
+// two different grids would be worse than recomputing.
+func (s SweepSpec) Fingerprint() string {
+	if s.ShardPoints == 0 {
+		s.ShardPoints = DefaultShardPoints // zero and the default are the same decomposition
+	}
+	b, err := json.Marshal(s)
+	if err != nil { // only non-finite floats can trip Marshal here
+		return "unfingerprintable"
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerProgress is one replica's live counters.
+type WorkerProgress struct {
+	URL      string `json:"url"`
+	InFlight int    `json:"in_flight"`
+	Shards   int    `json:"shards"`   // shards this replica completed
+	Failures int    `json:"failures"` // failed attempts charged to it
+}
+
+// Progress is a point-in-time snapshot of a coordinator run, shaped for
+// the /v1/distsweep/status endpoint and the CLI's stderr ticker.
+type Progress struct {
+	ShardsTotal  int              `json:"shards_total"`
+	ShardsDone   int              `json:"shards_done"` // computed + reused
+	ShardsReused int              `json:"shards_reused"`
+	PointsTotal  int64            `json:"points_total"`
+	PointsDone   int64            `json:"points_done"`
+	PointsPerSec float64          `json:"points_per_sec"`
+	Retries      int              `json:"retries"`
+	Elapsed      float64          `json:"elapsed_seconds"`
+	Done         bool             `json:"done"`
+	Error        string           `json:"error,omitempty"`
+	Workers      []WorkerProgress `json:"workers,omitempty"`
+}
+
+// Tracker accumulates coordinator progress. The coordinator writes it;
+// status endpoints and progress tickers read snapshots concurrently.
+type Tracker struct {
+	mu       sync.Mutex
+	start    time.Time
+	p        Progress
+	byWorker map[string]*WorkerProgress
+	order    []string
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{byWorker: map[string]*WorkerProgress{}} }
+
+func (t *Tracker) begin(shards int, points int64, workers []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.start = time.Now()
+	t.p = Progress{ShardsTotal: shards, PointsTotal: points}
+	t.byWorker = map[string]*WorkerProgress{}
+	t.order = workers
+	for _, w := range workers {
+		t.byWorker[w] = &WorkerProgress{URL: w}
+	}
+}
+
+func (t *Tracker) reused(points int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.ShardsReused++
+	t.p.ShardsDone++
+	t.p.PointsDone += points
+}
+
+func (t *Tracker) shardDone(worker string, points int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.ShardsDone++
+	t.p.PointsDone += points
+	if w := t.byWorker[worker]; w != nil {
+		w.Shards++
+	}
+}
+
+func (t *Tracker) attempt(worker string, delta int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.byWorker[worker]; w != nil {
+		w.InFlight += delta
+	}
+}
+
+func (t *Tracker) failure(worker string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Retries++
+	if w := t.byWorker[worker]; w != nil {
+		w.Failures++
+	}
+}
+
+func (t *Tracker) finish(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Done = true
+	if err != nil {
+		t.p.Error = err.Error()
+	}
+}
+
+// Snapshot returns the current progress. Points/s is averaged over the run
+// so far (the paper-scale sweeps this serves run long enough that the
+// average is the interesting number).
+func (t *Tracker) Snapshot() Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.p
+	if !t.start.IsZero() {
+		p.Elapsed = time.Since(t.start).Seconds()
+		if p.Elapsed > 0 {
+			p.PointsPerSec = float64(p.PointsDone) / p.Elapsed
+		}
+	}
+	p.Workers = make([]WorkerProgress, 0, len(t.order))
+	for _, u := range t.order {
+		p.Workers = append(p.Workers, *t.byWorker[u])
+	}
+	return p
+}

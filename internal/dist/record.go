@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+
+	"ssnkit/internal/ssn"
+	"ssnkit/internal/sweep"
+)
+
+// Record is the canonical NDJSON shape of one evaluated point, mirroring
+// the /v1/sweep wire record. Every worker encodes shard payloads through
+// this one type (encoding/json emits struct fields in declaration order
+// and map keys sorted, so the bytes are deterministic across replicas);
+// the coordinator merges payloads without re-encoding.
+type Record struct {
+	Values   map[string]float64 `json:"values"`
+	VMax     float64            `json:"vmax,omitempty"`
+	Case     string             `json:"case,omitempty"`
+	CaseCode int                `json:"case_code,omitempty"`
+	Error    *RecordError       `json:"error,omitempty"`
+}
+
+// RecordError reports a per-point failure in place, in the same
+// code/message/field envelope the service uses.
+type RecordError struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	Field      string `json:"field,omitempty"`
+	Value      any    `json:"value,omitempty"`
+	Constraint string `json:"constraint,omitempty"`
+}
+
+// toRecordError maps a point error onto the wire, lifting structure out of
+// ssn.ValidationError when present.
+func toRecordError(err error) *RecordError {
+	var ve *ssn.ValidationError
+	if errors.As(err, &ve) {
+		return &RecordError{Code: "invalid_request", Message: ve.Error(),
+			Field: ve.Field, Value: ve.Value, Constraint: ve.Constraint}
+	}
+	return &RecordError{Code: "invalid_request", Message: err.Error()}
+}
+
+// EvalConfig tunes a worker-side shard evaluation.
+type EvalConfig struct {
+	// Workers bounds the parallel chunk evaluators; <= 0 means GOMAXPROCS.
+	Workers int
+	// Extract resolves device extraction for a swept size axis (plug in a
+	// shared cache); nil falls back to direct extraction.
+	Extract sweep.ExtractFunc
+	// Gate, when non-nil, bounds chunk concurrency globally (a shard
+	// evaluated inside ssnserve shares the one worker pool).
+	Gate sweep.Gate
+}
+
+// EvalRange evaluates the row-major index range [lo, hi) of the spec's
+// grid and returns its canonical NDJSON payload: one Record per point in
+// index order, per-point errors in place. The bytes depend only on (spec,
+// lo, hi) — never on worker count, chunking or which process ran it.
+func EvalRange(ctx context.Context, spec SweepSpec, lo, hi int, cfg EvalConfig) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(64 * (hi - lo))
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	rec := Record{Values: make(map[string]float64, len(g.Axes))}
+	sink := func(pt sweep.Point) error {
+		rec.VMax = 0
+		rec.Case = ""
+		rec.CaseCode = 0
+		rec.Error = nil
+		for k, ax := range g.Axes {
+			v := pt.Values[k]
+			if ax.Name == sweep.AxisN && pt.Err == nil {
+				v = float64(pt.Params.N) // the resolved (rounded) driver count
+			}
+			rec.Values[ax.Name] = v
+		}
+		if pt.Err != nil {
+			rec.Error = toRecordError(pt.Err)
+		} else {
+			rec.VMax = pt.VMax
+			rec.Case = pt.Case.String()
+			rec.CaseCode = int(pt.Case)
+		}
+		return enc.Encode(&rec)
+	}
+	scfg := sweep.Config{Workers: cfg.Workers, Extract: cfg.Extract, Gate: cfg.Gate}
+	if _, err := sweep.RunRange(ctx, g, scfg, lo, hi, sink); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EvalShard evaluates shard i of the spec: EvalRange over ShardRange(i).
+func EvalShard(ctx context.Context, spec SweepSpec, i int, cfg EvalConfig) ([]byte, error) {
+	if i < 0 || i >= spec.NumShards() {
+		return nil, errors.New("dist: shard index outside the spec's decomposition")
+	}
+	lo, hi := spec.ShardRange(i)
+	return EvalRange(ctx, spec, lo, hi, cfg)
+}

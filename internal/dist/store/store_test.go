@@ -1,0 +1,287 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+const fp = "deadbeef-spec-fingerprint"
+
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf(`{"shard":%d,"v":%d}`+"\n", i, i*i))
+}
+
+func TestCommitGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i += 2 { // commit evens only, out of order
+		if err := st.Commit(9-i, payloadFor(9-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", st.Len())
+	}
+	// Double commit is a no-op, not an error.
+	if err := st.Commit(9, []byte("different")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(9)
+	if err != nil || !bytes.Equal(got, payloadFor(9)) {
+		t.Fatalf("Get(9) = %q, %v; want original payload", got, err)
+	}
+	if st.Has(2) {
+		t.Error("Has(2) = true for an uncommitted shard")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify everything survived.
+	st2, err := Open(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("reopened Len = %d, want 5", st2.Len())
+	}
+	for i := 1; i < 10; i += 2 {
+		got, err := st2.Get(i)
+		if err != nil || !bytes.Equal(got, payloadFor(i)) {
+			t.Fatalf("reopened Get(%d) = %q, %v", i, got, err)
+		}
+	}
+	// And commits keep working after recovery.
+	if err := st2.Commit(2, payloadFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st2.Get(2); err != nil || !bytes.Equal(got, payloadFor(2)) {
+		t.Fatalf("post-recovery Get(2) = %q, %v", got, err)
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Commit(0, payloadFor(0))
+	st.Close()
+	if _, err := Open(dir, "a-different-spec"); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("Open with wrong fingerprint: %v, want ErrFingerprint", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"), fp); !os.IsNotExist(err) {
+		t.Fatalf("Open of missing dir: %v, want fs.ErrNotExist", err)
+	}
+}
+
+// corruptAt flips one byte of the named file.
+func corruptAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexCorruptionFallsBack pins recovery: a CRC-failing index record
+// invalidates it and everything after it, and the store falls back to the
+// last good shard boundary instead of refusing to open.
+func TestIndexCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Commit(i, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Corrupt the third index record (records follow the header).
+	hdr := headerLen(fp)
+	corruptAt(t, filepath.Join(dir, "shards.idx"), hdr+2*idxRecLen+5)
+
+	st2, err := Open(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2 (shards before the corruption)", st2.Len())
+	}
+	for i := 0; i < 2; i++ {
+		got, err := st2.Get(i)
+		if err != nil || !bytes.Equal(got, payloadFor(i)) {
+			t.Fatalf("recovered Get(%d) = %q, %v", i, got, err)
+		}
+	}
+	// Shards past the corruption recommit cleanly.
+	for i := 2; i < 5; i++ {
+		if err := st2.Commit(i, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, err := st2.Get(i)
+		if err != nil || !bytes.Equal(got, payloadFor(i)) {
+			t.Fatalf("recommitted Get(%d) = %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestTruncatedTails pins torn-write recovery: a short final index record
+// and data bytes past the last indexed payload are both dropped.
+func TestTruncatedTails(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Commit(i, payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Tear the final index record mid-write and append data-file garbage
+	// (a crash between the data fsync and the index fsync).
+	idxPath := filepath.Join(dir, "shards.idx")
+	fi, err := os.Stat(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(idxPath, fi.Size()-idxRecLen/2); err != nil {
+		t.Fatal(err)
+	}
+	datPath := filepath.Join(dir, "shards.dat")
+	f, err := os.OpenFile(datPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("torn partial data record")
+	f.Close()
+
+	st2, err := Open(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", st2.Len())
+	}
+	// Shard 2 recommits over the truncated tail and reads back intact.
+	if err := st2.Commit(2, payloadFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := st2.Get(i)
+		if err != nil || !bytes.Equal(got, payloadFor(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestPayloadCorruptionDetected pins the read-side CRC: flipping payload
+// bytes on disk turns Get into an error, never silent bad data.
+func TestPayloadCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(0, payloadFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	corruptAt(t, filepath.Join(dir, "shards.dat"), headerLen(fp)+8+2) // inside the payload
+
+	st2, err := Open(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Get(0); err == nil {
+		t.Fatal("Get of a corrupted payload succeeded")
+	}
+}
+
+// TestConcurrentCommitAndRead exercises the locking under -race: many
+// goroutines committing disjoint shards while readers poll Has/Get/Len.
+func TestConcurrentCommitAndRead(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const shards = 64
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := st.Commit(i, payloadFor(i)); err != nil {
+				t.Errorf("Commit(%d): %v", i, err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for i := 0; i < shards; i++ {
+					if st.Has(i) {
+						if got, err := st.Get(i); err != nil || !bytes.Equal(got, payloadFor(i)) {
+							t.Errorf("concurrent Get(%d) = %q, %v", i, got, err)
+							return
+						}
+					}
+				}
+				_ = st.Len()
+			}
+		}()
+	}
+	go func() {
+		// Close the reader loop once all commits land.
+		for st.Len() < shards {
+		}
+		close(done)
+	}()
+	wg.Wait()
+	if st.Len() != shards {
+		t.Fatalf("Len = %d, want %d", st.Len(), shards)
+	}
+}

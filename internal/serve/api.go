@@ -8,6 +8,7 @@ import (
 	"ssnkit/internal/device"
 	"ssnkit/internal/pkgmodel"
 	"ssnkit/internal/ssn"
+	"ssnkit/internal/sweep"
 )
 
 // apiError is the wire shape of every error body: {"error": {...}}. The
@@ -20,6 +21,10 @@ type apiError struct {
 	Field      string `json:"field,omitempty"`
 	Value      any    `json:"value,omitempty"`
 	Constraint string `json:"constraint,omitempty"`
+
+	// retryAfter, when positive, becomes a Retry-After response header
+	// (seconds): shed responses tell clients when to come back.
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -44,6 +49,16 @@ func toAPIError(err error) *apiError {
 			Field:      ve.Field,
 			Value:      ve.Value,
 			Constraint: ve.Constraint,
+		}
+	}
+	var de *sweep.DomainError
+	if errors.As(err, &de) {
+		return &apiError{
+			Code:       "invalid_request",
+			Message:    de.Error(),
+			Field:      "axes",
+			Value:      de.Bound,
+			Constraint: fmt.Sprintf("axis %s %s", de.Axis, de.Constraint),
 		}
 	}
 	return &apiError{Code: "invalid_request", Message: err.Error()}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/dist"
+)
+
+// distTestSpec mirrors the fixture internal/dist tests use: awkward sizes,
+// small enough to be instant.
+func distTestSpec() dist.SweepSpec {
+	return dist.SweepSpec{
+		Base: dist.BaseParams{
+			N: 16, K: 4e-3, V0: 0.6, A: 1.2,
+			Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12,
+		},
+		Axes: []dist.Axis{
+			{Name: "n", From: 1, To: 64, Points: 8},
+			{Name: "l", From: 5e-10, To: 8e-9, Points: 9},
+		},
+		ShardPoints: 16,
+	}
+}
+
+// TestShardEndpoint pins the worker surface: POST /v1/shard returns the
+// exact canonical payload dist.EvalShard computes for the same spec.
+func TestShardEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := distTestSpec()
+	want, err := dist.EvalShard(context.Background(), spec, 3, dist.EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(dist.ShardRequest{Spec: spec, Shard: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, got := postJSON(t, ts.URL+"/v1/shard", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("endpoint payload differs from EvalShard (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestShardEndpointRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 100})
+	spec := distTestSpec()
+	cases := []struct {
+		name     string
+		req      dist.ShardRequest
+		wantCode string
+	}{
+		{"shard out of range", dist.ShardRequest{Spec: spec, Shard: 99}, "invalid_request"},
+		{"negative shard", dist.ShardRequest{Spec: spec, Shard: -1}, "invalid_request"},
+		{"bad axis domain", func() dist.ShardRequest {
+			s := distTestSpec()
+			s.Axes[1].From = -1e-9
+			return dist.ShardRequest{Spec: s, Shard: 0}
+		}(), "invalid_request"},
+		{"oversized shard", func() dist.ShardRequest {
+			s := distTestSpec()
+			s.Axes[0].Points = 20 // 180-point grid
+			s.ShardPoints = 150   // > MaxSweepPoints, not clamped by the total
+			return dist.ShardRequest{Spec: s, Shard: 0}
+		}(), "grid_too_large"},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		resp, got := postJSON(t, ts.URL+"/v1/shard", string(body))
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: got 200", tc.name)
+			continue
+		}
+		if e := errEnvelope(t, got); e.Code != tc.wantCode {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.wantCode)
+		}
+	}
+}
+
+// TestDistSweepEndpoint pins the server-side coordinator: the streamed
+// NDJSON (minus the terminal summary) is byte-identical to the local
+// baseline, and the run shows up on /v1/distsweep/status.
+func TestDistSweepEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := `{
+		"params": {"n": 16, "package": "pga", "rise_time": 1e-9},
+		"axes": [{"axis": "n", "from": 1, "to": 64, "points": 8},
+		         {"axis": "l", "from": 5e-10, "to": 8e-9, "points": 9}],
+		"shard_points": 16
+	}`
+	resp, got := postJSON(t, ts.URL+"/v1/distsweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Dist-Run") == "" {
+		t.Error("no X-Dist-Run header")
+	}
+
+	lines := bytes.Split(bytes.TrimSuffix(got, []byte("\n")), []byte("\n"))
+	if len(lines) != 72+1 {
+		t.Fatalf("%d lines, want 72 points + summary", len(lines))
+	}
+	var summary distSummary
+	if err := json.Unmarshal(lines[len(lines)-1], &summary); err != nil {
+		t.Fatalf("terminal record: %v", err)
+	}
+	if !summary.Done || summary.Points != 72 {
+		t.Fatalf("summary %+v", summary)
+	}
+
+	// The streamed points equal the canonical local evaluation of the same
+	// spec (the server resolves the same base params the request named).
+	spec, aerr := s.buildDistSpec(distSweepRequest{
+		paramsEnvelope: paramsEnvelope{Params: &EvalItem{N: 16, Package: "pga", RiseTime: 1e-9}},
+		Axes: []SweepAxis{
+			{Axis: "n", From: 1, To: 64, Points: 8},
+			{Axis: "l", From: 5e-10, To: 8e-9, Points: 9},
+		},
+		ShardPoints: 16,
+	})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	want, err := dist.EvalRange(context.Background(), spec, 0, spec.Total(), dist.EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bytes.Join(lines[:len(lines)-1], []byte("\n"))
+	stream = append(stream, '\n')
+	if !bytes.Equal(want, stream) {
+		t.Fatal("distsweep stream differs from the canonical local evaluation")
+	}
+
+	// Status endpoint reports the finished run.
+	resp2, sbody := getURL(t, ts.URL+"/v1/distsweep/status")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %d", resp2.StatusCode)
+	}
+	var status distStatusResponse
+	if err := json.Unmarshal(sbody, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Count != 1 || !status.Runs[0].Progress.Done ||
+		status.Runs[0].Progress.PointsDone != 72 {
+		t.Fatalf("status %+v", status)
+	}
+	if _, sbody := getURL(t, ts.URL+"/v1/distsweep/status?id="+status.Runs[0].ID); !bytes.Contains(sbody, []byte(status.Runs[0].ID)) {
+		t.Error("status by id did not return the run")
+	}
+	if resp3, _ := getURL(t, ts.URL+"/v1/distsweep/status?id=nope"); resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestDistSweepValidatesBeforeStreaming pins the 400-before-first-byte
+// contract on the coordinator endpoint too.
+func TestDistSweepValidatesBeforeStreaming(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{
+		"params": {"n": 16, "package": "pga", "rise_time": 1e-9},
+		"axes": [{"axis": "l", "from": -1e-9, "to": 8e-9, "points": 9}]
+	}`
+	resp, got := postJSON(t, ts.URL+"/v1/distsweep", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, got)
+	}
+	if e := errEnvelope(t, got); e.Code != "invalid_request" || e.Field != "axes" {
+		t.Errorf("error %+v", e)
+	}
+}
+
+// TestSweepDomainRejectedBeforeStream is the /v1/sweep regression test for
+// the streaming-before-validation bug: an axis whose range provably
+// contains invalid points (tr from -1ns, l from 0) must produce a
+// structured 400 — never a 200 NDJSON stream of per-point errors.
+func TestSweepDomainRejectedBeforeStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{
+			"tr axis crossing zero",
+			`{"params": {"n": 16, "package": "pga"}, "axes": [{"axis": "tr", "from": -1e-9, "to": 1e-9, "points": 8}]}`,
+		},
+		{
+			"l axis starting at zero",
+			`{"params": {"n": 16, "package": "pga", "rise_time": 1e-9}, "axes": [{"axis": "l", "from": 0, "to": 4e-9, "points": 8}]}`,
+		},
+		{
+			"slope axis negative",
+			`{"params": {"n": 16, "package": "pga"}, "axes": [{"axis": "slope", "from": -1e9, "to": 1e9, "points": 4}]}`,
+		},
+		{
+			"c axis negative",
+			`{"params": {"n": 16, "package": "pga", "rise_time": 1e-9}, "axes": [{"axis": "c", "from": -1e-12, "to": 1e-12, "points": 4}]}`,
+		},
+	}
+	for _, tc := range cases {
+		resp, got := postJSON(t, ts.URL+"/v1/sweep", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %.120s", tc.name, resp.StatusCode, got)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Errorf("%s: Content-Type %q, want JSON error envelope", tc.name, ct)
+		}
+		// The body must be exactly one structured error envelope — no NDJSON
+		// stream started before the rejection.
+		if bytes.Contains(bytes.TrimSpace(got), []byte("\n")) {
+			t.Errorf("%s: multi-line body; stream started before validation: %.200s", tc.name, got)
+		}
+		e := errEnvelope(t, got)
+		if e.Code != "invalid_request" || e.Field != "axes" || e.Constraint == "" {
+			t.Errorf("%s: error %+v", tc.name, e)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -48,12 +49,17 @@ func statusFor(e *apiError) int {
 		return http.StatusGatewayTimeout
 	case "not_found":
 		return http.StatusNotFound
+	case "overloaded", "quota_exhausted":
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
 }
 
 func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeJSON(w, statusFor(e), map[string]*apiError{"error": e})
 }
 

@@ -35,6 +35,13 @@ type Metrics struct {
 	sweepPoints   uint64
 	sweepChunks   uint64
 	sweepRefined  uint64
+
+	admissionQueueDepth int
+	admissionShed       map[string]uint64
+
+	shards      uint64
+	shardPoints uint64
+	distSweeps  uint64
 }
 
 type requestKey struct {
@@ -52,9 +59,10 @@ type routeHistogram struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:    map[requestKey]uint64{},
-		latency:     map[string]*routeHistogram{},
-		jobsByState: map[string]uint64{},
+		requests:      map[requestKey]uint64{},
+		latency:       map[string]*routeHistogram{},
+		jobsByState:   map[string]uint64{},
+		admissionShed: map[string]uint64{},
 	}
 }
 
@@ -121,6 +129,46 @@ func (m *Metrics) ObserveSweep(points, chunks, refined int, completed bool) {
 	m.sweepPoints += uint64(points)
 	m.sweepChunks += uint64(chunks)
 	m.sweepRefined += uint64(refined)
+}
+
+// AdmissionShed counts one shed request by reason ("queue_full", "quota").
+func (m *Metrics) AdmissionShed(reason string) {
+	m.mu.Lock()
+	m.admissionShed[reason]++
+	m.mu.Unlock()
+}
+
+// AdmissionQueueDepth records the current admission-queue depth gauge.
+func (m *Metrics) AdmissionQueueDepth(depth int) {
+	m.mu.Lock()
+	m.admissionQueueDepth = depth
+	m.mu.Unlock()
+}
+
+// ShedCounts returns the shed counters by reason (for tests).
+func (m *Metrics) ShedCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.admissionShed))
+	for k, v := range m.admissionShed {
+		out[k] = v
+	}
+	return out
+}
+
+// ObserveShard records one /v1/shard evaluation of the given point count.
+func (m *Metrics) ObserveShard(points int) {
+	m.mu.Lock()
+	m.shards++
+	m.shardPoints += uint64(points)
+	m.mu.Unlock()
+}
+
+// ObserveDistSweep records one coordinator run started on /v1/distsweep.
+func (m *Metrics) ObserveDistSweep() {
+	m.mu.Lock()
+	m.distSweeps++
+	m.mu.Unlock()
 }
 
 // SweepCounts returns the sweep counters (for tests).
@@ -202,6 +250,30 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintln(cw, "# HELP ssnserve_sweep_refined_points_total Adaptive refinement points emitted.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_sweep_refined_points_total counter")
 	fmt.Fprintf(cw, "ssnserve_sweep_refined_points_total %d\n", m.sweepRefined)
+
+	fmt.Fprintln(cw, "# HELP ssnserve_admission_queue_depth Requests waiting for an admission slot.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_admission_queue_depth gauge")
+	fmt.Fprintf(cw, "ssnserve_admission_queue_depth %d\n", m.admissionQueueDepth)
+	fmt.Fprintln(cw, "# HELP ssnserve_admission_shed_total Requests shed with 429 by reason.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_admission_shed_total counter")
+	reasons := make([]string, 0, len(m.admissionShed))
+	for r := range m.admissionShed {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(cw, "ssnserve_admission_shed_total{reason=%q} %d\n", r, m.admissionShed[r])
+	}
+
+	fmt.Fprintln(cw, "# HELP ssnserve_shards_total Distributed sweep shards evaluated.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_shards_total counter")
+	fmt.Fprintf(cw, "ssnserve_shards_total %d\n", m.shards)
+	fmt.Fprintln(cw, "# HELP ssnserve_shard_points_total Points evaluated inside shard requests.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_shard_points_total counter")
+	fmt.Fprintf(cw, "ssnserve_shard_points_total %d\n", m.shardPoints)
+	fmt.Fprintln(cw, "# HELP ssnserve_distsweeps_total Coordinator runs started on /v1/distsweep.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_distsweeps_total counter")
+	fmt.Fprintf(cw, "ssnserve_distsweeps_total %d\n", m.distSweeps)
 
 	fmt.Fprintln(cw, "# HELP ssnserve_jobs_total Job state transitions.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_jobs_total counter")

@@ -10,7 +10,10 @@
 //	POST /v1/maxssn      single or batch Params -> {vmax, case, sensitivity}
 //	POST /v1/waveform    sampled V(t)/I(t) from the L or LC closed form
 //	POST /v1/sweep       multi-axis grid sweep streamed as NDJSON
+//	POST /v1/shard       one distributed-sweep shard [lo,hi) as NDJSON
 //	POST /v1/montecarlo  asynchronous Monte Carlo job; returns a job ID
+//	POST /v1/distsweep   coordinate a sweep across worker replicas
+//	GET  /v1/distsweep/status  progress of the latest coordinator runs
 //	GET  /v1/jobs/{id}   job status and result
 //	GET  /healthz        liveness + in-flight/cache gauges
 //	GET  /metrics        Prometheus text exposition
@@ -46,6 +49,18 @@ type Config struct {
 	MaxMCSamples   int           // max Monte Carlo samples per job, default 10,000,000
 	MaxSweepPoints int           // max grid points per /v1/sweep, default 1,000,000
 	PlanCacheSize  int           // compiled-plan cache entries, default 4096
+
+	// Admission control. Evaluation endpoints pass through a bounded
+	// concurrency + queue gate; excess load is shed with 429 + Retry-After
+	// instead of queueing without bound.
+	MaxConcurrent int           // concurrently admitted requests, default 2*Workers
+	MaxQueue      int           // requests allowed to wait for admission, default 64
+	RetryAfter    time.Duration // Retry-After hint on queue sheds, default 1s
+	QuotaRPS      float64       // per-API-key token refill rate, 0 disables quotas
+	QuotaBurst    float64       // per-API-key bucket capacity, default 2*QuotaRPS (min 1)
+
+	// MaxDistRuns bounds retained /v1/distsweep run records, default 64.
+	MaxDistRuns int
 
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ and a
 	// runtime/metrics snapshot under /debug/runtime. Profiles expose heap
@@ -85,6 +100,21 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 4096
 	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * c.Workers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.QuotaRPS > 0 && c.QuotaBurst <= 0 {
+		c.QuotaBurst = max(2*c.QuotaRPS, 1)
+	}
+	if c.MaxDistRuns <= 0 {
+		c.MaxDistRuns = 64
+	}
 	return c
 }
 
@@ -98,6 +128,8 @@ type Server struct {
 	plans   *PlanCache
 	pool    *pool
 	jobs    *jobStore
+	adm     *admission
+	dist    *distRuns
 	mux     *http.ServeMux
 	httpSrv *http.Server
 	start   time.Time
@@ -115,17 +147,22 @@ func New(cfg Config) *Server {
 		plans:   NewPlanCache(cfg.PlanCacheSize),
 		pool:    p,
 		jobs:    newJobStore(p, m, cfg.MaxJobs),
+		dist:    newDistRuns(cfg.MaxDistRuns),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	s.adm = newAdmission(cfg, m)
 	s.httpSrv = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	s.mux.Handle("POST /v1/maxssn", s.instrument("/v1/maxssn", s.handleMaxSSN))
-	s.mux.Handle("POST /v1/waveform", s.instrument("/v1/waveform", s.handleWaveform))
-	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
-	s.mux.Handle("POST /v1/montecarlo", s.instrument("/v1/montecarlo", s.handleMonteCarlo))
+	s.mux.Handle("POST /v1/maxssn", s.admitted("/v1/maxssn", s.handleMaxSSN))
+	s.mux.Handle("POST /v1/waveform", s.admitted("/v1/waveform", s.handleWaveform))
+	s.mux.Handle("POST /v1/sweep", s.admitted("/v1/sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/shard", s.admitted("/v1/shard", s.handleShard))
+	s.mux.Handle("POST /v1/montecarlo", s.admitted("/v1/montecarlo", s.handleMonteCarlo))
+	s.mux.Handle("POST /v1/distsweep", s.instrument("/v1/distsweep", s.handleDistSweep))
+	s.mux.Handle("GET /v1/distsweep/status", s.instrument("/v1/distsweep/status", s.handleDistStatus))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))

@@ -95,10 +95,12 @@ func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiErr
 			Field:      "axes",
 			Constraint: fmt.Sprintf("at most %d grid points", s.cfg.MaxSweepPoints)}
 	}
-	// Reject malformed axes (unknown name, duplicates, inverted range)
-	// here, while a 400 status line is still possible — once streaming
-	// starts, errors can only arrive as trailing NDJSON records.
-	if err := g.Validate(); err != nil {
+	// Reject malformed axes (unknown name, duplicates, inverted range) and
+	// statically-invalid domains (an l/slope/tr axis starting at or below
+	// zero fails on every point) here, while a 400 status line is still
+	// possible — once streaming starts, errors can only arrive as trailing
+	// NDJSON records.
+	if err := g.ValidateDomain(); err != nil {
 		return g, cfg, toAPIError(err)
 	}
 

@@ -719,6 +719,32 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 	if err := g.Validate(); err != nil {
 		return Stats{}, err
 	}
+	e := newEngine(g, cfg)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	stats, err := e.runRange(ctx, cancel, cfg, 0, g.Total(), sink)
+	if err != nil {
+		return stats, err
+	}
+	if cfg.RefineDepth > 0 {
+		workers := stats.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		if err := e.refine(ctx, cancel, cfg, workers, sink, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// runRange evaluates the row-major index range [lo, hi) of the grid on the
+// chunked worker pool and streams the points in index order through sink.
+// ctx must already be cancellable via cancel; all worker goroutines have
+// exited when it returns.
+func (e *engine) runRange(ctx context.Context, cancel context.CancelFunc, cfg Config, lo, hi int, sink Sink) (Stats, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -727,23 +753,19 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 	if chunk <= 0 {
 		chunk = 1024
 	}
-	total := g.Total()
-	nChunks := (total + chunk - 1) / chunk
+	span := hi - lo
+	nChunks := (span + chunk - 1) / chunk
 	if workers > nChunks {
 		workers = nChunks
 	}
-	stats := Stats{GridPoints: total, Chunks: nChunks, Workers: workers}
-	e := newEngine(g, cfg)
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	stats := Stats{GridPoints: span, Chunks: nChunks, Workers: workers}
 
 	type chunkOut struct {
 		idx int
 		buf *chunkBuf
 	}
 	tasks := make(chan int)
-	out := make(chan chunkOut, workers)
+	out := make(chan chunkOut, workers+1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -755,10 +777,10 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 						return
 					}
 				}
-				lo := ci * chunk
-				hi := min(lo+chunk, total)
-				buf := getChunkBuf(chunk, len(g.Axes))
-				e.evalChunk(ctx, buf, lo, hi)
+				clo := lo + ci*chunk
+				chi := min(clo+chunk, hi)
+				buf := getChunkBuf(chunk, len(e.grid.Axes))
+				e.evalChunk(ctx, buf, clo, chi)
 				if cfg.Gate != nil {
 					cfg.Gate.Release()
 				}
@@ -838,14 +860,5 @@ func Run(ctx context.Context, g Grid, cfg Config, sink Sink) (Stats, error) {
 	if sinkErr != nil {
 		return stats, sinkErr
 	}
-	if err := ctx.Err(); err != nil {
-		return stats, err
-	}
-
-	if cfg.RefineDepth > 0 {
-		if err := e.refine(ctx, cancel, cfg, workers, sink, &stats); err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
+	return stats, ctx.Err()
 }
