@@ -42,6 +42,11 @@ func TestAPILockSignatures(t *testing.T) {
 		{"MonteCarlo", ssnkit.MonteCarlo, ssn.MonteCarlo},
 		{"MonteCarloCtx", ssnkit.MonteCarloCtx, ssn.MonteCarloCtx},
 		{"DelayPushout", ssnkit.DelayPushout, ssn.DelayPushout},
+		{"ParseSolveVar", ssnkit.ParseSolveVar, ssn.ParseSolveVar},
+		{"Solve", ssnkit.Solve, ssn.Solve},
+		{"SolveBracket", ssnkit.SolveBracket, ssn.SolveBracket},
+		{"Yield", ssnkit.Yield, ssn.Yield},
+		{"YieldCtx", ssnkit.YieldCtx, ssn.YieldCtx},
 		{"Processes", ssnkit.Processes, device.Processes},
 		{"ProcessByName", ssnkit.ProcessByName, device.ProcessByName},
 		{"ExtractASDM", ssnkit.ExtractASDM, device.ExtractASDM},
@@ -86,6 +91,18 @@ func TestAPILockBehavior(t *testing.T) {
 	}
 	if gotV != wantV || gotC != wantC {
 		t.Errorf("facade MaxSSN = (%g, %v), internal = (%g, %v)", gotV, gotC, wantV, wantC)
+	}
+
+	gotSol, err := ssnkit.Solve(p, ssnkit.SolveN, 0.9*gotV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSol, err := ssn.Solve(p, ssn.SolveN, 0.9*wantV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSol.Value != wantSol.Value || gotSol.VMax != wantSol.VMax {
+		t.Errorf("facade Solve = %+v, internal = %+v", gotSol, wantSol)
 	}
 }
 

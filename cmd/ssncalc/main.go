@@ -36,6 +36,8 @@ func run(args []string, out io.Writer) error {
 		budget  = fs.Float64("budget", 0, "optional noise budget in volts: print design guidance")
 		csvPath = fs.String("csv", "", "write the model SSN waveform to this CSV file")
 		mc      = fs.Int("mc", 0, "Monte Carlo samples over typical process spreads (0 = off)")
+		solve   = fs.String("solve", "", "inverse design: solve this variable (n, l, c, slope, rise_time) for -budget")
+		yield   = fs.Int("yield", 0, "yield samples: Monte Carlo pass probability against -budget (0 = off)")
 		vil     = fs.Float64("vil", 0, "receiver VIL in volts: check the quiet-output glitch margin")
 		rail    = fs.Bool("rail", false, "analyze power-rail droop (pull-up drivers) instead of ground bounce")
 	)
@@ -109,6 +111,45 @@ func run(args []string, out io.Writer) error {
 		} else {
 			fmt.Fprintf(out, "  max ground inductance at N=%d: %v\n", *n, err)
 		}
+	}
+
+	if *solve != "" {
+		if *budget <= 0 {
+			return fmt.Errorf("-solve requires -budget > 0")
+		}
+		v, err := ssn.ParseSolveVar(*solve)
+		if err != nil {
+			return err
+		}
+		sol, err := ssn.Solve(p, v, *budget)
+		if err != nil {
+			return err
+		}
+		unit := map[ssn.SolveVar]string{
+			ssn.SolveL: "H", ssn.SolveC: "F", ssn.SolveSlope: "V/s", ssn.SolveRiseTime: "s",
+		}[v]
+		fmt.Fprintf(out, "\ninverse design for a %s budget:\n", units.Format(*budget, "V"))
+		if v == ssn.SolveN {
+			fmt.Fprintf(out, "  boundary %s = %.3f (max %d simultaneous drivers)\n",
+				v, sol.Value, sol.MaxDrivers())
+		} else {
+			fmt.Fprintf(out, "  boundary %s = %s\n", v, units.Format(sol.Value, unit))
+		}
+		fmt.Fprintf(out, "  vmax there %s (%s), %d model evaluations\n",
+			units.Format(sol.VMax, "V"), sol.Case, sol.Evals)
+	}
+
+	if *yield > 0 {
+		if *budget <= 0 {
+			return fmt.Errorf("-yield requires -budget > 0")
+		}
+		y, err := ssn.Yield(p, ssn.Variation{K: 0.05, V0: 0.03, A: 0.02},
+			*budget, *yield, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nyield against the %s budget: %.1f%% (95%% interval %.1f%% .. %.1f%%, %d/%d pass)\n",
+			units.Format(*budget, "V"), y.Probability*100, y.WilsonLo*100, y.WilsonHi*100, y.Pass, y.Samples)
 	}
 
 	if *mc > 0 {

@@ -46,6 +46,51 @@ func TestRunBudgetGuidance(t *testing.T) {
 	}
 }
 
+func TestRunSolveFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "16", "-pads", "2", "-budget", "0.3", "-solve", "n"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"inverse design", "boundary n", "max", "simultaneous drivers", "vmax there"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-n", "16", "-pads", "2", "-budget", "0.3", "-solve", "l"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "boundary l") {
+		t.Errorf("solve l output:\n%s", buf.String())
+	}
+
+	// -solve without a budget, and an unknown variable, are errors.
+	if err := run([]string{"-solve", "n"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for -solve without -budget")
+	}
+	if err := run([]string{"-budget", "0.3", "-solve", "zz"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for unknown solve variable")
+	}
+}
+
+func TestRunYieldFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "16", "-pads", "2", "-budget", "0.5", "-yield", "500"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "yield against") || !strings.Contains(out, "95% interval") {
+		t.Errorf("yield output:\n%s", out)
+	}
+	if err := run([]string{"-yield", "100"}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for -yield without -budget")
+	}
+}
+
 func TestRunCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wave.csv")

@@ -10,9 +10,9 @@
 //	ssnload -url http://127.0.0.1:8350 -c 32 -d 10s
 //	ssnload -mix single=8,batch=1,sweep=1 -c 64 -d 30s -json
 //
-// The mix weights pick per request among three shapes: "single" (one
-// /v1/maxssn point), "batch" (a 64-item /v1/maxssn batch) and "sweep" (a
-// 256-point /v1/sweep stream).
+// The mix weights pick per request among four shapes: "single" (one
+// /v1/maxssn point), "batch" (a 64-item /v1/maxssn batch), "sweep" (a
+// 256-point /v1/sweep stream) and "solve" (one /v1/solve inverse query).
 package main
 
 import (
@@ -57,6 +57,8 @@ func parseMix(s string) ([]shape, error) {
 		"batch": {name: "batch", path: "/v1/maxssn", body: batchBody(64)},
 		"sweep": {name: "sweep", path: "/v1/sweep",
 			body: []byte(`{"params":{"package":"pga","rise_time":1e-9},"axes":[{"axis":"n","from":1,"to":256,"points":256}]}`)},
+		"solve": {name: "solve", path: "/v1/solve",
+			body: []byte(`{"params":{"package":"pga","rise_time":1e-9,"n":1},"vmax_budget":0.3,"variable":"n"}`)},
 	}
 	var shapes []shape
 	for _, part := range strings.Split(s, ",") {
@@ -67,7 +69,7 @@ func parseMix(s string) ([]shape, error) {
 		name, wstr, hasW := strings.Cut(part, "=")
 		sh, ok := bodies[name]
 		if !ok {
-			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, sweep)", name)
+			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, sweep, solve)", name)
 		}
 		sh.weight = 1
 		if hasW {
@@ -194,7 +196,7 @@ func run(args []string, out io.Writer) error {
 		url     = fs.String("url", "http://127.0.0.1:8350", "target ssnserve base URL")
 		conc    = fs.Int("c", 8, "concurrent request loops")
 		dur     = fs.Duration("d", 10*time.Second, "run duration")
-		mixStr  = fs.String("mix", "single", "request mix: shape[=weight],... (single, batch, sweep)")
+		mixStr  = fs.String("mix", "single", "request mix: shape[=weight],... (single, batch, sweep, solve)")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		apiKey  = fs.String("api-key", "", "X-API-Key header (exercises per-client quotas)")
 		asJSON  = fs.Bool("json", false, "emit the report as JSON")

@@ -21,6 +21,10 @@ func TestParseMix(t *testing.T) {
 	if shapes, err := parseMix("sweep"); err != nil || len(shapes) != 1 || shapes[0].weight != 1 {
 		t.Errorf("bare shape: %+v, %v", shapes, err)
 	}
+	if shapes, err := parseMix("solve=3"); err != nil || len(shapes) != 1 ||
+		shapes[0].path != "/v1/solve" || shapes[0].weight != 3 {
+		t.Errorf("solve shape: %+v, %v", shapes, err)
+	}
 	for _, bad := range []string{"", "nope", "single=0", "single=x"} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) succeeded", bad)

@@ -49,7 +49,7 @@ func (a *admission) admit(ctx context.Context, apiKey string) (func(), *apiError
 	if a.quota != nil {
 		if ok, wait := a.quota.take(apiKey); !ok {
 			a.metrics.AdmissionShed("quota")
-			return nil, &apiError{Code: "quota_exhausted",
+			return nil, &apiError{Code: CodeQuotaExhausted,
 				Message:    "per-client request quota exhausted",
 				retryAfter: int(math.Ceil(wait.Seconds()))}
 		}
@@ -63,7 +63,7 @@ func (a *admission) admit(ctx context.Context, apiKey string) (func(), *apiError
 	if a.queued >= a.maxQueue {
 		a.mu.Unlock()
 		a.metrics.AdmissionShed("queue_full")
-		return nil, &apiError{Code: "overloaded",
+		return nil, &apiError{Code: CodeOverloaded,
 			Message:    "server work queue is full",
 			retryAfter: a.retryAfter}
 	}
@@ -82,7 +82,7 @@ func (a *admission) admit(ctx context.Context, apiKey string) (func(), *apiError
 	case a.slots <- struct{}{}:
 		return a.release, nil
 	case <-ctx.Done():
-		return nil, &apiError{Code: "timeout",
+		return nil, &apiError{Code: CodeTimeout,
 			Message: "request abandoned while queued: " + ctx.Err().Error()}
 	}
 }

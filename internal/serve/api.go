@@ -31,11 +31,14 @@ func (e *apiError) Error() string { return e.Message }
 
 // badRequest builds an invalid_request apiError.
 func badRequest(format string, args ...any) *apiError {
-	return &apiError{Code: "invalid_request", Message: fmt.Sprintf(format, args...)}
+	return &apiError{Code: CodeInvalidRequest, Message: fmt.Sprintf(format, args...)}
 }
 
-// toAPIError maps any error onto the wire shape, lifting structure out of
-// ssn.ValidationError when present.
+// toAPIError maps any error onto the wire shape. Structured model errors
+// keep their structure — and their own codes: a point that fails model
+// validation or leaves the sweep domain is invalid_params (the request was
+// well-formed; the physics rejected it), an inverse query with no boundary
+// in the bracket is unsolvable.
 func toAPIError(err error) *apiError {
 	var ae *apiError
 	if errors.As(err, &ae) {
@@ -44,7 +47,7 @@ func toAPIError(err error) *apiError {
 	var ve *ssn.ValidationError
 	if errors.As(err, &ve) {
 		return &apiError{
-			Code:       "invalid_request",
+			Code:       CodeInvalidParams,
 			Message:    ve.Error(),
 			Field:      ve.Field,
 			Value:      ve.Value,
@@ -54,14 +57,24 @@ func toAPIError(err error) *apiError {
 	var de *sweep.DomainError
 	if errors.As(err, &de) {
 		return &apiError{
-			Code:       "invalid_request",
+			Code:       CodeInvalidParams,
 			Message:    de.Error(),
 			Field:      "axes",
 			Value:      de.Bound,
 			Constraint: fmt.Sprintf("axis %s %s", de.Axis, de.Constraint),
 		}
 	}
-	return &apiError{Code: "invalid_request", Message: err.Error()}
+	var se *ssn.SolveError
+	if errors.As(err, &se) {
+		return &apiError{
+			Code:       CodeUnsolvable,
+			Message:    se.Error(),
+			Field:      "vmax_budget",
+			Value:      se.Budget,
+			Constraint: fmt.Sprintf("no %s boundary within [%g, %g]", se.Var, se.Lo, se.Hi),
+		}
+	}
+	return &apiError{Code: CodeInvalidRequest, Message: err.Error()}
 }
 
 // DeviceSpec is an explicit ASDM supplied inline, bypassing extraction.
@@ -207,28 +220,17 @@ type EvalResult struct {
 	Error    *apiError          `json:"error,omitempty"`
 }
 
-// paramsEnvelope is the request shape every endpoint shares: the canonical
-// form nests the evaluation point under "params"; the legacy form inlines
-// the EvalItem fields at the top level. A non-nil "params" wins. Endpoint
-// options (samples, model, axes, ...) always sit beside the envelope.
-type paramsEnvelope struct {
-	Params *EvalItem `json:"params"`
-	EvalItem
-}
-
-// item returns the evaluation point, preferring the canonical nested form.
-func (e paramsEnvelope) item() EvalItem {
-	if e.Params != nil {
-		return *e.Params
-	}
-	return e.EvalItem
-}
-
 // maxSSNRequest accepts a single point ("params" nested, or legacy inline
 // fields) or a batch ({"items": [...]}); a non-empty items list wins.
 type maxSSNRequest struct {
 	Items []EvalItem `json:"items"`
 	paramsEnvelope
+}
+
+// legacyInline ignores the inline fields when a batch is supplied: items
+// requests never read them, so they cannot deprecate anything.
+func (q *maxSSNRequest) legacyInline() bool {
+	return len(q.Items) == 0 && q.paramsEnvelope.legacyInline()
 }
 
 // maxSSNBatchResponse is the envelope of a batch evaluation.

@@ -42,7 +42,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	n := req.Spec.NumShards()
 	if req.Shard < 0 || req.Shard >= n {
-		writeError(w, &apiError{Code: "invalid_request",
+		writeError(w, &apiError{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("shard %d outside the spec's %d-shard decomposition", req.Shard, n),
 			Field:   "shard", Value: req.Shard,
 			Constraint: fmt.Sprintf("must be within [0, %d)", n)})
@@ -50,7 +50,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	lo, hi := req.Spec.ShardRange(req.Shard)
 	if hi-lo > s.cfg.MaxSweepPoints {
-		writeError(w, &apiError{Code: "grid_too_large",
+		writeError(w, &apiError{Code: CodeGridTooLarge,
 			Message:    fmt.Sprintf("shard of %d points exceeds the %d-point limit", hi-lo, s.cfg.MaxSweepPoints),
 			Field:      "spec.shard_points",
 			Constraint: fmt.Sprintf("at most %d points per shard", s.cfg.MaxSweepPoints)})
@@ -98,7 +98,7 @@ type distSummary struct {
 func (s *Server) buildDistSpec(req distSweepRequest) (dist.SweepSpec, *apiError) {
 	var spec dist.SweepSpec
 	if req.ShardPoints < 0 {
-		return spec, &apiError{Code: "invalid_request",
+		return spec, &apiError{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("shard_points = %d must be non-negative", req.ShardPoints),
 			Field:   "shard_points", Value: req.ShardPoints, Constraint: "must be >= 0"}
 	}
@@ -130,7 +130,7 @@ func (s *Server) buildDistSpec(req distSweepRequest) (dist.SweepSpec, *apiError)
 // Progress is readable concurrently on GET /v1/distsweep/status.
 func (s *Server) handleDistSweep(w http.ResponseWriter, r *http.Request) {
 	var req distSweepRequest
-	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+	if aerr := s.decodeEnvelope(w, r, &req); aerr != nil {
 		writeError(w, aerr)
 		return
 	}
@@ -245,7 +245,7 @@ func (s *Server) handleDistStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Runs = append(resp.Runs, distRunStatus{ID: e.id, Progress: e.tracker.Snapshot()})
 	}
 	if want != "" && len(resp.Runs) == 0 {
-		writeError(w, &apiError{Code: "not_found", Message: fmt.Sprintf("unknown dist run %q", want)})
+		writeError(w, &apiError{Code: CodeNotFound, Message: fmt.Sprintf("unknown dist run %q", want)})
 		return
 	}
 	resp.Count = len(resp.Runs)

@@ -66,7 +66,7 @@ func TestShardEndpointRejects(t *testing.T) {
 			s := distTestSpec()
 			s.Axes[1].From = -1e-9
 			return dist.ShardRequest{Spec: s, Shard: 0}
-		}(), "invalid_request"},
+		}(), "invalid_params"},
 		{"oversized shard", func() dist.ShardRequest {
 			s := distTestSpec()
 			s.Axes[0].Points = 20 // 180-point grid
@@ -174,7 +174,7 @@ func TestDistSweepValidatesBeforeStreaming(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400: %s", resp.StatusCode, got)
 	}
-	if e := errEnvelope(t, got); e.Code != "invalid_request" || e.Field != "axes" {
+	if e := errEnvelope(t, got); e.Code != "invalid_params" || e.Field != "axes" {
 		t.Errorf("error %+v", e)
 	}
 }
@@ -220,7 +220,7 @@ func TestSweepDomainRejectedBeforeStream(t *testing.T) {
 			t.Errorf("%s: multi-line body; stream started before validation: %.200s", tc.name, got)
 		}
 		e := errEnvelope(t, got)
-		if e.Code != "invalid_request" || e.Field != "axes" || e.Constraint == "" {
+		if e.Code != "invalid_params" || e.Field != "axes" || e.Constraint == "" {
 			t.Errorf("%s: error %+v", tc.name, e)
 		}
 	}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
@@ -21,7 +20,7 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *ap
 	if err := dec.Decode(dst); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			return &apiError{Code: "body_too_large",
+			return &apiError{Code: CodeBodyTooLarge,
 				Message: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
 		}
 		return badRequest("malformed JSON: %v", err)
@@ -38,29 +37,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v) // the status line is gone; nothing left to report
-}
-
-// statusFor maps an apiError code to an HTTP status.
-func statusFor(e *apiError) int {
-	switch e.Code {
-	case "body_too_large":
-		return http.StatusRequestEntityTooLarge
-	case "timeout":
-		return http.StatusGatewayTimeout
-	case "not_found":
-		return http.StatusNotFound
-	case "overloaded", "quota_exhausted":
-		return http.StatusTooManyRequests
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func writeError(w http.ResponseWriter, e *apiError) {
-	if e.retryAfter > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
-	}
-	writeJSON(w, statusFor(e), map[string]*apiError{"error": e})
 }
 
 // evalOne resolves and evaluates a single item; errors land in the result
@@ -103,7 +79,7 @@ func (s *Server) evalOne(index int, it EvalItem) EvalResult {
 // a thousand good ones.
 func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 	var req maxSSNRequest
-	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+	if aerr := s.decodeEnvelope(w, r, &req); aerr != nil {
 		writeError(w, aerr)
 		return
 	}
@@ -117,7 +93,7 @@ func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Items) > s.cfg.MaxBatch {
-		writeError(w, &apiError{Code: "batch_too_large",
+		writeError(w, &apiError{Code: CodeBatchTooLarge,
 			Message:    fmt.Sprintf("batch of %d exceeds the %d-item limit", len(req.Items), s.cfg.MaxBatch),
 			Field:      "items",
 			Value:      len(req.Items),
@@ -135,7 +111,7 @@ func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 			// Deadline or disconnect: fail the not-yet-started remainder.
 			for j := i; j < len(req.Items); j++ {
 				results[j] = EvalResult{Index: j,
-					Error: &apiError{Code: "timeout", Message: "evaluation aborted: " + err.Error()}}
+					Error: &apiError{Code: CodeTimeout, Message: "evaluation aborted: " + err.Error()}}
 			}
 			break
 		}
@@ -155,7 +131,7 @@ func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 // inductance-only model.
 func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
 	var req waveformRequest
-	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+	if aerr := s.decodeEnvelope(w, r, &req); aerr != nil {
 		writeError(w, aerr)
 		return
 	}
@@ -164,7 +140,7 @@ func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
 		n = 256
 	}
 	if n < 2 || n > 65536 {
-		writeError(w, &apiError{Code: "invalid_request",
+		writeError(w, &apiError{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("samples = %d outside [2, 65536]", n),
 			Field:   "samples", Value: n, Constraint: "must be within [2, 65536]"})
 		return
@@ -202,7 +178,7 @@ func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
 		}
 		resp = waveformResponse{Times: vw.Times, V: vw.Values, I: iw.Values}
 	default:
-		writeError(w, &apiError{Code: "invalid_request",
+		writeError(w, &apiError{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("unknown model %q", req.Model),
 			Field:   "model", Value: req.Model, Constraint: `must be "lc" or "l"`})
 		return
@@ -215,7 +191,7 @@ func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
 // return 202 with a pollable job ID.
 func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 	var req monteCarloRequest
-	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+	if aerr := s.decodeEnvelope(w, r, &req); aerr != nil {
 		writeError(w, aerr)
 		return
 	}
@@ -229,7 +205,7 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 		n = 10000
 	}
 	if n > s.cfg.MaxMCSamples {
-		writeError(w, &apiError{Code: "invalid_request",
+		writeError(w, &apiError{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("samples = %d exceeds the %d limit", n, s.cfg.MaxMCSamples),
 			Field:   "samples", Value: n,
 			Constraint: fmt.Sprintf("at most %d", s.cfg.MaxMCSamples)})
@@ -275,7 +251,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job, ok := s.jobs.lookup(id)
 	if !ok {
-		writeError(w, &apiError{Code: "not_found", Message: fmt.Sprintf("unknown job %q", id)})
+		writeError(w, &apiError{Code: CodeNotFound, Message: fmt.Sprintf("unknown job %q", id)})
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -307,7 +283,7 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.Handler {
 			if p := recover(); p != nil {
 				rec.code = http.StatusInternalServerError
 				writeJSON(rec, http.StatusInternalServerError,
-					map[string]*apiError{"error": {Code: "internal", Message: fmt.Sprint(p)}})
+					map[string]*apiError{"error": {Code: CodeInternal, Message: fmt.Sprint(p)}})
 			}
 			s.metrics.ObserveRequest(path, rec.code, time.Since(startAt))
 		}()

@@ -164,7 +164,7 @@ func (s *jobStore) finish(j *job, res any, err error) {
 	case err == nil:
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		state = JobCanceled
-		apiErr = &apiError{Code: "canceled", Message: err.Error()}
+		apiErr = &apiError{Code: CodeCanceled, Message: err.Error()}
 	default:
 		state = JobFailed
 		apiErr = toAPIError(err)

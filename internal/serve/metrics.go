@@ -42,6 +42,9 @@ type Metrics struct {
 	shards      uint64
 	shardPoints uint64
 	distSweeps  uint64
+
+	legacyEnvelope uint64
+	solvesByMode   map[string]uint64
 }
 
 type requestKey struct {
@@ -63,6 +66,7 @@ func NewMetrics() *Metrics {
 		latency:       map[string]*routeHistogram{},
 		jobsByState:   map[string]uint64{},
 		admissionShed: map[string]uint64{},
+		solvesByMode:  map[string]uint64{},
 	}
 }
 
@@ -154,6 +158,28 @@ func (m *Metrics) ShedCounts() map[string]uint64 {
 		out[k] = v
 	}
 	return out
+}
+
+// LegacyEnvelope counts one response to a deprecated inline-parameter
+// (non-nested) request, so operators can watch the old wire shape drain.
+func (m *Metrics) LegacyEnvelope() {
+	m.mu.Lock()
+	m.legacyEnvelope++
+	m.mu.Unlock()
+}
+
+// LegacyEnvelopeCount returns the deprecated-request counter (for tests).
+func (m *Metrics) LegacyEnvelopeCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.legacyEnvelope
+}
+
+// ObserveSolve counts one /v1/solve item by mode ("solve", "yield").
+func (m *Metrics) ObserveSolve(mode string) {
+	m.mu.Lock()
+	m.solvesByMode[mode]++
+	m.mu.Unlock()
 }
 
 // ObserveShard records one /v1/shard evaluation of the given point count.
@@ -274,6 +300,20 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintln(cw, "# HELP ssnserve_distsweeps_total Coordinator runs started on /v1/distsweep.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_distsweeps_total counter")
 	fmt.Fprintf(cw, "ssnserve_distsweeps_total %d\n", m.distSweeps)
+
+	fmt.Fprintln(cw, "# HELP ssnserve_legacy_envelope_total Responses to deprecated inline-parameter requests.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_legacy_envelope_total counter")
+	fmt.Fprintf(cw, "ssnserve_legacy_envelope_total %d\n", m.legacyEnvelope)
+	fmt.Fprintln(cw, "# HELP ssnserve_solves_total Inverse-design items answered on /v1/solve by mode.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_solves_total counter")
+	modes := make([]string, 0, len(m.solvesByMode))
+	for md := range m.solvesByMode {
+		modes = append(modes, md)
+	}
+	sort.Strings(modes)
+	for _, md := range modes {
+		fmt.Fprintf(cw, "ssnserve_solves_total{mode=%q} %d\n", md, m.solvesByMode[md])
+	}
 
 	fmt.Fprintln(cw, "# HELP ssnserve_jobs_total Job state transitions.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_jobs_total counter")

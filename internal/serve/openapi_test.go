@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateOpenAPI = flag.Bool("update-openapi", false, "rewrite api/openapi.yaml from the in-code spec")
+
+const openAPIPath = "../../api/openapi.yaml"
+
+// TestOpenAPISpecUpToDate byte-compares the committed YAML against the
+// in-code spec; regenerate with -update-openapi.
+func TestOpenAPISpecUpToDate(t *testing.T) {
+	want := OpenAPIYAML()
+	if *updateOpenAPI {
+		if err := os.WriteFile(openAPIPath, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", openAPIPath, len(want))
+		return
+	}
+	got, err := os.ReadFile(openAPIPath)
+	if err != nil {
+		t.Fatalf("%v — run: go test -run OpenAPI -update-openapi ./internal/serve/", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("api/openapi.yaml is stale — run: go test -run OpenAPI -update-openapi ./internal/serve/")
+	}
+}
+
+// TestOpenAPICoversAllRoutes extracts the mux registrations from server.go
+// and requires the spec to document exactly that set.
+func TestOpenAPICoversAllRoutes(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "server.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routes []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Handle" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		pattern, err := strconv.Unquote(lit.Value)
+		if err == nil {
+			routes = append(routes, pattern)
+		}
+		return true
+	})
+	sort.Strings(routes)
+	documented := specPaths(openAPISpec())
+	if len(routes) == 0 {
+		t.Fatal("found no mux.Handle registrations in server.go")
+	}
+	if strings.Join(routes, "\n") != strings.Join(documented, "\n") {
+		t.Errorf("routes and spec paths diverge:\nmux:\n  %s\nspec:\n  %s",
+			strings.Join(routes, "\n  "), strings.Join(documented, "\n  "))
+	}
+}
+
+// specFixture is one live request replayed against the spec: the request
+// body must satisfy the operation's request schema and the response body
+// its status's response schema.
+type specFixture struct {
+	name       string
+	method     string
+	path       string // spec path (may contain {id})
+	url        string // concrete URL path; defaults to path
+	body       string
+	wantStatus int
+	invalidReq bool // body intentionally violates the request schema
+}
+
+func openAPIFixtures() []specFixture {
+	params := `"params": ` + solveParamsJSON
+	return []specFixture{
+		{name: "maxssn single", method: "POST", path: "/v1/maxssn",
+			body: `{` + params + `}`, wantStatus: 200},
+		{name: "maxssn sensitivity", method: "POST", path: "/v1/maxssn",
+			body:       `{"params": {"dev": {"k": 0.02, "v0": 0.5, "a": 1.6}, "vdd": 1.8, "n": 8, "l": 5e-9, "c": 2e-11, "rise_time": 1e-9, "sensitivity": true}}`,
+			wantStatus: 200},
+		{name: "maxssn batch", method: "POST", path: "/v1/maxssn",
+			body:       `{"items": [` + solveParamsJSON + `, {"process": "nosuch", "n": 1, "rise_time": 1e-9}]}`,
+			wantStatus: 200},
+		{name: "maxssn bad corner", method: "POST", path: "/v1/maxssn",
+			body:       `{"params": {"corner": "xx", "n": 1, "rise_time": 1e-9}}`,
+			wantStatus: 400, invalidReq: true},
+		{name: "solve single", method: "POST", path: "/v1/solve",
+			body:       `{` + params + `, "vmax_budget": 0.4, "variable": "n"}`,
+			wantStatus: 200},
+		{name: "solve batch", method: "POST", path: "/v1/solve",
+			body:       `{"items": [{"dev": {"k": 0.02, "v0": 0.5, "a": 1.6}, "vdd": 1.8, "n": 8, "l": 5e-9, "c": 2e-11, "rise_time": 1e-9, "vmax_budget": 0.3, "variable": "l"}]}`,
+			wantStatus: 200},
+		{name: "solve yield", method: "POST", path: "/v1/solve",
+			body:       `{` + params + `, "vmax_budget": 0.05, "mode": "yield", "samples": 500, "seed": 3}`,
+			wantStatus: 200},
+		{name: "solve unsolvable", method: "POST", path: "/v1/solve",
+			body:       `{` + params + `, "vmax_budget": 1e6, "variable": "l"}`,
+			wantStatus: 422},
+		{name: "waveform", method: "POST", path: "/v1/waveform",
+			body:       `{` + params + `, "samples": 16}`,
+			wantStatus: 200},
+		{name: "sweep", method: "POST", path: "/v1/sweep",
+			body:       `{` + params + `, "axes": [{"axis": "n", "from": 1, "to": 4, "points": 4}]}`,
+			wantStatus: 200},
+		{name: "shard", method: "POST", path: "/v1/shard",
+			body:       `{"spec": {"base": {"n": 4, "k": 0.02, "v0": 0.5, "a": 1.6, "vdd": 1.8, "slope": 1.8e9, "l": 5e-9, "c": 2e-11}, "axes": [{"axis": "n", "from": 1, "to": 4, "points": 4}], "shard_points": 4}, "shard": 0}`,
+			wantStatus: 200},
+		{name: "montecarlo", method: "POST", path: "/v1/montecarlo",
+			body:       `{` + params + `, "samples": 100, "seed": 1, "variation": {"k": 0.05}}`,
+			wantStatus: 202},
+		{name: "distsweep in-process", method: "POST", path: "/v1/distsweep",
+			body:       `{` + params + `, "axes": [{"axis": "n", "from": 1, "to": 4, "points": 4}]}`,
+			wantStatus: 200},
+		{name: "dist status", method: "GET", path: "/v1/distsweep/status", wantStatus: 200},
+		{name: "job missing", method: "GET", path: "/v1/jobs/{id}",
+			url: "/v1/jobs/nope", wantStatus: 404},
+		{name: "healthz", method: "GET", path: "/healthz", wantStatus: 200},
+	}
+}
+
+// TestOpenAPIFixtures replays live requests against every documented JSON
+// endpoint and validates both directions of the wire against the spec's
+// schemas (NDJSON responses line by line).
+func TestOpenAPIFixtures(t *testing.T) {
+	spec := openAPISpec()
+	ix := buildSchemaIndex(spec)
+	_, ts := newTestServer(t, Config{})
+
+	for _, fx := range openAPIFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			op := operationFor(spec, fx.method, fx.path)
+			if op == nil {
+				t.Fatalf("spec has no %s %s", fx.method, fx.path)
+			}
+
+			// Request direction.
+			if fx.body != "" && !fx.invalidReq {
+				reqSchema := mediaSchema(t, op, "requestBody", "", "application/json")
+				var reqVal any
+				if err := json.Unmarshal([]byte(fx.body), &reqVal); err != nil {
+					t.Fatalf("fixture body: %v", err)
+				}
+				if err := ix.Validate("request", reqVal, reqSchema); err != nil {
+					t.Errorf("request does not satisfy the spec: %v", err)
+				}
+			}
+
+			// Live response.
+			url := fx.url
+			if url == "" {
+				url = fx.path
+			}
+			var resp *http.Response
+			var body []byte
+			if fx.method == "GET" {
+				resp, body = getURL(t, ts.URL+url)
+			} else {
+				resp, body = postJSON(t, ts.URL+url, fx.body)
+			}
+			if resp.StatusCode != fx.wantStatus {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, fx.wantStatus, body)
+			}
+
+			ct := resp.Header.Get("Content-Type")
+			switch {
+			case strings.HasPrefix(ct, "application/x-ndjson"):
+				lineSchema := mediaSchema(t, op, "responses", resp.Status[:3], "application/x-ndjson")
+				lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+				if len(lines) == 0 {
+					t.Fatal("empty NDJSON stream")
+				}
+				for i, line := range lines {
+					var val any
+					if err := json.Unmarshal(line, &val); err != nil {
+						t.Fatalf("line %d: %v", i, err)
+					}
+					if err := ix.Validate("line", val, lineSchema); err != nil {
+						t.Errorf("NDJSON line %d does not satisfy the spec: %v\n%s", i, err, line)
+					}
+				}
+			case strings.HasPrefix(ct, "application/json"):
+				respSchema := mediaSchema(t, op, "responses", resp.Status[:3], "application/json")
+				var val any
+				if err := json.Unmarshal(body, &val); err != nil {
+					t.Fatalf("response body: %v", err)
+				}
+				if err := ix.Validate("response", val, respSchema); err != nil {
+					t.Errorf("response does not satisfy the spec: %v\n%s", err, body)
+				}
+			default:
+				t.Fatalf("unexpected content type %q", ct)
+			}
+		})
+	}
+}
+
+// mediaSchema digs the schema out of an operation: requestBody content, or
+// a response by status (falling back to "default"). For NDJSON media the
+// x-line-schema extension is returned instead of the opaque string schema.
+func mediaSchema(t *testing.T, op obj, section, status, mediaType string) any {
+	t.Helper()
+	node, ok := op.get(section)
+	if !ok {
+		t.Fatalf("operation has no %s", section)
+	}
+	body := node.(obj)
+	if section == "responses" {
+		v, ok := body.get(status)
+		if !ok {
+			if v, ok = body.get("default"); !ok {
+				t.Fatalf("no response schema for status %s and no default", status)
+			}
+		}
+		body = v.(obj)
+	}
+	content, ok := body.get("content")
+	if !ok {
+		t.Fatalf("%s has no content", section)
+	}
+	media, ok := content.(obj).get(mediaType)
+	if !ok {
+		t.Fatalf("no %s media entry", mediaType)
+	}
+	if mediaType == "application/x-ndjson" {
+		line, ok := media.(obj).get("x-line-schema")
+		if !ok {
+			t.Fatal("NDJSON media entry lacks x-line-schema")
+		}
+		return line
+	}
+	schema, ok := media.(obj).get("schema")
+	if !ok {
+		t.Fatal("media entry lacks schema")
+	}
+	return schema
+}
+
+// TestOpenAPIValidatorRejects sanity-checks the mini validator itself: a
+// validator that passes everything would make the fixtures vacuous.
+func TestOpenAPIValidatorRejects(t *testing.T) {
+	spec := openAPISpec()
+	ix := buildSchemaIndex(spec)
+	cases := []struct {
+		name   string
+		val    string
+		schema any
+	}{
+		{"unknown field", `{"index": 0, "vmax": 0.1, "bogus": 1}`, ref("EvalResult")},
+		{"missing required", `{"index": 0}`, ref("EvalResult")},
+		{"wrong type", `{"index": "zero", "vmax": 0.1}`, ref("EvalResult")},
+		{"bad enum", `{"code": "nope", "message": "x"}`, ref("Error")},
+		{"non-integer", `{"count": 1.5, "results": []}`, ref("MaxSSNBatchResponse")},
+		{"oneOf ambiguous", `{}`, oneOf(obj{{"type", "object"}}, obj{{"type", "object"}})},
+	}
+	for _, tc := range cases {
+		var val any
+		if err := json.Unmarshal([]byte(tc.val), &val); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Validate("x", val, tc.schema); err == nil {
+			t.Errorf("%s: validator accepted %s", tc.name, tc.val)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /v1/maxssn      single or batch Params -> {vmax, case, sensitivity}
+//	POST /v1/solve       inverse design (variable for a vmax budget) / yield
 //	POST /v1/waveform    sampled V(t)/I(t) from the L or LC closed form
 //	POST /v1/sweep       multi-axis grid sweep streamed as NDJSON
 //	POST /v1/shard       one distributed-sweep shard [lo,hi) as NDJSON
@@ -157,6 +158,7 @@ func New(cfg Config) *Server {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	s.mux.Handle("POST /v1/maxssn", s.admitted("/v1/maxssn", s.handleMaxSSN))
+	s.mux.Handle("POST /v1/solve", s.admitted("/v1/solve", s.handleSolve))
 	s.mux.Handle("POST /v1/waveform", s.admitted("/v1/waveform", s.handleWaveform))
 	s.mux.Handle("POST /v1/sweep", s.admitted("/v1/sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/shard", s.admitted("/v1/shard", s.handleShard))

@@ -67,14 +67,14 @@ func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiErr
 	var g sweep.Grid
 	var cfg sweep.Config
 	if len(req.Axes) == 0 {
-		return g, cfg, &apiError{Code: "invalid_request", Message: "need at least one axis",
+		return g, cfg, &apiError{Code: CodeInvalidRequest, Message: "need at least one axis",
 			Field: "axes", Constraint: "must name 1 or more swept axes"}
 	}
 	total := 1
 	sizeSwept := false
 	for _, ax := range req.Axes {
 		if ax.Points < 1 {
-			return g, cfg, &apiError{Code: "invalid_request",
+			return g, cfg, &apiError{Code: CodeInvalidRequest,
 				Message: fmt.Sprintf("axis %s: points = %d must be at least 1", ax.Axis, ax.Points),
 				Field:   "axes", Value: ax.Points, Constraint: "points >= 1"}
 		}
@@ -90,7 +90,7 @@ func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiErr
 			Points: ax.Points, Log: ax.Log})
 	}
 	if total > s.cfg.MaxSweepPoints {
-		return g, cfg, &apiError{Code: "grid_too_large",
+		return g, cfg, &apiError{Code: CodeGridTooLarge,
 			Message:    fmt.Sprintf("grid exceeds the %d-point limit", s.cfg.MaxSweepPoints),
 			Field:      "axes",
 			Constraint: fmt.Sprintf("at most %d grid points", s.cfg.MaxSweepPoints)}
@@ -121,7 +121,7 @@ func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiErr
 	}
 	if sizeSwept {
 		if it.Dev != nil {
-			return g, cfg, &apiError{Code: "invalid_request",
+			return g, cfg, &apiError{Code: CodeInvalidRequest,
 				Message: "a size axis re-extracts the device and cannot be combined with an explicit dev",
 				Field:   "dev", Constraint: "omit dev when sweeping size"}
 		}
@@ -138,7 +138,7 @@ func (s *Server) buildSweep(req sweepRequest) (sweep.Grid, sweep.Config, *apiErr
 	g.Base = p
 
 	if req.RefineDepth < 0 || req.RefineDepth > maxRefineDepth {
-		return g, cfg, &apiError{Code: "invalid_request",
+		return g, cfg, &apiError{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("refine_depth = %d outside [0, %d]", req.RefineDepth, maxRefineDepth),
 			Field:   "refine_depth", Value: req.RefineDepth,
 			Constraint: fmt.Sprintf("must be within [0, %d]", maxRefineDepth)}
@@ -214,7 +214,7 @@ const sweepBufMaxRetain = 1 << 16
 // survives the handler.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if aerr := s.decodeJSON(w, r, &req); aerr != nil {
+	if aerr := s.decodeEnvelope(w, r, &req); aerr != nil {
 		writeError(w, aerr)
 		return
 	}

@@ -195,8 +195,8 @@ func TestMaxSSNInvalidParamsEnvelope(t *testing.T) {
 				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
 			}
 			aerr := errEnvelope(t, body)
-			if aerr.Code != "invalid_request" {
-				t.Errorf("code %q, want invalid_request", aerr.Code)
+			if aerr.Code != "invalid_params" {
+				t.Errorf("code %q, want invalid_params", aerr.Code)
 			}
 			if aerr.Field != tc.wantField {
 				t.Errorf("field %q, want %q (%s)", aerr.Field, tc.wantField, body)

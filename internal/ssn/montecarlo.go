@@ -53,16 +53,27 @@ func MonteCarlo(p Params, v Variation, n int, seed int64) (*MCResult, error) {
 // GOMAXPROCS; the count is clamped to n. Cancelling the context aborts
 // the run and returns ctx.Err().
 func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64, workers int) (*MCResult, error) {
+	res, _, err := mcCampaign(ctx, p, v, n, seed, workers, 0)
+	return res, err
+}
+
+// mcCampaign is the shared deterministic parallel campaign behind
+// MonteCarloCtx and YieldCtx: identical sampling, chunking and stream
+// seeding, plus — when budget > 0 — a per-chunk count of samples at or
+// below the budget. The pass count is a sum of per-worker integers over
+// the deterministic streams, so a fixed (seed, workers) pair reproduces
+// it exactly regardless of scheduling.
+func mcCampaign(ctx context.Context, p Params, v Variation, n int, seed int64, workers int, budget float64) (*MCResult, int, error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if n < 10 {
-		return nil, invalidf("Samples", n, "must be at least 10",
+		return nil, 0, invalidf("Samples", n, "must be at least 10",
 			"ssn: MonteCarlo needs at least 10 samples, got %d", n)
 	}
 	for _, s := range []float64{v.K, v.V0, v.A, v.L, v.C, v.Slope} {
 		if s < 0 || s > 0.5 {
-			return nil, invalidf("Variation", s, "sigma must be within [0, 0.5]",
+			return nil, 0, invalidf("Variation", s, "sigma must be within [0, 0.5]",
 				"ssn: variation sigma %g outside [0, 0.5]", s)
 		}
 	}
@@ -88,6 +99,7 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 			size++
 		}
 		chunks[w].vals = slab[off : off+size : off+size]
+		chunks[w].budget = budget
 		off += size
 	}
 	ctx, cancel := context.WithCancel(ctx)
@@ -103,13 +115,15 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 		<-done
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	res := &MCResult{Samples: n, Min: math.Inf(1), Max: math.Inf(-1), CaseCounts: map[Case]int{}}
+	pass := 0
 	for i := range chunks {
 		c := &chunks[i]
 		res.Mean += c.sum
+		pass += c.pass
 		if c.min < res.Min {
 			res.Min = c.min
 		}
@@ -132,17 +146,19 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 	sort.Float64s(slab)
 	res.P95 = percentile(slab, 0.95)
 	res.P99 = percentile(slab, 0.99)
-	return res, nil
+	return res, pass, nil
 }
 
 // mcChunk accumulates one worker's share of the samples. vals is the
 // worker's contiguous range of the shared result slab.
 type mcChunk struct {
-	vals  []float64
-	sum   float64
-	min   float64
-	max   float64
-	cases [UnderDampedBoundary + 1]int
+	vals   []float64
+	budget float64 // count passes against this when > 0
+	sum    float64
+	min    float64
+	max    float64
+	pass   int
+	cases  [UnderDampedBoundary + 1]int
 }
 
 // mcCancelStride bounds how many draws a worker makes between context
@@ -190,6 +206,9 @@ func (c *mcChunk) run(ctx context.Context, p Params, v Variation, seed uint64) {
 		filled++
 		c.cases[cse]++
 		c.sum += vm
+		if c.budget > 0 && vm <= c.budget {
+			c.pass++
+		}
 		if vm < c.min {
 			c.min = vm
 		}

@@ -1,0 +1,80 @@
+package ssn
+
+import (
+	"context"
+	"math"
+)
+
+// YieldResult reports the fraction of Monte Carlo process draws whose
+// maximum SSN meets a noise budget, with a 95% Wilson score interval on
+// the pass probability. The pass count is an exact integer accumulated
+// over the deterministic per-worker streams, so a (seed, workers) pair
+// reproduces it bit for bit at any scheduling.
+type YieldResult struct {
+	Budget      float64
+	Samples     int
+	Pass        int
+	Probability float64 // Pass / Samples
+	WilsonLo    float64 // 95% Wilson score interval on Probability
+	WilsonHi    float64
+	Stats       *MCResult // the full campaign statistics
+}
+
+// Yield estimates the pass probability of the budget under the given
+// process spreads with n Monte Carlo samples. See YieldCtx.
+func Yield(p Params, v Variation, budget float64, n int, seed int64) (*YieldResult, error) {
+	return YieldCtx(context.Background(), p, v, budget, n, seed, 0)
+}
+
+// YieldCtx is Yield with cancellation and an explicit worker count. It
+// runs the same deterministic parallel campaign as MonteCarloCtx (same
+// chunking, same splitmix64 stream seeding, identical draw sequence for a
+// given seed) and additionally counts samples whose maximum lies at or
+// below the budget.
+func YieldCtx(ctx context.Context, p Params, v Variation, budget float64, n int, seed int64, workers int) (*YieldResult, error) {
+	if !(budget > 0) || math.IsInf(budget, 0) {
+		return nil, invalidf("Budget", budget, "must be positive and finite",
+			"ssn: yield budget %g must be positive and finite", budget)
+	}
+	stats, pass, err := mcCampaign(ctx, p, v, n, seed, workers, budget)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := wilsonInterval(pass, stats.Samples, wilsonZ95)
+	return &YieldResult{
+		Budget:      budget,
+		Samples:     stats.Samples,
+		Pass:        pass,
+		Probability: float64(pass) / float64(stats.Samples),
+		WilsonLo:    lo,
+		WilsonHi:    hi,
+		Stats:       stats,
+	}, nil
+}
+
+// wilsonZ95 is the two-sided 95% normal quantile z_{0.975}.
+const wilsonZ95 = 1.959963984540054
+
+// wilsonInterval returns the Wilson score interval for pass successes in n
+// trials at normal quantile z. Unlike the Wald interval it stays inside
+// [0, 1] and behaves sanely at pass = 0 or pass = n, where the naive
+// interval collapses to a point.
+func wilsonInterval(pass, n int, z float64) (lo, hi float64) {
+	nf := float64(n)
+	ph := float64(pass) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (ph + z2/(2*nf)) / denom
+	half := z * math.Sqrt(ph*(1-ph)/nf+z2/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	// Pin the degenerate endpoints exactly: center∓half cancels to a few
+	// ulps of rounding noise at pass = 0 or pass = n, and the bound that is
+	// an identity (0 failures seen / 0 successes seen) should say so.
+	if pass == 0 || lo < 0 {
+		lo = 0
+	}
+	if pass == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,146 @@
+package ssn
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func yieldVariation() Variation {
+	return Variation{K: 0.05, V0: 0.03, A: 0.02}
+}
+
+// TestYieldDeterministic: the pass count and probability are bit-for-bit
+// reproducible for a fixed (seed, workers) pair. Runs with workers = 4 so
+// the CI -race pass exercises the concurrent accumulation.
+func TestYieldDeterministic(t *testing.T) {
+	p := refParams()
+	v := yieldVariation()
+	a, err := YieldCtx(context.Background(), p, v, 0.5, 2000, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := YieldCtx(context.Background(), p, v, 0.5, 2000, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pass != b.Pass || a.Probability != b.Probability ||
+		a.WilsonLo != b.WilsonLo || a.WilsonHi != b.WilsonHi {
+		t.Fatalf("same (seed, workers) diverged: %+v vs %+v", a, b)
+	}
+	if a.Samples != 2000 || a.Pass < 0 || a.Pass > a.Samples {
+		t.Fatalf("implausible counts: %+v", a)
+	}
+}
+
+// TestYieldMatchesMonteCarloStats: pass counting must not perturb the RNG
+// stream — the campaign statistics are identical to a plain MonteCarloCtx
+// run at the same (seed, workers).
+func TestYieldMatchesMonteCarloStats(t *testing.T) {
+	p := refParams()
+	v := yieldVariation()
+	y, err := YieldCtx(context.Background(), p, v, 0.5, 1000, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloCtx(context.Background(), p, v, 1000, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Stats.Mean != mc.Mean || y.Stats.StdDev != mc.StdDev ||
+		y.Stats.P95 != mc.P95 || y.Stats.Min != mc.Min || y.Stats.Max != mc.Max {
+		t.Fatalf("yield campaign stats diverged from MonteCarloCtx:\n%v\n%v", y.Stats, mc)
+	}
+}
+
+// TestYieldExtremes: budgets beyond the sampled range give degenerate but
+// well-behaved intervals.
+func TestYieldExtremes(t *testing.T) {
+	p := refParams()
+	v := yieldVariation()
+	y, err := YieldCtx(context.Background(), p, v, 0.4, 500, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hi, err := YieldCtx(context.Background(), p, v, y.Stats.Max*1.01, 500, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Pass != hi.Samples || hi.Probability != 1 || hi.WilsonHi != 1 {
+		t.Errorf("budget above max: %+v", hi)
+	}
+	if hi.WilsonLo >= 1 || hi.WilsonLo < 0.98 {
+		t.Errorf("all-pass WilsonLo %g out of range", hi.WilsonLo)
+	}
+
+	lo, err := YieldCtx(context.Background(), p, v, y.Stats.Min/2, 500, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Pass != 0 || lo.Probability != 0 || lo.WilsonLo != 0 {
+		t.Errorf("budget below min: %+v", lo)
+	}
+	if lo.WilsonHi <= 0 || lo.WilsonHi > 0.02 {
+		t.Errorf("all-fail WilsonHi %g out of range", lo.WilsonHi)
+	}
+
+	// A budget at the P95 statistic should pass roughly 95% of draws.
+	mid, err := YieldCtx(context.Background(), p, v, y.Stats.P95, 2000, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Probability < 0.90 || mid.Probability > 0.99 {
+		t.Errorf("budget at p95 passed %g of draws", mid.Probability)
+	}
+	if !(mid.WilsonLo < mid.Probability && mid.Probability < mid.WilsonHi) {
+		t.Errorf("interval [%g, %g] does not cover the estimate %g",
+			mid.WilsonLo, mid.WilsonHi, mid.Probability)
+	}
+}
+
+// TestWilsonInterval pins the interval against reference values computed
+// independently (R binom.confint / statsmodels proportion_confint, method
+// "wilson").
+func TestWilsonInterval(t *testing.T) {
+	cases := []struct {
+		pass, n int
+		lo, hi  float64
+	}{
+		{8, 10, 0.49016247153664183, 0.9433178485456247},
+		{475, 500, 0.9272318388284524, 0.9659062547561506},
+		{0, 100, 0, 0.03699349820698568},
+		{100, 100, 0.9630065017930143, 1},
+	}
+	for _, c := range cases {
+		lo, hi := wilsonInterval(c.pass, c.n, wilsonZ95)
+		if math.Abs(lo-c.lo) > 1e-12 || math.Abs(hi-c.hi) > 1e-12 {
+			t.Errorf("wilson(%d/%d) = [%.17g, %.17g], want [%.17g, %.17g]",
+				c.pass, c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestYieldValidation covers budget and campaign argument checking.
+func TestYieldValidation(t *testing.T) {
+	p := refParams()
+	v := yieldVariation()
+	for _, budget := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := Yield(p, v, budget, 100, 1); err == nil {
+			t.Errorf("budget %g accepted", budget)
+		}
+	}
+	if _, err := Yield(p, v, 0.5, 5, 1); err == nil {
+		t.Error("n below the campaign minimum accepted")
+	}
+	bad := p
+	bad.L = 0
+	if _, err := Yield(bad, v, 0.5, 100, 1); err == nil {
+		t.Error("invalid base params accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := YieldCtx(ctx, p, v, 0.5, 100000, 1, 2); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}

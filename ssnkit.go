@@ -167,6 +167,60 @@ func MonteCarloCtx(ctx context.Context, p Params, v Variation, n int, seed int64
 // DelayPushout estimates the switching-delay cost of the bounce.
 func DelayPushout(p Params) (float64, error) { return ssn.DelayPushout(p) }
 
+// Inverse design and yield API (internal/ssn).
+type (
+	// SolveVar names the free variable of an inverse query.
+	SolveVar = ssn.SolveVar
+	// Solution is a solved inverse query: the boundary value of the free
+	// variable and the operating point it lands on.
+	Solution = ssn.Solution
+	// SolveError reports an inverse query with no boundary inside the
+	// search bracket (the budget is met everywhere, or nowhere).
+	SolveError = ssn.SolveError
+	// YieldResult is a Monte Carlo pass-probability estimate against a
+	// noise budget, with a 95% Wilson score interval.
+	YieldResult = ssn.YieldResult
+)
+
+// The free variables an inverse query may solve for.
+const (
+	SolveN        = ssn.SolveN
+	SolveL        = ssn.SolveL
+	SolveC        = ssn.SolveC
+	SolveSlope    = ssn.SolveSlope
+	SolveRiseTime = ssn.SolveRiseTime
+)
+
+// ParseSolveVar resolves "n", "l", "c", "slope", "rise_time" (alias "tr").
+func ParseSolveVar(name string) (SolveVar, error) { return ssn.ParseSolveVar(name) }
+
+// Solve finds the boundary value of the free variable at which the Table 1
+// maximum meets the budget, over the variable's default bracket: Newton on
+// the analytic per-case derivative, safeguarded by bisection across case
+// boundaries. The returned point satisfies budget-1e-9 <= Vmax <= budget.
+func Solve(p Params, v SolveVar, budget float64) (Solution, error) {
+	return ssn.Solve(p, v, budget)
+}
+
+// SolveBracket is Solve over an explicit search bracket [lo, hi].
+func SolveBracket(p Params, v SolveVar, budget, lo, hi float64) (Solution, error) {
+	return ssn.SolveBracket(p, v, budget, lo, hi)
+}
+
+// Yield estimates the probability that a design meets a noise budget under
+// process variation: n Monte Carlo draws through the deterministic
+// parallel campaign, returning the pass fraction with a 95% Wilson score
+// interval.
+func Yield(p Params, v Variation, budget float64, n int, seed int64) (*YieldResult, error) {
+	return ssn.Yield(p, v, budget, n, seed)
+}
+
+// YieldCtx is Yield with cancellation and an explicit worker count
+// (deterministic per seed and worker count).
+func YieldCtx(ctx context.Context, p Params, v Variation, budget float64, n int, seed int64, workers int) (*YieldResult, error) {
+	return ssn.YieldCtx(ctx, p, v, budget, n, seed, workers)
+}
+
 // Device modeling API (internal/device).
 type (
 	// ASDM is the paper's application-specific device model.
