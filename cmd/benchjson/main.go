@@ -7,12 +7,17 @@
 //
 // Repeated counts of the same benchmark collapse to the minimum ns/op (the
 // least-noise estimate); allocs/op is recorded alongside when the benchmark
-// reports it (-benchmem or b.ReportAllocs). Check mode compares a freshly
+// reports it (-benchmem or b.ReportAllocs). Batch benchmarks that report the
+// custom "ns/point" metric (b.ReportMetric) additionally get ns_per_point
+// and the derived points_per_op — the op size — so a baseline documents both
+// how big one op is and what each point costs. Check mode compares a freshly
 // parsed file against a committed baseline and exits nonzero when any shared
 // benchmark runs slower than maxRatio times its baseline, or — for baseline
 // entries carrying max_allocs_per_op — allocates more than that cap per op
 // (allocation counts are deterministic, so the cap gates exactly; 0 pins a
-// kernel to zero-allocation):
+// kernel to zero-allocation). Baselines with ns_per_point gate on the
+// per-point ratio instead of the per-op one, so a kernel regression cannot
+// hide behind (or be faked by) a change in op size:
 //
 //	benchjson -check new.json -against BENCH_spice.json -max-ratio 2
 package main
@@ -22,6 +27,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -33,9 +40,15 @@ import (
 // present when the benchmark reported allocations; MaxAllocsPerOp, set only
 // in committed baselines, makes -check fail when the fresh run allocates
 // more than the cap (0 = the benchmark must stay allocation-free).
+// NsPerPoint carries the benchmark's custom "ns/point" metric for batch
+// kernels, with PointsPerOp — the op size — derived from it; when a baseline
+// has NsPerPoint, -check gates on the per-point ratio rather than the
+// per-op one.
 type Entry struct {
 	NsPerOp        float64  `json:"ns_per_op"`
 	SeedNsPerOp    float64  `json:"seed_ns_per_op,omitempty"`
+	NsPerPoint     *float64 `json:"ns_per_point,omitempty"`
+	PointsPerOp    *float64 `json:"points_per_op,omitempty"`
 	AllocsPerOp    *float64 `json:"allocs_per_op,omitempty"`
 	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
 }
@@ -57,12 +70,12 @@ func main() {
 
 	switch {
 	case *parse:
-		if err := runParse(); err != nil {
+		if err := runParse(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 	case *check != "":
-		ok, err := runCheck(*check, *against, *maxRatio)
+		ok, err := runCheck(os.Stdout, *check, *against, *maxRatio)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -76,16 +89,24 @@ func main() {
 	}
 }
 
-func runParse() error {
+func runParse(in io.Reader, w io.Writer) error {
 	out := File{Benchmarks: map[string]Entry{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	for sc.Scan() {
-		name, ns, allocs, ok := parseBenchLine(sc.Text())
+		name, ns, perPoint, allocs, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
 		if e, seen := out.Benchmarks[name]; !seen || ns < e.NsPerOp {
-			out.Benchmarks[name] = Entry{NsPerOp: ns, AllocsPerOp: allocs}
+			entry := Entry{NsPerOp: ns, AllocsPerOp: allocs}
+			if perPoint != nil && *perPoint > 0 {
+				entry.NsPerPoint = perPoint
+				// The op size is a benchmark constant; round away the
+				// float division so the baseline records it exactly.
+				points := math.Round(ns / *perPoint)
+				entry.PointsPerOp = &points
+			}
+			out.Benchmarks[name] = entry
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -94,22 +115,22 @@ func runParse() error {
 	if len(out.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
-// parseBenchLine extracts (name, ns/op, allocs/op) from one `go test -bench`
-// line, e.g.
+// parseBenchLine extracts (name, ns/op, ns/point, allocs/op) from one
+// `go test -bench` line, e.g.
 //
-//	BenchmarkTransientRLC-4   100   368764 ns/op   120 B/op   3 allocs/op
+//	BenchmarkVMaxBatch-4   100   14205 ns/op   13.87 ns/point   0 allocs/op
 //
 // The -N GOMAXPROCS suffix is stripped so baselines transfer across runners.
-// The allocs pointer is nil when the line has no allocs/op column.
-func parseBenchLine(line string) (string, float64, *float64, bool) {
+// The ns/point and allocs pointers are nil when the line lacks that column.
+func parseBenchLine(line string) (string, float64, *float64, *float64, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, nil, false
+		return "", 0, nil, nil, false
 	}
 	name := fields[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -118,7 +139,7 @@ func parseBenchLine(line string) (string, float64, *float64, bool) {
 		}
 	}
 	ns, haveNs := 0.0, false
-	var allocs *float64
+	var perPoint, allocs *float64
 	for i := 2; i+1 < len(fields); i++ {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -127,15 +148,18 @@ func parseBenchLine(line string) (string, float64, *float64, bool) {
 		switch fields[i+1] {
 		case "ns/op":
 			ns, haveNs = v, true
+		case "ns/point":
+			p := v
+			perPoint = &p
 		case "allocs/op":
 			a := v
 			allocs = &a
 		}
 	}
 	if !haveNs {
-		return "", 0, nil, false
+		return "", 0, nil, nil, false
 	}
-	return name, ns, allocs, true
+	return name, ns, perPoint, allocs, true
 }
 
 func readFile(path string) (*File, error) {
@@ -150,7 +174,7 @@ func readFile(path string) (*File, error) {
 	return &f, nil
 }
 
-func runCheck(freshPath, basePath string, maxRatio float64) (bool, error) {
+func runCheck(w io.Writer, freshPath, basePath string, maxRatio float64) (bool, error) {
 	fresh, err := readFile(freshPath)
 	if err != nil {
 		return false, err
@@ -169,35 +193,55 @@ func runCheck(freshPath, basePath string, maxRatio float64) (bool, error) {
 		b := base.Benchmarks[name]
 		f, seen := fresh.Benchmarks[name]
 		if !seen {
-			fmt.Printf("SKIP %-40s not in fresh run\n", name)
+			fmt.Fprintf(w, "SKIP %-40s not in fresh run\n", name)
 			continue
 		}
-		ratio := f.NsPerOp / b.NsPerOp
-		status := "ok  "
-		if ratio > maxRatio {
-			status = "FAIL"
+		// A baseline that records ns_per_point gates on it: the per-point
+		// number is invariant under op-size changes, so a kernel regression
+		// cannot hide behind a smaller batch (nor a rewrite pass the gate by
+		// growing one). The fresh run must then report the metric too.
+		switch {
+		case b.NsPerPoint != nil && f.NsPerPoint == nil:
+			fmt.Fprintf(w, "FAIL %-40s baseline has ns_per_point %g but the fresh run did not report ns/point\n",
+				name, *b.NsPerPoint)
 			ok = false
+		case b.NsPerPoint != nil:
+			ratio := *f.NsPerPoint / *b.NsPerPoint
+			status := "ok  "
+			if ratio > maxRatio {
+				status = "FAIL"
+				ok = false
+			}
+			fmt.Fprintf(w, "%s %-40s baseline %12.2f ns/point  fresh %12.2f ns/point  ratio %.2fx\n",
+				status, name, *b.NsPerPoint, *f.NsPerPoint, ratio)
+		default:
+			ratio := f.NsPerOp / b.NsPerOp
+			status := "ok  "
+			if ratio > maxRatio {
+				status = "FAIL"
+				ok = false
+			}
+			fmt.Fprintf(w, "%s %-40s baseline %12.0f ns/op  fresh %12.0f ns/op  ratio %.2fx\n",
+				status, name, b.NsPerOp, f.NsPerOp, ratio)
 		}
-		fmt.Printf("%s %-40s baseline %12.0f ns/op  fresh %12.0f ns/op  ratio %.2fx\n",
-			status, name, b.NsPerOp, f.NsPerOp, ratio)
 		if b.MaxAllocsPerOp != nil {
 			switch {
 			case f.AllocsPerOp == nil:
-				fmt.Printf("FAIL %-40s baseline caps allocs at %g/op but the fresh run reported none (run with -benchmem)\n",
+				fmt.Fprintf(w, "FAIL %-40s baseline caps allocs at %g/op but the fresh run reported none (run with -benchmem)\n",
 					name, *b.MaxAllocsPerOp)
 				ok = false
 			case *f.AllocsPerOp > *b.MaxAllocsPerOp:
-				fmt.Printf("FAIL %-40s allocs %g/op exceeds the %g/op cap\n",
+				fmt.Fprintf(w, "FAIL %-40s allocs %g/op exceeds the %g/op cap\n",
 					name, *f.AllocsPerOp, *b.MaxAllocsPerOp)
 				ok = false
 			default:
-				fmt.Printf("ok   %-40s allocs %g/op within the %g/op cap\n",
+				fmt.Fprintf(w, "ok   %-40s allocs %g/op within the %g/op cap\n",
 					name, *f.AllocsPerOp, *b.MaxAllocsPerOp)
 			}
 		}
 	}
 	if !ok {
-		fmt.Printf("benchjson: regression beyond %.1fx detected\n", maxRatio)
+		fmt.Fprintf(w, "benchjson: regression beyond %.1fx detected\n", maxRatio)
 	}
 	return ok, nil
 }

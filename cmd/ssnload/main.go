@@ -10,9 +10,14 @@
 //	ssnload -url http://127.0.0.1:8350 -c 32 -d 10s
 //	ssnload -mix single=8,batch=1,sweep=1 -c 64 -d 30s -json
 //
-// The mix weights pick per request among four shapes: "single" (one
-// /v1/maxssn point), "batch" (a 64-item /v1/maxssn batch), "sweep" (a
-// 256-point /v1/sweep stream) and "solve" (one /v1/solve inverse query).
+// The mix weights pick per request among five shapes: "single" (one
+// /v1/maxssn point), "batch" (a 64-item /v1/maxssn batch), "columnar" (the
+// same 64-row batch in the SSNC binary columnar format, request and
+// response), "sweep" (a 256-point /v1/sweep stream) and "solve" (one
+// /v1/solve inverse query). Columnar requests time the client-side encode
+// and decode separately, so the report splits wire-codec cost from the
+// network-and-server remainder — the number that says whether the binary
+// format's savings survive end to end.
 package main
 
 import (
@@ -31,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ssnkit/internal/colwire"
 )
 
 func main() {
@@ -40,12 +47,15 @@ func main() {
 	}
 }
 
-// shape is one request kind in the mix.
+// shape is one request kind in the mix. Columnar shapes rebuild (and time)
+// their SSNC body per request — the encode cost is part of what they
+// measure — where JSON shapes reuse one static body.
 type shape struct {
-	name   string
-	weight int
-	path   string
-	body   []byte
+	name     string
+	weight   int
+	path     string
+	body     []byte
+	columnar bool
 }
 
 // parseMix decodes -mix: "single=8,batch=1,sweep=1" (weights) or a bare
@@ -54,7 +64,8 @@ func parseMix(s string) ([]shape, error) {
 	bodies := map[string]shape{
 		"single": {name: "single", path: "/v1/maxssn",
 			body: []byte(`{"params":{"n":8,"package":"pga","rise_time":1e-9}}`)},
-		"batch": {name: "batch", path: "/v1/maxssn", body: batchBody(64)},
+		"batch":    {name: "batch", path: "/v1/maxssn", body: batchBody(64)},
+		"columnar": {name: "columnar", path: "/v1/maxssn", columnar: true},
 		"sweep": {name: "sweep", path: "/v1/sweep",
 			body: []byte(`{"params":{"package":"pga","rise_time":1e-9},"axes":[{"axis":"n","from":1,"to":256,"points":256}]}`)},
 		"solve": {name: "solve", path: "/v1/solve",
@@ -69,7 +80,7 @@ func parseMix(s string) ([]shape, error) {
 		name, wstr, hasW := strings.Cut(part, "=")
 		sh, ok := bodies[name]
 		if !ok {
-			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, sweep, solve)", name)
+			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, columnar, sweep, solve)", name)
 		}
 		sh.weight = 1
 		if hasW {
@@ -99,6 +110,20 @@ func batchBody(n int) []byte {
 	}
 	buf.WriteString(`]}`)
 	return buf.Bytes()
+}
+
+// columnarBody builds the SSNC equivalent of batchBody: shared params in
+// the block meta, the per-row n values as one column.
+func columnarBody(n int) ([]byte, error) {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(1 + i)
+	}
+	blk := &colwire.Block{
+		Meta:    json.RawMessage(`{"params":{"package":"pga","rise_time":1e-9}}`),
+		Columns: []colwire.Column{{Name: "n", Values: vals}},
+	}
+	return blk.Encode()
 }
 
 // hist is a log-bucketed latency histogram: bucket i spans
@@ -169,6 +194,26 @@ type workerStats struct {
 	other   uint64 // non-200/429 statuses
 	byShape map[string]uint64
 	bytesIn uint64
+
+	// Columnar codec accounting: time spent encoding SSNC requests and
+	// decoding SSNC replies, against the total latency of those requests.
+	colReqs    uint64
+	colEncSec  float64
+	colDecSec  float64
+	colTotSec  float64
+	colDecErrs uint64
+}
+
+// columnarStats breaks the columnar shape's latency into the client-side
+// codec cost (encode + decode) and everything else. CodecShare is
+// (encode+decode)/total over the shape's completed requests.
+type columnarStats struct {
+	Requests      uint64  `json:"requests"`
+	EncodeSeconds float64 `json:"encode_seconds"`
+	DecodeSeconds float64 `json:"decode_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	CodecShare    float64 `json:"codec_share"`
+	DecodeErrors  uint64  `json:"decode_errors"`
 }
 
 // report is the final result, printed as text or -json.
@@ -188,6 +233,7 @@ type report struct {
 	Max         float64           `json:"max_seconds"`
 	ByShape     map[string]uint64 `json:"by_shape"`
 	BytesIn     uint64            `json:"bytes_read"`
+	Columnar    *columnarStats    `json:"columnar,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -196,7 +242,7 @@ func run(args []string, out io.Writer) error {
 		url     = fs.String("url", "http://127.0.0.1:8350", "target ssnserve base URL")
 		conc    = fs.Int("c", 8, "concurrent request loops")
 		dur     = fs.Duration("d", 10*time.Second, "run duration")
-		mixStr  = fs.String("mix", "single", "request mix: shape[=weight],... (single, batch, sweep, solve)")
+		mixStr  = fs.String("mix", "single", "request mix: shape[=weight],... (single, batch, columnar, sweep, solve)")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
 		apiKey  = fs.String("api-key", "", "X-API-Key header (exercises per-client quotas)")
 		asJSON  = fs.Bool("json", false, "emit the report as JSON")
@@ -243,14 +289,33 @@ func run(args []string, out io.Writer) error {
 			for ctx.Err() == nil {
 				sh := picks[rng.Intn(len(picks))]
 				t0 := time.Now()
+				body := sh.body
+				var encSec float64
+				if sh.columnar {
+					// Rebuild the SSNC payload per request; the encode is
+					// part of what the columnar shape measures.
+					var err error
+					body, err = columnarBody(64)
+					if err != nil {
+						st.errs++
+						st.byShape[sh.name]++
+						continue
+					}
+					encSec = time.Since(t0).Seconds()
+				}
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-					base+sh.path, bytes.NewReader(sh.body))
+					base+sh.path, bytes.NewReader(body))
 				if err != nil {
 					st.errs++
 					st.byShape[sh.name]++
 					continue
 				}
-				req.Header.Set("Content-Type", "application/json")
+				if sh.columnar {
+					req.Header.Set("Content-Type", colwire.ContentType)
+					req.Header.Set("Accept", colwire.ContentType)
+				} else {
+					req.Header.Set("Content-Type", "application/json")
+				}
 				if *apiKey != "" {
 					req.Header.Set("X-API-Key", *apiKey)
 				}
@@ -265,10 +330,29 @@ func run(args []string, out io.Writer) error {
 					continue
 				}
 				st.byShape[sh.name]++
-				n, _ := io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				st.bytesIn += uint64(n)
-				st.lat.add(time.Since(t0).Seconds())
+				if sh.columnar {
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					st.bytesIn += uint64(len(data))
+					if resp.StatusCode == http.StatusOK {
+						d0 := time.Now()
+						blk, used, derr := colwire.Decode(data)
+						if derr != nil || used != len(data) || blk.Rows() == 0 {
+							st.colDecErrs++
+						}
+						st.colDecSec += time.Since(d0).Seconds()
+					}
+					sec := time.Since(t0).Seconds()
+					st.lat.add(sec)
+					st.colReqs++
+					st.colEncSec += encSec
+					st.colTotSec += sec
+				} else {
+					n, _ := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					st.bytesIn += uint64(n)
+					st.lat.add(time.Since(t0).Seconds())
+				}
 				switch resp.StatusCode {
 				case http.StatusOK:
 					st.ok++
@@ -285,6 +369,7 @@ func run(args []string, out io.Writer) error {
 
 	merged := newHist()
 	rep := report{Duration: elapsed, Concurrency: *conc, ByShape: map[string]uint64{}}
+	var col columnarStats
 	for _, st := range stats {
 		merged.merge(st.lat)
 		rep.OK += st.ok
@@ -295,6 +380,17 @@ func run(args []string, out io.Writer) error {
 		for k, v := range st.byShape {
 			rep.ByShape[k] += v
 		}
+		col.Requests += st.colReqs
+		col.EncodeSeconds += st.colEncSec
+		col.DecodeSeconds += st.colDecSec
+		col.TotalSeconds += st.colTotSec
+		col.DecodeErrors += st.colDecErrs
+	}
+	if col.Requests > 0 {
+		if col.TotalSeconds > 0 {
+			col.CodecShare = (col.EncodeSeconds + col.DecodeSeconds) / col.TotalSeconds
+		}
+		rep.Columnar = &col
 	}
 	rep.Requests = rep.OK + rep.Shed + rep.Errors + rep.Other
 	if elapsed > 0 {
@@ -320,6 +416,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  other      %d, transport errors %d\n", rep.Other, rep.Errors)
 	fmt.Fprintf(out, "  latency    p50 %s  p90 %s  p99 %s  max %s\n",
 		fmtLat(rep.P50), fmtLat(rep.P90), fmtLat(rep.P99), fmtLat(rep.Max))
+	if rep.Columnar != nil {
+		c := rep.Columnar
+		n := float64(c.Requests)
+		fmt.Fprintf(out, "  columnar   codec %.1f%% of latency (encode %s, decode %s per request)\n",
+			100*c.CodecShare, fmtLat(c.EncodeSeconds/n), fmtLat(c.DecodeSeconds/n))
+		if c.DecodeErrors > 0 {
+			fmt.Fprintf(out, "  columnar   DECODE ERRORS %d\n", c.DecodeErrors)
+		}
+	}
 	names := make([]string, 0, len(rep.ByShape))
 	for k := range rep.ByShape {
 		names = append(names, k)

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"ssnkit/internal/colwire"
 )
 
 func TestParseMix(t *testing.T) {
@@ -24,6 +27,10 @@ func TestParseMix(t *testing.T) {
 	if shapes, err := parseMix("solve=3"); err != nil || len(shapes) != 1 ||
 		shapes[0].path != "/v1/solve" || shapes[0].weight != 3 {
 		t.Errorf("solve shape: %+v, %v", shapes, err)
+	}
+	if shapes, err := parseMix("columnar=2"); err != nil || len(shapes) != 1 ||
+		shapes[0].path != "/v1/maxssn" || !shapes[0].columnar {
+		t.Errorf("columnar shape: %+v, %v", shapes, err)
 	}
 	for _, bad := range []string{"", "nope", "single=0", "single=x"} {
 		if _, err := parseMix(bad); err == nil {
@@ -123,6 +130,111 @@ func TestRunAgainstStub(t *testing.T) {
 	}
 	if rep.P50 <= 0 || rep.Max < rep.P99 || rep.P99 < rep.P50 {
 		t.Errorf("latency ordering broken: %+v", rep)
+	}
+}
+
+// TestColumnarBody pins the request payload: one SSNC block, shared params
+// in the meta, n = 1..64 in the single column.
+func TestColumnarBody(t *testing.T) {
+	raw, err := columnarBody(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, used, err := colwire.Decode(raw)
+	if err != nil || used != len(raw) {
+		t.Fatalf("decode: used %d of %d, err %v", used, len(raw), err)
+	}
+	ns := blk.Column("n")
+	if blk.Rows() != 64 || ns == nil || ns[0] != 1 || ns[63] != 64 {
+		t.Fatalf("block rows %d, n column %v", blk.Rows(), ns)
+	}
+	var meta struct {
+		Params struct {
+			Package  string  `json:"package"`
+			RiseTime float64 `json:"rise_time"`
+		} `json:"params"`
+	}
+	if err := json.Unmarshal(blk.Meta, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Params.Package != "pga" || meta.Params.RiseTime != 1e-9 {
+		t.Errorf("meta params %+v", meta.Params)
+	}
+}
+
+// TestRunColumnarMix drives the columnar shape against a stub that speaks
+// SSNC both ways and checks the codec accounting in the report.
+func TestRunColumnarMix(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != colwire.ContentType {
+			t.Errorf("request Content-Type = %q", ct)
+		}
+		blk, err := colwire.ReadBlock(r.Body)
+		if err != nil {
+			t.Errorf("request block: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := &colwire.Block{Columns: []colwire.Column{
+			{Name: "vmax", Values: make([]float64, blk.Rows())},
+		}}
+		raw, err := out.Encode()
+		if err != nil {
+			t.Errorf("reply block: %v", err)
+		}
+		w.Header().Set("Content-Type", colwire.ContentType)
+		w.Write(raw)
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-c", "2", "-d", "200ms",
+		"-mix", "columnar", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.OK == 0 || rep.ByShape["columnar"] != rep.Requests {
+		t.Fatalf("report %+v: want only columnar requests, some ok", rep)
+	}
+	c := rep.Columnar
+	if c == nil {
+		t.Fatal("report has no columnar section")
+	}
+	if c.Requests == 0 || c.DecodeErrors != 0 {
+		t.Fatalf("columnar stats %+v", c)
+	}
+	if c.EncodeSeconds <= 0 || c.DecodeSeconds <= 0 || c.TotalSeconds <= 0 {
+		t.Errorf("codec timings not recorded: %+v", c)
+	}
+	if c.CodecShare <= 0 || c.CodecShare >= 1 {
+		t.Errorf("codec share %v outside (0, 1)", c.CodecShare)
+	}
+}
+
+// TestRunColumnarDecodeErrors counts replies that claim the SSNC media type
+// but do not parse.
+func TestRunColumnarDecodeErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", colwire.ContentType)
+		w.Write([]byte("not a block"))
+	}))
+	defer ts.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-c", "1", "-d", "150ms",
+		"-mix", "columnar", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Columnar == nil || rep.Columnar.DecodeErrors == 0 {
+		t.Fatalf("decode errors not counted: %+v", rep.Columnar)
 	}
 }
 

@@ -1,0 +1,332 @@
+// Package colwire implements the SSNC columnar wire format: a
+// length-prefixed little-endian float64 column layout that lets clients
+// ship and receive whole batches without per-point JSON encode/decode.
+//
+// A Block is laid out byte-for-byte as:
+//
+//	offset  size      field
+//	0       4         magic "SSNC"
+//	4       1         version (currently 1)
+//	5       1         flags (reserved, must be 0)
+//	6       2         ncols  uint16 LE
+//	8       4         nrows  uint32 LE
+//	12      4         metaLen uint32 LE
+//	16      metaLen   meta: UTF-8 JSON object (may be empty)
+//	...     per column, ncols times:
+//	        2         nameLen uint16 LE
+//	        nameLen   column name, UTF-8
+//	        8*nrows   values, IEEE 754 binary64, little-endian bit patterns
+//
+// Values travel as raw bit patterns (math.Float64bits), so the round trip
+// is value-exact for every float64 including NaN payloads, signed zeros,
+// infinities, and subnormals. Streams are a plain concatenation of Blocks;
+// a zero-row Block conventionally carries terminal metadata.
+package colwire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ContentType is the negotiated media type for SSNC columnar bodies.
+const ContentType = "application/x-ssn-columnar"
+
+const (
+	// Version is the wire version this package reads and writes.
+	Version = 1
+
+	headerLen = 16
+
+	// MaxColumns bounds ncols: enough for any endpoint schema while
+	// keeping adversarial headers from driving large per-column loops.
+	MaxColumns = 4096
+	// MaxNameLen bounds a single column name.
+	MaxNameLen = 255
+	// MaxMetaLen bounds the embedded meta JSON.
+	MaxMetaLen = 1 << 20
+	// MaxRows bounds nrows. 1<<26 rows of one column is 512 MiB, far
+	// above any request the service accepts; handlers enforce their own
+	// tighter item caps on top.
+	MaxRows = 1 << 26
+)
+
+var magic = [4]byte{'S', 'S', 'N', 'C'}
+
+// Column is one named float64 column of a Block.
+type Column struct {
+	Name   string
+	Values []float64
+}
+
+// Block is a decoded or to-be-encoded SSNC frame: optional JSON metadata
+// plus equal-length named columns.
+type Block struct {
+	Meta    json.RawMessage
+	Columns []Column
+}
+
+// Rows returns the shared column length (0 for a column-less Block).
+func (b *Block) Rows() int {
+	if len(b.Columns) == 0 {
+		return 0
+	}
+	return len(b.Columns[0].Values)
+}
+
+// Column returns the values of the named column, or nil if absent.
+func (b *Block) Column(name string) []float64 {
+	for i := range b.Columns {
+		if b.Columns[i].Name == name {
+			return b.Columns[i].Values
+		}
+	}
+	return nil
+}
+
+// validate checks the encodability limits shared by EncodedSize and
+// AppendTo.
+func (b *Block) validate() error {
+	if len(b.Columns) > MaxColumns {
+		return fmt.Errorf("colwire: %d columns exceeds %d", len(b.Columns), MaxColumns)
+	}
+	if len(b.Meta) > MaxMetaLen {
+		return fmt.Errorf("colwire: meta length %d exceeds %d", len(b.Meta), MaxMetaLen)
+	}
+	rows := b.Rows()
+	if rows > MaxRows {
+		return fmt.Errorf("colwire: %d rows exceeds %d", rows, MaxRows)
+	}
+	for i := range b.Columns {
+		c := &b.Columns[i]
+		if len(c.Name) == 0 || len(c.Name) > MaxNameLen {
+			return fmt.Errorf("colwire: column %d name length %d outside [1,%d]", i, len(c.Name), MaxNameLen)
+		}
+		if len(c.Values) != rows {
+			return fmt.Errorf("colwire: column %q has %d rows, want %d", c.Name, len(c.Values), rows)
+		}
+	}
+	return nil
+}
+
+// EncodedSize returns the exact byte length AppendTo will produce.
+func (b *Block) EncodedSize() int {
+	n := headerLen + len(b.Meta)
+	rows := b.Rows()
+	for i := range b.Columns {
+		n += 2 + len(b.Columns[i].Name) + 8*rows
+	}
+	return n
+}
+
+// AppendTo appends the encoded Block to dst and returns the extended
+// slice. The only failure mode is a Block outside the format limits.
+func (b *Block) AppendTo(dst []byte) ([]byte, error) {
+	if err := b.validate(); err != nil {
+		return dst, err
+	}
+	dst = append(dst, magic[0], magic[1], magic[2], magic[3], Version, 0)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(b.Columns)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.Rows()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Meta)))
+	dst = append(dst, b.Meta...)
+	for i := range b.Columns {
+		c := &b.Columns[i]
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(c.Name)))
+		dst = append(dst, c.Name...)
+		for _, v := range c.Values {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// Encode is AppendTo into a fresh exactly-sized buffer.
+func (b *Block) Encode() ([]byte, error) {
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	out, err := b.AppendTo(make([]byte, 0, b.EncodedSize()))
+	return out, err
+}
+
+// ErrShortBlock reports a body that ends before the lengths in its own
+// header are satisfied (truncated length prefixes included).
+var ErrShortBlock = errors.New("colwire: truncated block")
+
+// header is the fixed 16-byte prelude, decoded and limit-checked.
+type header struct {
+	ncols   int
+	nrows   int
+	metaLen int
+}
+
+func parseHeader(h []byte) (header, error) {
+	if h[0] != magic[0] || h[1] != magic[1] || h[2] != magic[2] || h[3] != magic[3] {
+		return header{}, fmt.Errorf("colwire: bad magic %q", h[:4])
+	}
+	if h[4] != Version {
+		return header{}, fmt.Errorf("colwire: unsupported version %d", h[4])
+	}
+	if h[5] != 0 {
+		return header{}, fmt.Errorf("colwire: reserved flags 0x%02x", h[5])
+	}
+	hd := header{
+		ncols:   int(binary.LittleEndian.Uint16(h[6:8])),
+		nrows:   int(binary.LittleEndian.Uint32(h[8:12])),
+		metaLen: int(binary.LittleEndian.Uint32(h[12:16])),
+	}
+	if hd.ncols > MaxColumns {
+		return header{}, fmt.Errorf("colwire: %d columns exceeds %d", hd.ncols, MaxColumns)
+	}
+	if hd.nrows > MaxRows {
+		return header{}, fmt.Errorf("colwire: %d rows exceeds %d", hd.nrows, MaxRows)
+	}
+	if hd.metaLen > MaxMetaLen {
+		return header{}, fmt.Errorf("colwire: meta length %d exceeds %d", hd.metaLen, MaxMetaLen)
+	}
+	if hd.ncols == 0 && hd.nrows != 0 {
+		// Row data lives inside columns, so this shape is unencodable;
+		// rejecting it keeps every accepted block canonically re-encodable.
+		return header{}, fmt.Errorf("colwire: %d rows with no columns", hd.nrows)
+	}
+	return hd, nil
+}
+
+// Decode parses one Block from the front of data, returning the Block and
+// the number of bytes consumed (trailing bytes belong to the next Block of
+// a stream). Every allocation is bounded by len(data), so oversized length
+// prefixes in a short body fail with ErrShortBlock instead of allocating.
+func Decode(data []byte) (*Block, int, error) {
+	if len(data) < headerLen {
+		return nil, 0, ErrShortBlock
+	}
+	hd, err := parseHeader(data[:headerLen])
+	if err != nil {
+		return nil, 0, err
+	}
+	off := headerLen
+	if len(data)-off < hd.metaLen {
+		return nil, 0, ErrShortBlock
+	}
+	b := &Block{}
+	if hd.metaLen > 0 {
+		b.Meta = json.RawMessage(append([]byte(nil), data[off:off+hd.metaLen]...))
+	}
+	off += hd.metaLen
+	if hd.ncols > 0 {
+		b.Columns = make([]Column, hd.ncols)
+	}
+	for i := 0; i < hd.ncols; i++ {
+		if len(data)-off < 2 {
+			return nil, 0, ErrShortBlock
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		off += 2
+		if nameLen == 0 || nameLen > MaxNameLen {
+			return nil, 0, fmt.Errorf("colwire: column %d name length %d outside [1,%d]", i, nameLen, MaxNameLen)
+		}
+		if len(data)-off < nameLen {
+			return nil, 0, ErrShortBlock
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		if len(data)-off < 8*hd.nrows {
+			return nil, 0, ErrShortBlock
+		}
+		vals := make([]float64, hd.nrows)
+		for j := range vals {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+			off += 8
+		}
+		b.Columns[i] = Column{Name: name, Values: vals}
+	}
+	return b, off, nil
+}
+
+// readChunk is the growth quantum of the streaming value reader: columns
+// larger than this allocate as bytes actually arrive, so a hostile header
+// promising 2^26 rows over a 20-byte body costs one chunk, not 512 MiB.
+const readChunk = 64 * 1024
+
+// ReadBlock reads one Block from r. It returns io.EOF only when the
+// stream ends cleanly before the first header byte; a block cut off
+// anywhere after that fails with ErrShortBlock.
+func ReadBlock(r io.Reader) (*Block, error) {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrShortBlock
+	}
+	if _, err := io.ReadFull(r, h[1:]); err != nil {
+		return nil, ErrShortBlock
+	}
+	hd, err := parseHeader(h[:])
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	if hd.metaLen > 0 {
+		meta, err := readAllChunked(r, hd.metaLen)
+		if err != nil {
+			return nil, err
+		}
+		b.Meta = json.RawMessage(meta)
+	}
+	if hd.ncols > 0 {
+		b.Columns = make([]Column, hd.ncols)
+	}
+	var pre [2 + MaxNameLen]byte
+	for i := 0; i < hd.ncols; i++ {
+		if _, err := io.ReadFull(r, pre[:2]); err != nil {
+			return nil, ErrShortBlock
+		}
+		nameLen := int(binary.LittleEndian.Uint16(pre[:2]))
+		if nameLen == 0 || nameLen > MaxNameLen {
+			return nil, fmt.Errorf("colwire: column %d name length %d outside [1,%d]", i, nameLen, MaxNameLen)
+		}
+		if _, err := io.ReadFull(r, pre[2:2+nameLen]); err != nil {
+			return nil, ErrShortBlock
+		}
+		raw, err := readAllChunked(r, 8*hd.nrows)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, hd.nrows)
+		for j := range vals {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*j:]))
+		}
+		b.Columns[i] = Column{Name: string(pre[2 : 2+nameLen]), Values: vals}
+	}
+	return b, nil
+}
+
+// readAllChunked reads exactly n bytes, growing the buffer one readChunk
+// at a time so allocation tracks delivered bytes, not the advertised n.
+func readAllChunked(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, ErrShortBlock
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, readChunk)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > readChunk {
+			step = readChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, ErrShortBlock
+		}
+	}
+	return buf, nil
+}

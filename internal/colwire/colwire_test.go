@@ -1,0 +1,366 @@
+package colwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// specialBits are the value-exactness stress patterns: NaNs with distinct
+// payloads (quiet and signaling-shaped), signed zeros, infinities,
+// subnormals, and extremes.
+var specialBits = []uint64{
+	0x7FF8000000000000, // canonical quiet NaN
+	0x7FF8000000000001, // quiet NaN, payload 1
+	0x7FF0000000000001, // signaling-shaped NaN
+	0xFFF8DEADBEEF0001, // negative NaN, junk payload
+	0x0000000000000000, // +0
+	0x8000000000000000, // -0
+	0x7FF0000000000000, // +Inf
+	0xFFF0000000000000, // -Inf
+	0x0000000000000001, // smallest subnormal
+	0x000FFFFFFFFFFFFF, // largest subnormal
+	0x7FEFFFFFFFFFFFFF, // MaxFloat64
+	0x0010000000000000, // smallest normal
+}
+
+func sampleBlock(rows int) *Block {
+	rng := rand.New(rand.NewSource(int64(rows) + 7))
+	mk := func() []float64 {
+		v := make([]float64, rows)
+		for i := range v {
+			if i < len(specialBits) {
+				v[i] = math.Float64frombits(specialBits[i])
+			} else {
+				v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
+			}
+		}
+		return v
+	}
+	return &Block{
+		Meta: json.RawMessage(`{"kind":"test","rows":` + "0" + `}`),
+		Columns: []Column{
+			{Name: "vmax", Values: mk()},
+			{Name: "case_code", Values: mk()},
+			{Name: "c", Values: mk()},
+		},
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func blocksBitEqual(t *testing.T, got, want *Block) {
+	t.Helper()
+	if !bytes.Equal(got.Meta, want.Meta) {
+		t.Fatalf("meta mismatch: %q vs %q", got.Meta, want.Meta)
+	}
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("column count %d vs %d", len(got.Columns), len(want.Columns))
+	}
+	for i := range want.Columns {
+		if got.Columns[i].Name != want.Columns[i].Name {
+			t.Fatalf("column %d name %q vs %q", i, got.Columns[i].Name, want.Columns[i].Name)
+		}
+		if !bitsEqual(got.Columns[i].Values, want.Columns[i].Values) {
+			t.Fatalf("column %q values differ in bits", want.Columns[i].Name)
+		}
+	}
+}
+
+func TestRoundTripValueExact(t *testing.T) {
+	for _, rows := range []int{0, 1, 12, 1024} {
+		b := sampleBlock(rows)
+		enc, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != b.EncodedSize() {
+			t.Fatalf("rows=%d: encoded %d bytes, EncodedSize says %d", rows, len(enc), b.EncodedSize())
+		}
+		dec, n, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		blocksBitEqual(t, dec, b)
+
+		// Stream decode agrees, then sees clean EOF.
+		r := bytes.NewReader(enc)
+		sdec, err := ReadBlock(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocksBitEqual(t, sdec, b)
+		if _, err := ReadBlock(r); err != io.EOF {
+			t.Fatalf("after last block: %v, want io.EOF", err)
+		}
+	}
+}
+
+func TestDecodeStreamOfBlocks(t *testing.T) {
+	b1, b2 := sampleBlock(5), sampleBlock(9)
+	done := &Block{Meta: json.RawMessage(`{"done":true}`)}
+	var stream []byte
+	for _, b := range []*Block{b1, b2, done} {
+		var err error
+		stream, err = b.AppendTo(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Slice decoding walks the concatenation by consumed offsets.
+	off := 0
+	for i, want := range []*Block{b1, b2, done} {
+		dec, n, err := Decode(stream[off:])
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		blocksBitEqual(t, dec, want)
+		off += n
+	}
+	if off != len(stream) {
+		t.Fatalf("consumed %d of %d", off, len(stream))
+	}
+	// Stream decoding sees the same three then EOF.
+	r := bytes.NewReader(stream)
+	for i, want := range []*Block{b1, b2, done} {
+		dec, err := ReadBlock(r)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		blocksBitEqual(t, dec, want)
+	}
+	if _, err := ReadBlock(r); err != io.EOF {
+		t.Fatalf("after stream: %v, want io.EOF", err)
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	b := sampleBlock(3)
+	if got := b.Column("case_code"); !bitsEqual(got, b.Columns[1].Values) {
+		t.Fatal("Column lookup returned wrong values")
+	}
+	if b.Column("absent") != nil {
+		t.Fatal("absent column should be nil")
+	}
+	if b.Rows() != 3 {
+		t.Fatalf("Rows = %d", b.Rows())
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Block
+	}{
+		{"mismatched lengths", &Block{Columns: []Column{
+			{Name: "a", Values: make([]float64, 3)},
+			{Name: "b", Values: make([]float64, 4)},
+		}}},
+		{"empty name", &Block{Columns: []Column{{Name: "", Values: nil}}}},
+		{"long name", &Block{Columns: []Column{{Name: strings.Repeat("x", MaxNameLen+1)}}}},
+		{"oversized meta", &Block{Meta: make(json.RawMessage, MaxMetaLen+1)}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.b.Encode(); err == nil {
+			t.Errorf("%s: Encode succeeded, want error", tc.name)
+		}
+		if _, err := tc.b.AppendTo(nil); err == nil {
+			t.Errorf("%s: AppendTo succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	good, err := sampleBlock(4).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(mutate func([]byte)) []byte {
+		c := append([]byte(nil), good...)
+		mutate(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:15]},
+		{"bad magic", mut(func(c []byte) { c[0] = 'X' })},
+		{"bad version", mut(func(c []byte) { c[4] = 9 })},
+		{"reserved flags", mut(func(c []byte) { c[5] = 1 })},
+		{"truncated meta", good[:headerLen+2]},
+		{"truncated name prefix", good[:headerLen+len(sampleBlock(4).Meta)+1]},
+		{"truncated values", good[:len(good)-1]},
+		{"zero name length", mut(func(c []byte) {
+			off := headerLen + len(sampleBlock(4).Meta)
+			binary.LittleEndian.PutUint16(c[off:], 0)
+		})},
+		{"rows beyond cap", mut(func(c []byte) {
+			binary.LittleEndian.PutUint32(c[8:], MaxRows+1)
+		})},
+		{"meta beyond cap", mut(func(c []byte) {
+			binary.LittleEndian.PutUint32(c[12:], MaxMetaLen+1)
+		})},
+	}
+	for _, tc := range cases {
+		if _, _, err := Decode(tc.data); err == nil {
+			t.Errorf("Decode %s: succeeded, want error", tc.name)
+		}
+		if _, err := ReadBlock(bytes.NewReader(tc.data)); err == nil || err == io.EOF {
+			if !(tc.name == "empty" && err == io.EOF) {
+				t.Errorf("ReadBlock %s: err = %v, want failure", tc.name, err)
+			}
+		}
+	}
+}
+
+// TestOversizedPrefixBoundedAlloc feeds headers promising maximal rows and
+// meta over a tiny body: the decoders must fail with ErrShortBlock without
+// allocating anywhere near the advertised size.
+func TestOversizedPrefixBoundedAlloc(t *testing.T) {
+	var h [headerLen + 3]byte
+	copy(h[:], "SSNC")
+	h[4] = Version
+	binary.LittleEndian.PutUint16(h[6:], 1)       // 1 column
+	binary.LittleEndian.PutUint32(h[8:], MaxRows) // 2^26 rows promised
+	binary.LittleEndian.PutUint32(h[12:], 0)
+	h[headerLen] = 1 // nameLen = 1
+	h[headerLen+2] = 'x'
+
+	if _, _, err := Decode(h[:]); !errors.Is(err, ErrShortBlock) {
+		t.Fatalf("Decode: %v, want ErrShortBlock", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		_, _ = ReadBlock(bytes.NewReader(h[:]))
+	})
+	// One chunk, a column header, a block: the 512 MiB the header claims
+	// would be ~8000 pages; a handful of allocations means chunking works.
+	if allocs > 16 {
+		t.Fatalf("ReadBlock on truncated maximal header: %v allocs/run", allocs)
+	}
+	if _, err := ReadBlock(bytes.NewReader(h[:])); !errors.Is(err, ErrShortBlock) {
+		t.Fatalf("ReadBlock: %v, want ErrShortBlock", err)
+	}
+}
+
+func TestReadBlockLargeColumnChunking(t *testing.T) {
+	rows := 3*readChunk/8 + 17 // forces the chunked growth path
+	vals := make([]float64, rows)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	b := &Block{Columns: []Column{{Name: "v", Values: vals}}}
+	enc, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadBlock(iotest{bytes.NewReader(enc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocksBitEqual(t, dec, b)
+}
+
+// iotest dribbles reads in small odd sizes to exercise ReadFull looping.
+type iotest struct{ r io.Reader }
+
+func (d iotest) Read(p []byte) (int, error) {
+	if len(p) > 937 {
+		p = p[:937]
+	}
+	return d.r.Read(p)
+}
+
+func FuzzDecodeBlock(f *testing.F) {
+	for _, rows := range []int{0, 1, 7} {
+		enc, err := sampleBlock(rows).Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)-3])
+	}
+	f.Add([]byte("SSNC"))
+	two, _ := sampleBlock(2).AppendTo(nil)
+	two, _ = (&Block{Meta: json.RawMessage(`{"done":true}`)}).AppendTo(two)
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, n, err := Decode(data)
+		sb, serr := ReadBlock(bytes.NewReader(data))
+		if err != nil {
+			// The decoders agree on rejection, except that a clean empty
+			// stream is io.EOF for the reader and ErrShortBlock for the
+			// one-shot slice API.
+			if serr == nil {
+				t.Fatalf("Decode rejected (%v) but ReadBlock accepted", err)
+			}
+			return
+		}
+		if n < headerLen || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// Accepted input round-trips canonically: re-encoding reproduces
+		// the consumed prefix byte for byte (NaN payloads included).
+		re, eerr := b.AppendTo(nil)
+		if eerr != nil {
+			t.Fatalf("decoded block fails to re-encode: %v", eerr)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs from consumed prefix")
+		}
+		if serr != nil {
+			t.Fatalf("Decode accepted but ReadBlock rejected: %v", serr)
+		}
+		blocksBitEqual(t, sb, b)
+	})
+}
+
+func BenchmarkColumnarEncode(b *testing.B) {
+	blk := sampleBlock(1024)
+	buf := make([]byte, 0, blk.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := blk.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1024, "ns/point")
+}
+
+func BenchmarkColumnarDecode(b *testing.B) {
+	enc, err := sampleBlock(1024).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1024, "ns/point")
+}

@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ssnkit/internal/colwire"
+	"ssnkit/internal/sweep"
+)
+
+// This file is the SSNC columnar face of the v1 API (README "Columnar wire
+// format"): POST /v1/maxssn accepts a columnar batch body, and /v1/maxssn
+// batch plus /v1/sweep responses can be negotiated into columnar output.
+// The JSON and columnar paths share one evaluation pipeline, so the values
+// on either wire are the same float64s — JSON spells them in shortest
+// round-trip decimal, SSNC ships the raw bits.
+
+// isColumnarBody reports a request whose body is an SSNC block.
+func isColumnarBody(r *http.Request) bool {
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && ct == colwire.ContentType
+}
+
+// acceptsMedia reports whether the Accept header lists the media type.
+func acceptsMedia(r *http.Request, mediaType string) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err == nil && mt == mediaType {
+			return true
+		}
+	}
+	return false
+}
+
+// columnarResponseFor resolves the response encoding: an explicit
+// columnar Accept wins, an explicit JSON Accept wins next, and with no
+// stated preference the response mirrors the request body's format.
+func columnarResponseFor(r *http.Request) bool {
+	if acceptsMedia(r, colwire.ContentType) {
+		return true
+	}
+	if acceptsMedia(r, "application/json") {
+		return false
+	}
+	return isColumnarBody(r)
+}
+
+// columnarItemColumns is the set of per-row override columns a columnar
+// /v1/maxssn batch may carry; every other name is rejected so a typo
+// cannot silently evaluate the base point N times.
+const columnarItemColumns = "n, l, c, slope, rise_time, vdd, pads, size"
+
+// columnarBatchMeta is the meta JSON of a columnar /v1/maxssn request:
+// just the shared parameter envelope (an explicit items list is the JSON
+// form's job; columnar rows are the items).
+type columnarBatchMeta struct {
+	Items []json.RawMessage `json:"items"`
+	paramsEnvelope
+}
+
+// decodeColumnarMaxSSN reads the single SSNC block of a columnar batch
+// request and expands base params + override columns into EvalItems.
+func (s *Server) decodeColumnarMaxSSN(w http.ResponseWriter, r *http.Request) ([]EvalItem, *apiError) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	blk, err := colwire.ReadBlock(body)
+	if err != nil {
+		if err == io.EOF {
+			return nil, badRequest("empty columnar body")
+		}
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) || errors.Is(err, colwire.ErrShortBlock) && bodyOverLimit(body) {
+			return nil, &apiError{Code: CodeBodyTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return nil, badRequest("columnar body: %v", err)
+	}
+	if _, err := colwire.ReadBlock(body); err != io.EOF {
+		return nil, badRequest("trailing data after columnar block")
+	}
+
+	var meta columnarBatchMeta
+	if len(blk.Meta) > 0 {
+		if err := json.Unmarshal(blk.Meta, &meta); err != nil {
+			return nil, badRequest("columnar meta: %v", err)
+		}
+	}
+	if len(meta.Items) > 0 {
+		return nil, badRequest("columnar meta must not carry items; rows are the items")
+	}
+	base := meta.item()
+
+	rows := blk.Rows()
+	if len(blk.Columns) == 0 || rows == 0 {
+		return nil, badRequest("columnar batch needs at least one column with at least one row")
+	}
+	if rows > s.cfg.MaxBatch {
+		return nil, &apiError{Code: CodeBatchTooLarge,
+			Message:    fmt.Sprintf("batch of %d exceeds the %d-item limit", rows, s.cfg.MaxBatch),
+			Field:      "items",
+			Value:      rows,
+			Constraint: fmt.Sprintf("at most %d items", s.cfg.MaxBatch),
+		}
+	}
+
+	items := make([]EvalItem, rows)
+	for i := range items {
+		items[i] = base
+	}
+	for ci := range blk.Columns {
+		col := &blk.Columns[ci]
+		switch col.Name {
+		case "n":
+			for i, v := range col.Values {
+				items[i].N = roundedInt(v)
+			}
+		case "l":
+			for i := range col.Values {
+				items[i].L = &col.Values[i]
+			}
+		case "c":
+			for i := range col.Values {
+				items[i].C = &col.Values[i]
+			}
+		case "slope":
+			for i, v := range col.Values {
+				items[i].Slope = v
+				items[i].RiseTime = 0
+			}
+		case "rise_time":
+			for i, v := range col.Values {
+				items[i].RiseTime = v
+				items[i].Slope = 0
+			}
+		case "vdd":
+			for i, v := range col.Values {
+				items[i].Vdd = v
+			}
+		case "pads":
+			for i, v := range col.Values {
+				items[i].Pads = roundedInt(v)
+			}
+		case "size":
+			for i, v := range col.Values {
+				items[i].Size = v
+			}
+		default:
+			return nil, badRequest("unknown columnar column %q; columns may be %s", col.Name, columnarItemColumns)
+		}
+	}
+	return items, nil
+}
+
+// roundedInt converts a wire float to an int field, mapping anything that
+// does not round to a representable positive count onto 0 so validation
+// rejects it with the model's own constraint message.
+func roundedInt(v float64) int {
+	if !(v >= 0 && v <= 1<<31) {
+		return 0
+	}
+	return int(math.Round(v))
+}
+
+// bodyOverLimit reports whether the limited reader was exhausted by a
+// body at the cap (distinguishing a truncated block from an oversized one).
+func bodyOverLimit(body io.Reader) bool {
+	var one [1]byte
+	_, err := body.Read(one[:])
+	var maxErr *http.MaxBytesError
+	return errors.As(err, &maxErr)
+}
+
+// colBufPool recycles columnar encode buffers across requests.
+var colBufPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// colBufMaxRetain caps the capacity a pooled columnar buffer may pin.
+const colBufMaxRetain = 1 << 20
+
+// columnarBatchResponseMeta is the meta JSON of a columnar batch reply.
+type columnarBatchResponseMeta struct {
+	Count  int                  `json:"count"`
+	Errors map[string]*apiError `json:"errors,omitempty"`
+}
+
+// writeColumnarBatch encodes batch results as one SSNC block: columns
+// vmax, case_code, t_max, beta; failed rows carry NaN values and
+// case_code -1 with the error envelope keyed by row index in the meta.
+func (s *Server) writeColumnarBatch(w http.ResponseWriter, results []EvalResult) {
+	rows := len(results)
+	cols := make([]float64, 4*rows)
+	vmax, caseCode := cols[0*rows:1*rows], cols[1*rows:2*rows]
+	tmax, beta := cols[2*rows:3*rows], cols[3*rows:4*rows]
+	meta := columnarBatchResponseMeta{Count: rows}
+	for i := range results {
+		res := &results[i]
+		if res.Error != nil {
+			if meta.Errors == nil {
+				meta.Errors = make(map[string]*apiError)
+			}
+			meta.Errors[strconv.Itoa(i)] = res.Error
+			nan := math.NaN()
+			vmax[i], tmax[i], beta[i] = nan, nan, nan
+			caseCode[i] = -1
+			continue
+		}
+		vmax[i] = res.VMax
+		caseCode[i] = float64(res.CaseCode)
+		tmax[i] = res.TMax
+		beta[i] = res.Beta
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		writeError(w, &apiError{Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	blk := colwire.Block{
+		Meta: metaJSON,
+		Columns: []colwire.Column{
+			{Name: "vmax", Values: vmax},
+			{Name: "case_code", Values: caseCode},
+			{Name: "t_max", Values: tmax},
+			{Name: "beta", Values: beta},
+		},
+	}
+	bufp := colBufPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bufp) <= colBufMaxRetain {
+			colBufPool.Put(bufp)
+		}
+	}()
+	enc, err := blk.AppendTo((*bufp)[:0])
+	*bufp = enc[:0]
+	if err != nil {
+		writeError(w, &apiError{Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	s.metrics.ObserveColumnar("/v1/maxssn", "out")
+	w.Header().Set("Content-Type", colwire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(enc)
+}
+
+// handleMaxSSNColumnar serves a columnar-bodied POST /v1/maxssn: rows are
+// batch items over the meta envelope's base point. The evaluation pipeline
+// is the JSON batch path's; only the wire differs.
+func (s *Server) handleMaxSSNColumnar(w http.ResponseWriter, r *http.Request) {
+	items, aerr := s.decodeColumnarMaxSSN(w, r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.metrics.ObserveColumnar("/v1/maxssn", "in")
+	results := s.evalItems(r.Context(), items)
+	if columnarResponseFor(r) {
+		s.writeColumnarBatch(w, results)
+		return
+	}
+	writeJSON(w, http.StatusOK, maxSSNBatchResponse{Count: len(results), Results: results})
+}
+
+// sweepColBlockRows is the row count per streamed sweep block: large
+// enough to amortize the 16-byte header and column names, small enough
+// that clients observe progress.
+const sweepColBlockRows = 1024
+
+// columnarSweepSink accumulates sweep points into per-column buffers and
+// flushes them as SSNC blocks. Column slices are reused across blocks
+// (AppendTo copies the bits out), so a million-point stream allocates a
+// handful of slices once.
+type columnarSweepSink struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	axes    []sweep.Axis
+	buf     *[]byte
+
+	axisVals [][]float64
+	vmax     []float64
+	caseCode []float64
+	depth    []float64
+	rows     int
+	errs     map[string]*apiError
+}
+
+func newColumnarSweepSink(w http.ResponseWriter, axes []sweep.Axis) *columnarSweepSink {
+	k := &columnarSweepSink{w: w, axes: axes}
+	k.flusher, _ = w.(http.Flusher)
+	k.buf = colBufPool.Get().(*[]byte)
+	k.axisVals = make([][]float64, len(axes))
+	for i := range k.axisVals {
+		k.axisVals[i] = make([]float64, 0, sweepColBlockRows)
+	}
+	k.vmax = make([]float64, 0, sweepColBlockRows)
+	k.caseCode = make([]float64, 0, sweepColBlockRows)
+	k.depth = make([]float64, 0, sweepColBlockRows)
+	return k
+}
+
+func (k *columnarSweepSink) release() {
+	if cap(*k.buf) <= colBufMaxRetain {
+		colBufPool.Put(k.buf)
+	}
+}
+
+// add shapes one engine point into the pending block, mirroring the JSON
+// path's resolution (the rounded N for a valid point on an n axis, raw
+// axis values for failed points).
+func (k *columnarSweepSink) add(pt sweep.Point) error {
+	for i, ax := range k.axes {
+		v := pt.Values[i]
+		if ax.Name == sweep.AxisN && pt.Err == nil {
+			v = float64(pt.Params.N)
+		}
+		k.axisVals[i] = append(k.axisVals[i], v)
+	}
+	if pt.Err != nil {
+		if k.errs == nil {
+			k.errs = make(map[string]*apiError)
+		}
+		k.errs[strconv.Itoa(k.rows)] = toAPIError(pt.Err)
+		k.vmax = append(k.vmax, math.NaN())
+		k.caseCode = append(k.caseCode, -1)
+	} else {
+		k.vmax = append(k.vmax, pt.VMax)
+		k.caseCode = append(k.caseCode, float64(pt.Case))
+	}
+	k.depth = append(k.depth, float64(pt.Depth))
+	k.rows++
+	if k.rows >= sweepColBlockRows {
+		return k.flush(nil)
+	}
+	return nil
+}
+
+// flush writes the pending rows as one block (with the given extra meta
+// merged in) and resets the accumulators. A nil meta with zero rows is a
+// no-op; a non-nil meta always emits a block, even with zero rows — the
+// terminal done/stats (or abort error) frame.
+func (k *columnarSweepSink) flush(meta json.RawMessage) error {
+	if k.rows == 0 && meta == nil {
+		return nil
+	}
+	blk := colwire.Block{Meta: meta}
+	if k.rows > 0 {
+		if k.errs != nil && meta == nil {
+			m, err := json.Marshal(struct {
+				Errors map[string]*apiError `json:"errors"`
+			}{k.errs})
+			if err != nil {
+				return err
+			}
+			blk.Meta = m
+		}
+		blk.Columns = make([]colwire.Column, 0, len(k.axes)+3)
+		for i, ax := range k.axes {
+			blk.Columns = append(blk.Columns, colwire.Column{Name: ax.Name, Values: k.axisVals[i]})
+		}
+		blk.Columns = append(blk.Columns,
+			colwire.Column{Name: "vmax", Values: k.vmax},
+			colwire.Column{Name: "case_code", Values: k.caseCode},
+			colwire.Column{Name: "depth", Values: k.depth},
+		)
+	}
+	enc, err := blk.AppendTo((*k.buf)[:0])
+	*k.buf = enc[:0]
+	if err != nil {
+		return err
+	}
+	if _, err := k.w.Write(enc); err != nil {
+		return err
+	}
+	if k.flusher != nil {
+		k.flusher.Flush()
+	}
+	for i := range k.axisVals {
+		k.axisVals[i] = k.axisVals[i][:0]
+	}
+	k.vmax, k.caseCode, k.depth = k.vmax[:0], k.caseCode[:0], k.depth[:0]
+	k.rows = 0
+	k.errs = nil
+	return nil
+}
+
+// sweepColumnarStats is the terminal block meta of a columnar sweep.
+type sweepColumnarStats struct {
+	Done  bool       `json:"done"`
+	Stats sweepStats `json:"stats"`
+}
+
+// runSweepColumnar streams the sweep as a sequence of SSNC blocks: row
+// blocks with one column per axis plus vmax/case_code/depth (per-row
+// errors keyed by block row index in the meta), then a terminal zero-row
+// block whose meta is {"done":true,"stats":{...}} — or the error envelope
+// if the engine aborted.
+func (s *Server) runSweepColumnar(w http.ResponseWriter, r *http.Request, g sweep.Grid, cfg sweep.Config) {
+	s.metrics.ObserveColumnar("/v1/sweep", "out")
+	w.Header().Set("Content-Type", colwire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	sink := newColumnarSweepSink(w, g.Axes)
+	defer sink.release()
+	stats, err := sweep.Run(r.Context(), g, cfg, func(pt sweep.Point) error {
+		return sink.add(pt)
+	})
+	s.metrics.ObserveSweep(stats.Evaluated, stats.Chunks, stats.RefinedPoints, err == nil)
+	// Drain pending rows, then the terminal frame (the same split the
+	// NDJSON path makes between its last batch and the summary line).
+	if ferr := sink.flush(nil); ferr != nil {
+		return
+	}
+	var meta []byte
+	if err != nil {
+		meta, _ = json.Marshal(map[string]*apiError{"error": toAPIError(err)})
+	} else {
+		meta, _ = json.Marshal(sweepColumnarStats{Done: true, Stats: sweepStats{
+			GridPoints: stats.GridPoints, Chunks: stats.Chunks,
+			Evaluated: stats.Evaluated, Errors: stats.Errors,
+			RefinedPoints: stats.RefinedPoints, MaxDepth: stats.MaxDepth,
+			Workers: stats.Workers,
+		}})
+	}
+	_ = sink.flush(meta)
+}
+
+// DecodeColumnarStream reads every SSNC block of a columnar sweep or batch
+// stream (a convenience for clients and tests; cmd/ssnload uses it).
+func DecodeColumnarStream(r io.Reader) ([]*colwire.Block, error) {
+	var blocks []*colwire.Block
+	for {
+		blk, err := colwire.ReadBlock(r)
+		if err == io.EOF {
+			return blocks, nil
+		}
+		if err != nil {
+			return blocks, err
+		}
+		blocks = append(blocks, blk)
+	}
+}

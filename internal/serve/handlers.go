@@ -74,10 +74,14 @@ func (s *Server) evalOne(index int, it EvalItem) EvalResult {
 }
 
 // handleMaxSSN serves POST /v1/maxssn: a single item inline, or a batch
-// under "items". Batch items run concurrently on the shared worker pool;
-// per-item failures are reported in place so one bad corner does not void
-// a thousand good ones.
+// under "items" (JSON) or as SSNC columnar rows. Batch items run
+// concurrently on the shared worker pool; per-item failures are reported
+// in place so one bad corner does not void a thousand good ones.
 func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
+	if isColumnarBody(r) {
+		s.handleMaxSSNColumnar(w, r)
+		return
+	}
 	var req maxSSNRequest
 	if aerr := s.decodeEnvelope(w, r, &req); aerr != nil {
 		writeError(w, aerr)
@@ -101,15 +105,25 @@ func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	results := s.evalItems(r.Context(), req.Items)
+	if columnarResponseFor(r) {
+		s.writeColumnarBatch(w, results)
+		return
+	}
+	writeJSON(w, http.StatusOK, maxSSNBatchResponse{Count: len(results), Results: results})
+}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+// evalItems runs a batch on the shared worker pool under the request
+// timeout; items not yet started at the deadline fail in place.
+func (s *Server) evalItems(ctx context.Context, items []EvalItem) []EvalResult {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
-	results := make([]EvalResult, len(req.Items))
+	results := make([]EvalResult, len(items))
 	var wg sync.WaitGroup
-	for i := range req.Items {
+	for i := range items {
 		if err := s.pool.acquire(ctx); err != nil {
 			// Deadline or disconnect: fail the not-yet-started remainder.
-			for j := i; j < len(req.Items); j++ {
+			for j := i; j < len(items); j++ {
 				results[j] = EvalResult{Index: j,
 					Error: &apiError{Code: CodeTimeout, Message: "evaluation aborted: " + err.Error()}}
 			}
@@ -119,11 +133,11 @@ func (s *Server) handleMaxSSN(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer wg.Done()
 			defer s.pool.release()
-			results[i] = s.evalOne(i, req.Items[i])
+			results[i] = s.evalOne(i, items[i])
 		}(i)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, maxSSNBatchResponse{Count: len(results), Results: results})
+	return results
 }
 
 // handleWaveform serves POST /v1/waveform: the sampled closed-form V(t)

@@ -45,6 +45,14 @@ type Metrics struct {
 
 	legacyEnvelope uint64
 	solvesByMode   map[string]uint64
+
+	columnarPayloads map[columnarKey]uint64
+}
+
+// columnarKey labels one SSNC payload direction on one route.
+type columnarKey struct {
+	path string
+	dir  string // "in" (request body) or "out" (response body)
 }
 
 type requestKey struct {
@@ -67,7 +75,29 @@ func NewMetrics() *Metrics {
 		jobsByState:   map[string]uint64{},
 		admissionShed: map[string]uint64{},
 		solvesByMode:  map[string]uint64{},
+
+		columnarPayloads: map[columnarKey]uint64{},
 	}
+}
+
+// ObserveColumnar counts one SSNC columnar payload on a route, by
+// direction ("in" for a decoded request body, "out" for an encoded
+// response body).
+func (m *Metrics) ObserveColumnar(path, dir string) {
+	m.mu.Lock()
+	m.columnarPayloads[columnarKey{path, dir}]++
+	m.mu.Unlock()
+}
+
+// ColumnarCounts returns the columnar payload counters (for tests).
+func (m *Metrics) ColumnarCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.columnarPayloads))
+	for k, v := range m.columnarPayloads {
+		out[k.path+" "+k.dir] = v
+	}
+	return out
 }
 
 // ObserveRequest records one finished HTTP request.
@@ -313,6 +343,22 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	sort.Strings(modes)
 	for _, md := range modes {
 		fmt.Fprintf(cw, "ssnserve_solves_total{mode=%q} %d\n", md, m.solvesByMode[md])
+	}
+
+	fmt.Fprintln(cw, "# HELP ssnserve_columnar_payloads_total SSNC columnar payloads by route and direction.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_columnar_payloads_total counter")
+	colKeys := make([]columnarKey, 0, len(m.columnarPayloads))
+	for k := range m.columnarPayloads {
+		colKeys = append(colKeys, k)
+	}
+	sort.Slice(colKeys, func(i, j int) bool {
+		if colKeys[i].path != colKeys[j].path {
+			return colKeys[i].path < colKeys[j].path
+		}
+		return colKeys[i].dir < colKeys[j].dir
+	})
+	for _, k := range colKeys {
+		fmt.Fprintf(cw, "ssnserve_columnar_payloads_total{path=%q,dir=%q} %d\n", k.path, k.dir, m.columnarPayloads[k])
 	}
 
 	fmt.Fprintln(cw, "# HELP ssnserve_jobs_total Job state transitions.")

@@ -84,6 +84,28 @@ func ndjsonContent(lineSchema any) obj {
 	}}}
 }
 
+// columnarContent describes an SSNC binary columnar body (the byte-exact
+// layout is specified in the README "Columnar wire format" section); the
+// x-block-meta extension names the schema of the embedded meta JSON.
+func columnarContent(desc string, metaSchema any) obj {
+	media := obj{{"schema", typ("string",
+		kv{"format", "binary"},
+		kv{"description", desc})}}
+	if metaSchema != nil {
+		media = append(media, kv{"x-block-meta", metaSchema})
+	}
+	return obj{{"application/x-ssn-columnar", media}}
+}
+
+// withContent merges media-type entries into one content object.
+func withContent(contents ...obj) obj {
+	var merged obj
+	for _, c := range contents {
+		merged = append(merged, c...)
+	}
+	return merged
+}
+
 func response(desc string, content any) obj {
 	o := obj{{"description", desc}}
 	if content != nil {
@@ -195,6 +217,15 @@ func openAPISpec() obj {
 			{"count", typ("integer")},
 			{"results", arrOf(ref("EvalResult"))},
 		}, "count", "results")},
+		{"ColumnarBatchMeta", strictObj(obj{
+			{"params", ref("EvalItem")},
+		})},
+		{"ColumnarBatchResponseMeta", strictObj(obj{
+			{"count", typ("integer")},
+			{"errors", obj{{"type", "object"},
+				{"description", "failed rows by decimal row index"},
+				{"additionalProperties", ref("Error")}}},
+		}, "count")},
 		{"VariationSpec", strictObj(obj{
 			{"k", typ("number")}, {"v0", typ("number")}, {"a", typ("number")},
 			{"l", typ("number")}, {"c", typ("number")}, {"slope", typ("number")},
@@ -372,11 +403,23 @@ func openAPISpec() obj {
 	distLine := oneOf(ref("SweepPoint"), ref("DistSummary"), ref("ErrorEnvelope"))
 
 	paths := obj{
-		{"/v1/maxssn", post("Maximum SSN of one point or a batch", ref("MaxSSNRequest"), obj{
-			{"200", response("evaluation result (single) or batch envelope",
-				jsonContent(oneOf(ref("EvalResult"), ref("MaxSSNBatchResponse"))))},
-			{"default", errorResponse},
-		})},
+		{"/v1/maxssn", obj{{"post", obj{
+			{"summary", "Maximum SSN of one point or a batch"},
+			{"requestBody", obj{{"required", true}, {"content", withContent(
+				jsonContent(ref("MaxSSNRequest")),
+				columnarContent("SSNC block: meta is the params envelope; per-row override columns n, l, c, slope, rise_time, vdd, pads, size",
+					ref("ColumnarBatchMeta")),
+			)}}},
+			{"responses", obj{
+				{"200", response("evaluation result (single) or batch envelope; columnar batches negotiate SSNC output",
+					withContent(
+						jsonContent(oneOf(ref("EvalResult"), ref("MaxSSNBatchResponse"))),
+						columnarContent("SSNC block: columns vmax, case_code, t_max, beta; failed rows NaN with errors in the meta",
+							ref("ColumnarBatchResponseMeta")),
+					))},
+				{"default", errorResponse},
+			}},
+		}}}},
 		{"/v1/solve", post("Inverse design / yield for a vmax budget", ref("SolveRequest"), obj{
 			{"200", response("solved boundary (single) or batch envelope",
 				jsonContent(oneOf(ref("SolveResult"), ref("SolveBatchResponse"))))},
@@ -388,7 +431,12 @@ func openAPISpec() obj {
 			{"default", errorResponse},
 		})},
 		{"/v1/sweep", post("Multi-axis grid sweep, streamed", ref("SweepRequest"), obj{
-			{"200", response("NDJSON: points, then a terminal summary", ndjsonContent(sweepLine))},
+			{"200", response("NDJSON: points, then a terminal summary; Accept: application/x-ssn-columnar streams SSNC blocks instead",
+				withContent(
+					ndjsonContent(sweepLine),
+					columnarContent("SSNC block stream: per-axis value columns plus vmax, case_code, depth; terminal zero-row block carries done/stats (or the error envelope) in its meta",
+						oneOf(ref("SweepSummary"), ref("ErrorEnvelope"))),
+				))},
 			{"default", errorResponse},
 		})},
 		{"/v1/shard", post("Evaluate one distributed-sweep shard", ref("ShardRequest"), obj{

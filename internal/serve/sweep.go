@@ -223,6 +223,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
+	if columnarResponseFor(r) {
+		s.runSweepColumnar(w, r, g, cfg)
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,348 @@
+package ssn
+
+import "math"
+
+// This file is the relaxed half of the kernel split (DESIGN.md §15):
+// VMaxBatch trades the bitwise contract of VMaxCaseBatch for reassociated,
+// 4-wide unrolled arithmetic on the axes where the reordering measurably
+// pays — today the C axis, the innermost axis of the reference sweep and
+// the benchmarked kernel. The documented bound is ≤ 4 ULP against the
+// scalar MaxSSN path, enforced by TestVMaxBatchULPBound; every other axis
+// shares the bitwise run-split kernels, so its bound there is 0.
+//
+// Why the bound holds (the conditioning argument, proved empirically by
+// the property test):
+//
+//   - The under-damped peak form β·(1 + e^(-σπ/ω)) has no cancellation:
+//     a few-ULP argument perturbation moves the result by at most a few
+//     ULP (the error e^x·x·ε maximizes near |x| ≈ 1).
+//   - The over-damped two-exponential form cancels catastrophically only
+//     as the roots coalesce (Δ → 0), where the (l₂e^{l₁τ} - l₁e^{l₂τ})
+//     numerator loses ~σ/√Δ digits. The fast kernel therefore refuses the
+//     band |Δ| ≤ fastNearBandTol·(NLKa)² and the slow-root region
+//     l₁τr > fastOverArgMax, handing both to the exact-order kernels; in
+//     the region it keeps, the amplification of its ≤ ~2 ULP exponential
+//     stays O(1).
+//   - The critically-damped sliver and the under-damped boundary form
+//     (which can cancel as στr → 0) always take exact-order kernels; they
+//     are asymptotically empty on any log grid, so there is nothing to
+//     win there.
+const (
+	// fastNearBandTol widens the critical band for the fast path: runs
+	// with |Δ| ≤ fastNearBandTol·(NLKa)² are evaluated in scalar operand
+	// order with math.Exp so root-coalescence cancellation never amplifies
+	// a relaxed exponential. 0.25 keeps the amplification factor below ~2.
+	fastNearBandTol = 0.25
+
+	// fastOverArgMax bounds the slow-root exponent of the fast over-damped
+	// kernel: l₁τr must be ≤ -1.5, so e^{l₁τr} ≤ 0.22 and the 1 - (...)
+	// subtraction in the ramp-end form cannot cancel. Slower points (vm
+	// far below β) fall back to the exact kernels point by point.
+	fastOverArgMax = -1.5
+)
+
+// fastExp constants: argument reduction x = k·(ln2/64) + r with the
+// classic fdlibm hi/lo split of ln2 (the hi part's 20 trailing zero bits
+// make k·hi exact for |k| < 2^17), then e^r by a degree-5 Taylor
+// polynomial on |r| ≤ ln2/128 and reconstruction from a 64-entry 2^(j/64)
+// table. Dividing the decimal hi/lo literals by 64 is exact (binary
+// scaling commutes with the literal's rounding).
+const (
+	fastExpScale   = 64 / math.Ln2
+	fastExpShift   = 6755399441055744.0 // 1.5·2^52: add-sub rounds to nearest int
+	fastExpLn2Hi64 = 6.93147180369123816490e-01 / 64
+	fastExpLn2Lo64 = 1.90821492927058770002e-10 / 64
+	// fastExpMin is where e^x leaves the normal range (ln of the smallest
+	// normal float64 is ≈ -708.396). Below it fastExp returns 0 where
+	// math.Exp would return a subnormal ≤ 2.2e-308; in every kernel use
+	// the exponential is added to or scaled against terms of order 1, so
+	// the substitution is invisible even at full precision.
+	fastExpMin = -708.0
+
+	expC3 = 1.0 / 6
+	expC4 = 1.0 / 24
+	expC5 = 1.0 / 120
+)
+
+// fastExpTab[j] = 2^(j/64).
+var fastExpTab = func() (t [64]float64) {
+	for j := range t {
+		t[j] = math.Exp2(float64(j) / 64)
+	}
+	return
+}()
+
+// fastExp computes e^x for x ≤ 0 to within ~2 ULP of math.Exp
+// (TestFastExpULP). It is branch-light and call-free in the hot kernels so
+// the 4-wide loops pipeline four independent evaluations. NaN and positive
+// arguments are excluded by the callers' run guards.
+func fastExp(x float64) float64 {
+	if x < fastExpMin {
+		return 0
+	}
+	t := x*fastExpScale + fastExpShift
+	kf := t - fastExpShift
+	ki := int64(kf)
+	r := (x - kf*fastExpLn2Hi64) - kf*fastExpLn2Lo64
+	q := r * r
+	// e^r - 1 without the leading 1: adding T + T·pm instead of
+	// multiplying T·(1 + pm) keeps the polynomial's rounding a relative
+	// error of the small pm term, not of the whole result.
+	pm := r + q*(0.5+r*(expC3+r*(expC4+r*expC5)))
+	tab := fastExpTab[ki&63]
+	scale := math.Float64frombits(uint64(1023+(ki>>6)) << 52)
+	return (tab + tab*pm) * scale
+}
+
+// fastExp4 evaluates fastExp on four lanes in one call: the compiler will
+// not inline fastExp (it is over the budget), so the quad loops would pay
+// four calls per unrolled iteration; batching the lanes pays one, and the
+// four independent reduce/poly/reconstruct chains pipeline inside the body.
+// Lane results are bit-identical to fastExp (asserted by TestFastExpULP).
+// Unlike fastExp, the underflow cut is applied as a fix-up after the
+// straight-line core, so deeply negative lanes compute garbage (never a
+// panic: the table index is masked, the scale is built from wrapped bits)
+// and are then overwritten with the correct 0.
+func fastExp4(x0, x1, x2, x3 float64) (y0, y1, y2, y3 float64) {
+	t0 := x0*fastExpScale + fastExpShift
+	t1 := x1*fastExpScale + fastExpShift
+	t2 := x2*fastExpScale + fastExpShift
+	t3 := x3*fastExpScale + fastExpShift
+	k0, k1, k2, k3 := t0-fastExpShift, t1-fastExpShift, t2-fastExpShift, t3-fastExpShift
+	i0, i1, i2, i3 := int64(k0), int64(k1), int64(k2), int64(k3)
+	r0 := (x0 - k0*fastExpLn2Hi64) - k0*fastExpLn2Lo64
+	r1 := (x1 - k1*fastExpLn2Hi64) - k1*fastExpLn2Lo64
+	r2 := (x2 - k2*fastExpLn2Hi64) - k2*fastExpLn2Lo64
+	r3 := (x3 - k3*fastExpLn2Hi64) - k3*fastExpLn2Lo64
+	q0, q1, q2, q3 := r0*r0, r1*r1, r2*r2, r3*r3
+	p0 := r0 + q0*(0.5+r0*(expC3+r0*(expC4+r0*expC5)))
+	p1 := r1 + q1*(0.5+r1*(expC3+r1*(expC4+r1*expC5)))
+	p2 := r2 + q2*(0.5+r2*(expC3+r2*(expC4+r2*expC5)))
+	p3 := r3 + q3*(0.5+r3*(expC3+r3*(expC4+r3*expC5)))
+	b0, b1, b2, b3 := fastExpTab[i0&63], fastExpTab[i1&63], fastExpTab[i2&63], fastExpTab[i3&63]
+	y0 = (b0 + b0*p0) * math.Float64frombits(uint64(1023+(i0>>6))<<52)
+	y1 = (b1 + b1*p1) * math.Float64frombits(uint64(1023+(i1>>6))<<52)
+	y2 = (b2 + b2*p2) * math.Float64frombits(uint64(1023+(i2>>6))<<52)
+	y3 = (b3 + b3*p3) * math.Float64frombits(uint64(1023+(i3>>6))<<52)
+	if x0 < fastExpMin {
+		y0 = 0
+	}
+	if x1 < fastExpMin {
+		y1 = 0
+	}
+	if x2 < fastExpMin {
+		y2 = 0
+	}
+	if x3 < fastExpMin {
+		y3 = 0
+	}
+	return
+}
+
+// VMaxBatch evaluates the Table 1 maximum at each axis value, writing
+// dst[i] for values[i]. It is the throughput variant of VMaxCaseBatch:
+// same validity contract, no case output, and a relaxed accuracy bound —
+// results are within 4 ULP of the scalar MaxSSN path (exactly equal on
+// every axis but C, where the hot kernels reassociate; see plan_fast.go).
+// Callers that need the bitwise contract or the cases use VMaxCaseBatch.
+func (pl *Plan) VMaxBatch(dst, values []float64) {
+	if pl.axis == PlanAxisC {
+		checkBatchLens(len(dst), 0, len(values), true)
+		pl.batchCFast(dst, values)
+		return
+	}
+	pl.VMaxCaseBatch(dst, nil, values)
+}
+
+// batchCFast is the run dispatcher of the fast C-axis path. Classification
+// reuses the exact discriminant expressions, so the Table 1 case agrees
+// with the scalar path everywhere except the peak/boundary window split,
+// where the two forms meet continuously and a flip costs at most ULPs.
+func (pl *Plan) batchCFast(dst, values []float64) {
+	dst = dst[:len(values)]
+	for s := 0; s < len(values); {
+		c := values[s]
+		var n int
+		if c == 0 {
+			n = pl.runCOverL(dst[s:], values[s:])
+		} else {
+			disc := pl.nlka2 - pl.fourL*c
+			switch {
+			case math.Abs(disc) <= pl.nearBand:
+				n = pl.runCNear(dst[s:], values[s:])
+			case disc > 0:
+				n = pl.runCOverFast(dst[s:], values[s:])
+			default:
+				sigma := pl.nka / (2 * c)
+				omega := math.Sqrt(1/(pl.base.L*c) - sigma*sigma)
+				if math.Pi/omega <= pl.tauR {
+					n = pl.runCPeakFast(dst[s:], values[s:])
+				} else {
+					n = pl.runCBound(dst[s:], values[s:])
+				}
+			}
+		}
+		if n == 0 {
+			dst[s], _ = pl.fallbackPoint(c)
+			n = 1
+		}
+		s += n
+	}
+}
+
+// runCNear evaluates the conditioning guard band |Δ| ≤ nearBand in full
+// scalar operand order (all three regimes can occur inside it), so the
+// fast path contributes zero ULP where cancellation could amplify error.
+func (pl *Plan) runCNear(dst, values []float64) int {
+	dst = dst[:len(values)]
+	beta, tauR := pl.beta, pl.tauR
+	nlka, nlka2, band, nearBand := pl.nlka, pl.nlka2, pl.band, pl.nearBand
+	fourL, twoL, nka, lf := pl.fourL, pl.twoL, pl.nka, pl.base.L
+	for i, c := range values {
+		if c == 0 {
+			return i
+		}
+		disc := nlka2 - fourL*c
+		if !(math.Abs(disc) <= nearBand) {
+			return i
+		}
+		switch {
+		case math.Abs(disc) <= band:
+			dst[i] = vAtCrit(beta, nka/(2*c), tauR)
+		case disc > 0:
+			root := math.Sqrt(disc)
+			den := twoL * c
+			l1 := (-nlka + root) / den
+			l2 := (-nlka - root) / den
+			dst[i] = vAtOver(beta, l1, l2, tauR)
+		default:
+			sigma := nka / (2 * c)
+			omega := math.Sqrt(1/(lf*c) - sigma*sigma)
+			if math.Pi/omega <= tauR {
+				dst[i] = vmaxPeak(beta, sigma, omega)
+			} else {
+				dst[i] = vAtUnder(beta, sigma, omega, tauR)
+			}
+		}
+	}
+	return len(values)
+}
+
+// runCOverFast evaluates a well-conditioned over-damped run 4 points at a
+// time. The eigenvalue arguments keep the scalar operand order (so the
+// only relaxation is fastExp for the two exponentials), the guards break
+// to a scalar tail that re-verifies point by point, and the four
+// independent √/÷/exp chains pipeline.
+func (pl *Plan) runCOverFast(dst, values []float64) int {
+	dst = dst[:len(values)]
+	beta, tauR := pl.beta, pl.tauR
+	nlka, nlka2, g := pl.nlka, pl.nlka2, pl.nearBand
+	fourL, twoL := pl.fourL, pl.twoL
+	negInf := math.Inf(-1)
+	i := 0
+	for ; i+4 <= len(values); i += 4 {
+		c0, c1, c2, c3 := values[i], values[i+1], values[i+2], values[i+3]
+		d0 := nlka2 - fourL*c0
+		d1 := nlka2 - fourL*c1
+		d2 := nlka2 - fourL*c2
+		d3 := nlka2 - fourL*c3
+		if !(d0 > g && d1 > g && d2 > g && d3 > g) {
+			break
+		}
+		r0, r1, r2, r3 := math.Sqrt(d0), math.Sqrt(d1), math.Sqrt(d2), math.Sqrt(d3)
+		e0, e1, e2, e3 := twoL*c0, twoL*c1, twoL*c2, twoL*c3
+		l10, l20 := (-nlka+r0)/e0, (-nlka-r0)/e0
+		l11, l21 := (-nlka+r1)/e1, (-nlka-r1)/e1
+		l12, l22 := (-nlka+r2)/e2, (-nlka-r2)/e2
+		l13, l23 := (-nlka+r3)/e3, (-nlka-r3)/e3
+		a10, a20 := l10*tauR, l20*tauR
+		a11, a21 := l11*tauR, l21*tauR
+		a12, a22 := l12*tauR, l22*tauR
+		a13, a23 := l13*tauR, l23*tauR
+		if !(a10 <= fastOverArgMax && a11 <= fastOverArgMax &&
+			a12 <= fastOverArgMax && a13 <= fastOverArgMax &&
+			a20 > negInf && a21 > negInf && a22 > negInf && a23 > negInf) {
+			break
+		}
+		x10, x20, x11, x21 := fastExp4(a10, a20, a11, a21)
+		x12, x22, x13, x23 := fastExp4(a12, a22, a13, a23)
+		dst[i] = beta * (1 - (l20*x10-l10*x20)/(l20-l10))
+		dst[i+1] = beta * (1 - (l21*x11-l11*x21)/(l21-l11))
+		dst[i+2] = beta * (1 - (l22*x12-l12*x22)/(l22-l12))
+		dst[i+3] = beta * (1 - (l23*x13-l13*x23)/(l23-l13))
+	}
+	for ; i < len(values); i++ {
+		c := values[i]
+		disc := nlka2 - fourL*c
+		if !(disc > g) {
+			return i
+		}
+		root := math.Sqrt(disc)
+		den := twoL * c
+		l1 := (-nlka + root) / den
+		l2 := (-nlka - root) / den
+		a1, a2 := l1*tauR, l2*tauR
+		if !(a1 <= fastOverArgMax && a2 > negInf) {
+			return i
+		}
+		num := l2*fastExp(a1) - l1*fastExp(a2)
+		dst[i] = beta * (1 - num/(l2-l1))
+	}
+	return len(values)
+}
+
+// runCPeakFast evaluates a comfortably under-damped peak run 4 points at a
+// time: one reciprocal replaces the three divisions of the exact form
+// (σ = (NKa/2)·(1/c), ω² = (1/L)·(1/c) - σ²), the window test multiplies
+// instead of dividing, and the exponential is fastExp. The peak form has
+// no cancellation, so the reassociation stays within the documented
+// bound everywhere.
+func (pl *Plan) runCPeakFast(dst, values []float64) int {
+	dst = dst[:len(values)]
+	beta, tauR := pl.beta, pl.tauR
+	nlka2, g, fourL := pl.nlka2, pl.nearBand, pl.fourL
+	halfNka := 0.5 * pl.nka
+	invL := 1 / pl.base.L
+	i := 0
+	for ; i+4 <= len(values); i += 4 {
+		c0, c1, c2, c3 := values[i], values[i+1], values[i+2], values[i+3]
+		d0 := nlka2 - fourL*c0
+		d1 := nlka2 - fourL*c1
+		d2 := nlka2 - fourL*c2
+		d3 := nlka2 - fourL*c3
+		if !(d0 < -g && d1 < -g && d2 < -g && d3 < -g) {
+			break
+		}
+		i0, i1, i2, i3 := 1/c0, 1/c1, 1/c2, 1/c3
+		s0, s1, s2, s3 := halfNka*i0, halfNka*i1, halfNka*i2, halfNka*i3
+		w0 := math.Sqrt(invL*i0 - s0*s0)
+		w1 := math.Sqrt(invL*i1 - s1*s1)
+		w2 := math.Sqrt(invL*i2 - s2*s2)
+		w3 := math.Sqrt(invL*i3 - s3*s3)
+		if !(w0*tauR >= math.Pi && w1*tauR >= math.Pi &&
+			w2*tauR >= math.Pi && w3*tauR >= math.Pi) {
+			break
+		}
+		x0, x1, x2, x3 := fastExp4(
+			-(s0*math.Pi)/w0, -(s1*math.Pi)/w1, -(s2*math.Pi)/w2, -(s3*math.Pi)/w3)
+		dst[i] = beta * (1 + x0)
+		dst[i+1] = beta * (1 + x1)
+		dst[i+2] = beta * (1 + x2)
+		dst[i+3] = beta * (1 + x3)
+	}
+	for ; i < len(values); i++ {
+		c := values[i]
+		disc := nlka2 - fourL*c
+		if !(disc < -g) {
+			return i
+		}
+		ic := 1 / c
+		sigma := halfNka * ic
+		omega := math.Sqrt(invL*ic - sigma*sigma)
+		if !(omega*tauR >= math.Pi) {
+			return i
+		}
+		dst[i] = beta * (1 + fastExp(-(sigma*math.Pi)/omega))
+	}
+	return len(values)
+}

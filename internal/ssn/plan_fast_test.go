@@ -1,0 +1,311 @@
+package ssn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ulpDiff returns the distance between two finite floats in units in the
+// last place of the larger magnitude, using the ordered-integer mapping of
+// IEEE-754 doubles (exact for same-sign finite values).
+func ulpDiff(a, b float64) float64 {
+	if math.Float64bits(a) == math.Float64bits(b) {
+		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.Inf(1)
+	}
+	if math.Signbit(a) != math.Signbit(b) {
+		// Straddling zero: count ULPs through it.
+		return ulpDiff(math.Abs(a), 0) + ulpDiff(math.Abs(b), 0)
+	}
+	ia := int64(math.Float64bits(math.Abs(a)))
+	ib := int64(math.Float64bits(math.Abs(b)))
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// TestFastExpULP bounds fastExp against math.Exp over its whole domain,
+// with extra density near the reduction breakpoints and the underflow
+// cutoff.
+func TestFastExpULP(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	check := func(x float64) {
+		got := fastExp(x)
+		if l0, l1, l2, l3 := fastExp4(x, x, x, x); l0 != got || l1 != got || l2 != got || l3 != got {
+			t.Fatalf("fastExp4(%v) lanes = %v,%v,%v,%v, want all == fastExp = %v", x, l0, l1, l2, l3, got)
+		}
+		want := math.Exp(x)
+		if x < fastExpMin {
+			if got != 0 {
+				t.Fatalf("fastExp(%v) = %v, want 0 below cutoff", x, got)
+			}
+			return
+		}
+		if d := ulpDiff(got, want); d > 2 {
+			t.Fatalf("fastExp(%v) = %v, math.Exp = %v: %v ULP apart", x, got, want, d)
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		check(-708 * rng.Float64())
+	}
+	for i := 0; i < 50000; i++ {
+		// log-uniform small magnitudes: |x| in [1e-18, 1)
+		check(-math.Exp(math.Log(1e-18) + rng.Float64()*math.Log(1e18)))
+	}
+	for _, x := range []float64{0, -1e-300, -math.Ln2 / 128, -math.Ln2 / 64, -math.Ln2, -1, -707.9999, -708} {
+		check(x)
+	}
+	if fastExp(-709) != 0 || fastExp(-750) != 0 || fastExp(math.Inf(-1)) != 0 {
+		t.Fatal("fastExp below cutoff must be 0")
+	}
+}
+
+// fastCAxisValues draws capacitances that stress every fast-path region
+// and guard boundary: the broad log range, the near-critical band edges,
+// the peak/boundary window crossing, and exact zero.
+func fastCAxisValues(rng *rand.Rand, p Params, n int) []float64 {
+	ccrit := p.CriticalCapacitance()
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(8) {
+		case 0:
+			vals[i] = 0
+		case 1:
+			vals[i] = ccrit
+		case 2, 3:
+			// within a few parts per million of the critical capacitance
+			vals[i] = ccrit * (1 + (rng.Float64()*2-1)*1e-5)
+		case 4:
+			// near the fast guard-band edges |Δ| = 0.25·(NLKa)²
+			edge := ccrit * (1 + (2*float64(rng.Intn(2))-1)*fastNearBandTol)
+			vals[i] = edge * (1 + (rng.Float64()*2-1)*1e-6)
+		default:
+			vals[i] = math.Exp(math.Log(1e-16) + rng.Float64()*math.Log(1e-9/1e-16))
+		}
+	}
+	return vals
+}
+
+// TestVMaxBatchULPBound is the documented contract of the fast path: over
+// seeded points spanning every axis and adversarially sampled C values
+// (guard-band edges, critical band, window crossings), VMaxBatch stays
+// within 4 ULP of the scalar MaxSSN path — and stays bit-identical on the
+// axes that share the exact kernels.
+func TestVMaxBatchULPBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	axes := []PlanAxis{PlanFixed, PlanAxisN, PlanAxisL, PlanAxisC, PlanAxisSlope}
+	const rounds, batch = 600, 24
+	var worst float64
+	vals := make([]float64, batch)
+	dst := make([]float64, batch)
+	for round := 0; round < rounds; round++ {
+		p := randPlanParams(rng, round)
+		axis := axes[round%len(axes)]
+		if axis == PlanAxisC {
+			copy(vals, fastCAxisValues(rng, p, batch))
+		} else {
+			for i := range vals {
+				vals[i] = randAxisValue(rng, axis, p)
+			}
+		}
+		pl, err := CompilePlan(p, axis)
+		if err != nil {
+			t.Fatalf("round %d: compile axis %d: %v", round, axis, err)
+		}
+		pl.VMaxBatch(dst, vals)
+		for i, v := range vals {
+			q := applyAxis(p, axis, v)
+			want, _, err := MaxSSN(q)
+			if err != nil {
+				t.Fatalf("round %d[%d]: scalar MaxSSN: %v", round, i, err)
+			}
+			d := ulpDiff(dst[i], want)
+			if d > worst {
+				worst = d
+			}
+			if d > 4 {
+				t.Fatalf("round %d[%d] axis %d: VMaxBatch %v vs scalar %v: %v ULP at %+v",
+					round, i, axis, dst[i], want, d, q)
+			}
+			if axis != PlanAxisC && math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("round %d[%d] axis %d: non-C axis must stay bitwise: %v != %v at %+v",
+					round, i, axis, dst[i], want, q)
+			}
+		}
+	}
+	t.Logf("worst fast-path deviation: %v ULP over %d points", worst, rounds*batch)
+}
+
+// TestVMaxBatchDenseCGrid sweeps a dense log C grid through both paths —
+// the exact run-split kernel must stay bitwise, the fast kernel within the
+// bound, across every case crossing of a realistic grid.
+func TestVMaxBatchDenseCGrid(t *testing.T) {
+	p := Params{N: 16, Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+	const n = 20000
+	vals := make([]float64, n)
+	la, lb := math.Log(1e-15), math.Log(1e-10)
+	for i := range vals {
+		vals[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	exact := make([]float64, n)
+	fast := make([]float64, n)
+	cases := make([]Case, n)
+	pl, err := CompilePlan(p, PlanAxisC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.VMaxCaseBatch(exact, cases, vals)
+	pl.VMaxBatch(fast, vals)
+	var worst float64
+	for i, c := range vals {
+		q := p
+		q.C = c
+		want, wantCase, err := MaxSSN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(exact[i]) {
+			t.Fatalf("i=%d C=%v: exact kernel %v != scalar %v", i, c, exact[i], want)
+		}
+		if cases[i] != wantCase {
+			t.Fatalf("i=%d C=%v: case %v != scalar %v", i, c, cases[i], wantCase)
+		}
+		if d := ulpDiff(fast[i], want); d > 4 {
+			t.Fatalf("i=%d C=%v: fast %v vs scalar %v: %v ULP", i, c, fast[i], want, d)
+		} else if d > worst {
+			worst = d
+		}
+	}
+	t.Logf("dense C grid: worst fast deviation %v ULP", worst)
+}
+
+// TestVMaxCaseBatchN checks the integer-axis kernel against both the float
+// kernel (bit for bit on the same rounded grid) and the scalar path.
+func TestVMaxCaseBatchN(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const rounds, batch = 200, 32
+	ns := make([]int, batch)
+	fvals := make([]float64, batch)
+	dstI := make([]float64, batch)
+	dstF := make([]float64, batch)
+	casesI := make([]Case, batch)
+	casesF := make([]Case, batch)
+	for round := 0; round < rounds; round++ {
+		p := randPlanParams(rng, round)
+		for i := range ns {
+			ns[i] = 1 + rng.Intn(200)
+			fvals[i] = float64(ns[i])
+		}
+		pl, err := CompilePlan(p, PlanAxisN)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		pl.VMaxCaseBatchN(dstI, casesI, ns)
+		pl.VMaxCaseBatch(dstF, casesF, fvals)
+		for i := range ns {
+			if math.Float64bits(dstI[i]) != math.Float64bits(dstF[i]) || casesI[i] != casesF[i] {
+				t.Fatalf("round %d[%d]: int kernel (%v,%v) != float kernel (%v,%v) at N=%d",
+					round, i, dstI[i], casesI[i], dstF[i], casesF[i], ns[i])
+			}
+			q := p
+			q.N = ns[i]
+			want, wantCase, err := MaxSSN(q)
+			if err != nil {
+				t.Fatalf("round %d[%d]: %v", round, i, err)
+			}
+			if math.Float64bits(want) != math.Float64bits(dstI[i]) || wantCase != casesI[i] {
+				t.Fatalf("round %d[%d]: int kernel (%v,%v) != scalar (%v,%v) at N=%d",
+					round, i, dstI[i], casesI[i], want, wantCase, ns[i])
+			}
+		}
+	}
+}
+
+// TestVMaxCaseBatchNPanics pins the axis guard.
+func TestVMaxCaseBatchNPanics(t *testing.T) {
+	p := Params{N: 8, Vdd: 1.8, Slope: 2e9, L: 1e-9, C: 1e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+	pl, err := CompilePlan(p, PlanAxisC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VMaxCaseBatchN on a non-N plan must panic")
+		}
+	}()
+	pl.VMaxCaseBatchN(make([]float64, 1), nil, []int{4})
+}
+
+// TestFastBatchAllocs extends the allocation guard to the fast path and
+// the integer-axis kernel (after the lazily grown scratch warm-up).
+func TestFastBatchAllocs(t *testing.T) {
+	p := Params{N: 16, Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+	const n = 256
+	vals := make([]float64, n)
+	la, lb := math.Log(0.05e-12), math.Log(40e-12)
+	for i := range vals {
+		vals[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	ns := make([]int, n)
+	for i := range ns {
+		ns[i] = 1 + i
+	}
+	dst := make([]float64, n)
+	cases := make([]Case, n)
+	plC, err := CompilePlan(p, PlanAxisC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() { plC.VMaxBatch(dst, vals) }); got != 0 {
+		t.Errorf("fast VMaxBatch allocates %v/run, want 0", got)
+	}
+	plN, err := CompilePlan(p, PlanAxisN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() { plN.VMaxCaseBatchN(dst, cases, ns) }); got != 0 {
+		t.Errorf("VMaxCaseBatchN allocates %v/run, want 0", got)
+	}
+}
+
+// BenchmarkVMaxCaseBatch measures the bitwise run-split kernel on the same
+// grid as BenchmarkVMaxBatch, so the cost of the bitwise contract vs the
+// fast path is visible side by side.
+func BenchmarkVMaxCaseBatch(b *testing.B) {
+	p := Params{N: 16, Vdd: 1.8, Slope: 1.8e9, L: 1.25e-9, C: 2e-12}
+	p.Dev.K = 4e-3
+	p.Dev.V0 = 0.6
+	p.Dev.A = 1.2
+	const n = 1024
+	vals := make([]float64, n)
+	la, lb := math.Log(0.05e-12), math.Log(40e-12)
+	for i := range vals {
+		vals[i] = math.Exp(la + (lb-la)*float64(i)/float64(n-1))
+	}
+	dst := make([]float64, n)
+	cases := make([]Case, n)
+	pl, err := CompilePlan(p, PlanAxisC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.VMaxCaseBatch(dst, cases, vals)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/point")
+}

@@ -569,7 +569,10 @@ func (e *engine) evalChunk(ctx context.Context, buf *chunkBuf, lo, hi int) {
 			vals = e.planVals[c0 : c0+run]
 			bad = e.planBad[c0 : c0+run]
 			// Kernel over the maximal valid spans, writing at run offsets so
-			// the materialize loop below indexes outputs by j directly.
+			// the materialize loop below indexes outputs by j directly. An N
+			// inner axis feeds the integer kernel from the pre-rounded planN
+			// grid (compileInner applies the same round-and-clamp the float
+			// path would), skipping the per-point math.Round entirely.
 			for s := 0; s < run; {
 				if bad[s] {
 					s++
@@ -579,7 +582,11 @@ func (e *engine) evalChunk(ctx context.Context, buf *chunkBuf, lo, hi int) {
 				for t < run && !bad[t] {
 					t++
 				}
-				buf.plan.VMaxCaseBatch(buf.vmax[s:t], buf.cases[s:t], vals[s:t])
+				if e.planAxis == ssn.PlanAxisN {
+					buf.plan.VMaxCaseBatchN(buf.vmax[s:t], buf.cases[s:t], e.planN[c0+s:c0+t])
+				} else {
+					buf.plan.VMaxCaseBatch(buf.vmax[s:t], buf.cases[s:t], vals[s:t])
+				}
 				s = t
 			}
 		}
