@@ -8,6 +8,7 @@ package ssnkit_test
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -16,6 +17,8 @@ import (
 	"ssnkit"
 	"ssnkit/internal/experiments"
 	"ssnkit/internal/linalg"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
 )
 
 func benchCtx() experiments.Context { return experiments.Context{Fast: true} }
@@ -233,6 +236,82 @@ func BenchmarkLUSolve(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchACEngine compiles a rows x cols PGA power-delivery mesh for AC
+// benchmarks and returns the engine plus the die observation node.
+func benchACEngine(b *testing.B, rows, cols int) (*spice.ACEngine, int) {
+	b.Helper()
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, rows, cols, 4)
+	ckt, obs, err := grid.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := spice.NewAC(ckt, spice.ACOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, obs
+}
+
+// benchACFreqs is a small log grid cycled across iterations so every solve
+// pays for a fresh factorization rather than reusing the cached one.
+func benchACFreqs(b *testing.B) []float64 {
+	b.Helper()
+	freqs, err := spice.FreqGrid(1e6, 1e10, 16, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return freqs
+}
+
+// BenchmarkACSolve measures one complex factor+solve of the PDN mesh per
+// iteration at mesh sizes bracketing typical package models.
+func BenchmarkACSolve(b *testing.B) {
+	for _, rc := range []int{4, 8} {
+		b.Run(meshName(rc), func(b *testing.B) {
+			eng, obs := benchACEngine(b, rc, rc)
+			freqs := benchACFreqs(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				omega := 2 * math.Pi * freqs[i%len(freqs)]
+				z, err := eng.Impedance(omega, obs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchResult = real(z)
+			}
+		})
+	}
+}
+
+// BenchmarkAdjoint measures the full adjoint sensitivity pass: forward
+// solve, transpose solve, and the per-element gradient accumulation.
+func BenchmarkAdjoint(b *testing.B) {
+	for _, rc := range []int{4, 8} {
+		b.Run(meshName(rc), func(b *testing.B) {
+			eng, obs := benchACEngine(b, rc, rc)
+			freqs := benchACFreqs(b)
+			var sens []spice.SensEntry
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				omega := 2 * math.Pi * freqs[i%len(freqs)]
+				z, out, err := eng.ImpedanceSens(omega, obs, sens[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sens = out
+				benchResult = real(z)
+			}
+		})
+	}
+}
+
+func meshName(rc int) string {
+	if rc == 4 {
+		return "mesh=4x4"
+	}
+	return "mesh=8x8"
 }
 
 func sizeName(n int) string {

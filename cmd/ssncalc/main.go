@@ -8,9 +8,12 @@
 //	ssncalc -n 16 -l 2.5n -c 2p -tr 1n            # explicit ground net
 //	ssncalc -n 16 -tr 1n -budget 0.4              # design guidance
 //	ssncalc -n 16 -tr 1n -csv wave.csv            # dump the model waveform
+//	ssncalc -impedance -rows 4 -cols 4 -pads 4    # PDN |Z(f)| profile
+//	ssncalc -impedance -optimize-decaps 4         # + greedy decap placement
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +21,9 @@ import (
 
 	"ssnkit/internal/cliflags"
 	"ssnkit/internal/device"
+	"ssnkit/internal/pdn"
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
 	"ssnkit/internal/ssn"
 	"ssnkit/internal/units"
 	"ssnkit/internal/waveform"
@@ -40,6 +46,14 @@ func run(args []string, out io.Writer) error {
 		yield   = fs.Int("yield", 0, "yield samples: Monte Carlo pass probability against -budget (0 = off)")
 		vil     = fs.Float64("vil", 0, "receiver VIL in volts: check the quiet-output glitch margin")
 		rail    = fs.Bool("rail", false, "analyze power-rail droop (pull-up drivers) instead of ground bounce")
+
+		impedance = fs.Bool("impedance", false, "frequency-domain PDN impedance analysis of the package grid")
+		rows      = fs.Int("rows", 4, "impedance: PDN mesh rows")
+		cols      = fs.Int("cols", 4, "impedance: PDN mesh columns")
+		fstart    = fs.Float64("fstart", 1e6, "impedance: sweep start frequency, Hz")
+		fstop     = fs.Float64("fstop", 1e10, "impedance: sweep stop frequency, Hz")
+		fpoints   = fs.Int("fpoints", 100, "impedance: log-spaced frequency points")
+		optDecaps = fs.Int("optimize-decaps", 0, "impedance: greedily place up to this many decaps (0 = off)")
 	)
 	fixed := cliflags.Register(fs, 8)
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +62,9 @@ func run(args []string, out io.Writer) error {
 	r, err := fixed.Resolve()
 	if err != nil {
 		return err
+	}
+	if *impedance {
+		return runImpedance(out, r, *rows, *cols, *fstart, *fstop, *fpoints, *optDecaps, *csvPath)
 	}
 	proc, pack, gnd, tr := r.Proc, r.Pack, r.Gnd, r.TR
 	n, size := &r.N, &r.Size
@@ -192,18 +209,95 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*csvPath)
+		if err := writeWaveCSV(*csvPath, v, i); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmodel waveform written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func writeWaveCSV(path string, v, i *waveform.Waveform) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	set := waveform.Set{}
+	set.Add(v)
+	set.Add(i)
+	return set.WriteCSV(f)
+}
+
+// runImpedance is the -impedance mode: sweep the package-class PDN grid's
+// input impedance over a log frequency axis, report the profile's peak
+// (the anti-resonance SSN couples into), and optionally run the greedy
+// adjoint-guided decap optimizer against that peak.
+func runImpedance(out io.Writer, r cliflags.Resolved, rows, cols int, fstart, fstop float64, fpoints, optDecaps int, csvPath string) error {
+	grid := pkgmodel.DefaultPDN(r.Pack, rows, cols, r.Pads)
+	freqs, err := spice.FreqGrid(fstart, fstop, fpoints, true)
+	if err != nil {
+		return err
+	}
+	prof, err := pdn.RunProfile(context.Background(), grid, freqs, pdn.Config{})
+	if err != nil {
+		return err
+	}
+	peak := prof.Peak()
+	fmt.Fprintf(out, "PDN impedance  %s package, %dx%d mesh, %d pads\n",
+		r.Pack.Name, grid.Rows, grid.Cols, len(grid.PadSites))
+	fmt.Fprintf(out, "frequency grid %d log-spaced points, %s .. %s\n",
+		len(freqs), units.Format(freqs[0], "Hz"), units.Format(freqs[len(freqs)-1], "Hz"))
+	fmt.Fprintf(out, "|Z| endpoints  %s at %s, %s at %s\n",
+		units.Format(prof.Points[0].AbsZ, "Ohm"), units.Format(prof.Points[0].Freq, "Hz"),
+		units.Format(prof.Points[len(prof.Points)-1].AbsZ, "Ohm"),
+		units.Format(prof.Points[len(prof.Points)-1].Freq, "Hz"))
+	fmt.Fprintf(out, "peak |Z|       %s at %s (anti-resonance)\n",
+		units.Format(peak.AbsZ, "Ohm"), units.Format(peak.Freq, "Hz"))
+
+	if optDecaps > 0 {
+		res, err := pdn.OptimizeDecaps(context.Background(), pdn.OptimizeSpec{
+			Grid:      grid,
+			Freqs:     freqs,
+			DecapC:    1e-9,
+			DecapESR:  5e-3,
+			MaxDecaps: optDecaps,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ndecap placement (1 nF / 5 mOhm units, budget %d):\n", optDecaps)
+		for i, p := range res.Placements {
+			fmt.Fprintf(out, "  #%d node %s: peak %s -> %s (grad %.3g at %s)\n",
+				i+1, grid.NodeName(p.Node),
+				units.Format(p.PeakBefore, "Ohm"), units.Format(p.PeakAfter, "Ohm"),
+				p.Grad, units.Format(p.PeakFreq, "Hz"))
+		}
+		if len(res.Placements) == 0 {
+			fmt.Fprintln(out, "  no site lowers the peak; nothing placed")
+		} else {
+			fmt.Fprintf(out, "  peak |Z| lowered %s -> %s (%.1f%%)\n",
+				units.Format(res.PeakBefore, "Ohm"), units.Format(res.PeakAfter, "Ohm"),
+				(res.PeakAfter/res.PeakBefore-1)*100)
+		}
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		set := waveform.Set{}
-		set.Add(v)
-		set.Add(i)
-		if err := set.WriteCSV(f); err != nil {
+		if _, err := fmt.Fprintln(f, "freq_hz,z_re_ohm,z_im_ohm,z_mag_ohm"); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "\nmodel waveform written to %s\n", *csvPath)
+		for _, p := range prof.Points {
+			if _, err := fmt.Fprintf(f, "%g,%g,%g,%g\n",
+				p.Freq, real(p.Z), imag(p.Z), p.AbsZ); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "\nimpedance profile written to %s\n", csvPath)
 	}
 	return nil
 }

@@ -192,3 +192,69 @@ func TestRunCornerFlag(t *testing.T) {
 		t.Error("unknown corner must error")
 	}
 }
+
+func TestRunImpedance(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impedance", "-rows", "2", "-cols", "2", "-pads", "2", "-fpoints", "20"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PDN impedance", "2x2 mesh", "frequency grid", "20 log-spaced points", "peak |Z|", "anti-resonance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("impedance output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "decap placement") {
+		t.Errorf("optimizer ran without -optimize-decaps:\n%s", out)
+	}
+}
+
+func TestRunImpedanceOptimize(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impedance", "-rows", "3", "-cols", "3", "-pads", "4",
+		"-fpoints", "40", "-optimize-decaps", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"decap placement", "#1 node", "peak |Z| lowered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("optimize output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunImpedanceCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prof.csv")
+	var buf bytes.Buffer
+	err := run([]string{"-impedance", "-rows", "2", "-cols", "2", "-fpoints", "16", "-csv", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "freq_hz,z_re_ohm,z_im_ohm,z_mag_ohm\n") {
+		t.Errorf("csv header: %q", string(data[:50]))
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 17 {
+		t.Errorf("csv has %d lines, want header + 16 points", lines)
+	}
+}
+
+func TestRunImpedanceErrors(t *testing.T) {
+	cases := [][]string{
+		{"-impedance", "-fstart", "0"},
+		{"-impedance", "-fstop", "1"},
+		{"-impedance", "-fpoints", "0"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

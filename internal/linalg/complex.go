@@ -1,0 +1,257 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major matrix of complex128, the AC-analysis
+// counterpart of Matrix. AC MNA systems are complex because capacitor and
+// inductor admittances carry a jω factor; everything else about assembly and
+// factorization mirrors the real path.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, row-major
+}
+
+// NewCMatrix allocates a zero Rows x Cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j); the fundamental MNA stamp
+// operation.
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero clears the matrix in place so a stamp pass can rebuild it.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CSolver is the complex factor-then-solve contract the AC engine programs
+// against. SolveT solves the transposed system A^T x = b from the same
+// factorization — the adjoint method needs exactly one such solve per
+// frequency, reusing the factorization already paid for by Solve.
+type CSolver interface {
+	Factor(a *CMatrix) error
+	Solve(b, x []complex128) error
+	SolveT(b, x []complex128) error
+}
+
+// CLU holds an in-place complex LU factorization with partial pivoting:
+// PA = LU. Pivoting compares magnitudes via cmplx.Abs; the structure mirrors
+// the real LU so behavior (ErrSingular, workspace reuse) is identical.
+type CLU struct {
+	n    int
+	buf  []complex128 // owned factorization buffer (used by Factor)
+	lu   []complex128 // packed L (unit diagonal, below) and U (on/above)
+	piv  []int
+	sign int
+	y    []complex128 // solve scratch, so repeated solves do not allocate
+}
+
+// NewCLU prepares a complex factorization workspace for n x n systems.
+func NewCLU(n int) *CLU {
+	buf := make([]complex128, n*n)
+	return &CLU{
+		n: n, buf: buf, lu: buf, piv: make([]int, n),
+		y: make([]complex128, n),
+	}
+}
+
+// Factor computes the LU factorization of a. a is not modified. It returns
+// ErrSingular when the best remaining pivot is exactly zero or NaN.
+func (f *CLU) Factor(a *CMatrix) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
+	}
+	f.lu = f.buf
+	copy(f.lu, a.Data)
+	return f.cfactorize()
+}
+
+// FactorScratch factors a in place, destroying its contents, and keeps the
+// factorization aliased to a.Data until the next Factor/FactorScratch call.
+// The AC engine restamps the matrix at every frequency anyway, so the
+// defensive copy would be pure waste.
+func (f *CLU) FactorScratch(a *CMatrix) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
+	}
+	f.lu = a.Data
+	return f.cfactorize()
+}
+
+func (f *CLU) cfactorize() error {
+	n := f.n
+	f.sign = 1
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at/below the diagonal.
+		p := k
+		max := cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk := lu[k*n : k*n+n]
+			rp := lu[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		rk := lu[k*n : k*n+n]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu[i*n : i*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve solves A x = b using the current factorization, writing the result
+// into x (which may alias b). b must have length n.
+func (f *CLU) Solve(b, x []complex128) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Work in x directly unless it aliases b (the permutation gather would
+	// clobber entries of b not yet read).
+	y := x
+	if &x[0] == &b[0] {
+		y = f.y
+	}
+	lu := f.lu
+	// Permutation fused with forward substitution on unit-lower L.
+	y[0] = b[f.piv[0]]
+	for i := 1; i < n; i++ {
+		s := b[f.piv[i]]
+		row := lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		row := lu[i*n+i+1 : i*n+n]
+		ys := y[i+1:]
+		for j, v := range row {
+			s -= v * ys[j]
+		}
+		y[i] = s / lu[i*n+i]
+	}
+	if &y[0] != &x[0] {
+		copy(x, y)
+	}
+	return nil
+}
+
+// SolveT solves the transposed system A^T x = b from the current
+// factorization. With PA = LU we have A^T = U^T L^T P, so the sweeps run in
+// the opposite order from Solve: lower-triangular U^T first (ascending,
+// scatter form so memory access stays row-major), unit upper-triangular L^T
+// second (descending), then the inverse permutation places the result.
+// b must have length n; x must not alias b.
+func (f *CLU) SolveT(b, x []complex128) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	y := f.y
+	copy(y, b)
+	lu := f.lu
+	// U^T y' = b: y[j] is final once divided by the diagonal; its row tail
+	// then scatters into the entries below.
+	for j := 0; j < n; j++ {
+		yj := y[j] / lu[j*n+j]
+		y[j] = yj
+		if yj == 0 {
+			continue
+		}
+		row := lu[j*n+j+1 : j*n+n]
+		ys := y[j+1:]
+		for i, v := range row {
+			ys[i] -= v * yj
+		}
+	}
+	// L^T z = y': unit diagonal, so z[j] is final once every later row has
+	// scattered; row j's sub-diagonal entries then scatter upward.
+	for j := n - 1; j >= 0; j-- {
+		zj := y[j]
+		if zj == 0 {
+			continue
+		}
+		row := lu[j*n : j*n+j]
+		for i, v := range row {
+			y[i] -= v * zj
+		}
+	}
+	// P x = z: undo the pivoting.
+	for i := 0; i < n; i++ {
+		x[f.piv[i]] = y[i]
+	}
+	return nil
+}
+
+// Det returns the determinant implied by the current factorization.
+func (f *CLU) Det() complex128 {
+	d := complex(float64(f.sign), 0)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveCDense is a convenience one-shot solve of A x = b.
+func SolveCDense(a *CMatrix, b []complex128) ([]complex128, error) {
+	f := NewCLU(a.Rows)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	x := make([]complex128, len(b))
+	if err := f.Solve(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

@@ -1,0 +1,329 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randCMatrix builds a well-conditioned-ish random complex matrix with a
+// boosted diagonal, plus optional sparsity, deterministic per seed.
+func randCMatrix(rng *rand.Rand, n int, density float64) *CMatrix {
+	a := NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() > density {
+				continue
+			}
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			if i == j {
+				v += complex(float64(n), 0) // diagonal dominance keeps conditioning sane
+			}
+			a.Set(i, j, v)
+		}
+	}
+	return a
+}
+
+func randCVec(rng *rand.Rand, n int) []complex128 {
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return b
+}
+
+func cmatVec(a *CMatrix, x []complex128) []complex128 {
+	y := make([]complex128, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s complex128
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+func cmatTVec(a *CMatrix, x []complex128) []complex128 {
+	y := make([]complex128, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		var s complex128
+		for i := 0; i < a.Rows; i++ {
+			s += a.Data[i*a.Cols+j] * x[i]
+		}
+		y[j] = s
+	}
+	return y
+}
+
+func maxRelErrC(got, want []complex128) float64 {
+	worst := 0.0
+	for i := range got {
+		scale := cmplx.Abs(want[i])
+		if scale < 1 {
+			scale = 1
+		}
+		if e := cmplx.Abs(got[i]-want[i]) / scale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestCLURoundTrip: Solve then multiply back must reproduce b.
+func TestCLURoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 40} {
+		a := randCMatrix(rng, n, 1.0)
+		b := randCVec(rng, n)
+		f := NewCLU(n)
+		if err := f.Factor(a); err != nil {
+			t.Fatalf("n=%d Factor: %v", n, err)
+		}
+		x := make([]complex128, n)
+		if err := f.Solve(b, x); err != nil {
+			t.Fatalf("n=%d Solve: %v", n, err)
+		}
+		if e := maxRelErrC(cmatVec(a, x), b); e > 1e-12 {
+			t.Errorf("n=%d round-trip A·x vs b: rel err %.3e > 1e-12", n, e)
+		}
+		// Solve with x aliasing b must give the same answer.
+		ab := append([]complex128(nil), b...)
+		if err := f.Solve(ab, ab); err != nil {
+			t.Fatalf("n=%d aliased Solve: %v", n, err)
+		}
+		for i := range ab {
+			if ab[i] != x[i] {
+				t.Errorf("n=%d aliased Solve differs at %d: %v vs %v", n, i, ab[i], x[i])
+			}
+		}
+	}
+}
+
+// TestCLUSolveT: the transposed solve must satisfy A^T·x == b.
+func TestCLUSolveT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 40} {
+		a := randCMatrix(rng, n, 1.0)
+		b := randCVec(rng, n)
+		f := NewCLU(n)
+		if err := f.Factor(a); err != nil {
+			t.Fatalf("n=%d Factor: %v", n, err)
+		}
+		x := make([]complex128, n)
+		if err := f.SolveT(b, x); err != nil {
+			t.Fatalf("n=%d SolveT: %v", n, err)
+		}
+		if e := maxRelErrC(cmatTVec(a, x), b); e > 1e-12 {
+			t.Errorf("n=%d SolveT A^T·x vs b: rel err %.3e > 1e-12", n, e)
+		}
+		// Cross-check against solving with an explicitly transposed matrix.
+		at := NewCMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		want, err := SolveCDense(at, b)
+		if err != nil {
+			t.Fatalf("n=%d explicit transpose solve: %v", n, err)
+		}
+		if e := maxRelErrC(x, want); e > 1e-12 {
+			t.Errorf("n=%d SolveT vs explicit transpose: rel err %.3e > 1e-12", n, e)
+		}
+	}
+}
+
+// TestCSparseLUMatchesDense: sparse and dense complex factorizations must
+// agree to 1e-12 on the same systems, for both Solve and SolveT.
+func TestCSparseLUMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 40, 73} {
+		for _, density := range []float64{0.15, 0.5, 1.0} {
+			a := randCMatrix(rng, n, density)
+			b := randCVec(rng, n)
+			dense := NewCLU(n)
+			sparse := NewCSparseLU(n)
+			if err := dense.Factor(a); err != nil {
+				t.Fatalf("n=%d dense Factor: %v", n, err)
+			}
+			if err := sparse.Factor(a); err != nil {
+				t.Fatalf("n=%d sparse Factor: %v", n, err)
+			}
+			xd := make([]complex128, n)
+			xs := make([]complex128, n)
+			if err := dense.Solve(b, xd); err != nil {
+				t.Fatalf("dense Solve: %v", err)
+			}
+			if err := sparse.Solve(b, xs); err != nil {
+				t.Fatalf("sparse Solve: %v", err)
+			}
+			if e := maxRelErrC(xs, xd); e > 1e-12 {
+				t.Errorf("n=%d density=%g Solve dense-vs-sparse rel err %.3e > 1e-12", n, density, e)
+			}
+			if err := dense.SolveT(b, xd); err != nil {
+				t.Fatalf("dense SolveT: %v", err)
+			}
+			if err := sparse.SolveT(b, xs); err != nil {
+				t.Fatalf("sparse SolveT: %v", err)
+			}
+			if e := maxRelErrC(xs, xd); e > 1e-12 {
+				t.Errorf("n=%d density=%g SolveT dense-vs-sparse rel err %.3e > 1e-12", n, density, e)
+			}
+			if e := maxRelErrC(cmatTVec(a, xs), b); e > 1e-11 {
+				t.Errorf("n=%d density=%g sparse SolveT residual %.3e > 1e-11", n, density, e)
+			}
+		}
+	}
+}
+
+// TestCSparseLUSolveReuse: repeated Factor/Solve on the same workspace must
+// not contaminate results (buffer-swap and bucket reuse paths).
+func TestCSparseLUSolveReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 23
+	sparse := NewCSparseLU(n)
+	for trial := 0; trial < 20; trial++ {
+		a := randCMatrix(rng, n, 0.25)
+		b := randCVec(rng, n)
+		if err := sparse.Factor(a); err != nil {
+			t.Fatalf("trial %d Factor: %v", trial, err)
+		}
+		x := make([]complex128, n)
+		if err := sparse.Solve(b, x); err != nil {
+			t.Fatalf("trial %d Solve: %v", trial, err)
+		}
+		if e := maxRelErrC(cmatVec(a, x), b); e > 1e-11 {
+			t.Errorf("trial %d reuse residual %.3e > 1e-11", trial, e)
+		}
+	}
+}
+
+// TestComplexSingularPaths: exactly singular matrices must return
+// ErrSingular from both backends, and never panic.
+func TestComplexSingularPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *CMatrix
+	}{
+		{"zero-matrix", func() *CMatrix { return NewCMatrix(3, 3) }},
+		{"zero-column", func() *CMatrix {
+			a := NewCMatrix(3, 3)
+			a.Set(0, 0, 1)
+			a.Set(1, 0, 2i)
+			a.Set(2, 0, 3)
+			a.Set(0, 2, 1)
+			a.Set(1, 2, 1)
+			a.Set(2, 2, 5i)
+			return a // column 1 entirely zero
+		}},
+		{"duplicate-rows", func() *CMatrix {
+			a := NewCMatrix(2, 2)
+			a.Set(0, 0, 1+2i)
+			a.Set(0, 1, 3-1i)
+			a.Set(1, 0, 1+2i)
+			a.Set(1, 1, 3-1i)
+			return a
+		}},
+		{"nan-entry", func() *CMatrix {
+			a := NewCMatrix(2, 2)
+			a.Set(0, 0, complex(math.NaN(), 0))
+			a.Set(1, 1, 1)
+			return a
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.build()
+			if err := NewCLU(a.Rows).Factor(a); !errors.Is(err, ErrSingular) {
+				t.Errorf("dense Factor err = %v, want ErrSingular", err)
+			}
+			if err := NewCSparseLU(a.Rows).Factor(a); !errors.Is(err, ErrSingular) {
+				t.Errorf("sparse Factor err = %v, want ErrSingular", err)
+			}
+		})
+	}
+}
+
+// TestComplexSizeMismatch: dimension checks must error, not corrupt state.
+func TestComplexSizeMismatch(t *testing.T) {
+	a := randCMatrix(rand.New(rand.NewSource(5)), 4, 1.0)
+	if err := NewCLU(3).Factor(a); err == nil {
+		t.Error("dense Factor size mismatch: want error")
+	}
+	if err := NewCSparseLU(3).Factor(a); err == nil {
+		t.Error("sparse Factor size mismatch: want error")
+	}
+	f := NewCLU(4)
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Solve(make([]complex128, 3), make([]complex128, 4)); err == nil {
+		t.Error("dense Solve length mismatch: want error")
+	}
+	if err := f.SolveT(make([]complex128, 4), make([]complex128, 2)); err == nil {
+		t.Error("dense SolveT length mismatch: want error")
+	}
+	sp := NewCSparseLU(4)
+	if err := sp.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Solve(make([]complex128, 2), make([]complex128, 4)); err == nil {
+		t.Error("sparse Solve length mismatch: want error")
+	}
+	if err := sp.SolveT(make([]complex128, 4), make([]complex128, 1)); err == nil {
+		t.Error("sparse SolveT length mismatch: want error")
+	}
+}
+
+// TestCLUDet: determinant of a triangular-ish known matrix.
+func TestCLUDet(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1i)
+	a.Set(1, 0, -1i)
+	a.Set(1, 1, 3)
+	f := NewCLU(2)
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	// det = 2*3 - (1i)(-1i) = 6 - 1 = 5  (since (1i)(-1i) = 1)
+	if d := f.Det(); cmplx.Abs(d-5) > 1e-12 {
+		t.Errorf("Det = %v, want 5", d)
+	}
+}
+
+// TestCLUFactorScratch: the in-place factorization path must agree with the
+// copying path bit-for-bit.
+func TestCLUFactorScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 12
+	a := randCMatrix(rng, n, 1.0)
+	b := randCVec(rng, n)
+	f1 := NewCLU(n)
+	if err := f1.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	x1 := make([]complex128, n)
+	if err := f1.Solve(b, x1); err != nil {
+		t.Fatal(err)
+	}
+	scratch := &CMatrix{Rows: n, Cols: n, Data: append([]complex128(nil), a.Data...)}
+	f2 := NewCLU(n)
+	if err := f2.FactorScratch(scratch); err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]complex128, n)
+	if err := f2.Solve(b, x2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Errorf("FactorScratch differs at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}

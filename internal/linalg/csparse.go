@@ -1,0 +1,229 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CSparseLU is the complex128 counterpart of SparseLU: sparse Gaussian
+// elimination with partial pivoting over stored nonzeros only. AC MNA
+// matrices have the same O(1)-nonzeros-per-row structure as the transient
+// ones (the jω factors change values, not sparsity), so the same
+// near-linear elimination applies. The factors are packed into flat arrays
+// — U rows by pivot step, L multipliers grouped per step — and all Factor
+// workspace is retained across calls so a frequency sweep refactorizes
+// without allocating.
+type CSparseLU struct {
+	n      int
+	pivRow []int // original row chosen as pivot at each elimination step
+
+	uDiag []complex128 // U diagonal, one entry per step
+	uPtr  []int        // U row k occupies uCols/uVals[uPtr[k]:uPtr[k+1]]
+	uCols []int
+	uVals []complex128
+
+	lPtr  []int // L group k occupies lRows/lVals[lPtr[k]:lPtr[k+1]]
+	lRows []int
+	lVals []complex128
+
+	work []complex128 // solve scratch
+
+	rowCols   [][]int // active row storage during Factor
+	rowVals   [][]complex128
+	mergeCols []int // merge scratch, swapped with the eliminated row's buffers
+	mergeVals []complex128
+	byLead    [][]int // active rows bucketed by leading column
+}
+
+// NewCSparseLU prepares a sparse complex factorization workspace for n x n
+// systems.
+func NewCSparseLU(n int) *CSparseLU {
+	return &CSparseLU{
+		n:       n,
+		pivRow:  make([]int, n),
+		uDiag:   make([]complex128, n),
+		uPtr:    make([]int, n+1),
+		lPtr:    make([]int, n+1),
+		work:    make([]complex128, n),
+		rowCols: make([][]int, n),
+		rowVals: make([][]complex128, n),
+		byLead:  make([][]int, n),
+	}
+}
+
+// Factor computes PA = LU from the stored nonzeros of a. a is not modified.
+// Structural zeros are dropped on ingest; zeros produced by cancellation
+// during elimination are kept, so pivot selection sees the same candidates
+// as the dense code. Returns ErrSingular when no usable pivot remains.
+func (s *CSparseLU) Factor(a *CMatrix) error {
+	n := s.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("linalg: Factor size %dx%d, workspace is %d", a.Rows, a.Cols, n)
+	}
+	s.uCols = s.uCols[:0]
+	s.uVals = s.uVals[:0]
+	s.lRows = s.lRows[:0]
+	s.lVals = s.lVals[:0]
+	for c := range s.byLead {
+		s.byLead[c] = s.byLead[c][:0]
+	}
+	for i := 0; i < n; i++ {
+		cols := s.rowCols[i][:0]
+		vals := s.rowVals[i][:0]
+		row := a.Data[i*n : i*n+n]
+		for j, v := range row {
+			if v != 0 {
+				cols = append(cols, j)
+				vals = append(vals, v)
+			}
+		}
+		s.rowCols[i], s.rowVals[i] = cols, vals
+		if len(cols) > 0 {
+			s.byLead[cols[0]] = append(s.byLead[cols[0]], i)
+		}
+	}
+	for k := 0; k < n; k++ {
+		// The rows with a nonzero in column k are exactly the active rows
+		// whose leading column is k.
+		cand := s.byLead[k]
+		p := -1
+		max := 0.0
+		for _, r := range cand {
+			if a := cmplx.Abs(s.rowVals[r][0]); a > max {
+				max, p = a, r
+			}
+		}
+		if p < 0 || max == 0 || math.IsNaN(max) {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		s.pivRow[k] = p
+		pc, pv := s.rowCols[p], s.rowVals[p]
+		pivot := pv[0]
+		s.uDiag[k] = pivot
+		s.uCols = append(s.uCols, pc[1:]...)
+		s.uVals = append(s.uVals, pv[1:]...)
+		s.uPtr[k+1] = len(s.uCols)
+		for _, r := range cand {
+			if r == p {
+				continue
+			}
+			rc, rv := s.rowCols[r], s.rowVals[r]
+			m := rv[0] / pivot
+			s.lRows = append(s.lRows, r)
+			s.lVals = append(s.lVals, m)
+			// Merge r's tail with -m times the pivot tail (both sorted).
+			mc, mv := s.mergeCols[:0], s.mergeVals[:0]
+			i, j := 1, 1
+			for i < len(rc) && j < len(pc) {
+				switch {
+				case rc[i] < pc[j]:
+					mc = append(mc, rc[i])
+					mv = append(mv, rv[i])
+					i++
+				case rc[i] > pc[j]:
+					mc = append(mc, pc[j])
+					mv = append(mv, -m*pv[j])
+					j++
+				default:
+					mc = append(mc, rc[i])
+					mv = append(mv, rv[i]-m*pv[j])
+					i++
+					j++
+				}
+			}
+			for ; i < len(rc); i++ {
+				mc = append(mc, rc[i])
+				mv = append(mv, rv[i])
+			}
+			for ; j < len(pc); j++ {
+				mc = append(mc, pc[j])
+				mv = append(mv, -m*pv[j])
+			}
+			// The eliminated row adopts the merged buffers; its old ones
+			// become the next merge scratch, so no allocation in reuse.
+			s.mergeCols, s.rowCols[r] = rc, mc
+			s.mergeVals, s.rowVals[r] = rv, mv
+			if len(mc) > 0 {
+				s.byLead[mc[0]] = append(s.byLead[mc[0]], r)
+			}
+		}
+		s.lPtr[k+1] = len(s.lRows)
+	}
+	return nil
+}
+
+// Solve solves A x = b using the current factorization, writing the result
+// into x (which may alias b). b must have length n.
+func (s *CSparseLU) Solve(b, x []complex128) error {
+	n := s.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	c := s.work
+	copy(c, b)
+	// Forward: apply the L groups in elimination order.
+	for k := 0; k < n; k++ {
+		pk := c[s.pivRow[k]]
+		if pk == 0 {
+			continue
+		}
+		for i := s.lPtr[k]; i < s.lPtr[k+1]; i++ {
+			c[s.lRows[i]] -= s.lVals[i] * pk
+		}
+	}
+	// Back substitution over U; unknown k lives at the step-k pivot row.
+	for k := n - 1; k >= 0; k-- {
+		sum := c[s.pivRow[k]]
+		for i := s.uPtr[k]; i < s.uPtr[k+1]; i++ {
+			sum -= s.uVals[i] * x[s.uCols[i]]
+		}
+		x[k] = sum / s.uDiag[k]
+	}
+	return nil
+}
+
+// SolveT solves the transposed system A^T x = b from the current
+// factorization. Writing the forward elimination as a linear operator M
+// (the composition of the per-step row updates) and P for the pivot-row
+// permutation, Factor establishes M·A = P^T·U, so A^T = U^T·P·M^-T. The
+// three sweeps below invert each factor in turn: U^T by ascending scatter
+// over the stored U rows, P by placing step values at their pivot rows, and
+// M^T by replaying the elimination groups in reverse with rows and columns
+// exchanged. One SolveT per frequency is all the adjoint method costs.
+// b must have length n; x must not alias b.
+func (s *CSparseLU) SolveT(b, x []complex128) error {
+	n := s.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Solve vector length %d/%d, want %d", len(b), len(x), n)
+	}
+	c := s.work
+	copy(c, b)
+	// U^T c' = b: U row k stores only columns > k, so c[k] is final once
+	// divided by the diagonal; its tail then scatters forward.
+	for k := 0; k < n; k++ {
+		ck := c[k] / s.uDiag[k]
+		c[k] = ck
+		if ck == 0 {
+			continue
+		}
+		for i := s.uPtr[k]; i < s.uPtr[k+1]; i++ {
+			c[s.uCols[i]] -= s.uVals[i] * ck
+		}
+	}
+	// Undo the permutation: step k's value belongs at pivot row k.
+	for k := 0; k < n; k++ {
+		x[s.pivRow[k]] = c[k]
+	}
+	// M^T x' = x: each step's transposed update reads the rows it
+	// eliminated (pivots of later steps, already final when walking
+	// descending) and folds them into its own pivot row.
+	for k := n - 1; k >= 0; k-- {
+		sum := x[s.pivRow[k]]
+		for i := s.lPtr[k]; i < s.lPtr[k+1]; i++ {
+			sum -= s.lVals[i] * x[s.lRows[i]]
+		}
+		x[s.pivRow[k]] = sum
+	}
+	return nil
+}

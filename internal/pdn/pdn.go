@@ -1,0 +1,176 @@
+// Package pdn computes power-delivery-network input-impedance profiles
+// |Z(f)| over frequency grids, with adjoint parameter sensitivities, and
+// optimizes decap placement on the adjoint gradients. It drives the
+// complex-valued AC engine in internal/spice over netlists synthesized by
+// pkgmodel.PDNGrid, fanning frequencies out across a worker pool — each
+// frequency is an independent factor+solve, the embarrassingly parallel
+// axis of frequency-domain sign-off.
+package pdn
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+	"ssnkit/internal/sweep"
+)
+
+// Config tunes a profile run. The zero value is usable.
+type Config struct {
+	// Workers is the number of parallel frequency evaluators; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// ChunkSize is the number of frequencies per unit of work; <= 0 means
+	// 16. Each chunk costs one engine stamp+factor per frequency.
+	ChunkSize int
+	// Gate, when non-nil, bounds chunk concurrency globally (the serve
+	// worker pool implements it), so an impedance sweep embedded in the
+	// service shares slots with the rest of the traffic.
+	Gate sweep.Gate
+	// WithSens requests adjoint d|Z|/d(param) sensitivities at every
+	// frequency (one extra transposed solve each).
+	WithSens bool
+	// Gmin is passed to the AC engine (see spice.ACOptions).
+	Gmin float64
+}
+
+// Point is the impedance at one frequency, with optional sensitivities.
+type Point struct {
+	Freq float64    // Hz
+	Z    complex128 // ohms
+	AbsZ float64    // |Z|, ohms
+	// Sens holds adjoint sensitivities d|Z|/d(value) per named element,
+	// only when Config.WithSens was set.
+	Sens []spice.SensEntry
+}
+
+// Profile is an impedance-vs-frequency curve in ascending frequency order.
+type Profile struct {
+	Points  []Point
+	PeakIdx int // index of the largest |Z|
+}
+
+// Peak returns the profile point with the largest |Z|.
+func (p *Profile) Peak() Point { return p.Points[p.PeakIdx] }
+
+// RunProfile sweeps the grid's input impedance over freqs (ascending, as
+// produced by spice.FreqGrid). Each worker owns a private netlist and AC
+// engine — engines are single-threaded — and frequencies are dealt out in
+// chunks, so per-frequency factorizations dominate and coordination cost
+// vanishes. Results are deterministic: the output order is the input
+// frequency order regardless of worker count.
+func RunProfile(ctx context.Context, grid *pkgmodel.PDNGrid, freqs []float64, cfg Config) (*Profile, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("pdn: empty frequency grid")
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = 16
+	}
+	points := make([]Point, len(freqs))
+	chunks := make(chan [2]int)
+	errs := make(chan error, workers)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ckt, obs, err := grid.Build()
+			if err != nil {
+				errs <- err
+				cancel()
+				return
+			}
+			eng, err := spice.NewAC(ckt, spice.ACOptions{Gmin: cfg.Gmin})
+			if err != nil {
+				errs <- err
+				cancel()
+				return
+			}
+			var sensBuf []spice.SensEntry
+			for c := range chunks {
+				if cfg.Gate != nil {
+					if err := cfg.Gate.Acquire(cctx); err != nil {
+						errs <- err
+						cancel()
+						return
+					}
+				}
+				for i := c[0]; i < c[1]; i++ {
+					if cctx.Err() != nil {
+						break
+					}
+					w := 2 * math.Pi * freqs[i]
+					var z complex128
+					var err error
+					if cfg.WithSens {
+						z, sensBuf, err = eng.ImpedanceSens(w, obs, sensBuf)
+						if err == nil {
+							points[i].Sens = append([]spice.SensEntry(nil), sensBuf...)
+						}
+					} else {
+						z, err = eng.Impedance(w, obs)
+					}
+					if err != nil {
+						if cfg.Gate != nil {
+							cfg.Gate.Release()
+						}
+						errs <- fmt.Errorf("pdn: f=%g Hz: %w", freqs[i], err)
+						cancel()
+						return
+					}
+					points[i].Freq = freqs[i]
+					points[i].Z = z
+					points[i].AbsZ = math.Hypot(real(z), imag(z))
+				}
+				if cfg.Gate != nil {
+					cfg.Gate.Release()
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < len(freqs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(freqs) {
+			hi = len(freqs)
+		}
+		select {
+		case chunks <- [2]int{lo, hi}:
+		case <-cctx.Done():
+			lo = len(freqs) // stop dispatching; drain below
+		}
+	}
+	close(chunks)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prof := &Profile{Points: points}
+	for i := range points {
+		if points[i].AbsZ > points[prof.PeakIdx].AbsZ {
+			prof.PeakIdx = i
+		}
+	}
+	return prof, nil
+}

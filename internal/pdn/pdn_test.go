@@ -1,0 +1,246 @@
+package pdn
+
+import (
+	"context"
+	"math"
+	"math/cmplx"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ssnkit/internal/pkgmodel"
+	"ssnkit/internal/spice"
+)
+
+func testFreqs(t *testing.T, points int) []float64 {
+	t.Helper()
+	fs, err := spice.FreqGrid(1e6, 10e9, points, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestRunProfileMatchesSerial: the parallel profile must equal a serial
+// single-engine evaluation bit-for-bit (same stamp, same factorization
+// path per frequency).
+func TestRunProfileMatchesSerial(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 3, 3, 4)
+	fs := testFreqs(t, 40)
+	prof, err := RunProfile(context.Background(), grid, fs, Config{Workers: 4, ChunkSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, obs, err := grid.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := spice.NewAC(ckt, spice.ACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Points) != len(fs) {
+		t.Fatalf("%d points, want %d", len(prof.Points), len(fs))
+	}
+	for i, f := range fs {
+		z, err := eng.Impedance(2*math.Pi*f, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.Points[i].Z != z {
+			t.Errorf("f=%g: parallel %v vs serial %v", f, prof.Points[i].Z, z)
+		}
+		if prof.Points[i].AbsZ != cmplx.Abs(z) && math.Abs(prof.Points[i].AbsZ-cmplx.Abs(z)) > 1e-18 {
+			t.Errorf("f=%g: AbsZ %g vs %g", f, prof.Points[i].AbsZ, cmplx.Abs(z))
+		}
+	}
+	// The peak index must point at the max.
+	for _, p := range prof.Points {
+		if p.AbsZ > prof.Peak().AbsZ {
+			t.Errorf("peak missed: %g > %g", p.AbsZ, prof.Peak().AbsZ)
+		}
+	}
+}
+
+// TestRunProfileWithSens: sensitivities arrive for every frequency and
+// carry every named R/L/C element.
+func TestRunProfileWithSens(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.BGA, 2, 2, 2)
+	fs := testFreqs(t, 12)
+	prof, err := RunProfile(context.Background(), grid, fs, Config{Workers: 2, WithSens: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range prof.Points {
+		if len(p.Sens) == 0 {
+			t.Fatalf("point %d has no sensitivities", i)
+		}
+		if len(p.Sens) != len(prof.Points[0].Sens) {
+			t.Fatalf("ragged sensitivity rows: %d vs %d", len(p.Sens), len(prof.Points[0].Sens))
+		}
+	}
+}
+
+// TestRunProfileGate: the gate must be acquired and released in balance,
+// and concurrency under the gate must never exceed its capacity.
+func TestRunProfileGate(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 2, 2, 2)
+	fs := testFreqs(t, 30)
+	g := &countingGate{capacity: 2, sem: make(chan struct{}, 2)}
+	_, err := RunProfile(context.Background(), grid, fs, Config{Workers: 4, ChunkSize: 2, Gate: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.acquires.Load() == 0 {
+		t.Error("gate never acquired")
+	}
+	if a, r := g.acquires.Load(), g.releases.Load(); a != r {
+		t.Errorf("unbalanced gate: %d acquires, %d releases", a, r)
+	}
+	if g.maxInFlight.Load() > int64(g.capacity) {
+		t.Errorf("gate overshoot: %d > %d", g.maxInFlight.Load(), g.capacity)
+	}
+}
+
+type countingGate struct {
+	capacity    int
+	sem         chan struct{}
+	mu          sync.Mutex
+	inFlight    int64
+	acquires    atomic.Int64
+	releases    atomic.Int64
+	maxInFlight atomic.Int64
+}
+
+func (g *countingGate) Acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	g.acquires.Add(1)
+	g.mu.Lock()
+	g.inFlight++
+	if g.inFlight > g.maxInFlight.Load() {
+		g.maxInFlight.Store(g.inFlight)
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *countingGate) Release() {
+	g.mu.Lock()
+	g.inFlight--
+	g.mu.Unlock()
+	g.releases.Add(1)
+	<-g.sem
+}
+
+// TestRunProfileCancellation: a canceled context must abort promptly with
+// the context error and no goroutine leak (the -race build watches).
+func TestRunProfileCancellation(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 4, 4, 6)
+	fs := testFreqs(t, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunProfile(ctx, grid, fs, Config{Workers: 4}); err == nil {
+		t.Error("canceled run returned nil error")
+	}
+}
+
+// TestRunProfileErrors: empty grids and invalid inputs.
+func TestRunProfileErrors(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 2, 2, 2)
+	if _, err := RunProfile(context.Background(), grid, nil, Config{}); err == nil {
+		t.Error("empty frequency list accepted")
+	}
+	bad := *grid
+	bad.Rows = 0
+	if _, err := RunProfile(context.Background(), &bad, testFreqs(t, 4), Config{}); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+// TestOptimizeDecapsLowersPeak: the acceptance criterion — the greedy
+// optimizer must provably lower peak |Z(f)| on a PGA-class grid.
+func TestOptimizeDecapsLowersPeak(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 3, 3, 4)
+	fs := testFreqs(t, 60)
+	res, err := OptimizeDecaps(context.Background(), OptimizeSpec{
+		Grid:      grid,
+		Freqs:     fs,
+		DecapC:    2e-9,
+		DecapESR:  10e-3,
+		MaxDecaps: 4,
+		Config:    Config{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) == 0 {
+		t.Fatal("optimizer placed nothing")
+	}
+	if !(res.PeakAfter < res.PeakBefore) {
+		t.Fatalf("peak |Z| did not drop: before %g, after %g", res.PeakBefore, res.PeakAfter)
+	}
+	// Each recorded step must decrease monotonically.
+	prev := res.PeakBefore
+	for i, p := range res.Placements {
+		if !(p.PeakAfter < p.PeakBefore) || p.PeakBefore != prev {
+			t.Errorf("step %d: before %g after %g (prev %g)", i, p.PeakBefore, p.PeakAfter, prev)
+		}
+		if p.Grad >= 0 {
+			t.Errorf("step %d placed on non-negative gradient %g", i, p.Grad)
+		}
+		prev = p.PeakAfter
+	}
+	// The grid's placed decaps must match the placement log.
+	placed := 0
+	for _, d := range res.Grid.DecapSites {
+		if d.C > 0 {
+			placed++
+		}
+	}
+	if placed != len(res.Placements) {
+		t.Errorf("%d sites hold decaps, %d placements recorded", placed, len(res.Placements))
+	}
+	// And the final profile must be the profile of the final grid.
+	check, err := RunProfile(context.Background(), res.Grid, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Peak().AbsZ != res.PeakAfter {
+		t.Errorf("final grid peak %g != reported %g", check.Peak().AbsZ, res.PeakAfter)
+	}
+}
+
+// TestOptimizeDecapsValidation: bad specs must be rejected.
+func TestOptimizeDecapsValidation(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 2, 2, 2)
+	fs := testFreqs(t, 8)
+	cases := []OptimizeSpec{
+		{Grid: grid, Freqs: fs, DecapC: 0, DecapESR: 1e-3, MaxDecaps: 1},
+		{Grid: grid, Freqs: fs, DecapC: 1e-9, DecapESR: 0, MaxDecaps: 1},
+		{Grid: grid, Freqs: fs, DecapC: 1e-9, DecapESR: 1e-3, MaxDecaps: 0},
+	}
+	for i, spec := range cases {
+		if _, err := OptimizeDecaps(context.Background(), spec); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// The input grid must not be mutated by a successful run.
+	before := len(grid.DecapSites)
+	if _, err := OptimizeDecaps(context.Background(), OptimizeSpec{
+		Grid: grid, Freqs: fs, DecapC: 1e-9, DecapESR: 5e-3, MaxDecaps: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.DecapSites) != before {
+		t.Error("OptimizeDecaps mutated the caller's grid")
+	}
+	for _, d := range grid.DecapSites {
+		if d.C != 0 {
+			t.Error("OptimizeDecaps mutated the caller's decap sites")
+		}
+	}
+}

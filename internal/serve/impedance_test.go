@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ssnkit/internal/colwire"
+)
+
+// postJSONAccept POSTs a JSON body with an explicit Accept header.
+func postJSONAccept(t *testing.T, url, body, accept string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", accept)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestImpedancePoint: point mode answers one frequency with Z and, when
+// asked, per-element adjoint sensitivities.
+func TestImpedancePoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/impedance",
+		`{"package":"pga","rows":2,"cols":2,"pads":2,"freq":1e8,"with_sens":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pt impedancePoint
+	if err := json.Unmarshal(body, &pt); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Freq != 1e8 {
+		t.Errorf("freq %g, want 1e8", pt.Freq)
+	}
+	if !(pt.ZMag > 0) || math.Abs(math.Hypot(pt.ZRe, pt.ZIm)-pt.ZMag) > 1e-12*pt.ZMag {
+		t.Errorf("inconsistent Z: re=%g im=%g mag=%g", pt.ZRe, pt.ZIm, pt.ZMag)
+	}
+	if len(pt.Sens) == 0 {
+		t.Fatal("with_sens returned no sensitivities")
+	}
+	for _, s := range pt.Sens {
+		if s.Name == "" || (s.Kind != "R" && s.Kind != "L" && s.Kind != "C") {
+			t.Errorf("malformed sensitivity entry %+v", s)
+		}
+	}
+}
+
+// TestImpedanceSweepNDJSON: sweep mode streams one record per frequency in
+// ascending order plus a terminal done/stats summary whose peak matches
+// the streamed maximum.
+func TestImpedanceSweepNDJSON(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/impedance",
+		`{"rows":3,"cols":3,"pads":4,"from":1e6,"to":1e10,"points":50}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) != 51 {
+		t.Fatalf("%d lines, want 50 points + summary", len(lines))
+	}
+	var prevFreq, maxZ float64
+	for _, line := range lines[:50] {
+		var pt impedancePoint
+		if err := json.Unmarshal(line, &pt); err != nil {
+			t.Fatalf("%v in %s", err, line)
+		}
+		if pt.Freq <= prevFreq {
+			t.Fatalf("frequencies not ascending: %g after %g", pt.Freq, prevFreq)
+		}
+		prevFreq = pt.Freq
+		if pt.ZMag > maxZ {
+			maxZ = pt.ZMag
+		}
+	}
+	var sum impedanceSummary
+	if err := json.Unmarshal(lines[50], &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Done || sum.Stats.Points != 50 {
+		t.Errorf("summary %+v", sum)
+	}
+	if sum.Stats.PeakZ != maxZ {
+		t.Errorf("summary peak %g != streamed max %g", sum.Stats.PeakZ, maxZ)
+	}
+	byMode, points := s.Metrics().ImpedanceCounts()
+	if byMode["sweep"] != 1 || points != 50 {
+		t.Errorf("metrics: byMode=%v points=%d", byMode, points)
+	}
+}
+
+// TestImpedanceSweepColumnarMatchesJSON is the wire-equivalence check: the
+// SSNC z_mag column must carry bit-identical float64s to the NDJSON
+// stream's z_mag fields (shortest round-trip decimal re-parses to the
+// same bits).
+func TestImpedanceSweepColumnarMatchesJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const reqBody = `{"rows":3,"cols":3,"pads":4,"from":1e6,"to":1e10,"points":40}`
+
+	_, jsonBody := postJSON(t, ts.URL+"/v1/impedance", reqBody)
+	lines := bytes.Split(bytes.TrimSpace(jsonBody), []byte("\n"))
+	var jsonMags, jsonFreqs []float64
+	for _, line := range lines[:len(lines)-1] {
+		var pt impedancePoint
+		if err := json.Unmarshal(line, &pt); err != nil {
+			t.Fatal(err)
+		}
+		jsonMags = append(jsonMags, pt.ZMag)
+		jsonFreqs = append(jsonFreqs, pt.Freq)
+	}
+
+	resp, colBody := postJSONAccept(t, ts.URL+"/v1/impedance", reqBody, colwire.ContentType)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("columnar status %d: %s", resp.StatusCode, colBody)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != colwire.ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	blocks, err := DecodeColumnarStream(bytes.NewReader(colBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("%d blocks, want rows + terminal", len(blocks))
+	}
+	last := blocks[len(blocks)-1]
+	if last.Rows() != 0 {
+		t.Fatalf("terminal block has %d rows", last.Rows())
+	}
+	var sum impedanceSummary
+	if err := json.Unmarshal(last.Meta, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Done || sum.Stats.Points != 40 {
+		t.Errorf("terminal meta %+v", sum)
+	}
+	var colMags, colFreqs []float64
+	for _, blk := range blocks[:len(blocks)-1] {
+		cols := map[string][]float64{}
+		for _, c := range blk.Columns {
+			cols[c.Name] = c.Values
+		}
+		for _, name := range []string{"freq", "z_re", "z_im", "z_mag"} {
+			if cols[name] == nil {
+				t.Fatalf("row block missing column %q", name)
+			}
+		}
+		colMags = append(colMags, cols["z_mag"]...)
+		colFreqs = append(colFreqs, cols["freq"]...)
+	}
+	if len(colMags) != len(jsonMags) {
+		t.Fatalf("columnar carries %d rows, JSON %d", len(colMags), len(jsonMags))
+	}
+	for i := range colMags {
+		if colMags[i] != jsonMags[i] || colFreqs[i] != jsonFreqs[i] {
+			t.Errorf("row %d: columnar (%g, %g) vs JSON (%g, %g)",
+				i, colFreqs[i], colMags[i], jsonFreqs[i], jsonMags[i])
+		}
+	}
+}
+
+// TestImpedanceOptimize: the service smoke of the acceptance criterion —
+// optimize mode must lower peak |Z| and report the greedy steps.
+func TestImpedanceOptimize(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/impedance",
+		`{"rows":3,"cols":3,"pads":4,"mode":"optimize","points":60,"decap_c":2e-9,"decap_esr":0.01,"max_decaps":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res impedanceOptimizeResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) == 0 {
+		t.Fatal("optimizer placed nothing")
+	}
+	if !(res.PeakAfter < res.PeakBefore) {
+		t.Fatalf("peak did not drop: before %g after %g", res.PeakBefore, res.PeakAfter)
+	}
+	for i, p := range res.Placements {
+		if p.Grad >= 0 {
+			t.Errorf("placement %d on non-negative gradient %g", i, p.Grad)
+		}
+		if !(p.PeakAfter < p.PeakBefore) {
+			t.Errorf("placement %d did not lower the peak: %g -> %g", i, p.PeakBefore, p.PeakAfter)
+		}
+	}
+}
+
+// TestImpedanceValidation: malformed requests draw structured 4xx answers
+// from the frozen code registry before any streaming starts.
+func TestImpedanceValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 1000})
+	cases := []struct {
+		name, body, code string
+	}{
+		{"bad package", `{"package":"dip"}`, CodeInvalidRequest},
+		{"bad mode", `{"mode":"resonate"}`, CodeInvalidRequest},
+		{"negative rows", `{"rows":-1}`, CodeInvalidRequest},
+		{"mesh too large", `{"rows":100,"cols":100}`, CodeGridTooLarge},
+		{"too many points", `{"points":100000}`, CodeGridTooLarge},
+		{"point needs freq", `{"mode":"point"}`, CodeInvalidRequest},
+		{"bad grid range", `{"from":1e9,"to":1e6}`, CodeInvalidRequest},
+		{"sites need optimize", `{"decap_sites":[0]}`, CodeInvalidRequest},
+		{"site out of range", `{"mode":"optimize","points":4,"decap_sites":[99]}`, CodeInvalidRequest},
+		{"sens in optimize", `{"mode":"optimize","points":4,"with_sens":true}`, CodeInvalidRequest},
+		{"trailing garbage", `{"rows":2} x`, CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/impedance", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var env struct {
+				Error apiError `json:"error"`
+			}
+			if err := json.Unmarshal(body, &env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Error.Code != tc.code {
+				t.Errorf("code %q, want %q: %s", env.Error.Code, tc.code, body)
+			}
+		})
+	}
+}
+
+// TestImpedanceColumnarSensRejected: sensitivity output has no columnar
+// encoding, so the combination is refused before streaming.
+func TestImpedanceColumnarSensRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSONAccept(t, ts.URL+"/v1/impedance",
+		`{"rows":2,"cols":2,"with_sens":true,"points":4}`, colwire.ContentType)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(CodeInvalidRequest)) {
+		t.Errorf("unexpected error body: %s", body)
+	}
+}
+
+// TestImpedanceMetricsExposition: the Prometheus text surface must carry
+// the impedance counters after traffic.
+func TestImpedanceMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/impedance", `{"rows":2,"cols":2,"freq":1e8}`)
+	postJSON(t, ts.URL+"/v1/impedance", `{"rows":2,"cols":2,"points":8}`)
+	_, metrics := getURL(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`ssnserve_impedance_total{mode="point"} 1`,
+		`ssnserve_impedance_total{mode="sweep"} 1`,
+		`ssnserve_impedance_points_total 9`,
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("missing %q in metrics exposition", want)
+		}
+	}
+}

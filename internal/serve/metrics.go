@@ -46,6 +46,9 @@ type Metrics struct {
 	legacyEnvelope uint64
 	solvesByMode   map[string]uint64
 
+	impedanceByMode map[string]uint64
+	impedancePoints uint64
+
 	columnarPayloads map[columnarKey]uint64
 }
 
@@ -75,6 +78,8 @@ func NewMetrics() *Metrics {
 		jobsByState:   map[string]uint64{},
 		admissionShed: map[string]uint64{},
 		solvesByMode:  map[string]uint64{},
+
+		impedanceByMode: map[string]uint64{},
 
 		columnarPayloads: map[columnarKey]uint64{},
 	}
@@ -212,6 +217,26 @@ func (m *Metrics) ObserveSolve(mode string) {
 	m.mu.Unlock()
 }
 
+// ObserveImpedance counts one /v1/impedance request by mode ("point",
+// "sweep", "optimize") and the frequency points it evaluates.
+func (m *Metrics) ObserveImpedance(mode string, points int) {
+	m.mu.Lock()
+	m.impedanceByMode[mode]++
+	m.impedancePoints += uint64(points)
+	m.mu.Unlock()
+}
+
+// ImpedanceCounts returns the impedance counters (for tests).
+func (m *Metrics) ImpedanceCounts() (byMode map[string]uint64, points uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byMode = make(map[string]uint64, len(m.impedanceByMode))
+	for k, v := range m.impedanceByMode {
+		byMode[k] = v
+	}
+	return byMode, m.impedancePoints
+}
+
 // ObserveShard records one /v1/shard evaluation of the given point count.
 func (m *Metrics) ObserveShard(points int) {
 	m.mu.Lock()
@@ -344,6 +369,19 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	for _, md := range modes {
 		fmt.Fprintf(cw, "ssnserve_solves_total{mode=%q} %d\n", md, m.solvesByMode[md])
 	}
+	fmt.Fprintln(cw, "# HELP ssnserve_impedance_total PDN impedance requests on /v1/impedance by mode.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_impedance_total counter")
+	impModes := make([]string, 0, len(m.impedanceByMode))
+	for md := range m.impedanceByMode {
+		impModes = append(impModes, md)
+	}
+	sort.Strings(impModes)
+	for _, md := range impModes {
+		fmt.Fprintf(cw, "ssnserve_impedance_total{mode=%q} %d\n", md, m.impedanceByMode[md])
+	}
+	fmt.Fprintln(cw, "# HELP ssnserve_impedance_points_total Impedance frequency points evaluated.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_impedance_points_total counter")
+	fmt.Fprintf(cw, "ssnserve_impedance_points_total %d\n", m.impedancePoints)
 
 	fmt.Fprintln(cw, "# HELP ssnserve_columnar_payloads_total SSNC columnar payloads by route and direction.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_columnar_payloads_total counter")

@@ -332,6 +332,62 @@ func openAPISpec() obj {
 			{"done", typ("boolean")},
 			{"stats", ref("SweepStats")},
 		}, "done", "stats")},
+		{"ImpedanceRequest", append(obj{{"description",
+			"PDN input-impedance analysis of a package-class RLC grid: one frequency (point), a streamed |Z(f)| profile (sweep), or greedy adjoint-guided decap placement (optimize)."}},
+			strictObj(obj{
+				{"package", typ("string", kv{"enum", anySlice("", "pga", "qfp", "bga", "cob")})},
+				{"rows", typ("integer", kv{"description", "mesh rows, default 4"})},
+				{"cols", typ("integer", kv{"description", "mesh columns, default 4"})},
+				{"pads", typ("integer", kv{"description", "package pads on the mesh perimeter, default 4"})},
+				{"mode", typ("string", kv{"enum", anySlice("", "point", "sweep", "optimize")})},
+				{"freq", typ("number", kv{"description", "point mode: the analysis frequency, Hz"})},
+				{"from", typ("number", kv{"description", "sweep start, Hz, default 1e6"})},
+				{"to", typ("number", kv{"description", "sweep stop, Hz, default 1e10"})},
+				{"points", typ("integer", kv{"description", "sweep points, default 200"})},
+				{"linear", typ("boolean", kv{"description", "linear spacing (default logarithmic)"})},
+				{"with_sens", typ("boolean", kv{"description", "adjoint d|Z|/d(element) per point (JSON responses only)"})},
+				{"workers", typ("integer")},
+				{"decap_c", typ("number", kv{"description", "optimize: unit decap capacitance, F, default 1e-9"})},
+				{"decap_esr", typ("number", kv{"description", "optimize: unit decap ESR, Ohm, default 5e-3"})},
+				{"max_decaps", typ("integer", kv{"description", "optimize: placement budget, default 4, max 64"})},
+				{"decap_sites", arrOf(typ("integer"))},
+			})...)},
+		{"ImpedanceSens", strictObj(obj{
+			{"name", typ("string")},
+			{"kind", typ("string", kv{"enum", anySlice("R", "L", "C")})},
+			{"value", typ("number")},
+			{"dabs", typ("number", kv{"description", "d|Z|/d(value)"})},
+		}, "name", "kind", "value", "dabs")},
+		{"ImpedancePoint", strictObj(obj{
+			{"freq", typ("number")},
+			{"z_re", typ("number")},
+			{"z_im", typ("number")},
+			{"z_mag", typ("number")},
+			{"sens", arrOf(ref("ImpedanceSens"))},
+		}, "freq", "z_re", "z_im", "z_mag")},
+		{"ImpedanceStats", strictObj(obj{
+			{"points", typ("integer")},
+			{"peak_freq", typ("number")},
+			{"peak_z", typ("number")},
+			{"workers", typ("integer")},
+		}, "points", "peak_freq", "peak_z", "workers")},
+		{"ImpedanceSummary", strictObj(obj{
+			{"done", typ("boolean")},
+			{"stats", ref("ImpedanceStats")},
+		}, "done", "stats")},
+		{"ImpedancePlacement", strictObj(obj{
+			{"site", typ("integer")},
+			{"node", typ("integer")},
+			{"grad", typ("number", kv{"description", "d|Z_peak|/dC at decision time"})},
+			{"peak_freq", typ("number", kv{"description", "refined Hz of the peak being attacked"})},
+			{"peak_before", typ("number")},
+			{"peak_after", typ("number")},
+		}, "site", "node", "grad", "peak_freq", "peak_before", "peak_after")},
+		{"ImpedanceOptimizeResponse", strictObj(obj{
+			{"peak_before", typ("number")},
+			{"peak_after", typ("number")},
+			{"placements", arrOf(ref("ImpedancePlacement"))},
+		}, "peak_before", "peak_after", "placements")},
 		{"BaseParams", strictObj(obj{
 			{"n", typ("integer")}, {"k", typ("number")}, {"v0", typ("number")},
 			{"a", typ("number")}, {"vdd", typ("number")}, {"slope", typ("number")},
@@ -401,6 +457,7 @@ func openAPISpec() obj {
 
 	sweepLine := oneOf(ref("SweepPoint"), ref("SweepSummary"), ref("ErrorEnvelope"))
 	distLine := oneOf(ref("SweepPoint"), ref("DistSummary"), ref("ErrorEnvelope"))
+	impedanceLine := oneOf(ref("ImpedancePoint"), ref("ImpedanceSummary"))
 
 	paths := obj{
 		{"/v1/maxssn", obj{{"post", obj{
@@ -436,6 +493,16 @@ func openAPISpec() obj {
 					ndjsonContent(sweepLine),
 					columnarContent("SSNC block stream: per-axis value columns plus vmax, case_code, depth; terminal zero-row block carries done/stats (or the error envelope) in its meta",
 						oneOf(ref("SweepSummary"), ref("ErrorEnvelope"))),
+				))},
+			{"default", errorResponse},
+		})},
+		{"/v1/impedance", post("Frequency-domain PDN impedance: point, sweep, or decap optimization", ref("ImpedanceRequest"), obj{
+			{"200", response("point/optimize answer as JSON; sweep streams NDJSON points then a terminal summary, or SSNC blocks when negotiated",
+				withContent(
+					jsonContent(oneOf(ref("ImpedancePoint"), ref("ImpedanceOptimizeResponse"))),
+					ndjsonContent(impedanceLine),
+					columnarContent("SSNC block stream: columns freq, z_re, z_im, z_mag; terminal zero-row block carries done/stats in its meta",
+						ref("ImpedanceSummary")),
 				))},
 			{"default", errorResponse},
 		})},

@@ -123,6 +123,18 @@ func openAPIFixtures() []specFixture {
 		{name: "sweep", method: "POST", path: "/v1/sweep",
 			body:       `{` + params + `, "axes": [{"axis": "n", "from": 1, "to": 4, "points": 4}]}`,
 			wantStatus: 200},
+		{name: "impedance point", method: "POST", path: "/v1/impedance",
+			body:       `{"rows": 2, "cols": 2, "pads": 2, "freq": 1e8, "with_sens": true}`,
+			wantStatus: 200},
+		{name: "impedance sweep", method: "POST", path: "/v1/impedance",
+			body:       `{"package": "pga", "rows": 2, "cols": 2, "pads": 2, "from": 1e6, "to": 1e9, "points": 8}`,
+			wantStatus: 200},
+		{name: "impedance optimize", method: "POST", path: "/v1/impedance",
+			body:       `{"rows": 3, "cols": 3, "pads": 4, "mode": "optimize", "points": 40, "decap_c": 2e-9, "decap_esr": 0.01, "max_decaps": 2}`,
+			wantStatus: 200},
+		{name: "impedance bad mode", method: "POST", path: "/v1/impedance",
+			body:       `{"mode": "resonate"}`,
+			wantStatus: 400, invalidReq: true},
 		{name: "shard", method: "POST", path: "/v1/shard",
 			body:       `{"spec": {"base": {"n": 4, "k": 0.02, "v0": 0.5, "a": 1.6, "vdd": 1.8, "slope": 1.8e9, "l": 5e-9, "c": 2e-11}, "axes": [{"axis": "n", "from": 1, "to": 4, "points": 4}], "shard_points": 4}, "shard": 0}`,
 			wantStatus: 200},

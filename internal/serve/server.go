@@ -161,6 +161,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/solve", s.admitted("/v1/solve", s.handleSolve))
 	s.mux.Handle("POST /v1/waveform", s.admitted("/v1/waveform", s.handleWaveform))
 	s.mux.Handle("POST /v1/sweep", s.admitted("/v1/sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/impedance", s.admitted("/v1/impedance", s.handleImpedance))
 	s.mux.Handle("POST /v1/shard", s.admitted("/v1/shard", s.handleShard))
 	s.mux.Handle("POST /v1/montecarlo", s.admitted("/v1/montecarlo", s.handleMonteCarlo))
 	s.mux.Handle("POST /v1/distsweep", s.instrument("/v1/distsweep", s.handleDistSweep))

@@ -526,14 +526,7 @@ func (e *Engine) breakpoints(start, stop float64) []float64 {
 		add(s.wave)
 	}
 	sort.Float64s(bps)
-	// Deduplicate.
-	out := bps[:0]
-	for i, b := range bps {
-		if i == 0 || !nearly(b, out[len(out)-1]) {
-			out = append(out, b)
-		}
-	}
-	return out
+	return dedupeSorted(bps)
 }
 
 func nextBreak(bps []float64, t float64) (float64, bool) {

@@ -1,0 +1,65 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// dedupeSorted collapses runs of nearly-equal values (the 1e-12 relative
+// tolerance of nearly()) in an ascending slice, in place, and returns the
+// shortened slice. It is the single dedupe used by both the transient
+// breakpoint list and the AC frequency grid, so the "no duplicate points
+// leak into a schedule" guarantee is one piece of code with one test
+// surface.
+func dedupeSorted(vals []float64) []float64 {
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || !nearly(v, out[len(out)-1]) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FreqGrid builds a strictly increasing frequency grid of the requested
+// point count from `from` to `to` Hz, logarithmically spaced when log is
+// true (the PDN-impedance default: resonances spread over decades) and
+// linearly otherwise. The endpoints are hit exactly, and nearly-coincident
+// points (possible when from is within round-off of to, or the point count
+// vastly oversamples a narrow span) are collapsed, so callers never solve
+// the same frequency twice.
+func FreqGrid(from, to float64, points int, log bool) ([]float64, error) {
+	if !(from > 0) || math.IsInf(from, 0) {
+		return nil, fmt.Errorf("spice: frequency grid start %g must be positive and finite", from)
+	}
+	if !(to >= from) || math.IsInf(to, 0) {
+		return nil, fmt.Errorf("spice: frequency grid stop %g must be finite and >= start %g", to, from)
+	}
+	if points < 1 {
+		return nil, fmt.Errorf("spice: frequency grid needs at least 1 point, got %d", points)
+	}
+	if points == 1 || from == to {
+		return []float64{from}, nil
+	}
+	fs := make([]float64, points)
+	if log {
+		lf, lt := math.Log(from), math.Log(to)
+		for i := range fs {
+			fs[i] = math.Exp(lf + (lt-lf)*float64(i)/float64(points-1))
+		}
+	} else {
+		for i := range fs {
+			fs[i] = from + (to-from)*float64(i)/float64(points-1)
+		}
+	}
+	// Pin the endpoints exactly: exp/log round-off must not shift them.
+	fs[0], fs[len(fs)-1] = from, to
+	// Round-off can produce non-monotonic neighbors on extremely dense
+	// grids; clamp ascending before deduping.
+	for i := 1; i < len(fs); i++ {
+		if fs[i] < fs[i-1] {
+			fs[i] = fs[i-1]
+		}
+	}
+	return dedupeSorted(fs), nil
+}

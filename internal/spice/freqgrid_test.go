@@ -1,0 +1,210 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/circuit"
+)
+
+// TestFreqGridLogSpacing: endpoints exact, count honored, geometric ratio
+// constant for a log grid.
+func TestFreqGridLogSpacing(t *testing.T) {
+	fs, err := FreqGrid(1e3, 1e9, 121, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 121 {
+		t.Fatalf("got %d points, want 121", len(fs))
+	}
+	if fs[0] != 1e3 || fs[len(fs)-1] != 1e9 {
+		t.Errorf("endpoints %g..%g not exact", fs[0], fs[len(fs)-1])
+	}
+	ratio := fs[1] / fs[0]
+	for i := 2; i < len(fs); i++ {
+		r := fs[i] / fs[i-1]
+		if math.Abs(r-ratio)/ratio > 1e-9 {
+			t.Errorf("ratio drifts at %d: %g vs %g", i, r, ratio)
+		}
+	}
+}
+
+// TestFreqGridLinearSpacing: constant difference, endpoints exact.
+func TestFreqGridLinearSpacing(t *testing.T) {
+	fs, err := FreqGrid(10, 100, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 10 || fs[0] != 10 || fs[9] != 100 {
+		t.Fatalf("bad grid %v", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		if math.Abs((fs[i]-fs[i-1])-10) > 1e-9 {
+			t.Errorf("step at %d is %g, want 10", i, fs[i]-fs[i-1])
+		}
+	}
+}
+
+// TestFreqGridNoDuplicates: grids must be strictly increasing with no
+// nearly()-equal neighbors, even when the span is narrower than the point
+// count can resolve — the same no-duplicate-points guarantee the transient
+// breakpoint schedule makes, via the same dedupeSorted helper.
+func TestFreqGridNoDuplicates(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to float64
+		points   int
+		log      bool
+	}{
+		{"wide-log", 1e3, 1e10, 501, true},
+		{"wide-lin", 1, 1e6, 1000, false},
+		{"narrow-log", 1e6, 1e6 * (1 + 1e-13), 100, true},
+		{"narrow-lin", 1e6, 1e6 * (1 + 5e-13), 50, false},
+		{"sub-ulp", 1e9, 1e9 * (1 + 1e-15), 10, true},
+		{"degenerate", 42, 42, 7, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := FreqGrid(tc.from, tc.to, tc.points, tc.log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fs) == 0 {
+				t.Fatal("empty grid")
+			}
+			for i := 1; i < len(fs); i++ {
+				if fs[i] <= fs[i-1] {
+					t.Fatalf("not strictly increasing at %d: %.17g then %.17g", i, fs[i-1], fs[i])
+				}
+				if nearly(fs[i], fs[i-1]) {
+					t.Fatalf("nearly-duplicate points at %d: %.17g vs %.17g", i, fs[i-1], fs[i])
+				}
+			}
+			if fs[0] != tc.from {
+				t.Errorf("first point %g, want %g", fs[0], tc.from)
+			}
+		})
+	}
+}
+
+// TestFreqGridErrors: domain validation.
+func TestFreqGridErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to float64
+		points   int
+	}{
+		{"zero-from", 0, 1e6, 10},
+		{"negative-from", -1, 1e6, 10},
+		{"inverted", 1e6, 1e3, 10},
+		{"zero-points", 1e3, 1e6, 0},
+		{"negative-points", 1e3, 1e6, -5},
+		{"nan-from", math.NaN(), 1e6, 10},
+		{"inf-to", 1e3, math.Inf(1), 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FreqGrid(tc.from, tc.to, tc.points, true); err == nil {
+				t.Errorf("FreqGrid(%g,%g,%d) accepted", tc.from, tc.to, tc.points)
+			}
+		})
+	}
+}
+
+// runTransientTimes runs a 1 kΩ / 1 nF RC transient and returns the sample
+// times.
+func runTransientTimes(t *testing.T, step, stop float64, adaptive bool) []float64 {
+	t.Helper()
+	ckt := circuit.New("rc-guard")
+	ckt.AddV("v1", "in", "0", circuit.DC(1))
+	ckt.AddR("r1", "in", "out", 1e3)
+	ckt.AddC("c1", "out", "0", 1e-9)
+	opts := Options{}
+	if adaptive {
+		opts = Options{Adaptive: true, LTETol: 1e-4}
+	}
+	e, err := New(ckt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := e.Transient(circuit.TranSpec{Step: step, Stop: stop, UseIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.Get("v(out)").Times
+}
+
+// TestTransientDegenerateGuardBoundary probes the stepper's 1e-12-relative
+// end guard from both sides: stop times whose final interval is just above
+// the guard must land a final sample at stop, while sub-guard slivers must
+// be absorbed — and in neither case may duplicate or non-increasing time
+// points appear. The guard was previously only exercised exactly at 1e-12.
+func TestTransientDegenerateGuardBoundary(t *testing.T) {
+	const step = 1e-7
+	base := 1e-6
+	cases := []struct {
+		name string
+		stop float64
+	}{
+		// Final interval a healthy fraction of a step.
+		{"clean-multiple", base},
+		{"half-step-tail", base + step/2},
+		// Interval/stop ratios bracketing the 1e-12 relative guard.
+		{"tail-1e-9", base * (1 + 1e-9)},
+		{"tail-1e-11", base * (1 + 1e-11)},
+		{"tail-3e-12", base * (1 + 3e-12)},
+		{"tail-at-guard", base * (1 + 1e-12)},
+		{"tail-below-guard", base * (1 + 3e-13)},
+		{"tail-sub-ulp", base * (1 + 1e-16)},
+	}
+	for _, adaptive := range []bool{false, true} {
+		mode := "fixed"
+		if adaptive {
+			mode = "adaptive"
+		}
+		for _, tc := range cases {
+			t.Run(mode+"/"+tc.name, func(t *testing.T) {
+				times := runTransientTimes(t, step, tc.stop, adaptive)
+				if len(times) < 2 {
+					t.Fatalf("only %d samples", len(times))
+				}
+				// Strictly increasing is the invariant (it subsumes "no
+				// duplicates"); nearly() is deliberately NOT used here —
+				// its max(1,·) absolute floor would flag legitimate
+				// above-guard tail steps of ~1e-15 s at t≈1e-6 s as
+				// duplicates when they are distinct, representable times.
+				for i := 1; i < len(times); i++ {
+					if times[i] <= times[i-1] {
+						t.Fatalf("non-increasing/duplicate time at %d: %.17g then %.17g", i, times[i-1], times[i])
+					}
+				}
+				last := times[len(times)-1]
+				// The run must end within one guard width of stop: no
+				// garbage sample beyond stop, no unfinished integration.
+				if last > tc.stop*(1+1e-12) {
+					t.Errorf("last sample %.17g overshoots stop %.17g", last, tc.stop)
+				}
+				if last < tc.stop*(1-1e-11)-step*1e-9 && tc.stop-last > 2e-12*tc.stop {
+					t.Errorf("run ended at %.17g, %.3g short of stop %.17g", last, tc.stop-last, tc.stop)
+				}
+			})
+		}
+	}
+}
+
+// TestTransientGuardStepCount: a sliver tail below the guard must not add
+// an extra sample compared to the clean run, and a genuine tail above it
+// must add exactly one.
+func TestTransientGuardStepCount(t *testing.T) {
+	const step = 1e-7
+	base := 1e-6
+	clean := len(runTransientTimes(t, step, base, false))
+	sliver := len(runTransientTimes(t, step, base*(1+1e-13), false))
+	if sliver != clean {
+		t.Errorf("sub-guard sliver changed sample count: %d vs %d", sliver, clean)
+	}
+	tail := len(runTransientTimes(t, step, base+step/3, false))
+	if tail != clean+1 {
+		t.Errorf("one-third-step tail: %d samples, want %d", tail, clean+1)
+	}
+}
