@@ -10,14 +10,17 @@
 //	ssnload -url http://127.0.0.1:8350 -c 32 -d 10s
 //	ssnload -mix single=8,batch=1,sweep=1 -c 64 -d 30s -json
 //
-// The mix weights pick per request among five shapes: "single" (one
+// The mix weights pick per request among six shapes: "single" (one
 // /v1/maxssn point), "batch" (a 64-item /v1/maxssn batch), "columnar" (the
 // same 64-row batch in the SSNC binary columnar format, request and
-// response), "sweep" (a 256-point /v1/sweep stream) and "solve" (one
-// /v1/solve inverse query). Columnar requests time the client-side encode
-// and decode separately, so the report splits wire-codec cost from the
-// network-and-server remainder — the number that says whether the binary
-// format's savings survive end to end.
+// response), "sweep" (a 256-point /v1/sweep stream), "solve" (one
+// /v1/solve inverse query) and "impedance" (a 64-point /v1/impedance
+// frequency sweep, alternating per request between the NDJSON stream and
+// the SSNC block stream, both fully decoded client-side). Columnar and
+// impedance requests time the client-side codec work separately, so the
+// report splits wire-codec cost from the network-and-server remainder —
+// the number that says whether the binary format's savings survive end to
+// end.
 package main
 
 import (
@@ -56,6 +59,9 @@ type shape struct {
 	path     string
 	body     []byte
 	columnar bool
+	// impedance marks the frequency-sweep shape: JSON request, response
+	// alternating between NDJSON and SSNC streams, decoded client-side.
+	impedance bool
 }
 
 // parseMix decodes -mix: "single=8,batch=1,sweep=1" (weights) or a bare
@@ -70,6 +76,8 @@ func parseMix(s string) ([]shape, error) {
 			body: []byte(`{"params":{"package":"pga","rise_time":1e-9},"axes":[{"axis":"n","from":1,"to":256,"points":256}]}`)},
 		"solve": {name: "solve", path: "/v1/solve",
 			body: []byte(`{"params":{"package":"pga","rise_time":1e-9,"n":1},"vmax_budget":0.3,"variable":"n"}`)},
+		"impedance": {name: "impedance", path: "/v1/impedance", impedance: true,
+			body: []byte(`{"rows":3,"cols":3,"pads":4,"points":64}`)},
 	}
 	var shapes []shape
 	for _, part := range strings.Split(s, ",") {
@@ -80,7 +88,7 @@ func parseMix(s string) ([]shape, error) {
 		name, wstr, hasW := strings.Cut(part, "=")
 		sh, ok := bodies[name]
 		if !ok {
-			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, columnar, sweep, solve)", name)
+			return nil, fmt.Errorf("mix: unknown shape %q (single, batch, columnar, sweep, solve, impedance)", name)
 		}
 		sh.weight = 1
 		if hasW {
@@ -202,6 +210,16 @@ type workerStats struct {
 	colDecSec  float64
 	colTotSec  float64
 	colDecErrs uint64
+
+	// Impedance sweep accounting: NDJSON vs SSNC response split, the
+	// client-side decode time against total latency, and decoded points.
+	impReqs    uint64
+	impND      uint64
+	impCol     uint64
+	impDecSec  float64
+	impTotSec  float64
+	impDecErrs uint64
+	impPoints  uint64
 }
 
 // columnarStats breaks the columnar shape's latency into the client-side
@@ -213,6 +231,20 @@ type columnarStats struct {
 	DecodeSeconds float64 `json:"decode_seconds"`
 	TotalSeconds  float64 `json:"total_seconds"`
 	CodecShare    float64 `json:"codec_share"`
+	DecodeErrors  uint64  `json:"decode_errors"`
+}
+
+// impedanceStats breaks the impedance shape's latency into client-side
+// stream decode (NDJSON records or SSNC blocks) and everything else.
+// DecodeShare is decode/total over the shape's completed requests.
+type impedanceStats struct {
+	Requests      uint64  `json:"requests"`
+	NDJSON        uint64  `json:"ndjson"`
+	Columnar      uint64  `json:"columnar"`
+	Points        uint64  `json:"points"`
+	DecodeSeconds float64 `json:"decode_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	DecodeShare   float64 `json:"decode_share"`
 	DecodeErrors  uint64  `json:"decode_errors"`
 }
 
@@ -234,6 +266,7 @@ type report struct {
 	ByShape     map[string]uint64 `json:"by_shape"`
 	BytesIn     uint64            `json:"bytes_read"`
 	Columnar    *columnarStats    `json:"columnar,omitempty"`
+	Impedance   *impedanceStats   `json:"impedance,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -288,6 +321,9 @@ func run(args []string, out io.Writer) error {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				sh := picks[rng.Intn(len(picks))]
+				// The impedance shape alternates response encodings so one
+				// run prices both stream decoders against the same server.
+				impCol := sh.impedance && rng.Intn(2) == 0
 				t0 := time.Now()
 				body := sh.body
 				var encSec float64
@@ -315,6 +351,9 @@ func run(args []string, out io.Writer) error {
 					req.Header.Set("Accept", colwire.ContentType)
 				} else {
 					req.Header.Set("Content-Type", "application/json")
+					if impCol {
+						req.Header.Set("Accept", colwire.ContentType)
+					}
 				}
 				if *apiKey != "" {
 					req.Header.Set("X-API-Key", *apiKey)
@@ -347,6 +386,28 @@ func run(args []string, out io.Writer) error {
 					st.colReqs++
 					st.colEncSec += encSec
 					st.colTotSec += sec
+				} else if sh.impedance {
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					st.bytesIn += uint64(len(data))
+					if resp.StatusCode == http.StatusOK {
+						d0 := time.Now()
+						pts, derr := decodeImpedance(data, impCol)
+						st.impDecSec += time.Since(d0).Seconds()
+						if derr != nil {
+							st.impDecErrs++
+						}
+						st.impPoints += uint64(pts)
+					}
+					sec := time.Since(t0).Seconds()
+					st.lat.add(sec)
+					st.impReqs++
+					st.impTotSec += sec
+					if impCol {
+						st.impCol++
+					} else {
+						st.impND++
+					}
 				} else {
 					n, _ := io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
@@ -370,6 +431,7 @@ func run(args []string, out io.Writer) error {
 	merged := newHist()
 	rep := report{Duration: elapsed, Concurrency: *conc, ByShape: map[string]uint64{}}
 	var col columnarStats
+	var imp impedanceStats
 	for _, st := range stats {
 		merged.merge(st.lat)
 		rep.OK += st.ok
@@ -385,12 +447,25 @@ func run(args []string, out io.Writer) error {
 		col.DecodeSeconds += st.colDecSec
 		col.TotalSeconds += st.colTotSec
 		col.DecodeErrors += st.colDecErrs
+		imp.Requests += st.impReqs
+		imp.NDJSON += st.impND
+		imp.Columnar += st.impCol
+		imp.Points += st.impPoints
+		imp.DecodeSeconds += st.impDecSec
+		imp.TotalSeconds += st.impTotSec
+		imp.DecodeErrors += st.impDecErrs
 	}
 	if col.Requests > 0 {
 		if col.TotalSeconds > 0 {
 			col.CodecShare = (col.EncodeSeconds + col.DecodeSeconds) / col.TotalSeconds
 		}
 		rep.Columnar = &col
+	}
+	if imp.Requests > 0 {
+		if imp.TotalSeconds > 0 {
+			imp.DecodeShare = imp.DecodeSeconds / imp.TotalSeconds
+		}
+		rep.Impedance = &imp
 	}
 	rep.Requests = rep.OK + rep.Shed + rep.Errors + rep.Other
 	if elapsed > 0 {
@@ -425,6 +500,14 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  columnar   DECODE ERRORS %d\n", c.DecodeErrors)
 		}
 	}
+	if rep.Impedance != nil {
+		im := rep.Impedance
+		fmt.Fprintf(out, "  impedance  %d sweeps (%d ndjson, %d ssnc), %d points, decode %.1f%% of latency\n",
+			im.Requests, im.NDJSON, im.Columnar, im.Points, 100*im.DecodeShare)
+		if im.DecodeErrors > 0 {
+			fmt.Fprintf(out, "  impedance  DECODE ERRORS %d\n", im.DecodeErrors)
+		}
+	}
 	names := make([]string, 0, len(rep.ByShape))
 	for k := range rep.ByShape {
 		names = append(names, k)
@@ -434,6 +517,74 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  mix %-7s %d\n", k, rep.ByShape[k])
 	}
 	return nil
+}
+
+// decodeImpedance fully decodes an impedance sweep response and verifies
+// its terminal summary: an SSNC stream of row blocks ending in a zero-row
+// meta block, or an NDJSON stream of point records ending in a done/stats
+// line. It returns the number of decoded sweep points; the terminal
+// summary must agree with that count.
+func decodeImpedance(data []byte, columnar bool) (int, error) {
+	type summary struct {
+		Done  bool `json:"done"`
+		Stats struct {
+			Points int `json:"points"`
+		} `json:"stats"`
+	}
+	rows := 0
+	if columnar {
+		var sum summary
+		sawDone := false
+		for off := 0; off < len(data); {
+			blk, used, err := colwire.Decode(data[off:])
+			if err != nil {
+				return rows, err
+			}
+			off += used
+			if sawDone {
+				return rows, fmt.Errorf("data after the terminal block")
+			}
+			if blk.Rows() == 0 {
+				if err := json.Unmarshal(blk.Meta, &sum); err != nil {
+					return rows, err
+				}
+				sawDone = true
+				continue
+			}
+			rows += blk.Rows()
+		}
+		if !sawDone || !sum.Done || sum.Stats.Points != rows {
+			return rows, fmt.Errorf("bad terminal block: done=%t points=%d after %d rows",
+				sum.Done, sum.Stats.Points, rows)
+		}
+		return rows, nil
+	}
+	var sum summary
+	sawDone := false
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		if sawDone {
+			return rows, fmt.Errorf("data after the summary record")
+		}
+		var rec struct {
+			Freq float64 `json:"freq"`
+			ZMag float64 `json:"z_mag"`
+			summary
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return rows, err
+		}
+		if rec.Done {
+			sum = rec.summary
+			sawDone = true
+			continue
+		}
+		rows++
+	}
+	if !sawDone || sum.Stats.Points != rows {
+		return rows, fmt.Errorf("bad summary: done=%t points=%d after %d records",
+			sawDone, sum.Stats.Points, rows)
+	}
+	return rows, nil
 }
 
 // fmtLat renders a latency with a sensible unit.

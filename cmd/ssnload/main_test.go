@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -31,6 +32,10 @@ func TestParseMix(t *testing.T) {
 	if shapes, err := parseMix("columnar=2"); err != nil || len(shapes) != 1 ||
 		shapes[0].path != "/v1/maxssn" || !shapes[0].columnar {
 		t.Errorf("columnar shape: %+v, %v", shapes, err)
+	}
+	if shapes, err := parseMix("impedance=2"); err != nil || len(shapes) != 1 ||
+		shapes[0].path != "/v1/impedance" || !shapes[0].impedance {
+		t.Errorf("impedance shape: %+v, %v", shapes, err)
 	}
 	for _, bad := range []string{"", "nope", "single=0", "single=x"} {
 		if _, err := parseMix(bad); err == nil {
@@ -235,6 +240,124 @@ func TestRunColumnarDecodeErrors(t *testing.T) {
 	}
 	if rep.Columnar == nil || rep.Columnar.DecodeErrors == 0 {
 		t.Fatalf("decode errors not counted: %+v", rep.Columnar)
+	}
+}
+
+// impedanceSweepNDJSON and impedanceSweepSSNC synthesize well-formed sweep
+// responses of n points for the stub server.
+func impedanceSweepNDJSON(n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		buf.WriteString(`{"freq":1e6,"z_re":1,"z_im":0,"z_mag":1}` + "\n")
+	}
+	buf.WriteString(`{"done":true,"stats":{"points":` + itoa(n) + `,"peak_freq":1e6,"peak_z":1,"workers":1}}` + "\n")
+	return buf.Bytes()
+}
+
+func impedanceSweepSSNC(t *testing.T, n int) []byte {
+	t.Helper()
+	vals := make([]float64, n)
+	blk := &colwire.Block{Columns: []colwire.Column{
+		{Name: "freq", Values: vals}, {Name: "z_re", Values: vals},
+		{Name: "z_im", Values: vals}, {Name: "z_mag", Values: vals},
+	}}
+	raw, err := blk.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := &colwire.Block{Meta: json.RawMessage(`{"done":true,"stats":{"points":` + itoa(n) + `}}`)}
+	traw, err := term.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(raw, traw...)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestDecodeImpedance pins the client-side stream decoders: both formats
+// count points and verify the terminal summary; truncated or inconsistent
+// streams error.
+func TestDecodeImpedance(t *testing.T) {
+	nd := impedanceSweepNDJSON(5)
+	if pts, err := decodeImpedance(nd, false); err != nil || pts != 5 {
+		t.Errorf("ndjson: %d points, %v", pts, err)
+	}
+	// Truncated stream: summary missing.
+	lines := bytes.SplitAfter(nd, []byte("\n"))
+	if _, err := decodeImpedance(bytes.Join(lines[:5], nil), false); err == nil {
+		t.Error("ndjson without summary accepted")
+	}
+	// Summary disagreeing with the record count.
+	bad := append(append([]byte{}, nd[:0]...), impedanceSweepNDJSON(4)...)
+	bad = append(bad, []byte(`{"freq":1e6,"z_mag":1}`+"\n")...)
+	if _, err := decodeImpedance(bad, false); err == nil {
+		t.Error("ndjson with trailing data after summary accepted")
+	}
+
+	col := impedanceSweepSSNC(t, 7)
+	if pts, err := decodeImpedance(col, true); err != nil || pts != 7 {
+		t.Errorf("ssnc: %d points, %v", pts, err)
+	}
+	if _, err := decodeImpedance(col[:len(col)/2], true); err == nil {
+		t.Error("truncated ssnc stream accepted")
+	}
+	if _, err := decodeImpedance([]byte("junk"), true); err == nil {
+		t.Error("garbage ssnc stream accepted")
+	}
+}
+
+// TestRunImpedanceMix drives the impedance shape against a stub that
+// answers the sweep in whichever encoding the request negotiates, and
+// checks the report prices both decoders.
+func TestRunImpedanceMix(t *testing.T) {
+	const points = 16
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/impedance" {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		io.Copy(io.Discard, r.Body)
+		if r.Header.Get("Accept") == colwire.ContentType {
+			w.Header().Set("Content-Type", colwire.ContentType)
+			w.Write(impedanceSweepSSNC(t, points))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(impedanceSweepNDJSON(points))
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-c", "2", "-d", "300ms",
+		"-mix", "impedance", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.OK == 0 || rep.ByShape["impedance"] != rep.Requests {
+		t.Fatalf("report %+v: want only impedance requests, some ok", rep)
+	}
+	im := rep.Impedance
+	if im == nil {
+		t.Fatal("report has no impedance section")
+	}
+	if im.Requests != rep.OK || im.NDJSON+im.Columnar != im.Requests {
+		t.Fatalf("impedance stats %+v vs ok %d", im, rep.OK)
+	}
+	if im.NDJSON == 0 || im.Columnar == 0 {
+		t.Errorf("encodings did not alternate: %+v", im)
+	}
+	if im.Points != points*im.Requests {
+		t.Errorf("decoded %d points over %d sweeps, want %d each", im.Points, im.Requests, points)
+	}
+	if im.DecodeErrors != 0 {
+		t.Errorf("%d decode errors", im.DecodeErrors)
+	}
+	if im.DecodeSeconds <= 0 || im.DecodeShare <= 0 || im.DecodeShare >= 1 {
+		t.Errorf("decode accounting not recorded: %+v", im)
 	}
 }
 

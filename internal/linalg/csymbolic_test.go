@@ -1,0 +1,282 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randSymPattern builds a random complex matrix with a structurally
+// symmetric pattern, every diagonal structurally present, and mild
+// diagonal dominance (static pivoting stays well conditioned). It returns
+// the dense matrix plus its CSR pattern and value array.
+func randSymPattern(rng *rand.Rand, n int, density float64) (*CMatrix, []int, []int, []complex128) {
+	a := NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				v := complex(rng.NormFloat64(), rng.NormFloat64())
+				w := complex(rng.NormFloat64(), rng.NormFloat64())
+				a.Add(i, j, v)
+				a.Add(j, i, w)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		sum := 1.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				v := a.Data[i*n+j]
+				sum += absC(v)
+				v = a.Data[j*n+i]
+				sum += absC(v)
+			}
+		}
+		a.Add(i, i, complex(sum, rng.NormFloat64()))
+	}
+	rowPtr := make([]int, n+1)
+	var cols []int
+	var vals []complex128
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := a.Data[i*n+j]; v != 0 {
+				cols = append(cols, j)
+				vals = append(vals, v)
+			}
+		}
+		rowPtr[i+1] = len(cols)
+	}
+	return a, rowPtr, cols, vals
+}
+
+func absC(v complex128) float64 {
+	r, im := real(v), imag(v)
+	if r < 0 {
+		r = -r
+	}
+	if im < 0 {
+		im = -im
+	}
+	return r + im
+}
+
+// TestCSymbolicVsDense: Refactor+Solve/SolveT must agree with the dense
+// CLU reference on random structurally symmetric systems across sizes.
+func TestCSymbolicVsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(50)
+		a, rowPtr, cols, vals := randSymPattern(rng, n, 0.15)
+		sym, err := NewCSymbolicLU(rowPtr, cols)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if err := sym.Refactor(vals); err != nil {
+			t.Fatalf("trial %d (n=%d): Refactor: %v", trial, n, err)
+		}
+		dense := NewCLU(n)
+		if err := dense.Factor(a); err != nil {
+			t.Fatalf("trial %d: dense Factor: %v", trial, err)
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		for name, solve := range map[string]func(CSolver, []complex128, []complex128) error{
+			"Solve":  func(s CSolver, b, x []complex128) error { return s.Solve(b, x) },
+			"SolveT": func(s CSolver, b, x []complex128) error { return s.SolveT(b, x) },
+		} {
+			want := make([]complex128, n)
+			got := make([]complex128, n)
+			if err := solve(dense, b, want); err != nil {
+				t.Fatalf("trial %d %s dense: %v", trial, name, err)
+			}
+			var err error
+			if name == "Solve" {
+				err = sym.Solve(b, got)
+			} else {
+				err = sym.SolveT(b, got)
+			}
+			if err != nil {
+				t.Fatalf("trial %d %s symbolic: %v", trial, name, err)
+			}
+			scale := 0.0
+			for i := range want {
+				if s := absC(want[i]); s > scale {
+					scale = s
+				}
+			}
+			for i := range want {
+				if d := absC(got[i] - want[i]); d > 1e-10*scale {
+					t.Fatalf("trial %d n=%d %s[%d]: symbolic %v vs dense %v (scale %g)",
+						trial, n, name, i, got[i], want[i], scale)
+				}
+			}
+		}
+	}
+}
+
+// TestCSymbolicRefactorBitIdentical: refactoring the same values — on the
+// same instance or a freshly analyzed one — must reproduce bit-identical
+// solutions, the property the AC sweep reuse contract rests on.
+func TestCSymbolicRefactorBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, rowPtr, cols, vals := randSymPattern(rng, 40, 0.2)
+	b := make([]complex128, 40)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	solveAll := func(s *CSymbolicLU) ([]complex128, []complex128) {
+		if err := s.Refactor(vals); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, len(b))
+		xt := make([]complex128, len(b))
+		if err := s.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SolveT(b, xt); err != nil {
+			t.Fatal(err)
+		}
+		return x, xt
+	}
+	s1, err := NewCSymbolicLU(rowPtr, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, xt1 := solveAll(s1)
+	// Perturb the instance with a different factorization, then return.
+	other := append([]complex128(nil), vals...)
+	for i := range other {
+		other[i] *= 1.5
+	}
+	if err := s1.Refactor(other); err != nil {
+		t.Fatal(err)
+	}
+	x2, xt2 := solveAll(s1)
+	s3, err := NewCSymbolicLU(rowPtr, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x3, xt3 := solveAll(s3)
+	for i := range x1 {
+		if x1[i] != x2[i] || x1[i] != x3[i] {
+			t.Fatalf("Solve[%d] not bit-identical: %v / %v / %v", i, x1[i], x2[i], x3[i])
+		}
+		if xt1[i] != xt2[i] || xt1[i] != xt3[i] {
+			t.Fatalf("SolveT[%d] not bit-identical: %v / %v / %v", i, xt1[i], xt2[i], xt3[i])
+		}
+	}
+}
+
+// TestCSymbolicZeroAlloc: after analysis, the refactor+solve loop must not
+// touch the allocator — the sweep hot loop depends on it.
+func TestCSymbolicZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, rowPtr, cols, vals := randSymPattern(rng, 48, 0.15)
+	s, err := NewCSymbolicLU(rowPtr, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]complex128, 48)
+	x := make([]complex128, 48)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if err := s.Refactor(vals); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := s.Refactor(vals); err != nil {
+			t.Error(err)
+		}
+		if err := s.Solve(b, x); err != nil {
+			t.Error(err)
+		}
+		if err := s.SolveT(b, x); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("refactor+solve loop allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestCSymbolicNeedsPivoting: a structurally zero diagonal (voltage-source
+// incidence shape) must be rejected at analysis time with the sentinel.
+func TestCSymbolicNeedsPivoting(t *testing.T) {
+	// [ x x ; x 0 ] — row 1 has no diagonal entry.
+	rowPtr := []int{0, 2, 3}
+	cols := []int{0, 1, 0}
+	if _, err := NewCSymbolicLU(rowPtr, cols); !errors.Is(err, ErrNeedsPivoting) {
+		t.Fatalf("missing diagonal accepted: err=%v", err)
+	}
+}
+
+// TestCSymbolicSingular: an exactly cancelled pivot must surface as
+// ErrSingular from Refactor, the numeric-time fallback trigger.
+func TestCSymbolicSingular(t *testing.T) {
+	// Dense 2x2 with a second pivot that cancels: [[1,1],[1,1]].
+	rowPtr := []int{0, 2, 4}
+	cols := []int{0, 1, 0, 1}
+	s, err := NewCSymbolicLU(rowPtr, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Refactor([]complex128{1, 1, 1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("cancelled pivot not detected: err=%v", err)
+	}
+	// A zero diagonal value with no incoming updates is singular too.
+	if err := s.Refactor([]complex128{0, 1, 1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero leading pivot not detected: err=%v", err)
+	}
+}
+
+// TestCSymbolicMalformed: malformed CSR inputs must error, never panic.
+func TestCSymbolicMalformed(t *testing.T) {
+	cases := []struct {
+		rowPtr []int
+		cols   []int
+	}{
+		{[]int{0}, nil},                     // empty
+		{[]int{1, 2}, []int{0, 0}},          // rowPtr[0] != 0
+		{[]int{0, 2, 1}, []int{0, 1, 1}},    // descending rowPtr
+		{[]int{0, 2}, []int{0, 5}},          // column out of range
+		{[]int{0, 2}, []int{0, 0}},          // duplicate column
+		{[]int{0, 2, 4}, []int{1, 0, 0, 1}}, // unsorted columns
+	}
+	for i, c := range cases {
+		if _, err := NewCSymbolicLU(c.rowPtr, c.cols); err == nil {
+			t.Errorf("case %d: malformed CSR accepted", i)
+		}
+	}
+}
+
+// TestCSymbolicFillOrdering: on a 1D chain the minimum-degree ordering
+// must produce zero fill (perfect elimination), a sanity anchor that the
+// ordering actually reduces fill rather than merely permuting.
+func TestCSymbolicFillOrdering(t *testing.T) {
+	n := 32
+	rowPtr := make([]int, n+1)
+	var cols []int
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			cols = append(cols, i-1)
+		}
+		cols = append(cols, i)
+		if i < n-1 {
+			cols = append(cols, i+1)
+		}
+		rowPtr[i+1] = len(cols)
+	}
+	s, err := NewCSymbolicLU(rowPtr, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fill() != len(cols) {
+		t.Fatalf("tridiagonal chain filled in: %d stored vs %d input nonzeros", s.Fill(), len(cols))
+	}
+	if s.N() != n {
+		t.Fatalf("N() = %d, want %d", s.N(), n)
+	}
+}

@@ -386,10 +386,17 @@ func validAC(pt ACPoint) bool {
 // transformation only if the shrunk point still fails. The returned point
 // always reproduces the disagreement.
 func ShrinkAC(pt ACPoint) ACPoint {
-	fails := func(cand ACPoint) bool {
+	return shrinkACWith(pt, func(cand ACPoint) bool {
 		res := CheckAC(cand)
 		return res.Err == nil && !res.Pass
-	}
+	})
+}
+
+// shrinkACWith is the generic greedy shrinker behind ShrinkAC (and the
+// sweep-reuse oracle's ShrinkACSweep): any predicate that classifies a
+// point as still-failing drives the same element-dropping and value-
+// rounding schedule. The returned point always satisfies fails.
+func shrinkACWith(pt ACPoint, fails func(ACPoint) bool) ACPoint {
 	if !fails(pt) {
 		return pt
 	}

@@ -72,7 +72,14 @@ func OptimizeDecaps(ctx context.Context, spec OptimizeSpec) (*OptimizeResult, er
 		return nil, err
 	}
 
-	baseline, err := RunProfile(ctx, grid, spec.Freqs, spec.Config)
+	// One sweep context per accepted grid state: its pooled engines carry
+	// the symbolic analysis and warm buffers through the baseline sweep,
+	// every peak refinement, and the adjoint pricing of that state.
+	cur, err := NewSweeper(grid, spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := cur.RunProfile(ctx, spec.Freqs)
 	if err != nil {
 		return nil, err
 	}
@@ -89,18 +96,23 @@ func OptimizeDecaps(ctx context.Context, spec OptimizeSpec) (*OptimizeResult, er
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		site, grad, peakFreq, err := bestSite(grid, current, spec.Config, retired)
+		site, grad, peakFreq, err := bestSite(cur, grid, current, retired)
 		if err != nil {
 			return nil, err
 		}
 		if site < 0 || grad >= 0 {
 			break // no open site lowers the peak to first order
 		}
-		// Trial placement.
+		// Trial placement: the trial's sweep context becomes the current
+		// one on acceptance (its netlist snapshot is the accepted state).
 		saved := grid.DecapSites[site]
 		grid.DecapSites[site].C += spec.DecapC
 		grid.DecapSites[site].ESR = spec.DecapESR
-		trial, err := RunProfile(ctx, grid, spec.Freqs, spec.Config)
+		trialSw, err := NewSweeper(grid, spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		trial, err := trialSw.RunProfile(ctx, spec.Freqs)
 		if err != nil {
 			return nil, err
 		}
@@ -122,6 +134,7 @@ func OptimizeDecaps(ctx context.Context, spec OptimizeSpec) (*OptimizeResult, er
 		res.PeakAfter = trial.Peak().AbsZ
 		retired[site] = true // one unit decap per site keeps the search spread out
 		current = trial
+		cur = trialSw
 		res.Final = trial
 	}
 	if res.Final == nil {
@@ -151,38 +164,36 @@ const refineIters = 48
 // the peak is first located by golden-section search in log f between the
 // grid samples bracketing the discrete maximum, and one adjoint solve at
 // f* then prices every candidate site.
-func bestSite(grid *pkgmodel.PDNGrid, prof *Profile, cfg Config, retired map[int]bool) (site int, grad, peakFreq float64, err error) {
-	ckt, obs, err := grid.Build()
-	if err != nil {
-		return -1, 0, 0, err
-	}
-	eng, err := spice.NewAC(ckt, spice.ACOptions{Gmin: cfg.Gmin})
-	if err != nil {
-		return -1, 0, 0, err
-	}
-	fstar, err := refinePeak(eng, obs, prof)
-	if err != nil {
-		return -1, 0, 0, err
-	}
-	if _, _, err := eng.ImpedanceSens(2*math.Pi*fstar, obs, nil); err != nil {
-		return -1, 0, 0, err
-	}
-	best, bestGrad := -1, 0.0
-	for i, d := range grid.DecapSites {
-		if retired[i] || d.C > 0 {
-			continue
-		}
-		node := eng.NodeIndex(grid.NodeName(d.Node))
-		if node < 0 {
-			return -1, 0, 0, fmt.Errorf("pdn: candidate node %q missing from netlist", grid.NodeName(d.Node))
-		}
-		g, err := eng.CapSens(node, 0)
+func bestSite(sw *Sweeper, grid *pkgmodel.PDNGrid, prof *Profile, retired map[int]bool) (site int, grad, peakFreq float64, err error) {
+	best, bestGrad, fstar := -1, 0.0, 0.0
+	err = sw.borrow(func(eng *spice.ACEngine, obs int) error {
+		fstar, err = refinePeak(eng, obs, prof)
 		if err != nil {
-			return -1, 0, 0, err
+			return err
 		}
-		if g < bestGrad {
-			best, bestGrad = i, g
+		if _, _, err := eng.ImpedanceSens(2*math.Pi*fstar, obs, nil); err != nil {
+			return err
 		}
+		for i, d := range grid.DecapSites {
+			if retired[i] || d.C > 0 {
+				continue
+			}
+			node := eng.NodeIndex(grid.NodeName(d.Node))
+			if node < 0 {
+				return fmt.Errorf("pdn: candidate node %q missing from netlist", grid.NodeName(d.Node))
+			}
+			g, err := eng.CapSens(node, 0)
+			if err != nil {
+				return err
+			}
+			if g < bestGrad {
+				best, bestGrad = i, g
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return -1, 0, 0, err
 	}
 	return best, bestGrad, fstar, nil
 }

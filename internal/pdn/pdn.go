@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ssnkit/internal/circuit"
 	"ssnkit/internal/pkgmodel"
 	"ssnkit/internal/spice"
 	"ssnkit/internal/sweep"
@@ -57,19 +58,98 @@ type Profile struct {
 // Peak returns the profile point with the largest |Z|.
 func (p *Profile) Peak() Point { return p.Points[p.PeakIdx] }
 
-// RunProfile sweeps the grid's input impedance over freqs (ascending, as
-// produced by spice.FreqGrid). Each worker owns a private netlist and AC
-// engine — engines are single-threaded — and frequencies are dealt out in
-// chunks, so per-frequency factorizations dominate and coordination cost
-// vanishes. Results are deterministic: the output order is the input
-// frequency order regardless of worker count.
-func RunProfile(ctx context.Context, grid *pkgmodel.PDNGrid, freqs []float64, cfg Config) (*Profile, error) {
-	if len(freqs) == 0 {
-		return nil, fmt.Errorf("pdn: empty frequency grid")
-	}
+// Sweeper is a reusable sweep context for one PDN grid state. It
+// snapshots the grid's netlist at construction and pools compiled AC
+// engines across calls, so the one-time costs — netlist synthesis,
+// element compilation, and the symbolic factorization analysis of the
+// MNA pattern — are paid once per worker for the lifetime of the
+// context rather than once per RunProfile call. The same pooled engines
+// serve full profile sweeps, the optimizer's golden-section peak
+// refinement, and adjoint passes; each borrowed engine keeps its warm
+// buffers, so every per-frequency solve after the first is a pure
+// restamp+refactor with zero allocations.
+//
+// A Sweeper is safe for concurrent use; each borrowed engine is private
+// to its borrower. Later mutations of the source grid do not affect an
+// existing Sweeper — build a new one per grid state.
+type Sweeper struct {
+	cfg Config
+	ckt *circuit.Circuit
+	obs int
+
+	mu   sync.Mutex
+	idle []*spice.ACEngine
+}
+
+// NewSweeper validates the grid, synthesizes its netlist once, and
+// compiles the first AC engine so construction surfaces circuit errors
+// immediately.
+func NewSweeper(grid *pkgmodel.PDNGrid, cfg Config) (*Sweeper, error) {
 	if err := grid.Validate(); err != nil {
 		return nil, err
 	}
+	ckt, obs, err := grid.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweeper{cfg: cfg, ckt: ckt, obs: obs}
+	eng, err := spice.NewAC(ckt, spice.ACOptions{Gmin: cfg.Gmin})
+	if err != nil {
+		return nil, err
+	}
+	s.idle = append(s.idle, eng)
+	return s, nil
+}
+
+// Obs reports the observation node index of the sweeps.
+func (s *Sweeper) Obs() int { return s.obs }
+
+// acquire pops a pooled engine or compiles a fresh one. Engines compile
+// from the shared netlist snapshot — NewAC only reads it.
+func (s *Sweeper) acquire() (*spice.ACEngine, error) {
+	s.mu.Lock()
+	if n := len(s.idle); n > 0 {
+		eng := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return eng, nil
+	}
+	s.mu.Unlock()
+	return spice.NewAC(s.ckt, spice.ACOptions{Gmin: s.cfg.Gmin})
+}
+
+// release returns an engine to the pool with its warm buffers intact.
+func (s *Sweeper) release(eng *spice.ACEngine) {
+	s.mu.Lock()
+	s.idle = append(s.idle, eng)
+	s.mu.Unlock()
+}
+
+// borrow hands a pooled engine (and the observation node) to fn,
+// returning it to the pool afterwards. The optimizer's peak refinement
+// runs through here so its dozens of point solves hit a warm engine.
+func (s *Sweeper) borrow(fn func(eng *spice.ACEngine, obs int) error) error {
+	eng, err := s.acquire()
+	if err != nil {
+		return err
+	}
+	defer s.release(eng)
+	return fn(eng, s.obs)
+}
+
+// RunProfile sweeps the grid's input impedance over freqs (ascending, as
+// produced by spice.FreqGrid). Each worker borrows a private engine from
+// the pool — engines are single-threaded — and frequencies are dealt out
+// in chunks, so per-frequency refactorizations dominate and coordination
+// cost vanishes. Results are deterministic: the output order is the
+// input frequency order regardless of worker count, and the per-point
+// values are bit-identical for any worker count because every engine
+// executes the same deterministic refactor sequence.
+func (s *Sweeper) RunProfile(ctx context.Context, freqs []float64) (*Profile, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("pdn: empty frequency grid")
+	}
+	cfg := s.cfg
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -91,18 +171,14 @@ func RunProfile(ctx context.Context, grid *pkgmodel.PDNGrid, freqs []float64, cf
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ckt, obs, err := grid.Build()
+			eng, err := s.acquire()
 			if err != nil {
 				errs <- err
 				cancel()
 				return
 			}
-			eng, err := spice.NewAC(ckt, spice.ACOptions{Gmin: cfg.Gmin})
-			if err != nil {
-				errs <- err
-				cancel()
-				return
-			}
+			defer s.release(eng)
+			obs := s.obs
 			var sensBuf []spice.SensEntry
 			for c := range chunks {
 				if cfg.Gate != nil {
@@ -173,4 +249,19 @@ func RunProfile(ctx context.Context, grid *pkgmodel.PDNGrid, freqs []float64, cf
 		}
 	}
 	return prof, nil
+}
+
+// RunProfile sweeps a grid's input impedance over freqs with a one-shot
+// sweep context; see Sweeper.RunProfile. Callers issuing repeated sweeps
+// of the same grid state (the optimizer, the service) should hold a
+// Sweeper instead.
+func RunProfile(ctx context.Context, grid *pkgmodel.PDNGrid, freqs []float64, cfg Config) (*Profile, error) {
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("pdn: empty frequency grid")
+	}
+	sw, err := NewSweeper(grid, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sw.RunProfile(ctx, freqs)
 }

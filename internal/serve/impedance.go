@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -288,14 +289,14 @@ func (s *Server) handleImpedance(w http.ResponseWriter, r *http.Request) {
 			Placements: placements,
 		})
 	case "point":
-		prof, err := pdn.RunProfile(r.Context(), grid, freqs, cfg)
+		prof, err := s.cachedProfile(r.Context(), grid, freqs, cfg)
 		if err != nil {
 			writeError(w, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, impedanceRecord(prof.Points[0]))
 	default: // sweep
-		prof, err := pdn.RunProfile(r.Context(), grid, freqs, cfg)
+		prof, err := s.cachedProfile(r.Context(), grid, freqs, cfg)
 		if err != nil {
 			// Nothing has been written yet — the profile is computed before
 			// streaming starts, so aborts keep their proper status line.
@@ -314,6 +315,23 @@ func (s *Server) handleImpedance(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeImpedanceNDJSON(w, prof, stats)
 	}
+}
+
+// cachedProfile answers point and sweep requests through the sweep-profile
+// LRU: identical requests (same mesh spec, frequency grid, and sensitivity
+// flag — worker count is not part of the result, see profileKey) share one
+// computed profile and skip the solver entirely. A miss builds one
+// pdn.Sweeper for the request so its pooled engines carry the symbolic
+// analysis across every frequency of the sweep. Optimize mode bypasses
+// this path: it mutates the grid.
+func (s *Server) cachedProfile(ctx context.Context, grid *pkgmodel.PDNGrid, freqs []float64, cfg pdn.Config) (*pdn.Profile, error) {
+	return s.profiles.Get(profileKey(grid, freqs, cfg.WithSens), func() (*pdn.Profile, error) {
+		sw, err := pdn.NewSweeper(grid, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sw.RunProfile(ctx, freqs)
+	})
 }
 
 func defaultF(v, def float64) float64 {

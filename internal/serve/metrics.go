@@ -48,6 +48,7 @@ type Metrics struct {
 
 	impedanceByMode map[string]uint64
 	impedancePoints uint64
+	impedanceCache  map[string]uint64
 
 	columnarPayloads map[columnarKey]uint64
 }
@@ -80,6 +81,7 @@ func NewMetrics() *Metrics {
 		solvesByMode:  map[string]uint64{},
 
 		impedanceByMode: map[string]uint64{},
+		impedanceCache:  map[string]uint64{},
 
 		columnarPayloads: map[columnarKey]uint64{},
 	}
@@ -237,6 +239,25 @@ func (m *Metrics) ImpedanceCounts() (byMode map[string]uint64, points uint64) {
 	return byMode, m.impedancePoints
 }
 
+// ObserveImpedanceCache counts one sweep-profile cache lookup by outcome
+// ("hit" or "miss").
+func (m *Metrics) ObserveImpedanceCache(outcome string) {
+	m.mu.Lock()
+	m.impedanceCache[outcome]++
+	m.mu.Unlock()
+}
+
+// ImpedanceCacheCounts returns the profile-cache counters (for tests).
+func (m *Metrics) ImpedanceCacheCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.impedanceCache))
+	for k, v := range m.impedanceCache {
+		out[k] = v
+	}
+	return out
+}
+
 // ObserveShard records one /v1/shard evaluation of the given point count.
 func (m *Metrics) ObserveShard(points int) {
 	m.mu.Lock()
@@ -382,6 +403,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintln(cw, "# HELP ssnserve_impedance_points_total Impedance frequency points evaluated.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_impedance_points_total counter")
 	fmt.Fprintf(cw, "ssnserve_impedance_points_total %d\n", m.impedancePoints)
+	fmt.Fprintln(cw, "# HELP ssnserve_impedance_cache_total Sweep-profile cache lookups by outcome.")
+	fmt.Fprintln(cw, "# TYPE ssnserve_impedance_cache_total counter")
+	cacheOutcomes := make([]string, 0, len(m.impedanceCache))
+	for oc := range m.impedanceCache {
+		cacheOutcomes = append(cacheOutcomes, oc)
+	}
+	sort.Strings(cacheOutcomes)
+	for _, oc := range cacheOutcomes {
+		fmt.Fprintf(cw, "ssnserve_impedance_cache_total{outcome=%q} %d\n", oc, m.impedanceCache[oc])
+	}
 
 	fmt.Fprintln(cw, "# HELP ssnserve_columnar_payloads_total SSNC columnar payloads by route and direction.")
 	fmt.Fprintln(cw, "# TYPE ssnserve_columnar_payloads_total counter")

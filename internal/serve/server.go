@@ -50,6 +50,10 @@ type Config struct {
 	MaxMCSamples   int           // max Monte Carlo samples per job, default 10,000,000
 	MaxSweepPoints int           // max grid points per /v1/sweep, default 1,000,000
 	PlanCacheSize  int           // compiled-plan cache entries, default 4096
+	// ImpedanceCacheSize bounds the sweep-profile LRU (cached /v1/impedance
+	// point and sweep results), default 128. Profiles can be large (points
+	// x sensitivities), so the default stays modest.
+	ImpedanceCacheSize int
 
 	// Admission control. Evaluation endpoints pass through a bounded
 	// concurrency + queue gate; excess load is shed with 429 + Retry-After
@@ -101,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 4096
 	}
+	if c.ImpedanceCacheSize <= 0 {
+		c.ImpedanceCacheSize = 128
+	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2 * c.Workers
 	}
@@ -123,17 +130,18 @@ func (c Config) withDefaults() Config {
 // the HTTP mux. Construct with New, serve with ListenAndServe (or mount
 // Handler in a test server), stop with Shutdown.
 type Server struct {
-	cfg     Config
-	metrics *Metrics
-	cache   *ExtractCache
-	plans   *PlanCache
-	pool    *pool
-	jobs    *jobStore
-	adm     *admission
-	dist    *distRuns
-	mux     *http.ServeMux
-	httpSrv *http.Server
-	start   time.Time
+	cfg      Config
+	metrics  *Metrics
+	cache    *ExtractCache
+	plans    *PlanCache
+	profiles *ProfileCache
+	pool     *pool
+	jobs     *jobStore
+	adm      *admission
+	dist     *distRuns
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	start    time.Time
 }
 
 // New builds a Server from the config.
@@ -142,15 +150,16 @@ func New(cfg Config) *Server {
 	m := NewMetrics()
 	p := newPool(cfg.Workers)
 	s := &Server{
-		cfg:     cfg,
-		metrics: m,
-		cache:   NewExtractCache(cfg.CacheSize, m),
-		plans:   NewPlanCache(cfg.PlanCacheSize),
-		pool:    p,
-		jobs:    newJobStore(p, m, cfg.MaxJobs),
-		dist:    newDistRuns(cfg.MaxDistRuns),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		cfg:      cfg,
+		metrics:  m,
+		cache:    NewExtractCache(cfg.CacheSize, m),
+		plans:    NewPlanCache(cfg.PlanCacheSize),
+		profiles: NewProfileCache(cfg.ImpedanceCacheSize, m),
+		pool:     p,
+		jobs:     newJobStore(p, m, cfg.MaxJobs),
+		dist:     newDistRuns(cfg.MaxDistRuns),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
 	}
 	s.adm = newAdmission(cfg, m)
 	s.httpSrv = &http.Server{

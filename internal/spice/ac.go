@@ -1,17 +1,38 @@
 package spice
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sort"
 
 	"ssnkit/internal/circuit"
 	"ssnkit/internal/linalg"
 )
 
 // acSparseThreshold is the unknown count at or above which the AC engine
-// uses the sparse complex LU backend. A var so tests can force either path.
+// leaves the dense backend for a sparse one (symbolic when the pattern
+// allows it, pivoted otherwise). A var so tests can force either path.
 var acSparseThreshold = 40
+
+// ACBackend selects the factorization strategy of an ACEngine.
+type ACBackend int
+
+// Backend choices. The zero value picks automatically: dense below
+// acSparseThreshold (the bit-reference), the symbolic/numeric split above
+// it when the pattern permits static pivoting, and the pivoted sparse
+// path otherwise.
+const (
+	ACAuto ACBackend = iota
+	// ACDense forces the dense CLU backend regardless of size.
+	ACDense
+	// ACSparse forces the pivoted CSparseLU backend.
+	ACSparse
+	// ACSymbolic forces the symbolic/numeric split backend; NewAC fails
+	// when the circuit's pattern requires pivoting (voltage sources).
+	ACSymbolic
+)
 
 // ACOptions configures an ACEngine.
 type ACOptions struct {
@@ -23,6 +44,8 @@ type ACOptions struct {
 	// the golden tests demand. Set it only for circuits with genuinely
 	// floating nodes.
 	Gmin float64
+	// Backend overrides the factorization strategy (see ACBackend).
+	Backend ACBackend
 }
 
 // acRes etc. are the AC stamp records: node indices are circuit node
@@ -54,6 +77,172 @@ type acVsrc struct {
 type acMut struct {
 	a, b *acInd
 	m    float64 // M = K*sqrt(La*Lb)
+}
+
+// acActive labels which backend produced the engine's current
+// factorization, so the solve dispatch follows the factor dispatch even
+// when a per-frequency fallback intervenes.
+type acActive byte
+
+const (
+	acViaNone acActive = iota
+	acViaPlan
+	acViaSparse
+	acViaDense
+)
+
+// acPlan is the two-phase stamp plan of the symbolic backend. The
+// frequency-invariant operands are separated once per circuit: g[k] holds
+// every real contribution to CSR slot k (conductances 1/R, Gmin,
+// branch-incidence ±1) and c[k] every coefficient of ω in the imaginary
+// part (+C and −C couplings, −L branch diagonals, −M mutual cross
+// terms). Assembling G + jωC at a frequency is then the pure value
+// combine vals[k] = complex(g[k], ω·c[k]) — no stamping, no allocation —
+// followed by a numeric Refactor into the precomputed fill structure.
+type acPlan struct {
+	lu   *linalg.CSymbolicLU
+	g    []float64
+	c    []float64
+	vals []complex128
+}
+
+// acTriplet is one matrix contribution during plan construction.
+type acTriplet struct {
+	i, j int
+	g, c float64
+}
+
+// buildPlan compiles the engine's element records into a stamp plan: the
+// triplets mirror factorAt's stamp enumeration exactly (including the
+// zero-capacitance skip), are merged by coordinate with a stable sort so
+// accumulation order is deterministic, and the resulting CSR pattern is
+// handed to the symbolic analysis. Returns linalg.ErrNeedsPivoting (via
+// the analysis) for patterns with structurally zero diagonals, e.g. any
+// circuit containing voltage sources.
+func (e *ACEngine) buildPlan() (*acPlan, error) {
+	tr := make([]acTriplet, 0, 16*len(e.res))
+	addG := func(i, j int, g float64) {
+		if i >= 0 && j >= 0 {
+			tr = append(tr, acTriplet{i: i, j: j, g: g})
+		}
+	}
+	addC := func(i, j int, c float64) {
+		if i >= 0 && j >= 0 {
+			tr = append(tr, acTriplet{i: i, j: j, c: c})
+		}
+	}
+	stampPairG := func(n1, n2 int, g float64) {
+		i, j := slotOf(n1), slotOf(n2)
+		addG(i, i, g)
+		if i >= 0 {
+			addG(i, j, -g)
+		}
+		addG(j, j, g)
+		if j >= 0 {
+			addG(j, i, -g)
+		}
+	}
+	stampPairC := func(n1, n2 int, c float64) {
+		i, j := slotOf(n1), slotOf(n2)
+		addC(i, i, c)
+		if i >= 0 {
+			addC(i, j, -c)
+		}
+		addC(j, j, c)
+		if j >= 0 {
+			addC(j, i, -c)
+		}
+	}
+	if g := e.opts.Gmin; g > 0 {
+		for node := 1; node < e.nNodes; node++ {
+			addG(slotOf(node), slotOf(node), g)
+		}
+	}
+	for _, r := range e.res {
+		stampPairG(r.n1, r.n2, 1/r.r)
+	}
+	for _, c := range e.caps {
+		if c.c != 0 {
+			stampPairC(c.n1, c.n2, c.c)
+		}
+	}
+	for _, l := range e.inds {
+		if i := slotOf(l.n1); i >= 0 {
+			addG(i, l.br, 1)
+			addG(l.br, i, 1)
+		}
+		if j := slotOf(l.n2); j >= 0 {
+			addG(j, l.br, -1)
+			addG(l.br, j, -1)
+		}
+		addC(l.br, l.br, -l.l)
+	}
+	for _, mu := range e.muts {
+		addC(mu.a.br, mu.b.br, -mu.m)
+		addC(mu.b.br, mu.a.br, -mu.m)
+	}
+	for _, v := range e.vsrc {
+		if i := slotOf(v.np); i >= 0 {
+			addG(i, v.br, 1)
+			addG(v.br, i, 1)
+		}
+		if j := slotOf(v.nn); j >= 0 {
+			addG(j, v.br, -1)
+			addG(v.br, j, -1)
+		}
+	}
+	// Stable sort keeps duplicate contributions in stamp order, so the
+	// merged g/c sums accumulate in the same sequence every build.
+	sort.SliceStable(tr, func(a, b int) bool {
+		if tr[a].i != tr[b].i {
+			return tr[a].i < tr[b].i
+		}
+		return tr[a].j < tr[b].j
+	})
+	p := &acPlan{}
+	rowPtr := make([]int, e.n+1)
+	var colIdx []int
+	for t := 0; t < len(tr); {
+		u := t + 1
+		g, c := tr[t].g, tr[t].c
+		for u < len(tr) && tr[u].i == tr[t].i && tr[u].j == tr[t].j {
+			g += tr[u].g
+			c += tr[u].c
+			u++
+		}
+		colIdx = append(colIdx, tr[t].j)
+		p.g = append(p.g, g)
+		p.c = append(p.c, c)
+		rowPtr[tr[t].i+1]++
+		t = u
+	}
+	for i := 0; i < e.n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	lu, err := linalg.NewCSymbolicLU(rowPtr, colIdx)
+	if err != nil {
+		return nil, err
+	}
+	p.lu = lu
+	p.vals = make([]complex128, len(colIdx))
+	return p, nil
+}
+
+// ensureLegacy lazily allocates the dense stamp matrix and a pivoted
+// factorization for engines that normally run on the stamp plan, so a
+// numeric fallback (cancelled pivot under the static ordering) still has
+// somewhere to go without paying the dense-matrix footprint up front.
+func (e *ACEngine) ensureLegacy() {
+	if e.mat == nil {
+		e.mat = linalg.NewCMatrix(e.n, e.n)
+	}
+	if e.sparse == nil && e.dense == nil {
+		if e.n >= acSparseThreshold {
+			e.sparse = linalg.NewCSparseLU(e.n)
+		} else {
+			e.dense = linalg.NewCLU(e.n)
+		}
+	}
 }
 
 // SensKind labels which parameter a sensitivity entry differentiates by.
@@ -102,12 +291,14 @@ type ACEngine struct {
 	vsrc []*acVsrc
 	muts []*acMut
 
-	mat    *linalg.CMatrix
+	mat    *linalg.CMatrix // legacy stamp target; nil until a legacy factorization is needed
 	rhs    []complex128
 	x      []complex128 // forward solution of the last solve
 	lam    []complex128 // adjoint solution of the last ImpedanceSens
 	dense  *linalg.CLU
 	sparse *linalg.CSparseLU
+	plan   *acPlan  // two-phase stamp plan; nil when the backend is legacy-only
+	active acActive // backend holding the current factorization
 
 	stampOmega float64 // frequency the current factorization is valid for
 	stampOK    bool
@@ -182,14 +373,44 @@ func NewAC(ckt *circuit.Circuit, opts ACOptions) (*ACEngine, error) {
 	if e.n == 0 {
 		return nil, fmt.Errorf("spice: AC circuit %q has no unknowns", ckt.Title)
 	}
-	e.mat = linalg.NewCMatrix(e.n, e.n)
 	e.rhs = make([]complex128, e.n)
 	e.x = make([]complex128, e.n)
 	e.lam = make([]complex128, e.n)
-	if e.n >= acSparseThreshold {
-		e.sparse = linalg.NewCSparseLU(e.n)
-	} else {
+	switch opts.Backend {
+	case ACDense:
+		e.mat = linalg.NewCMatrix(e.n, e.n)
 		e.dense = linalg.NewCLU(e.n)
+	case ACSparse:
+		e.mat = linalg.NewCMatrix(e.n, e.n)
+		e.sparse = linalg.NewCSparseLU(e.n)
+	case ACSymbolic:
+		plan, err := e.buildPlan()
+		if err != nil {
+			return nil, fmt.Errorf("spice: symbolic AC backend unavailable for %q: %w", ckt.Title, err)
+		}
+		e.plan = plan
+	case ACAuto:
+		if e.n < acSparseThreshold {
+			// Small systems stay on the dense bit-reference; the
+			// single-frequency stampOmega cache is the degenerate reuse.
+			e.mat = linalg.NewCMatrix(e.n, e.n)
+			e.dense = linalg.NewCLU(e.n)
+			break
+		}
+		plan, err := e.buildPlan()
+		switch {
+		case err == nil:
+			e.plan = plan
+		case errors.Is(err, linalg.ErrNeedsPivoting):
+			// Voltage sources (or other structurally zero diagonals):
+			// keep the pivoted sparse path.
+			e.mat = linalg.NewCMatrix(e.n, e.n)
+			e.sparse = linalg.NewCSparseLU(e.n)
+		default:
+			return nil, fmt.Errorf("spice: AC symbolic analysis for %q: %w", ckt.Title, err)
+		}
+	default:
+		return nil, fmt.Errorf("spice: unknown AC backend %d", opts.Backend)
 	}
 	return e, nil
 }
@@ -223,6 +444,13 @@ func (e *ACEngine) cstampG(n1, n2 int, y complex128) {
 // factorAt assembles and factors the complex MNA matrix at angular
 // frequency omega, reusing the existing factorization when omega is
 // unchanged since the last call.
+//
+// With a stamp plan the assembly is the zero-allocation value combine
+// vals[k] = complex(g[k], ω·c[k]) followed by a numeric refactor into the
+// precomputed fill structure. A pivot that cancels exactly under the
+// static ordering falls back to the pivoted legacy path for that
+// frequency (allocated on first need); the plan is retried at the next
+// frequency, where the cancellation generically disappears.
 func (e *ACEngine) factorAt(omega float64) error {
 	if e.stampOK && omega == e.stampOmega {
 		return nil
@@ -231,6 +459,23 @@ func (e *ACEngine) factorAt(omega float64) error {
 	e.adjointOK = false
 	if omega < 0 || math.IsNaN(omega) || math.IsInf(omega, 0) {
 		return fmt.Errorf("spice: bad AC angular frequency %g", omega)
+	}
+	if p := e.plan; p != nil {
+		vals, c := p.vals, p.c
+		for k, gv := range p.g {
+			vals[k] = complex(gv, omega*c[k])
+		}
+		err := p.lu.Refactor(vals)
+		if err == nil {
+			e.active = acViaPlan
+			e.stampOmega = omega
+			e.stampOK = true
+			return nil
+		}
+		if !errors.Is(err, linalg.ErrSingular) || e.opts.Backend == ACSymbolic {
+			return fmt.Errorf("spice: AC refactor at omega=%g: %w", omega, err)
+		}
+		e.ensureLegacy()
 	}
 	m := e.mat
 	m.Zero()
@@ -277,10 +522,13 @@ func (e *ACEngine) factorAt(omega float64) error {
 	var err error
 	if e.sparse != nil {
 		err = e.sparse.Factor(m)
+		e.active = acViaSparse
 	} else {
 		err = e.dense.Factor(m)
+		e.active = acViaDense
 	}
 	if err != nil {
+		e.active = acViaNone
 		return fmt.Errorf("spice: AC factorization at omega=%g: %w", omega, err)
 	}
 	e.stampOmega = omega
@@ -289,17 +537,27 @@ func (e *ACEngine) factorAt(omega float64) error {
 }
 
 func (e *ACEngine) solveRHS(b, x []complex128) error {
-	if e.sparse != nil {
+	switch e.active {
+	case acViaPlan:
+		return e.plan.lu.Solve(b, x)
+	case acViaSparse:
 		return e.sparse.Solve(b, x)
+	case acViaDense:
+		return e.dense.Solve(b, x)
 	}
-	return e.dense.Solve(b, x)
+	return fmt.Errorf("spice: AC solve before a successful factorization")
 }
 
 func (e *ACEngine) solveT(b, x []complex128) error {
-	if e.sparse != nil {
+	switch e.active {
+	case acViaPlan:
+		return e.plan.lu.SolveT(b, x)
+	case acViaSparse:
 		return e.sparse.SolveT(b, x)
+	case acViaDense:
+		return e.dense.SolveT(b, x)
 	}
-	return e.dense.SolveT(b, x)
+	return fmt.Errorf("spice: AC solve before a successful factorization")
 }
 
 // Impedance returns the self-impedance Z(jω) seen looking into the given

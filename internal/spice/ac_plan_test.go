@@ -1,0 +1,221 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"ssnkit/internal/circuit"
+	"ssnkit/internal/pkgmodel"
+)
+
+// planMesh builds an AC engine for a rows x cols PGA power mesh — the
+// workload the symbolic backend exists for — and returns it with the
+// observation node.
+//
+// The dense-agreement bands below (1e-10 on Z, 1e-9 on sensitivities)
+// absorb the conditioning-amplified rounding of a different elimination
+// order near high-Q resonances; see DESIGN.md §17.
+func planMesh(t *testing.T, rows, cols int) (*ACEngine, int) {
+	t.Helper()
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, rows, cols, 4)
+	ckt, obs, err := grid.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewAC(ckt, ACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, obs
+}
+
+// TestACPlanMatchesDenseOnMesh: the symbolic fast path on a full PDN mesh
+// must agree with the dense bit-reference across the sweep band — Z to
+// 1e-10 relative and every adjoint sensitivity to 1e-9 of its scale. The
+// ≤1-ULP-per-operation differences documented in DESIGN.md §17 (ordering
+// changes the elimination sequence; ω·C is accumulated before widening)
+// stay far inside these bands.
+func TestACPlanMatchesDenseOnMesh(t *testing.T) {
+	grid := pkgmodel.DefaultPDN(pkgmodel.PGA, 4, 4, 4)
+	cktP, obsP, err := grid.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engP, err := NewAC(cktP, ACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engP.plan == nil {
+		t.Fatal("auto backend did not pick the symbolic plan for the mesh")
+	}
+	cktD, obsD, err := grid.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engD, err := NewAC(cktD, ACOptions{Backend: ACDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs, err := FreqGrid(1e6, 1e10, 25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sensP, sensD []SensEntry
+	for _, f := range freqs {
+		w := 2 * math.Pi * f
+		var zP, zD complex128
+		zP, sensP, err = engP.ImpedanceSens(w, obsP, sensP[:0])
+		if err != nil {
+			t.Fatalf("f=%g symbolic: %v", f, err)
+		}
+		zD, sensD, err = engD.ImpedanceSens(w, obsD, sensD[:0])
+		if err != nil {
+			t.Fatalf("f=%g dense: %v", f, err)
+		}
+		if e := relErrC(zP, zD); e > 1e-10 {
+			t.Errorf("f=%g: Z symbolic %v vs dense %v rel err %.3e", f, zP, zD, e)
+		}
+		if len(sensP) != len(sensD) {
+			t.Fatalf("f=%g: sensitivity count %d vs %d", f, len(sensP), len(sensD))
+		}
+		scale := 0.0
+		for i := range sensD {
+			if a := math.Abs(sensD[i].DAbs); a > scale {
+				scale = a
+			}
+		}
+		for i := range sensD {
+			if d := math.Abs(sensP[i].DAbs - sensD[i].DAbs); d > 1e-9*scale {
+				t.Errorf("f=%g %s: symbolic %.6e vs dense %.6e (Δ %.3e, scale %.3e)",
+					f, sensD[i].Name, sensP[i].DAbs, sensD[i].DAbs, d, scale)
+			}
+		}
+	}
+}
+
+// TestACSweepReuseBitIdentical: sweeping a reused engine must reproduce a
+// fresh engine per frequency bit for bit — the deterministic refactor
+// contract the pdn sweep context relies on.
+func TestACSweepReuseBitIdentical(t *testing.T) {
+	reused, obs := planMesh(t, 4, 4)
+	freqs, err := FreqGrid(1e6, 1e10, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sensR, sensF []SensEntry
+	for _, f := range freqs {
+		w := 2 * math.Pi * f
+		var zR, zF complex128
+		zR, sensR, err = reused.ImpedanceSens(w, obs, sensR[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, fobs := planMesh(t, 4, 4)
+		zF, sensF, err = fresh.ImpedanceSens(w, fobs, sensF[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zR != zF {
+			t.Fatalf("f=%g: reused Z %v != fresh Z %v", f, zR, zF)
+		}
+		for i := range sensF {
+			if sensR[i].DZ != sensF[i].DZ || sensR[i].DAbs != sensF[i].DAbs {
+				t.Fatalf("f=%g %s: reused sens %v/%v != fresh %v/%v",
+					f, sensF[i].Name, sensR[i].DZ, sensR[i].DAbs, sensF[i].DZ, sensF[i].DAbs)
+			}
+		}
+	}
+}
+
+// TestACSweepZeroAlloc is the hot-loop guard from the issue: once warm,
+// the per-frequency restamp+refactor+solve loop — with and without the
+// adjoint pass — must not allocate at all.
+func TestACSweepZeroAlloc(t *testing.T) {
+	eng, obs := planMesh(t, 8, 8)
+	if eng.plan == nil {
+		t.Fatal("8x8 mesh did not select the symbolic plan")
+	}
+	freqs, err := FreqGrid(1e6, 1e10, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens := make([]SensEntry, 0, 4096)
+	warm := func() {
+		for _, f := range freqs {
+			w := 2 * math.Pi * f
+			if _, err := eng.Impedance(w, obs); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	warm()
+	if a := testing.AllocsPerRun(5, warm); a != 0 {
+		t.Errorf("restamp+refactor sweep loop allocates %v per run, want 0", a)
+	}
+	warmSens := func() {
+		for _, f := range freqs {
+			w := 2 * math.Pi * f
+			var err error
+			_, sens, err = eng.ImpedanceSens(w, obs, sens[:0])
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	warmSens()
+	if a := testing.AllocsPerRun(5, warmSens); a != 0 {
+		t.Errorf("adjoint sweep loop allocates %v per run, want 0", a)
+	}
+}
+
+// TestACPlanVsrcFallback: a circuit with a voltage source has structurally
+// zero branch diagonals, so auto selection must reject the symbolic plan,
+// run on the pivoted path, and still match the dense reference; forcing
+// ACSymbolic must fail loudly.
+func TestACPlanVsrcFallback(t *testing.T) {
+	old := acSparseThreshold
+	defer func() { acSparseThreshold = old }()
+	acSparseThreshold = 1
+
+	build := func() *circuit.Circuit {
+		ckt := circuit.New("vsrc-fallback")
+		ckt.AddV("v1", "s", "0", circuit.DC(0))
+		prev := "s"
+		for i := 0; i < 5; i++ {
+			n := "n" + string(rune('0'+i))
+			ckt.AddR("r"+string(rune('0'+i)), prev, n, 0.2+0.1*float64(i))
+			ckt.AddC("c"+string(rune('0'+i)), n, "0", 1e-12*(1+float64(i)))
+			prev = n
+		}
+		return ckt
+	}
+	ckt := build()
+	if _, err := NewAC(ckt, ACOptions{Backend: ACSymbolic}); err == nil {
+		t.Fatal("forced symbolic backend accepted a voltage-source pattern")
+	}
+	eng, err := NewAC(build(), ACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.plan != nil || eng.sparse == nil {
+		t.Fatal("auto selection did not fall back to the pivoted sparse path")
+	}
+	acSparseThreshold = 1 << 30
+	cktD := build()
+	engD, err := NewAC(cktD, ACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 2 * math.Pi * 3e8
+	zS, err := eng.Impedance(w, eng.NodeIndex("n4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zD, err := engD.Impedance(w, cktD.LookupNode("n4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErrC(zS, zD); e > 1e-12 {
+		t.Errorf("vsrc fallback: Z sparse %v vs dense %v rel err %.3e", zS, zD, e)
+	}
+}

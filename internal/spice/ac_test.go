@@ -378,8 +378,10 @@ func TestACAdjointVsFDSpot(t *testing.T) {
 	}
 }
 
-// TestACSparseMatchesDense: forcing the sparse backend must reproduce the
-// dense results to 1e-12 (Solve and adjoint both).
+// TestACSparseMatchesDense: forcing the pivoted sparse and the symbolic
+// backends must reproduce the dense results to 1e-12 (Solve and adjoint
+// both), and the auto selection must pick the symbolic plan above the
+// threshold and dense below it.
 func TestACSparseMatchesDense(t *testing.T) {
 	old := acSparseThreshold
 	defer func() { acSparseThreshold = old }()
@@ -409,31 +411,43 @@ func TestACSparseMatchesDense(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	acSparseThreshold = 1 // force sparse
-	cktS := build()
-	engS, err := NewAC(cktS, ACOptions{})
-	if err != nil {
-		t.Fatal(err)
+	if engD.dense == nil || engD.plan != nil {
+		t.Fatal("dense selection did not respect threshold override")
 	}
-	zS, sensS, err := engS.ImpedanceSens(w, cktS.LookupNode("in"), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if engS.sparse == nil || engD.sparse != nil {
-		t.Fatal("backend selection did not respect threshold override")
-	}
-	if e := relErrC(zS, zD); e > 1e-12 {
-		t.Errorf("Z dense %v vs sparse %v rel err %.3e > 1e-12", zD, zS, e)
-	}
-	if len(sensD) != len(sensS) {
-		t.Fatalf("sensitivity count %d vs %d", len(sensD), len(sensS))
-	}
-	for i := range sensD {
-		scale := math.Max(math.Abs(sensD[i].DAbs), 1e-30)
-		if e := math.Abs(sensD[i].DAbs-sensS[i].DAbs) / scale; e > 1e-11 {
-			t.Errorf("%s: dense %.6e vs sparse %.6e rel err %.3e", sensD[i].Name, sensD[i].DAbs, sensS[i].DAbs, e)
+
+	compare := func(label string, opts ACOptions, wantPlan bool) {
+		t.Helper()
+		ckt := build()
+		eng, err := NewAC(ckt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (eng.plan != nil) != wantPlan {
+			t.Fatalf("%s: plan presence %v, want %v", label, eng.plan != nil, wantPlan)
+		}
+		z, sens, err := eng.ImpedanceSens(w, ckt.LookupNode("in"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relErrC(z, zD); e > 1e-12 {
+			t.Errorf("%s: Z dense %v vs %v rel err %.3e > 1e-12", label, zD, z, e)
+		}
+		if len(sensD) != len(sens) {
+			t.Fatalf("%s: sensitivity count %d vs %d", label, len(sensD), len(sens))
+		}
+		for i := range sensD {
+			scale := math.Max(math.Abs(sensD[i].DAbs), 1e-30)
+			if e := math.Abs(sensD[i].DAbs-sens[i].DAbs) / scale; e > 1e-11 {
+				t.Errorf("%s %s: dense %.6e vs %.6e rel err %.3e", label, sensD[i].Name, sensD[i].DAbs, sens[i].DAbs, e)
+			}
 		}
 	}
+	acSparseThreshold = 1 // auto now prefers the symbolic plan
+	compare("auto/symbolic", ACOptions{}, true)
+	compare("forced sparse", ACOptions{Backend: ACSparse}, false)
+	compare("forced symbolic", ACOptions{Backend: ACSymbolic}, true)
+	acSparseThreshold = old
+	compare("forced dense large", ACOptions{Backend: ACDense}, false)
 }
 
 // TestACErrors: unsupported elements, bad nodes, bad frequencies.
